@@ -1,0 +1,235 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! each compares the implementation the library ships against the
+//! obvious alternative, justifying (or re-litigating) the choice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipactive_logfmt::{crc32, FrameReader, FrameWriter, ReadMode, Record};
+use ipactive_net::{covering_mask, Addr, AddrSet, DayBits, Prefix, PrefixTrie};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn sample_addrs(n: usize, seed: u64) -> Vec<Addr> {
+    // Clustered like real activity: runs inside /24s with gaps.
+    let mut out = Vec::with_capacity(n);
+    let mut state = seed;
+    let mut base = 0x0A00_0000u32;
+    while out.len() < n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        base = base.wrapping_add(((state >> 33) % 1024) as u32 * 256);
+        let run = 1 + ((state >> 20) % 64) as u32;
+        for i in 0..run {
+            if out.len() >= n {
+                break;
+            }
+            out.push(Addr::new(base | (i & 0xFF)));
+        }
+    }
+    out
+}
+
+/// Sorted-vec sets vs hash sets for the up/down event difference.
+fn ablation_set_difference(c: &mut Criterion) {
+    let a = AddrSet::from_unsorted(sample_addrs(100_000, 1));
+    let b = AddrSet::from_unsorted(sample_addrs(100_000, 2));
+    let ha: HashSet<Addr> = a.iter().collect();
+    let hb: HashSet<Addr> = b.iter().collect();
+    let mut g = c.benchmark_group("ablation_set_difference");
+    g.bench_function("sorted_vec_merge (shipped)", |bch| {
+        bch.iter(|| black_box(a.difference(&b).len()))
+    });
+    g.bench_function("hashset_difference", |bch| {
+        bch.iter(|| black_box(ha.difference(&hb).count()))
+    });
+    g.finish();
+}
+
+/// Bitset popcount range vs a naive per-day loop for STU.
+fn ablation_daybits_count(c: &mut Criterion) {
+    let rows: Vec<DayBits> = (0..100_000u64)
+        .map(|i| DayBits::from_bits((i.wrapping_mul(0x9E3779B97F4A7C15) as u128) << (i % 17)))
+        .collect();
+    let mut g = c.benchmark_group("ablation_stu_counting");
+    g.bench_function("popcount_range (shipped)", |bch| {
+        bch.iter(|| {
+            let total: u64 = rows.iter().map(|r| r.count_range(10, 100) as u64).sum();
+            black_box(total)
+        })
+    });
+    g.bench_function("per_day_loop", |bch| {
+        bch.iter(|| {
+            let mut total = 0u64;
+            for r in &rows {
+                for d in 10..100 {
+                    if r.get(d) {
+                        total += 1;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Covering-mask growth via binary-searched range probes vs a linear
+/// scan over the exclusion set per candidate prefix.
+fn ablation_covering_mask(c: &mut Criterion) {
+    let exclusion = AddrSet::from_unsorted(sample_addrs(50_000, 3));
+    let events: Vec<Addr> = sample_addrs(1_000, 4);
+    let mut g = c.benchmark_group("ablation_covering_mask");
+    g.bench_function("binary_search_probes (shipped)", |bch| {
+        bch.iter(|| {
+            let total: u32 =
+                events.iter().map(|&a| covering_mask(a, &exclusion) as u32).sum();
+            black_box(total)
+        })
+    });
+    g.bench_function("linear_scan", |bch| {
+        bch.iter(|| {
+            let mut total = 0u32;
+            for &a in &events {
+                let mut mask = 32u8;
+                while mask > 0 {
+                    let candidate = Prefix::containing(a, mask - 1);
+                    let hit = exclusion
+                        .iter()
+                        .any(|x| candidate.contains(x));
+                    if hit {
+                        break;
+                    }
+                    mask -= 1;
+                }
+                total += mask as u32;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+/// Longest-prefix match: radix trie vs scanning the route list.
+fn ablation_lpm(c: &mut Criterion) {
+    let mut trie = PrefixTrie::new();
+    let mut routes = Vec::new();
+    for (i, addr) in sample_addrs(5_000, 5).into_iter().enumerate() {
+        let len = 12 + (i % 13) as u8;
+        let p = Prefix::new(addr, len);
+        trie.insert(p, i as u32);
+        routes.push((p, i as u32));
+    }
+    let probes = sample_addrs(2_000, 6);
+    let mut g = c.benchmark_group("ablation_lpm");
+    g.bench_function("radix_trie (shipped)", |bch| {
+        bch.iter(|| {
+            let hits = probes.iter().filter(|&&a| trie.longest_match(a).is_some()).count();
+            black_box(hits)
+        })
+    });
+    g.bench_function("linear_route_scan", |bch| {
+        bch.iter(|| {
+            let mut hits = 0usize;
+            for &a in &probes {
+                let best = routes
+                    .iter()
+                    .filter(|(p, _)| p.contains(a))
+                    .max_by_key(|(p, _)| p.len());
+                if best.is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+/// Frame decoding with and without checksum verification — the price
+/// of corruption detection on the collector path.
+fn ablation_checksum(c: &mut Criterion) {
+    let mut buf = Vec::new();
+    let mut w = FrameWriter::new(&mut buf);
+    for (i, addr) in sample_addrs(20_000, 7).into_iter().enumerate() {
+        w.write(&Record::Hits { day: (i % 112) as u16, addr, hits: (i as u64 % 997) + 1 })
+            .unwrap();
+    }
+    w.finish().unwrap();
+    let mut g = c.benchmark_group("ablation_checksum");
+    g.bench_function("decode_with_crc (shipped)", |bch| {
+        bch.iter(|| {
+            let mut r = FrameReader::new(&buf[..], ReadMode::Strict);
+            let mut n = 0u64;
+            while let Some(rec) = r.read().unwrap() {
+                if matches!(rec, Record::Hits { .. }) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("crc32_alone_over_stream", |bch| {
+        bch.iter(|| black_box(crc32(&buf)))
+    });
+    g.finish();
+}
+
+/// Per-address Hits records vs packed BlockDay frames: stream size
+/// and decode throughput of the two wire formats.
+fn ablation_packed_records(c: &mut Criterion) {
+    use ipactive_logfmt::BlockDay;
+    use ipactive_net::Block24;
+    // 200 blocks × 1 day × 120 active addresses.
+    let mut flat = Vec::new();
+    let mut packed = Vec::new();
+    {
+        let mut wf = FrameWriter::new(&mut flat);
+        let mut wp = FrameWriter::new(&mut packed);
+        for blk in 0..200u32 {
+            let block = Block24::new(0x0A_0000 + blk);
+            let entries: Vec<(u8, u64)> =
+                (0..120u8).map(|h| (h, (h as u64 * 7 + blk as u64) % 900 + 1)).collect();
+            for &(h, hits) in &entries {
+                wf.write(&Record::Hits { day: 3, addr: block.addr(h), hits }).unwrap();
+            }
+            wp.write(&Record::BlockDay(Box::new(BlockDay::new(3, block, entries)))).unwrap();
+        }
+        wf.finish().unwrap();
+        wp.finish().unwrap();
+    }
+    let mut g = c.benchmark_group("ablation_packed_records");
+    g.bench_function(format!("decode_flat_{}B", flat.len()), |bch| {
+        bch.iter(|| {
+            let mut r = FrameReader::new(&flat[..], ReadMode::Strict);
+            let mut n = 0u64;
+            while let Some(rec) = r.read().unwrap() {
+                if let Record::Hits { hits, .. } = rec {
+                    n += hits;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function(format!("decode_packed_{}B", packed.len()), |bch| {
+        bch.iter(|| {
+            let mut r = FrameReader::new(&packed[..], ReadMode::Strict);
+            let mut n = 0u64;
+            while let Some(rec) = r.read().unwrap() {
+                if let Record::BlockDay(bd) = rec {
+                    n += bd.entries.iter().map(|&(_, h)| h).sum::<u64>();
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_set_difference,
+    ablation_daybits_count,
+    ablation_covering_mask,
+    ablation_lpm,
+    ablation_checksum,
+    ablation_packed_records,
+);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Criterion benchmarks of every analysis kernel, one group per paper
+//! table/figure. Each runs against a fixed small universe so numbers
+//! are comparable across changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipactive_cdnsim::{monthly_counts, GrowthModel, Universe, UniverseConfig};
+use ipactive_core::{
+    blocks, census, change, churn, demographics, events, geo, hosts, timeline, traffic,
+    visibility,
+};
+use ipactive_probe::ScanCampaign;
+use ipactive_rir::YearMonth;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+struct Fixture {
+    universe: Universe,
+    daily: ipactive_core::DailyDataset,
+    weekly: ipactive_core::WeeklyDataset,
+    icmp: ipactive_net::AddrSet,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let universe = Universe::generate(UniverseConfig::small(0xBE7C4));
+        let daily = universe.build_daily();
+        let weekly = universe.build_weekly();
+        let icmp = ScanCampaign::new(1, 8).run_union(&universe);
+        Fixture { universe, daily, weekly, icmp }
+    })
+}
+
+fn bench_fig01(c: &mut Criterion) {
+    c.bench_function("fig01_monthly_counts_and_fit", |b| {
+        b.iter(|| {
+            let pts = monthly_counts(&GrowthModel::default());
+            let fit = timeline::fit_until(&pts, YearMonth::new(2014, 1)).unwrap();
+            black_box(timeline::detect_stagnation(&pts, &fit, 0.5, 24))
+        })
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let f = fixture();
+    let table = f.universe.bgp().base();
+    c.bench_function("table1_daily_census", |b| {
+        b.iter(|| black_box(census::daily_census(&f.daily, |blk| table.origin_of(blk.network()))))
+    });
+    c.bench_function("table1_weekly_census", |b| {
+        b.iter(|| black_box(census::weekly_census(&f.weekly, |blk| table.origin_of(blk.network()))))
+    });
+}
+
+fn bench_fig02(c: &mut Criterion) {
+    let f = fixture();
+    let cdn = f.daily.all_active();
+    c.bench_function("fig02_visibility_splits", |b| {
+        b.iter(|| {
+            let s = visibility::split_addrs(&cdn, &f.icmp);
+            let blocks = visibility::split_blocks(&cdn, &f.icmp);
+            black_box((s, blocks))
+        })
+    });
+}
+
+fn bench_fig03(c: &mut Criterion) {
+    let f = fixture();
+    let cdn = f.daily.all_active();
+    c.bench_function("fig03_geo_breakdowns", |b| {
+        b.iter(|| {
+            let by_rir = geo::by_rir(&cdn, &f.icmp, f.universe.delegations());
+            let top = geo::top_countries(&cdn, &f.icmp, f.universe.delegations(), 11);
+            black_box((by_rir, top))
+        })
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig04a_daily_series", |b| {
+        b.iter(|| black_box(churn::daily_series(&f.daily)))
+    });
+    c.bench_function("fig04b_window_sweep", |b| {
+        b.iter(|| black_box(churn::window_sweep(&f.daily, &[1, 2, 4, 7, 14])))
+    });
+    c.bench_function("fig04c_year_drift", |b| {
+        b.iter(|| black_box(churn::year_drift(&f.weekly)))
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    let f = fixture();
+    let table = f.universe.bgp().base();
+    c.bench_function("fig05a_per_as_churn", |b| {
+        b.iter(|| {
+            black_box(churn::per_as_churn(&f.daily, 7, 50, |blk| {
+                table.origin_of(blk.network())
+            }))
+        })
+    });
+    c.bench_function("fig05b_event_sizes_7d", |b| {
+        b.iter(|| black_box(events::event_sizes(&f.daily, 7, events::EventDirection::Up)))
+    });
+    c.bench_function("fig05c_bgp_correlation_7d", |b| {
+        b.iter(|| {
+            black_box(events::bgp_correlation(
+                &f.daily,
+                7,
+                f.universe.bgp(),
+                f.universe.config().daily_offset as u16,
+            ))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let f = fixture();
+    let weeks = f.weekly.num_weeks;
+    c.bench_function("table2_long_term", |b| {
+        b.iter(|| {
+            black_box(churn::long_term(
+                &f.weekly,
+                0..4,
+                weeks - 4..weeks,
+                f.universe.bgp(),
+                7,
+            ))
+        })
+    });
+}
+
+fn bench_fig08(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig08a_change_detection", |b| {
+        b.iter(|| black_box(change::detect(&f.daily, f.daily.num_days / 4, 0.25)))
+    });
+    c.bench_function("fig08b_fd_by_assignment", |b| {
+        b.iter(|| black_box(blocks::fd_by_assignment(&f.daily, f.universe.ptr_table(), 16)))
+    });
+    c.bench_function("fig08c_stu_histogram", |b| {
+        b.iter(|| black_box(blocks::stu_histogram_high_fd(&f.daily, 250, 10)))
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig09a_hits_by_days_active", |b| {
+        b.iter(|| black_box(traffic::hits_by_days_active(&f.daily)))
+    });
+    c.bench_function("fig09b_cumulative_shares", |b| {
+        b.iter(|| black_box(traffic::cumulative_shares(&f.daily)))
+    });
+    c.bench_function("fig09c_weekly_top_share", |b| {
+        b.iter(|| black_box(traffic::weekly_top_share(&f.weekly, 0.1)))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig10_ua_scatter_and_histogram", |b| {
+        b.iter(|| {
+            let pts = hosts::ua_scatter(&f.daily);
+            let h = hosts::histogram2d(&pts, 8, 6);
+            black_box((hosts::log_correlation(&pts), h))
+        })
+    });
+}
+
+fn bench_fig11_12(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("fig11_demographics_cube", |b| {
+        b.iter(|| {
+            let feats = demographics::features(&f.daily);
+            black_box(demographics::cube(&feats))
+        })
+    });
+    c.bench_function("fig12_per_rir_grids", |b| {
+        let feats = demographics::features(&f.daily);
+        b.iter(|| black_box(demographics::per_rir(&feats, f.universe.delegations())))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig01,
+    bench_table1,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_table2,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11_12,
+);
+criterion_main!(benches);

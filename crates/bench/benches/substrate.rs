@@ -1,0 +1,54 @@
+//! Benchmarks of the data substrate: universe generation, dataset
+//! builds, probing campaigns, and the framed log pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipactive_cdnsim::{collect_daily, emit_daily_logs, Universe, UniverseConfig};
+use ipactive_probe::{IcmpScanner, PortScanner};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn universe() -> &'static Universe {
+    static U: OnceLock<Universe> = OnceLock::new();
+    U.get_or_init(|| Universe::generate(UniverseConfig::tiny(0x5AB5)))
+}
+
+fn bench_generate(c: &mut Criterion) {
+    c.bench_function("universe_generate_tiny", |b| {
+        b.iter(|| black_box(Universe::generate(UniverseConfig::tiny(0x77))))
+    });
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let u = universe();
+    c.bench_function("build_daily_tiny", |b| b.iter(|| black_box(u.build_daily())));
+    c.bench_function("build_weekly_tiny", |b| b.iter(|| black_box(u.build_weekly())));
+}
+
+fn bench_probing(c: &mut Criterion) {
+    let u = universe();
+    c.bench_function("icmp_single_scan", |b| {
+        b.iter(|| black_box(IcmpScanner::new(1).scan(u, 0)))
+    });
+    c.bench_function("port_scan_any", |b| {
+        b.iter(|| black_box(PortScanner::new().scan_any(u)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let u = universe();
+    let mut encoded = Vec::new();
+    emit_daily_logs(u, &mut encoded).unwrap();
+    c.bench_function("logfmt_emit_daily", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            emit_daily_logs(u, &mut buf).unwrap();
+            black_box(buf.len())
+        })
+    });
+    c.bench_function("logfmt_collect_daily", |b| {
+        b.iter(|| black_box(collect_daily(&encoded[..], u.config().daily_days).unwrap().1))
+    });
+}
+
+criterion_group!(benches, bench_generate, bench_builds, bench_probing, bench_pipeline);
+criterion_main!(benches);

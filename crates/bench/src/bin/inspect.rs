@@ -1,0 +1,184 @@
+//! `inspect` — drill into one `/24` of a synthetic universe the way
+//! the paper drills into its Figure 6/7 exemplars: activity matrix,
+//! FD/STU metrics, per-address traffic, reverse DNS, routing, probe
+//! responses, and (optionally) the generator's ground truth.
+//!
+//! ```text
+//! inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]
+//! ```
+//!
+//! `BLOCK` is a `/24` network like `101.0.64.0`; `top` picks the
+//! busiest block, `changed` the busiest block with a mid-window
+//! restructure.
+
+use ipactive_bench::{Repro, Scale};
+use ipactive_core::{matrix, outages, persistence};
+use ipactive_dns::classify_block;
+use ipactive_net::{Addr, Block24};
+
+fn main() {
+    let mut seed: u64 = 2015;
+    let mut scale = Scale::Small;
+    let mut truth = false;
+    let mut target: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--truth" => truth = true,
+            "--help" | "-h" => usage(),
+            other if target.is_none() => target = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let target = target.unwrap_or_else(|| "top".to_string());
+
+    eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
+    let repro = Repro::new(seed, scale);
+    let daily = &repro.daily;
+    let pop = repro.universe.population_summary();
+    eprintln!(
+        "population: {} blocks ({} static, {} dynamic, {} gateway, {} server, {} router)",
+        pop.total(),
+        pop.static_blocks,
+        pop.dynamic_blocks,
+        pop.gateway_blocks,
+        pop.server_blocks,
+        pop.router_blocks
+    );
+
+    let block = match target.as_str() {
+        "top" => daily
+            .blocks
+            .iter()
+            .max_by_key(|r| r.ip_traffic.len())
+            .map(|r| r.block)
+            .expect("universe has activity"),
+        "changed" => repro
+            .universe
+            .blocks
+            .iter()
+            .filter(|e| e.restructure.is_some())
+            .filter_map(|e| daily.block(e.block).map(|r| (e.block, r.ip_traffic.len())))
+            .max_by_key(|&(_, n)| n)
+            .map(|(b, _)| b)
+            .expect("universe has restructured blocks"),
+        s => {
+            let addr: Addr = s.parse().unwrap_or_else(|_| {
+                eprintln!("error: {s:?} is not an IPv4 address, 'top', or 'changed'");
+                std::process::exit(2);
+            });
+            Block24::of(addr)
+        }
+    };
+
+    println!("== {} ==", block);
+
+    // Observable: dataset view.
+    match daily.block(block) {
+        Some(rec) => {
+            let m = matrix::BlockMetrics::of(rec, 0..daily.num_days);
+            println!("\nactivity ({} days): FD={} STU={:.3}", daily.num_days, m.fd, m.stu);
+            for line in matrix::render(rec, daily.num_days, 16).lines() {
+                println!("  |{line}|");
+            }
+            println!(
+                "traffic: {} hits total, {} UA samples, {} unique UA strings",
+                rec.total_hits, rec.ua_samples, rec.ua_unique
+            );
+            let mut heavy = rec.ip_traffic.clone();
+            heavy.sort_by_key(|t| std::cmp::Reverse(t.total_hits));
+            println!("heaviest addresses:");
+            for t in heavy.iter().take(5) {
+                println!(
+                    "  {}  {:>4} days, {:>10} hits (median {}/day)",
+                    block.addr(t.host),
+                    t.days_active,
+                    t.total_hits,
+                    t.median_daily_hits
+                );
+            }
+            let found = outages::block_outages(rec, daily.num_days, &outages::OutageParams::default());
+            for o in &found {
+                println!("outage detected: days {}..{} ({} dark days)", o.start, o.start + o.days, o.days);
+            }
+            if let Some(p) = persistence::block_persistence(rec, 0..daily.num_days) {
+                println!(
+                    "persistence: reuse ratio {:.2}, mean streak {:.1} days → TTL {:?}",
+                    p.reuse_ratio,
+                    p.mean_streak_days,
+                    persistence::recommend_ttl(&p, false)
+                );
+            }
+        }
+        None => println!("\nno CDN activity in the daily window"),
+    }
+
+    // Year view from the weekly dataset.
+    if let Ok(i) = repro
+        .weekly
+        .blocks
+        .binary_search_by_key(&block, |(b, _)| *b)
+    {
+        let (_, rows) = &repro.weekly.blocks[i];
+        println!(
+            "\nyear view ({} weeks): FD={} STU={:.3}",
+            repro.weekly.num_weeks,
+            repro.weekly.filling_degree(block),
+            repro.weekly.stu(block)
+        );
+        for line in matrix::render_weekly(rows, repro.weekly.num_weeks, 16).lines() {
+            println!("  |{line}|");
+        }
+    }
+
+    // Observable: reverse DNS and routing.
+    let hint = classify_block(repro.universe.ptr_table(), block, 16);
+    println!("\nreverse DNS classification: {hint:?}");
+    if let Some(name) = repro.universe.ptr_table().name_of(block.addr(1)) {
+        println!("  e.g. {} -> {}", block.addr(1), name);
+    }
+    match repro.universe.bgp().base().route_of(block.addr(1)) {
+        Some(route) => println!("routing: {} via {}", route.prefix, route.origin),
+        None => println!("routing: not announced"),
+    }
+    if let Some(d) = repro.universe.delegations().lookup(block.addr(1)) {
+        println!("delegation: {} -> {} / {}", d.prefix, d.rir, d.country);
+    }
+
+    // Ground truth, if requested.
+    if truth {
+        if let Some(e) = repro.universe.blocks.iter().find(|e| e.block == block) {
+            let a = &repro.universe.ases[e.as_index];
+            println!("\n-- ground truth --");
+            println!("owner: {} ({:?}, {})", a.asn, a.kind, a.country);
+            println!("policy: {:?}", e.policy);
+            if let Some((day, p)) = &e.restructure {
+                println!("restructure at absolute day {day}: {p:?}");
+            }
+            if let Some((start, len)) = e.outage {
+                println!("outage at absolute day {start} for {len} days");
+            }
+            println!("alive weeks: {:?} of {}", e.alive_weeks, repro.universe.config().weeks);
+        } else {
+            println!("\n-- ground truth --\nblock not part of this universe");
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]"
+    );
+    std::process::exit(2);
+}

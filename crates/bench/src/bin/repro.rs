@@ -1,0 +1,118 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]
+//! repro list
+//! ```
+//!
+//! With no experiment arguments, runs all of them in paper order.
+//! Use a release build for `--scale full` (the default). `--out`
+//! writes the combined report to a file as well as stdout.
+
+use ipactive_bench::{CheckOutcome, Repro, Scale, EXPERIMENTS};
+
+fn main() {
+    let mut seed: u64 = 2015;
+    let mut scale = Scale::Full;
+    let mut out_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "list" => {
+                for name in EXPERIMENTS {
+                    println!("{name}");
+                }
+                return;
+            }
+            "validate" => {
+                wanted.push("__validate__".to_string());
+            }
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path")));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage("--scale needs tiny|small|full"),
+                };
+            }
+            "--help" | "-h" => {
+                usage("");
+            }
+            name if EXPERIMENTS.contains(&name) => wanted.push(name.to_string()),
+            other => usage(&format!("unknown experiment or flag: {other}")),
+        }
+    }
+    if wanted.is_empty() {
+        wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
+    let start = std::time::Instant::now();
+    let repro = Repro::new(seed, scale);
+    eprintln!(
+        "universe ready in {:.1}s: {} /24 blocks, {} ASes, {} active addresses (daily)",
+        start.elapsed().as_secs_f64(),
+        repro.universe.blocks.len(),
+        repro.universe.ases.len(),
+        repro.daily.total_active(),
+    );
+
+    if wanted.iter().any(|w| w == "__validate__") {
+        let checks = repro.validate();
+        let mut failed = 0;
+        for c in &checks {
+            let (tag, detail) = match &c.outcome {
+                CheckOutcome::Pass => ("PASS", String::new()),
+                CheckOutcome::Fail(d) => {
+                    failed += 1;
+                    ("FAIL", format!("  [{d}]"))
+                }
+                CheckOutcome::Skip(d) => ("skip", format!("  [{d}]")),
+            };
+            println!("{tag}  {:<8} {}{}", c.experiment, c.claim, detail);
+        }
+        println!(
+            "\n{} checks: {} passed, {failed} failed, {} skipped",
+            checks.len(),
+            checks.iter().filter(|c| c.outcome == CheckOutcome::Pass).count(),
+            checks.iter().filter(|c| matches!(c.outcome, CheckOutcome::Skip(_))).count(),
+        );
+        std::process::exit(if failed > 0 { 1 } else { 0 });
+    }
+
+    let mut combined = String::new();
+    for name in wanted {
+        let t = std::time::Instant::now();
+        let report = repro.run(&name).expect("validated above");
+        println!("{report}");
+        combined.push_str(&report);
+        eprintln!("[{name} in {:.2}s]", t.elapsed().as_secs_f64());
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, combined) {
+            eprintln!("error: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("report written to {path}");
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
+    eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
+    eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

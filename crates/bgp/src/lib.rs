@@ -1,0 +1,19 @@
+//! # ipactive-bgp
+//!
+//! Global routing table substrate: route storage with longest-prefix
+//! match, a timeline of BGP changes (announcements, withdrawals,
+//! origin changes) with per-day snapshots, and IP→AS resolution with
+//! majority vote across days — the machinery the paper uses to ask
+//! whether address churn is visible in BGP (Section 4.2, Figure 5(c),
+//! Table 2; RouteViews collector AS6539 in the original).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod table;
+mod text;
+mod timeline;
+
+pub use table::{Asn, Route, RoutingTable};
+pub use text::ParseTableError;
+pub use timeline::{BgpEvent, BgpEventKind, BgpTimeline, ChangeSet};

@@ -1,0 +1,193 @@
+//! Routing table with longest-prefix match.
+
+use core::fmt;
+use ipactive_net::{Addr, Prefix, PrefixTrie};
+
+/// An Autonomous System number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// One route: a prefix and its origin AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// The announced prefix.
+    pub prefix: Prefix,
+    /// The originating AS.
+    pub origin: Asn,
+}
+
+/// A snapshot of the global routing table.
+///
+/// Lookups use longest-prefix match, as in real forwarding: an address
+/// covered by both `10.0.0.0/8` and a more-specific `10.1.0.0/16`
+/// resolves to the latter's origin.
+///
+/// ```
+/// use ipactive_bgp::{Asn, RoutingTable};
+/// let mut t = RoutingTable::new();
+/// t.announce("10.0.0.0/8".parse().unwrap(), Asn(64500));
+/// t.announce("10.1.0.0/16".parse().unwrap(), Asn(64501));
+/// assert_eq!(t.origin_of("10.1.2.3".parse().unwrap()), Some(Asn(64501)));
+/// assert_eq!(t.origin_of("10.2.2.3".parse().unwrap()), Some(Asn(64500)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    trie: PrefixTrie<Asn>,
+}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        RoutingTable { trie: PrefixTrie::new() }
+    }
+
+    /// Installs (or replaces) a route; returns the previous origin if
+    /// the prefix was already announced.
+    pub fn announce(&mut self, prefix: Prefix, origin: Asn) -> Option<Asn> {
+        self.trie.insert(prefix, origin)
+    }
+
+    /// Removes a route; returns its origin if it existed.
+    pub fn withdraw(&mut self, prefix: Prefix) -> Option<Asn> {
+        self.trie.remove(prefix)
+    }
+
+    /// Longest-prefix-match origin lookup.
+    pub fn origin_of(&self, addr: Addr) -> Option<Asn> {
+        self.trie.longest_match(addr).map(|(_, &asn)| asn)
+    }
+
+    /// The longest matching route for `addr`, with the matched prefix.
+    pub fn route_of(&self, addr: Addr) -> Option<Route> {
+        self.trie.longest_match(addr).map(|(prefix, &origin)| Route { prefix, origin })
+    }
+
+    /// Exact-match origin of a prefix, if announced.
+    pub fn origin_of_prefix(&self, prefix: Prefix) -> Option<Asn> {
+        self.trie.get(prefix).copied()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// All routes in address order.
+    pub fn routes(&self) -> Vec<Route> {
+        self.trie
+            .iter()
+            .into_iter()
+            .map(|(prefix, &origin)| Route { prefix, origin })
+            .collect()
+    }
+
+    /// Number of distinct origin ASes appearing in the table.
+    pub fn distinct_origins(&self) -> usize {
+        let mut asns: Vec<u32> = self.routes().iter().map(|r| r.origin.0).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns.len()
+    }
+
+    /// Total unicast address space covered by the table, counting each
+    /// address once even when covered by overlapping routes.
+    ///
+    /// Used for the paper's "42.8% of advertised space is active"
+    /// implication (Section 8). Runs over the route list, merging
+    /// overlaps via interval sweeping.
+    pub fn covered_addresses(&self) -> u64 {
+        let mut ranges: Vec<(u64, u64)> = self
+            .routes()
+            .iter()
+            .map(|r| {
+                let lo = r.prefix.network().bits() as u64;
+                (lo, lo + r.prefix.num_addrs() as u64)
+            })
+            .collect();
+        ranges.sort_unstable();
+        let mut total = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (lo, hi) in ranges {
+            match cur {
+                Some((clo, chi)) if lo <= chi => cur = Some((clo, chi.max(hi))),
+                Some((clo, chi)) => {
+                    total += chi - clo;
+                    cur = Some((lo, hi));
+                }
+                None => cur = Some((lo, hi)),
+            }
+        }
+        if let Some((clo, chi)) = cur {
+            total += chi - clo;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lpm_resolution() {
+        let mut t = RoutingTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(1));
+        t.announce(p("10.64.0.0/10"), Asn(2));
+        assert_eq!(t.origin_of("10.65.0.1".parse().unwrap()), Some(Asn(2)));
+        assert_eq!(t.origin_of("10.0.0.1".parse().unwrap()), Some(Asn(1)));
+        assert_eq!(t.origin_of("11.0.0.1".parse().unwrap()), None);
+        assert_eq!(t.route_of("10.65.0.1".parse().unwrap()).unwrap().prefix, p("10.64.0.0/10"));
+    }
+
+    #[test]
+    fn announce_withdraw_lifecycle() {
+        let mut t = RoutingTable::new();
+        assert_eq!(t.announce(p("192.0.2.0/24"), Asn(7)), None);
+        assert_eq!(t.announce(p("192.0.2.0/24"), Asn(8)), Some(Asn(7)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.withdraw(p("192.0.2.0/24")), Some(Asn(8)));
+        assert_eq!(t.withdraw(p("192.0.2.0/24")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn distinct_origins_counts_unique() {
+        let mut t = RoutingTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(1));
+        t.announce(p("11.0.0.0/8"), Asn(1));
+        t.announce(p("12.0.0.0/8"), Asn(2));
+        assert_eq!(t.distinct_origins(), 2);
+    }
+
+    #[test]
+    fn covered_addresses_merges_overlaps() {
+        let mut t = RoutingTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(1));
+        t.announce(p("10.1.0.0/16"), Asn(2)); // nested: no extra coverage
+        t.announce(p("11.0.0.0/8"), Asn(3));
+        assert_eq!(t.covered_addresses(), 2 * (1u64 << 24));
+        // Adjacent, non-overlapping.
+        t.announce(p("12.0.0.0/8"), Asn(4));
+        assert_eq!(t.covered_addresses(), 3 * (1u64 << 24));
+    }
+
+    #[test]
+    fn empty_table_covers_nothing() {
+        assert_eq!(RoutingTable::new().covered_addresses(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Text serialization of routing tables — the `prefix origin_asn`
+//! dump format used to archive daily snapshots (a simplified
+//! RouteViews `show ip bgp`-style export).
+//!
+//! ```text
+//! # snapshot 2015-08-17
+//! 20.0.0.0/18 64496
+//! 62.0.64.0/19 64497
+//! ```
+
+use crate::table::{Asn, RoutingTable};
+use core::fmt;
+use ipactive_net::Prefix;
+
+/// Error parsing a routing-table dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTableError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTableError {}
+
+impl RoutingTable {
+    /// Serializes the table as one `prefix asn` line per route, in
+    /// address order — a stable, diff-friendly snapshot format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for route in self.routes() {
+            out.push_str(&format!("{} {}\n", route.prefix, route.origin.0));
+        }
+        out
+    }
+
+    /// Parses a dump produced by [`RoutingTable::to_text`] (or by any
+    /// tool emitting `prefix asn` lines). Blank lines and `#` comments
+    /// are ignored; duplicate prefixes keep the *last* origin, like
+    /// replaying announcements.
+    pub fn from_text(text: &str) -> Result<RoutingTable, ParseTableError> {
+        let mut table = RoutingTable::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ParseTableError { line: idx + 1, message };
+            let mut parts = line.split_whitespace();
+            let prefix = parts
+                .next()
+                .ok_or_else(|| err("missing prefix".into()))?
+                .parse::<Prefix>()
+                .map_err(|e| err(e.to_string()))?;
+            let asn: u32 = parts
+                .next()
+                .ok_or_else(|| err("missing origin ASN".into()))?
+                .trim_start_matches("AS")
+                .parse()
+                .map_err(|_| err("bad origin ASN".into()))?;
+            if parts.next().is_some() {
+                return Err(err("trailing fields".into()));
+            }
+            table.announce(prefix, Asn(asn));
+        }
+        Ok(table)
+    }
+}
+
+impl crate::BgpTimeline {
+    /// Serializes the timeline's *events* (not the base table) as
+    /// `day prefix kind [asn]` lines — an update log that, replayed
+    /// over the base table, reconstructs any daily snapshot.
+    ///
+    /// ```text
+    /// 35 20.4.0.0/24 announce 64496
+    /// 91 20.4.0.0/24 withdraw
+    /// 120 62.0.8.0/24 origin 64999
+    /// ```
+    pub fn events_to_text(&self) -> String {
+        use crate::BgpEventKind;
+        let mut out = String::new();
+        for e in self.events() {
+            match e.kind {
+                BgpEventKind::Announce { origin } => {
+                    out.push_str(&format!("{} {} announce {}\n", e.day, e.prefix, origin.0));
+                }
+                BgpEventKind::Withdraw => {
+                    out.push_str(&format!("{} {} withdraw\n", e.day, e.prefix));
+                }
+                BgpEventKind::OriginChange { to } => {
+                    out.push_str(&format!("{} {} origin {}\n", e.day, e.prefix, to.0));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a timeline from a base table and an update log as
+    /// produced by [`crate::BgpTimeline::events_to_text`]. Events must appear
+    /// in day order (as the collector emits them).
+    pub fn from_text(base: RoutingTable, text: &str) -> Result<Self, ParseTableError> {
+        use crate::{BgpEvent, BgpEventKind};
+        let mut tl = crate::BgpTimeline::new(base);
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ParseTableError { line: idx + 1, message };
+            let mut parts = line.split_whitespace();
+            let day: u16 = parts
+                .next()
+                .ok_or_else(|| err("missing day".into()))?
+                .parse()
+                .map_err(|_| err("bad day".into()))?;
+            let prefix: Prefix = parts
+                .next()
+                .ok_or_else(|| err("missing prefix".into()))?
+                .parse()
+                .map_err(|e: ipactive_net::ParsePrefixError| err(e.to_string()))?;
+            let kind = match parts.next() {
+                Some("announce") => {
+                    let asn: u32 = parts
+                        .next()
+                        .ok_or_else(|| err("announce needs an ASN".into()))?
+                        .parse()
+                        .map_err(|_| err("bad ASN".into()))?;
+                    BgpEventKind::Announce { origin: Asn(asn) }
+                }
+                Some("withdraw") => BgpEventKind::Withdraw,
+                Some("origin") => {
+                    let asn: u32 = parts
+                        .next()
+                        .ok_or_else(|| err("origin needs an ASN".into()))?
+                        .parse()
+                        .map_err(|_| err("bad ASN".into()))?;
+                    BgpEventKind::OriginChange { to: Asn(asn) }
+                }
+                other => return Err(err(format!("unknown event kind {other:?}"))),
+            };
+            if parts.next().is_some() {
+                return Err(err("trailing fields".into()));
+            }
+            tl.push(BgpEvent { day, prefix, kind });
+        }
+        Ok(tl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce("20.0.0.0/18".parse().unwrap(), Asn(64496));
+        t.announce("62.0.64.0/19".parse().unwrap(), Asn(64497));
+        t.announce("10.0.0.0/8".parse().unwrap(), Asn(1));
+        t
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        let text = t.to_text();
+        let back = RoutingTable::from_text(&text).unwrap();
+        assert_eq!(back.len(), t.len());
+        for route in t.routes() {
+            assert_eq!(back.origin_of_prefix(route.prefix), Some(route.origin));
+        }
+        // Text is address-ordered and stable.
+        assert_eq!(text, back.to_text());
+        assert!(text.starts_with("10.0.0.0/8 1\n"));
+    }
+
+    #[test]
+    fn parses_comments_blanks_and_as_prefixes() {
+        let text = "# daily snapshot\n\n20.0.0.0/18 AS64496\n";
+        let t = RoutingTable::from_text(text).unwrap();
+        assert_eq!(t.origin_of("20.0.1.1".parse().unwrap()), Some(Asn(64496)));
+    }
+
+    #[test]
+    fn duplicate_prefix_keeps_last() {
+        let text = "20.0.0.0/18 1\n20.0.0.0/18 2\n";
+        let t = RoutingTable::from_text(text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.origin_of_prefix("20.0.0.0/18".parse().unwrap()), Some(Asn(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, line) in [
+            ("garbage", 1),
+            ("20.0.0.0/18", 1),
+            ("20.0.0.0/18 asnx", 1),
+            ("20.0.0.0/40 5", 1),
+            ("# ok\n20.0.0.0/18 5 extra", 2),
+        ] {
+            let err = RoutingTable::from_text(text).unwrap_err();
+            assert_eq!(err.line, line, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_table() {
+        let t = RoutingTable::from_text("").unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn timeline_event_log_roundtrip() {
+        use crate::{BgpEvent, BgpEventKind, BgpTimeline};
+        let mut tl = BgpTimeline::new(sample());
+        tl.push(BgpEvent {
+            day: 5,
+            prefix: "30.0.0.0/20".parse().unwrap(),
+            kind: BgpEventKind::Announce { origin: Asn(9) },
+        });
+        tl.push(BgpEvent {
+            day: 40,
+            prefix: "20.0.0.0/18".parse().unwrap(),
+            kind: BgpEventKind::OriginChange { to: Asn(77) },
+        });
+        tl.push(BgpEvent {
+            day: 100,
+            prefix: "30.0.0.0/20".parse().unwrap(),
+            kind: BgpEventKind::Withdraw,
+        });
+        let log = tl.events_to_text();
+        let back = BgpTimeline::from_text(sample(), &log).unwrap();
+        assert_eq!(back.events(), tl.events());
+        // Replay consistency: snapshots agree at every probe day.
+        for day in [0u16, 5, 39, 40, 99, 100, 200] {
+            let a = tl.table_at(day);
+            let b = back.table_at(day);
+            for probe in ["20.0.1.1", "30.0.1.1", "62.0.65.1"] {
+                let addr = probe.parse().unwrap();
+                assert_eq!(a.origin_of(addr), b.origin_of(addr), "day {day} addr {probe}");
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_log_rejects_garbage() {
+        use crate::BgpTimeline;
+        for text in [
+            "x 20.0.0.0/18 withdraw",
+            "5 garbage withdraw",
+            "5 20.0.0.0/18 explode",
+            "5 20.0.0.0/18 announce",
+            "5 20.0.0.0/18 announce 12 extra",
+        ] {
+            assert!(
+                BgpTimeline::from_text(RoutingTable::new(), text).is_err(),
+                "accepted {text:?}"
+            );
+        }
+        // Comments and blanks are fine.
+        let tl = BgpTimeline::from_text(RoutingTable::new(), "# log
+
+").unwrap();
+        assert!(tl.events().is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! BGP change timeline and per-window change sets.
+
+use crate::table::{Asn, RoutingTable};
+use ipactive_net::{Addr, Prefix, PrefixTrie};
+
+/// The kind of a BGP change event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BgpEventKind {
+    /// A previously unannounced prefix is announced by `origin`.
+    Announce {
+        /// The new origin AS.
+        origin: Asn,
+    },
+    /// The prefix is withdrawn from the table.
+    Withdraw,
+    /// The prefix stays announced, but its origin moves to `to`.
+    OriginChange {
+        /// The new origin AS.
+        to: Asn,
+    },
+}
+
+/// One dated BGP change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BgpEvent {
+    /// Observation day the change took effect (0-based).
+    pub day: u16,
+    /// The affected prefix.
+    pub prefix: Prefix,
+    /// What changed.
+    pub kind: BgpEventKind,
+}
+
+/// A base routing table plus a day-ordered list of changes — the
+/// equivalent of a year of daily RouteViews snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct BgpTimeline {
+    base: RoutingTable,
+    events: Vec<BgpEvent>,
+}
+
+impl BgpTimeline {
+    /// Creates a timeline starting from `base` (the day-0 table).
+    pub fn new(base: RoutingTable) -> Self {
+        BgpTimeline { base, events: Vec::new() }
+    }
+
+    /// The day-0 routing table.
+    pub fn base(&self) -> &RoutingTable {
+        &self.base
+    }
+
+    /// All events, day-ordered.
+    pub fn events(&self) -> &[BgpEvent] {
+        &self.events
+    }
+
+    /// Appends an event. Events must be pushed in non-decreasing day
+    /// order (enforced), matching how collectors record them.
+    pub fn push(&mut self, event: BgpEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(event.day >= last.day, "events must be pushed in day order");
+        }
+        self.events.push(event);
+    }
+
+    /// The routing table as of the *end* of `day` (all events with
+    /// `event.day <= day` applied). Cost: one clone of the base plus a
+    /// linear replay — intended for window boundaries, not per-address
+    /// queries.
+    pub fn table_at(&self, day: u16) -> RoutingTable {
+        let mut t = self.base.clone();
+        for e in &self.events {
+            if e.day > day {
+                break;
+            }
+            match e.kind {
+                BgpEventKind::Announce { origin } => {
+                    t.announce(e.prefix, origin);
+                }
+                BgpEventKind::Withdraw => {
+                    t.withdraw(e.prefix);
+                }
+                BgpEventKind::OriginChange { to } => {
+                    t.announce(e.prefix, to);
+                }
+            }
+        }
+        t
+    }
+
+    /// Majority-vote origin of `addr` across days `days.start ..
+    /// days.end` (half-open), following the paper's footnote 6: "for
+    /// larger window sizes, we determine the origin AS ... using a
+    /// majority vote of all contained daily IP-to-AS mappings".
+    ///
+    /// Implemented by replaying the timeline once and weighting each
+    /// origin by the number of days it was in effect.
+    pub fn majority_origin(&self, addr: Addr, days: core::ops::Range<u16>) -> Option<Asn> {
+        if days.is_empty() {
+            return None;
+        }
+        let mut votes: Vec<(Option<Asn>, u32)> = Vec::new();
+        let mut table = self.table_at(days.start);
+        let mut current = table.origin_of(addr);
+        let mut since = days.start;
+        let record = |origin: Option<Asn>, from: u16, to: u16, votes: &mut Vec<(Option<Asn>, u32)>| {
+            if to > from {
+                if let Some(slot) = votes.iter_mut().find(|(o, _)| *o == origin) {
+                    slot.1 += (to - from) as u32;
+                } else {
+                    votes.push((origin, (to - from) as u32));
+                }
+            }
+        };
+        for e in &self.events {
+            if e.day <= days.start {
+                continue; // already reflected in table_at(days.start)
+            }
+            if e.day >= days.end {
+                break;
+            }
+            if !e.prefix.contains(addr) {
+                continue;
+            }
+            // Apply this (and only this) event to the evolving table.
+            match e.kind {
+                BgpEventKind::Announce { origin } => {
+                    table.announce(e.prefix, origin);
+                }
+                BgpEventKind::Withdraw => {
+                    table.withdraw(e.prefix);
+                }
+                BgpEventKind::OriginChange { to } => {
+                    table.announce(e.prefix, to);
+                }
+            }
+            let now = table.origin_of(addr);
+            if now != current {
+                record(current, since, e.day, &mut votes);
+                current = now;
+                since = e.day;
+            }
+        }
+        record(current, since, days.end, &mut votes);
+        // Vote among *routed* origins only: a window that is mostly
+        // unrouted but has a clear dominant origin still maps to it.
+        votes
+            .into_iter()
+            .filter_map(|(origin, days)| origin.map(|asn| (asn, days)))
+            .max_by_key(|&(_, days)| days)
+            .map(|(asn, _)| asn)
+    }
+
+    /// Iterates end-of-day routing tables for `days` (half-open),
+    /// built incrementally — one base clone plus a single replay,
+    /// instead of a replay per day as repeated [`BgpTimeline::table_at`]
+    /// calls would cost.
+    pub fn daily_tables(
+        &self,
+        days: core::ops::Range<u16>,
+    ) -> impl Iterator<Item = (u16, RoutingTable)> + '_ {
+        let mut table = self.table_at(days.start);
+        let mut idx = self.events.partition_point(|e| e.day <= days.start);
+        let mut first = true;
+        days.map(move |day| {
+            if !first {
+                while idx < self.events.len() && self.events[idx].day <= day {
+                    let e = &self.events[idx];
+                    match e.kind {
+                        BgpEventKind::Announce { origin } => {
+                            table.announce(e.prefix, origin);
+                        }
+                        BgpEventKind::Withdraw => {
+                            table.withdraw(e.prefix);
+                        }
+                        BgpEventKind::OriginChange { to } => {
+                            table.announce(e.prefix, to);
+                        }
+                    }
+                    idx += 1;
+                }
+            }
+            first = false;
+            (day, table.clone())
+        })
+    }
+
+    /// The set of prefixes changed in `days` (half-open day range), as
+    /// a queryable [`ChangeSet`].
+    pub fn changes_in(&self, days: core::ops::Range<u16>) -> ChangeSet {
+        let mut trie = PrefixTrie::new();
+        let mut count = 0usize;
+        for e in &self.events {
+            if e.day < days.start {
+                continue;
+            }
+            if e.day >= days.end {
+                break;
+            }
+            if trie.insert(e.prefix, ()).is_none() {
+                count += 1;
+            }
+        }
+        ChangeSet { trie, count }
+    }
+}
+
+/// Set of prefixes touched by BGP changes in some period, supporting
+/// "was this address affected?" queries (used to correlate address
+/// churn with routing activity, Figure 5(c)).
+#[derive(Debug, Clone)]
+pub struct ChangeSet {
+    trie: PrefixTrie<()>,
+    count: usize,
+}
+
+impl ChangeSet {
+    /// Whether any changed prefix covers `addr`.
+    pub fn affects(&self, addr: Addr) -> bool {
+        self.trie.longest_match(addr).is_some()
+    }
+
+    /// Number of distinct changed prefixes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no prefix changed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn base() -> RoutingTable {
+        let mut t = RoutingTable::new();
+        t.announce(p("10.0.0.0/8"), Asn(100));
+        t.announce(p("20.0.0.0/8"), Asn(200));
+        t
+    }
+
+    #[test]
+    fn table_at_applies_events_in_order() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 5, prefix: p("30.0.0.0/8"), kind: BgpEventKind::Announce { origin: Asn(300) } });
+        tl.push(BgpEvent { day: 9, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 12, prefix: p("10.0.0.0/8"), kind: BgpEventKind::OriginChange { to: Asn(101) } });
+
+        let t4 = tl.table_at(4);
+        assert_eq!(t4.origin_of(a("30.1.1.1")), None);
+        assert_eq!(t4.origin_of(a("20.1.1.1")), Some(Asn(200)));
+
+        let t10 = tl.table_at(10);
+        assert_eq!(t10.origin_of(a("30.1.1.1")), Some(Asn(300)));
+        assert_eq!(t10.origin_of(a("20.1.1.1")), None);
+        assert_eq!(t10.origin_of(a("10.1.1.1")), Some(Asn(100)));
+
+        let t20 = tl.table_at(20);
+        assert_eq!(t20.origin_of(a("10.1.1.1")), Some(Asn(101)));
+    }
+
+    #[test]
+    #[should_panic(expected = "day order")]
+    fn push_enforces_day_order() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 5, prefix: p("30.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 4, prefix: p("30.0.0.0/8"), kind: BgpEventKind::Withdraw });
+    }
+
+    #[test]
+    fn daily_tables_match_table_at() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 2, prefix: p("30.0.0.0/8"), kind: BgpEventKind::Announce { origin: Asn(300) } });
+        tl.push(BgpEvent { day: 4, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 4, prefix: p("10.0.0.0/8"), kind: BgpEventKind::OriginChange { to: Asn(101) } });
+        tl.push(BgpEvent { day: 7, prefix: p("30.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        for (day, table) in tl.daily_tables(1..9) {
+            let reference = tl.table_at(day);
+            for probe in ["10.1.1.1", "20.1.1.1", "30.1.1.1", "99.1.1.1"] {
+                let addr: Addr = probe.parse().unwrap();
+                assert_eq!(
+                    table.origin_of(addr),
+                    reference.origin_of(addr),
+                    "day {day} addr {probe}"
+                );
+            }
+        }
+        assert_eq!(tl.daily_tables(3..3).count(), 0);
+    }
+
+    #[test]
+    fn majority_origin_weights_by_days() {
+        let mut tl = BgpTimeline::new(base());
+        // Origin changes on day 9 of a 0..12 window: 9 days AS100, 3 days AS101.
+        tl.push(BgpEvent { day: 9, prefix: p("10.0.0.0/8"), kind: BgpEventKind::OriginChange { to: Asn(101) } });
+        assert_eq!(tl.majority_origin(a("10.1.1.1"), 0..12), Some(Asn(100)));
+        // Window dominated by the new origin.
+        assert_eq!(tl.majority_origin(a("10.1.1.1"), 9..30), Some(Asn(101)));
+        // Address unaffected by any event.
+        assert_eq!(tl.majority_origin(a("20.1.1.1"), 0..12), Some(Asn(200)));
+        // Unrouted address.
+        assert_eq!(tl.majority_origin(a("99.1.1.1"), 0..12), None);
+        // Empty window.
+        assert_eq!(tl.majority_origin(a("10.1.1.1"), 5..5), None);
+    }
+
+    #[test]
+    fn majority_origin_with_withdraw_period() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 2, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 7, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Announce { origin: Asn(201) } });
+        // 0..12: AS200 for 2 days, unrouted 5 days, AS201 for 5 days.
+        // The vote is among *routed* origins only, so AS201 wins even
+        // though "unrouted" matched as many days.
+        assert_eq!(tl.majority_origin(a("20.1.1.1"), 0..12), Some(Asn(201)));
+        // A window entirely inside the withdrawn gap maps to nothing.
+        assert_eq!(tl.majority_origin(a("20.1.1.1"), 3..6), None);
+    }
+
+    #[test]
+    fn changes_in_windows() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 3, prefix: p("10.5.0.0/16"), kind: BgpEventKind::OriginChange { to: Asn(105) } });
+        tl.push(BgpEvent { day: 8, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Withdraw });
+
+        let w1 = tl.changes_in(0..7);
+        assert_eq!(w1.len(), 1);
+        assert!(w1.affects(a("10.5.1.1")));
+        assert!(!w1.affects(a("10.6.1.1")));
+        assert!(!w1.affects(a("20.1.1.1")));
+
+        let w2 = tl.changes_in(7..14);
+        assert!(w2.affects(a("20.1.1.1")));
+        assert!(!w2.affects(a("10.5.1.1")));
+
+        let all = tl.changes_in(0..14);
+        assert_eq!(all.len(), 2);
+        assert!(tl.changes_in(20..30).is_empty());
+    }
+
+    #[test]
+    fn changeset_dedups_prefixes() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 1, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 2, prefix: p("20.0.0.0/8"), kind: BgpEventKind::Announce { origin: Asn(200) } });
+        assert_eq!(tl.changes_in(0..7).len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic randomness and behavioural distributions.
+//!
+//! Everything in the universe derives from one `u64` seed through
+//! [`SeedMixer`], so a `(seed, entity, day)` triple always produces
+//! the same draw — generation is reproducible and parallelizable in
+//! any order.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// SplitMix64-style seed mixing: cheap, well-dispersed derivation of
+/// child seeds from a parent seed and tag values.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedMixer(u64);
+
+impl SeedMixer {
+    /// Wraps a root seed.
+    pub fn new(seed: u64) -> Self {
+        SeedMixer(seed)
+    }
+
+    /// The wrapped seed value.
+    pub fn seed(self) -> u64 {
+        self.0
+    }
+
+    /// Derives a child mixer tagged by `tag`.
+    pub fn child(self, tag: u64) -> SeedMixer {
+        SeedMixer(splitmix(self.0 ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// An RNG for this node of the derivation tree.
+    pub fn rng(self) -> StdRng {
+        StdRng::seed_from_u64(splitmix(self.0))
+    }
+
+    /// A single `u64` draw without constructing an RNG.
+    pub fn value(self) -> u64 {
+        splitmix(self.0)
+    }
+
+    /// A uniform draw in `[0, 1)` without constructing an RNG.
+    pub fn unit(self) -> f64 {
+        (self.value() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SeedMixer {
+    /// A standard-normal draw derived from this node (Box–Muller over
+    /// two child draws) — for when constructing an RNG is overkill.
+    pub fn normal(self) -> f64 {
+        let u1 = self.child(0xA1).unit().max(f64::MIN_POSITIVE);
+        let u2 = self.child(0xA2).unit();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a log-normal variate with the given *median* and log-space
+/// sigma, via Box–Muller. Implemented here to keep the dependency set
+/// to `rand` alone (the `rand_distr` crate is not part of the
+/// project's approved set).
+pub fn lognormal(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+    let u1 = u1.max(f64::MIN_POSITIVE); // guard log(0)
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+    median * (sigma * z).exp()
+}
+
+/// Samples a Poisson variate. Uses Knuth's method for small `lambda`
+/// and a normal approximation above 64 (adequate for UA-sample counts).
+pub fn poisson(rng: &mut StdRng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 64.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            count += 1;
+            product *= rng.random::<f64>();
+        }
+        count
+    } else {
+        let (u1, u2): (f64, f64) = (rng.random(), rng.random());
+        let u1 = u1.max(f64::MIN_POSITIVE);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+        (lambda + lambda.sqrt() * z).round().max(0.0) as u64
+    }
+}
+
+/// Day-of-week activity multiplier. `dow` 0..=6 with 5 and 6 as the
+/// weekend. Residential users are slightly *more* active on weekends;
+/// institutional networks much less — the CDN-wide aggregate dips on
+/// weekends as in Figure 4(a) because institutions and offices go
+/// quiet.
+pub fn weekday_factor(institutional: bool, dow: u8) -> f64 {
+    debug_assert!(dow < 7);
+    let weekend = dow >= 5;
+    match (institutional, weekend) {
+        (true, true) => 0.55,
+        (true, false) => 1.0,
+        (false, true) => 0.92,
+        (false, false) => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixer_is_deterministic_and_disperses() {
+        let m = SeedMixer::new(7);
+        assert_eq!(m.child(1).value(), m.child(1).value());
+        assert_ne!(m.child(1).value(), m.child(2).value());
+        assert_ne!(SeedMixer::new(7).value(), SeedMixer::new(8).value());
+        let u = m.child(3).unit();
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn child_chains_differ_by_path() {
+        let m = SeedMixer::new(1);
+        assert_ne!(m.child(1).child(2).value(), m.child(2).child(1).value());
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut rng = SeedMixer::new(99).rng();
+        let mut v: Vec<f64> = (0..4001).map(|_| lognormal(&mut rng, 100.0, 1.0)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((60.0..170.0).contains(&median), "median {median}");
+        // Heavy tail: p99 well above the median.
+        assert!(v[(v.len() * 99) / 100] > 4.0 * median);
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = SeedMixer::new(5).rng();
+        for &lambda in &[0.5f64, 4.0, 30.0, 200.0] {
+            let n = 3000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15 + 0.1,
+                "lambda {lambda}, mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn weekday_factors_shape() {
+        assert!(weekday_factor(true, 6) < weekday_factor(true, 2));
+        assert!(weekday_factor(false, 6) > weekday_factor(true, 6));
+        assert_eq!(weekday_factor(false, 0), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The multi-year growth model behind Figure 1.
+//!
+//! Figure 1 plots monthly unique active IPv4 addresses 2008–2016:
+//! near-perfect linear growth (≈ 8M new addresses per month) that
+//! abruptly stagnates in 2014 as the usable free pool dries up. The
+//! model is mechanistic at the population level: a linearly growing
+//! demand curve serviced from a finite address supply; once the
+//! readily assignable pool is consumed, growth collapses onto a slow
+//! saturation toward a ceiling, with mild seasonality and observation
+//! noise throughout.
+
+use crate::behavior::SeedMixer;
+use ipactive_core::timeline::GrowthPoint;
+use ipactive_rir::YearMonth;
+
+/// Parameters of the growth model.
+#[derive(Debug, Clone, Copy)]
+pub struct GrowthModel {
+    /// RNG seed for noise.
+    pub seed: u64,
+    /// First plotted month.
+    pub start: YearMonth,
+    /// Number of months to generate.
+    pub months: u32,
+    /// Active addresses at `start`.
+    pub base: f64,
+    /// Linear growth per month before exhaustion.
+    pub slope: f64,
+    /// The month growth stagnates (paper: January 2014).
+    pub exhaustion: YearMonth,
+    /// Ceiling as a multiple of the level at exhaustion.
+    pub ceiling_factor: f64,
+    /// Relative observation noise (std dev as a fraction of level).
+    pub noise: f64,
+}
+
+impl Default for GrowthModel {
+    fn default() -> Self {
+        GrowthModel {
+            seed: 2016,
+            start: YearMonth::new(2008, 1),
+            months: 97, // through January 2016
+            base: 250.0e6,
+            slope: 8.2e6,
+            exhaustion: YearMonth::new(2014, 1),
+            ceiling_factor: 1.045,
+            noise: 0.006,
+        }
+    }
+}
+
+/// Generates the monthly series.
+pub fn monthly_counts(model: &GrowthModel) -> Vec<GrowthPoint> {
+    let mix = SeedMixer::new(model.seed);
+    let exhaustion_m = model.exhaustion.months_since(model.start).max(0) as u32;
+    let level_at_exhaustion = model.base + model.slope * exhaustion_m as f64;
+    let ceiling = level_at_exhaustion * model.ceiling_factor;
+    (0..model.months)
+        .map(|m| {
+            let month = model.start.plus_months(m);
+            let trend = if m <= exhaustion_m {
+                model.base + model.slope * m as f64
+            } else {
+                // Saturation: exponential approach to the ceiling.
+                let k = 0.08;
+                let dt = (m - exhaustion_m) as f64;
+                ceiling - (ceiling - level_at_exhaustion) * (-k * dt).exp()
+            };
+            // Mild seasonality (northern-hemisphere dips in summer).
+            let season = 1.0 + 0.004 * ((m as f64) * core::f64::consts::TAU / 12.0).sin();
+            let noise = 1.0 + model.noise * mix.child(m as u64).normal();
+            GrowthPoint { month, active: (trend * season * noise).max(0.0) as u64 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipactive_core::stats::LinearFit;
+    use ipactive_core::timeline;
+
+    #[test]
+    fn shape_matches_figure1() {
+        let pts = monthly_counts(&GrowthModel::default());
+        assert_eq!(pts.len(), 97);
+        assert_eq!(pts[0].month, YearMonth::new(2008, 1));
+        // Pre-2014 linear fit is strong and close to the slope.
+        let fit = timeline::fit_until(&pts, YearMonth::new(2014, 1)).unwrap();
+        assert!(fit.r2 > 0.99, "r2 {}", fit.r2);
+        assert!((fit.slope - 8.2e6).abs() < 0.6e6, "slope {}", fit.slope);
+        // 2015 sits far below the extrapolation: stagnation.
+        let gap = timeline::stagnation_gap(&pts, &fit, YearMonth::new(2015, 12)).unwrap();
+        assert!(gap > 0.1, "gap {gap}");
+        // Level plateaus near 1.04x of the exhaustion point (~840M → ~880M).
+        let last = pts.last().unwrap().active as f64;
+        assert!((8.4e8..9.6e8).contains(&last), "plateau {last}");
+    }
+
+    #[test]
+    fn detects_stagnation_in_2014() {
+        let pts = monthly_counts(&GrowthModel::default());
+        let fit = timeline::fit_until(&pts, YearMonth::new(2014, 1)).unwrap();
+        let onset = timeline::detect_stagnation(&pts, &fit, 0.5, 24).unwrap();
+        assert!(onset.year == 2014 || (onset.year == 2015 && onset.month <= 3), "onset {onset}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = monthly_counts(&GrowthModel::default());
+        let b = monthly_counts(&GrowthModel::default());
+        assert_eq!(a, b);
+        let c = monthly_counts(&GrowthModel { seed: 1, ..GrowthModel::default() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn custom_linear_only_model_never_stagnates() {
+        let model = GrowthModel {
+            exhaustion: YearMonth::new(2030, 1), // beyond the series
+            ..GrowthModel::default()
+        };
+        let pts = monthly_counts(&model);
+        let fit = LinearFit::fit(
+            &pts.iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64, p.active as f64))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(fit.r2 > 0.99);
+        assert!(timeline::detect_stagnation(&pts, &fit, 0.5, 24).is_none());
+    }
+}

@@ -1,0 +1,227 @@
+//! Raw request-level log events.
+//!
+//! The paper's pipeline starts from individual HTTP transactions:
+//! "each time a client fetches a Web object from a CDN edge server, a
+//! log entry is created, which is then processed and aggregated"
+//! (Section 3.2). The dataset layer works on the *aggregated* form
+//! (per-address daily hit counts); this module models the step before
+//! it — expanding an address's day into individual timestamped
+//! requests with a diurnal arrival profile, and folding raw requests
+//! back into the aggregate. The two directions are exact inverses,
+//! which the tests pin down.
+
+use crate::behavior::SeedMixer;
+use ipactive_net::Addr;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// One raw CDN log entry: a successful WWW transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRequest {
+    /// Observation day.
+    pub day: u16,
+    /// Seconds since the day's midnight (0..86400).
+    pub time_s: u32,
+    /// The client address.
+    pub addr: Addr,
+    /// Bytes served for the object.
+    pub bytes: u32,
+}
+
+/// A diurnal arrival-time shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiurnalShape {
+    /// Home users: evening peak, deep night trough.
+    Residential,
+    /// Offices and campuses: business-hours plateau, quiet evenings.
+    Institutional,
+    /// Automation: essentially flat around the clock.
+    Flat,
+}
+
+fn normalize(raw: [f64; 24]) -> [f64; 24] {
+    let total: f64 = raw.iter().sum();
+    let mut out = [0.0; 24];
+    for (o, r) in out.iter_mut().zip(raw.iter()) {
+        *o = r / total;
+    }
+    out
+}
+
+/// Relative request intensity by hour of day for a shape, normalized
+/// to sum to 1.
+pub fn profile_for(shape: DiurnalShape) -> [f64; 24] {
+    match shape {
+        DiurnalShape::Residential => normalize([
+            0.55, 0.35, 0.25, 0.20, 0.20, 0.25, 0.40, 0.60, 0.80, 0.90, 0.95, 1.00, //
+            1.00, 0.95, 0.95, 1.00, 1.10, 1.30, 1.60, 1.90, 2.00, 1.80, 1.40, 0.95,
+        ]),
+        DiurnalShape::Institutional => normalize([
+            0.10, 0.08, 0.08, 0.08, 0.10, 0.15, 0.40, 1.00, 1.80, 2.10, 2.20, 2.10, //
+            1.80, 2.00, 2.10, 2.00, 1.70, 1.20, 0.60, 0.35, 0.25, 0.20, 0.15, 0.12,
+        ]),
+        DiurnalShape::Flat => normalize([1.0; 24]),
+    }
+}
+
+/// The residential curve (backwards-compatible default).
+pub fn diurnal_profile() -> [f64; 24] {
+    profile_for(DiurnalShape::Residential)
+}
+
+/// Expands an aggregated `(day, addr, hits)` observation into `hits`
+/// individual requests with residentially distributed arrival times.
+/// Deterministic in `(seed, day, addr)`.
+pub fn expand(seed: SeedMixer, day: u16, addr: Addr, hits: u32) -> Vec<RawRequest> {
+    expand_with_shape(seed, day, addr, hits, DiurnalShape::Residential)
+}
+
+/// [`expand`] with an explicit arrival-time shape.
+pub fn expand_with_shape(
+    seed: SeedMixer,
+    day: u16,
+    addr: Addr,
+    hits: u32,
+    shape: DiurnalShape,
+) -> Vec<RawRequest> {
+    let profile = profile_for(shape);
+    let mut rng = seed
+        .child(0x4E0)
+        .child(day as u64)
+        .child(addr.bits() as u64)
+        .rng();
+    let mut out = Vec::with_capacity(hits as usize);
+    for _ in 0..hits {
+        // Pick an hour by the diurnal weights, then a uniform offset.
+        let mut roll: f64 = rng.random();
+        let mut hour = 23;
+        for (h, &w) in profile.iter().enumerate() {
+            if roll < w {
+                hour = h;
+                break;
+            }
+            roll -= w;
+        }
+        let time_s = (hour as u32) * 3600 + rng.random_range(0..3600);
+        // Object sizes: mostly small, occasional large fetches.
+        let bytes = if rng.random::<f64>() < 0.05 {
+            rng.random_range(100_000..2_000_000)
+        } else {
+            rng.random_range(500..50_000)
+        };
+        out.push(RawRequest { day, time_s, addr, bytes });
+    }
+    // Edge servers emit log lines in arrival order.
+    out.sort_unstable_by_key(|r| r.time_s);
+    out
+}
+
+/// Folds raw requests back into per-`(day, addr)` hit counts — the
+/// collector's first aggregation stage. Order-independent.
+pub fn aggregate(requests: impl IntoIterator<Item = RawRequest>) -> HashMap<(u16, Addr), u32> {
+    let mut out = HashMap::new();
+    for r in requests {
+        *out.entry((r.day, r.addr)).or_insert(0u32) += 1;
+    }
+    out
+}
+
+/// Hourly request histogram — the diurnal view a per-request log
+/// affords that daily aggregates cannot (the related work's "diurnal
+/// activity patterns").
+pub fn hourly_histogram(requests: &[RawRequest]) -> [u64; 24] {
+    let mut out = [0u64; 24];
+    for r in requests {
+        out[(r.time_s / 3600).min(23) as usize] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed() -> SeedMixer {
+        SeedMixer::new(0xAB)
+    }
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn profile_is_a_distribution() {
+        let p = diurnal_profile();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&w| w > 0.0));
+        // Evening peak beats the small hours.
+        assert!(p[20] > 3.0 * p[3]);
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_exact() {
+        let a = expand(seed(), 3, addr("10.0.0.1"), 100);
+        let b = expand(seed(), 3, addr("10.0.0.1"), 100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0].time_s <= w[1].time_s), "arrival order");
+        assert!(a.iter().all(|r| r.time_s < 86_400 && r.day == 3));
+        // Different addresses expand differently.
+        let c = expand(seed(), 3, addr("10.0.0.2"), 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn aggregate_inverts_expand() {
+        let mut all = Vec::new();
+        let inputs = [
+            (0u16, addr("10.0.0.1"), 40u32),
+            (0, addr("10.0.0.2"), 7),
+            (1, addr("10.0.0.1"), 12),
+        ];
+        for &(day, a, hits) in &inputs {
+            all.extend(expand(seed(), day, a, hits));
+        }
+        // Shuffle-ish: reverse, aggregation must not care about order.
+        all.reverse();
+        let agg = aggregate(all);
+        assert_eq!(agg.len(), 3);
+        for &(day, a, hits) in &inputs {
+            assert_eq!(agg[&(day, a)], hits);
+        }
+    }
+
+    #[test]
+    fn hourly_histogram_tracks_the_profile() {
+        // Many requests: evening bucket must dominate the night bucket.
+        let reqs = expand(seed(), 0, addr("10.0.0.9"), 5_000);
+        let h = hourly_histogram(&reqs);
+        assert_eq!(h.iter().sum::<u64>(), 5_000);
+        assert!(h[20] > 2 * h[3], "evening {} vs night {}", h[20], h[3]);
+    }
+
+    #[test]
+    fn shapes_differ_where_expected() {
+        let res = profile_for(DiurnalShape::Residential);
+        let inst = profile_for(DiurnalShape::Institutional);
+        let flat = profile_for(DiurnalShape::Flat);
+        // Residential peaks in the evening; institutional at mid-day.
+        assert!(res[20] > res[10]);
+        assert!(inst[10] > inst[20]);
+        assert!((flat[0] - 1.0 / 24.0).abs() < 1e-12);
+        for p in [res, inst, flat] {
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+        // Expansion respects the shape.
+        let reqs =
+            expand_with_shape(SeedMixer::new(4), 0, addr("10.0.0.5"), 4_000, DiurnalShape::Institutional);
+        let h = hourly_histogram(&reqs);
+        assert!(h[10] > 3 * h[21], "midday {} vs evening {}", h[10], h[21]);
+    }
+
+    #[test]
+    fn zero_hits_expand_to_nothing() {
+        assert!(expand(seed(), 0, addr("10.0.0.1"), 0).is_empty());
+        assert!(aggregate(Vec::new()).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the synthetic universe: structural invariants
+//! that must hold for any seed and any (valid) scale knobs.
+
+use ipactive_cdnsim::{Universe, UniverseConfig};
+use ipactive_probe::ProbeTarget;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = UniverseConfig> {
+    (
+        any::<u64>(),
+        0.0f64..=0.3,  // restructure_rate
+        0.0f64..=0.3,  // partial_lifespan_rate
+        0.0f64..=0.5,  // bgp_visibility_rate
+    )
+        .prop_map(|(seed, restructure, lifespan, bgp_vis)| {
+            let mut c = UniverseConfig::tiny(seed);
+            c.restructure_rate = restructure;
+            c.partial_lifespan_rate = lifespan;
+            c.bgp_visibility_rate = bgp_vis;
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn universe_structural_invariants(cfg in arb_config()) {
+        let u = Universe::generate(cfg);
+        // Blocks sorted and unique.
+        prop_assert!(u.blocks.windows(2).all(|w| w[0].block < w[1].block));
+        for (i, e) in u.blocks.iter().enumerate() {
+            let a = &u.ases[e.as_index];
+            // Ownership is consistent both ways.
+            prop_assert!(a.region.contains(e.block.network()));
+            prop_assert!(a.block_range.0 <= i && i < a.block_range.1);
+            // Every block is delegated with matching registry data.
+            let d = u.delegations().lookup(e.block.network());
+            prop_assert!(d.is_some());
+            prop_assert_eq!(d.unwrap().rir, a.rir);
+            // Every block is routed to its owner at day 0.
+            prop_assert_eq!(u.bgp().base().origin_of(e.block.addr(9)), Some(a.asn));
+            // Lifecycle weeks are within the year.
+            prop_assert!(e.alive_weeks.0 < e.alive_weeks.1);
+            prop_assert!(e.alive_weeks.1 as usize <= u.config().weeks);
+            // Restructure day inside the daily window.
+            if let Some((day, _)) = e.restructure {
+                prop_assert!(day >= u.config().daily_offset);
+                prop_assert!(day < u.config().daily_offset + u.config().daily_days);
+            }
+        }
+        // BGP events stay within the year.
+        for ev in u.bgp().events() {
+            prop_assert!((ev.day as usize) <= u.config().weeks * 7);
+        }
+    }
+
+    #[test]
+    fn datasets_respect_ground_truth(cfg in arb_config()) {
+        let u = Universe::generate(cfg);
+        let daily = u.build_daily();
+        for rec in &daily.blocks {
+            // Activity only in universe blocks.
+            let entry = u
+                .blocks
+                .iter()
+                .find(|e| e.block == rec.block);
+            prop_assert!(entry.is_some(), "dataset block {} not in universe", rec.block);
+            // Hits accounting: per-IP totals sum to the block total.
+            let ip_sum: u64 = rec.ip_traffic.iter().map(|t| t.total_hits).sum();
+            prop_assert_eq!(ip_sum, rec.total_hits);
+            // days_active agrees with the bit rows.
+            for t in &rec.ip_traffic {
+                prop_assert_eq!(
+                    t.days_active as u32,
+                    rec.rows[t.host as usize].count()
+                );
+                prop_assert!(t.total_hits >= t.days_active as u64);
+            }
+            // UA uniques can never exceed samples.
+            prop_assert!(rec.ua_unique as u64 <= rec.ua_samples);
+        }
+    }
+
+    #[test]
+    fn probe_target_is_in_bounds(cfg in arb_config()) {
+        let u = Universe::generate(cfg);
+        for block in u.candidate_blocks().into_iter().take(8) {
+            for host in [0u8, 1, 127, 255] {
+                let addr = block.addr(host);
+                let p = u.icmp_response_probability(addr);
+                prop_assert!((0.0..=1.0).contains(&p));
+                // Routers and servers never overlap in one address.
+                let router = u.is_router_interface(addr);
+                let server = !u.open_services(addr).is_empty();
+                prop_assert!(!(router && server));
+            }
+        }
+    }
+
+    #[test]
+    fn weekly_contains_daily_window(cfg in arb_config()) {
+        let u = Universe::generate(cfg);
+        let daily = u.build_daily();
+        let weekly = u.build_weekly();
+        let w0 = u.config().daily_offset / 7;
+        let w1 = (u.config().daily_offset + u.config().daily_days)
+            .div_ceil(7)
+            .min(weekly.num_weeks);
+        let weekly_union = weekly.window_union(w0..w1);
+        for addr in daily.all_active().iter() {
+            prop_assert!(weekly_union.contains(addr));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Change detection (Section 5.2, Figure 8(a)).
+//!
+//! For each active `/24`, the month-to-month spatio-temporal
+//! utilization deltas are computed; the delta of largest magnitude
+//! (signed) characterizes the block. Blocks with `|Δ| > threshold`
+//! (paper: 0.25) are tagged *major change* — likely reallocation or
+//! assignment reconfiguration — and excluded from the in-situ
+//! addressing analyses of Section 5.3.
+
+use crate::dataset::DailyDataset;
+use crate::matrix::monthly_stu;
+use crate::stats::Ecdf;
+use ipactive_net::Block24;
+
+/// The paper's major-change threshold on |ΔSTU|.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Per-block signed max-magnitude monthly STU delta.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockDelta {
+    /// The block.
+    pub block: Block24,
+    /// The month-to-month STU difference of largest magnitude
+    /// (signed; positive = utilization grew).
+    pub max_delta: f64,
+}
+
+/// Result of partitioning the active blocks by change magnitude.
+#[derive(Debug, Clone)]
+pub struct ChangePartition {
+    /// Per-block deltas, in block order.
+    pub deltas: Vec<BlockDelta>,
+    /// Blocks with `|Δ| > threshold` (major change, Figure 7 class).
+    pub major: Vec<Block24>,
+    /// Blocks with `|Δ| <= threshold` (in-situ, Figure 6 class).
+    pub stable: Vec<Block24>,
+    /// The threshold used.
+    pub threshold: f64,
+}
+
+impl ChangePartition {
+    /// Fraction of active blocks classified as major change.
+    pub fn major_fraction(&self) -> f64 {
+        let total = self.major.len() + self.stable.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.major.len() as f64 / total as f64
+        }
+    }
+
+    /// ECDF of the signed deltas — Figure 8(a)'s curve.
+    pub fn delta_ecdf(&self) -> Ecdf {
+        Ecdf::new(self.deltas.iter().map(|d| d.max_delta).collect())
+    }
+}
+
+/// Computes the signed maximum monthly ΔSTU for one block.
+pub fn max_monthly_delta(stu_series: &[f64]) -> f64 {
+    stu_series
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("non-NaN"))
+        .unwrap_or(0.0)
+}
+
+/// Runs change detection over every active block (Figure 8(a) +
+/// the Section 5.2 partition).
+///
+/// ```
+/// use ipactive_core::{change, DailyDatasetBuilder};
+/// use ipactive_net::Block24;
+/// let mut b = DailyDatasetBuilder::new(8);
+/// let block = Block24::new(0x0A0000);
+/// // Empty first "month" (4 days), full second month: ΔSTU = 1.0.
+/// for host in 0..=255u8 {
+///     for d in 4..8 {
+///         b.record_hits(d, block.addr(host), 1);
+///     }
+/// }
+/// let part = change::detect(&b.finish(), 4, change::DEFAULT_THRESHOLD);
+/// assert_eq!(part.major, vec![block]);
+/// ```
+pub fn detect(ds: &DailyDataset, month_days: usize, threshold: f64) -> ChangePartition {
+    assert!(threshold >= 0.0);
+    let mut deltas = Vec::with_capacity(ds.blocks.len());
+    let mut major = Vec::new();
+    let mut stable = Vec::new();
+    for rec in &ds.blocks {
+        if !rec.any_active(0..ds.num_days) {
+            continue;
+        }
+        let series = monthly_stu(rec, ds.num_days, month_days);
+        let delta = max_monthly_delta(&series);
+        deltas.push(BlockDelta { block: rec.block, max_delta: delta });
+        if delta.abs() > threshold {
+            major.push(rec.block);
+        } else {
+            stable.push(rec.block);
+        }
+    }
+    ChangePartition { deltas, major, stable, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DailyDatasetBuilder;
+    use ipactive_net::{Addr, Block24};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn max_monthly_delta_signed() {
+        assert_eq!(max_monthly_delta(&[0.1, 0.1, 0.1]), 0.0);
+        assert!((max_monthly_delta(&[0.1, 0.9, 0.8]) - 0.8).abs() < 1e-12);
+        assert!((max_monthly_delta(&[0.9, 0.1, 0.15]) - (-0.8)).abs() < 1e-12);
+        assert_eq!(max_monthly_delta(&[0.5]), 0.0);
+        assert_eq!(max_monthly_delta(&[]), 0.0);
+    }
+
+    fn stable_block() -> Block24 {
+        Block24::of(a("10.0.0.0"))
+    }
+
+    fn major_block() -> Block24 {
+        Block24::of(a("10.0.1.0"))
+    }
+
+    #[test]
+    fn detect_partitions_blocks() {
+        // 8 days, month = 4 days.
+        let mut b = DailyDatasetBuilder::new(8);
+        // Stable block: ~50% utilization throughout.
+        for host in 0..128u8 {
+            for d in 0..8 {
+                b.record_hits(d, stable_block().addr(host), 1);
+            }
+        }
+        // Major-change block: empty month 0, full month 1 (Δ = +1).
+        for host in 0..=255u8 {
+            for d in 4..8 {
+                b.record_hits(d, major_block().addr(host), 1);
+            }
+        }
+        let ds = b.finish();
+        let part = detect(&ds, 4, DEFAULT_THRESHOLD);
+        assert_eq!(part.deltas.len(), 2);
+        assert_eq!(part.major, vec![major_block()]);
+        assert_eq!(part.stable, vec![stable_block()]);
+        assert!((part.major_fraction() - 0.5).abs() < 1e-12);
+        let ecdf = part.delta_ecdf();
+        assert_eq!(ecdf.len(), 2);
+        assert!(ecdf.fraction_le(0.0) >= 0.5);
+    }
+
+    #[test]
+    fn detect_skips_inactive_blocks_and_zero_threshold() {
+        let mut b = DailyDatasetBuilder::new(8);
+        // A mildly varying block: 10 addrs month 0, 12 addrs month 1.
+        for host in 0..12u8 {
+            for d in 0..8 {
+                if d >= 4 || host < 10 {
+                    b.record_hits(d, stable_block().addr(host), 1);
+                }
+            }
+        }
+        let ds = b.finish();
+        // With threshold 0, any nonzero delta is "major".
+        let part = detect(&ds, 4, 0.0);
+        assert_eq!(part.major.len(), 1);
+        assert!(part.stable.is_empty());
+        // With the default threshold it is stable.
+        let part = detect(&ds, 4, DEFAULT_THRESHOLD);
+        assert_eq!(part.stable.len(), 1);
+    }
+}

@@ -1,0 +1,672 @@
+//! Churn in the active address population (Section 4).
+//!
+//! * [`daily_series`] — Figure 4(a): daily active counts and up/down
+//!   events between consecutive days.
+//! * [`window_sweep`] — Figure 4(b): min/median/max percentage of
+//!   up/down events between consecutive non-overlapping windows, for a
+//!   sweep of window sizes.
+//! * [`year_drift`] — Figure 4(c): weekly appear/disappear counts
+//!   relative to the first snapshot of the year.
+//! * [`per_as_churn`] — Figure 5(a): the per-AS distribution of median
+//!   up-event percentages.
+//! * [`long_term`] — Table 2: appear/disappear between two two-month
+//!   unions, block-level bulkiness, and BGP attribution.
+
+use crate::dataset::{DailyDataset, WeeklyDataset};
+use crate::stats::{Ecdf, MinMedMax};
+use ipactive_bgp::{Asn, BgpTimeline};
+use ipactive_net::{AddrSet, Block24};
+use std::collections::HashMap;
+
+/// One day of Figure 4(a): active count plus events versus the
+/// previous day (`up`/`down` are 0 for day 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DayChurn {
+    /// Day index.
+    pub day: usize,
+    /// Addresses active this day.
+    pub active: usize,
+    /// Addresses active today but not yesterday.
+    pub up: usize,
+    /// Addresses active yesterday but not today.
+    pub down: usize,
+}
+
+/// Computes the Figure 4(a) series from the activity matrices.
+///
+/// ```
+/// use ipactive_core::{churn, DailyDatasetBuilder};
+/// let mut b = DailyDatasetBuilder::new(3);
+/// b.record_hits(0, "10.0.0.1".parse().unwrap(), 5);
+/// b.record_hits(1, "10.0.0.1".parse().unwrap(), 5);
+/// b.record_hits(1, "10.0.0.2".parse().unwrap(), 1);
+/// let series = churn::daily_series(&b.finish());
+/// assert_eq!(series[1].up, 1);   // 10.0.0.2 appeared
+/// assert_eq!(series[2].down, 2); // both gone on day 2
+/// ```
+pub fn daily_series(ds: &DailyDataset) -> Vec<DayChurn> {
+    let mut out: Vec<DayChurn> = (0..ds.num_days)
+        .map(|day| DayChurn { day, active: 0, up: 0, down: 0 })
+        .collect();
+    for rec in &ds.blocks {
+        for bits in rec.rows.iter() {
+            if bits.is_empty() {
+                continue;
+            }
+            let mut prev = false;
+            for (day, slot) in out.iter_mut().enumerate() {
+                let cur = bits.get(day);
+                if cur {
+                    slot.active += 1;
+                }
+                if day > 0 {
+                    match (prev, cur) {
+                        (false, true) => slot.up += 1,
+                        (true, false) => slot.down += 1,
+                        _ => {}
+                    }
+                }
+                prev = cur;
+            }
+        }
+    }
+    out
+}
+
+/// Mean active addresses per day-of-week (index 0..=6; the universe
+/// treats 5 and 6 as the weekend). Figure 4(a)'s weekend dips, made
+/// quantitative.
+pub fn weekday_profile(ds: &DailyDataset) -> [f64; 7] {
+    let series = daily_series(ds);
+    let mut sums = [0f64; 7];
+    let mut counts = [0u32; 7];
+    for p in &series {
+        sums[p.day % 7] += p.active as f64;
+        counts[p.day % 7] += 1;
+    }
+    let mut out = [0f64; 7];
+    for ((o, &sum), &count) in out.iter_mut().zip(&sums).zip(&counts) {
+        *o = if count == 0 { 0.0 } else { sum / count as f64 };
+    }
+    out
+}
+
+/// Churn statistics for one aggregation window size (Figure 4(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowChurn {
+    /// Window size in days.
+    pub window_days: usize,
+    /// Min/median/max percentage of up events across window pairs.
+    pub up: MinMedMax,
+    /// Min/median/max percentage of down events across window pairs.
+    pub down: MinMedMax,
+}
+
+/// Raw per-pair percentages for one window size.
+fn window_pair_percentages(ds: &DailyDataset, w: usize) -> (Vec<f64>, Vec<f64>) {
+    let n_windows = ds.num_days / w;
+    // Per window: |union|; per pair: |W_{i+1} \ W_i| and |W_i \ W_{i+1}|.
+    let mut sizes = vec![0u64; n_windows];
+    let mut ups = vec![0u64; n_windows.saturating_sub(1)];
+    let mut downs = vec![0u64; n_windows.saturating_sub(1)];
+    for rec in &ds.blocks {
+        for bits in rec.rows.iter() {
+            if bits.is_empty() {
+                continue;
+            }
+            let mut prev_in = false;
+            for i in 0..n_windows {
+                let cur_in = bits.any_in_range(i * w, (i + 1) * w);
+                if cur_in {
+                    sizes[i] += 1;
+                }
+                if i > 0 {
+                    match (prev_in, cur_in) {
+                        (false, true) => ups[i - 1] += 1,
+                        (true, false) => downs[i - 1] += 1,
+                        _ => {}
+                    }
+                }
+                prev_in = cur_in;
+            }
+        }
+    }
+    let mut up_pct = Vec::new();
+    let mut down_pct = Vec::new();
+    for i in 0..n_windows.saturating_sub(1) {
+        if sizes[i + 1] > 0 {
+            up_pct.push(100.0 * ups[i] as f64 / sizes[i + 1] as f64);
+        }
+        if sizes[i] > 0 {
+            down_pct.push(100.0 * downs[i] as f64 / sizes[i] as f64);
+        }
+    }
+    (up_pct, down_pct)
+}
+
+/// Computes Figure 4(b) for the given window sizes (paper: 1..=28).
+///
+/// Following Section 4.1: for window size `w` the dataset is split
+/// into `⌊days/w⌋` non-overlapping windows, each window's activity is
+/// the union of its days, the up percentage between windows `i` and
+/// `i+1` is `100·|W_{i+1} ∖ W_i| / |W_{i+1}|`, and the down
+/// percentage is `100·|W_i ∖ W_{i+1}| / |W_i|`.
+pub fn window_sweep(ds: &DailyDataset, window_sizes: &[usize]) -> Vec<WindowChurn> {
+    window_sizes
+        .iter()
+        .filter(|&&w| w >= 1 && ds.num_days / w >= 2)
+        .map(|&w| {
+            let (up, down) = window_pair_percentages(ds, w);
+            // Pairs with an empty denominator window contribute no
+            // percentage; a dataset can in principle leave none at all.
+            let zero = MinMedMax { min: 0.0, median: 0.0, max: 0.0 };
+            WindowChurn {
+                window_days: w,
+                up: MinMedMax::of(&up).unwrap_or(zero),
+                down: MinMedMax::of(&down).unwrap_or(zero),
+            }
+        })
+        .collect()
+}
+
+/// Extends the Figure 4(b) sweep beyond the daily dataset: the same
+/// min/median/max up/down percentages computed over *week*-sized
+/// aggregation windows of the weekly dataset (window sizes in weeks).
+/// The paper's observation — churn does not decay with aggregation —
+/// holds out to month-of-weeks windows.
+pub fn weekly_window_sweep(ws: &WeeklyDataset, window_weeks: &[usize]) -> Vec<WindowChurn> {
+    let mut out = Vec::new();
+    for &w in window_weeks {
+        if w == 0 || ws.num_weeks / w < 2 {
+            continue;
+        }
+        let n_windows = ws.num_weeks / w;
+        let mut sizes = vec![0u64; n_windows];
+        let mut ups = vec![0u64; n_windows - 1];
+        let mut downs = vec![0u64; n_windows - 1];
+        let window_mask = |i: usize| -> u64 {
+            if w >= 64 {
+                u64::MAX
+            } else {
+                ((1u64 << w) - 1) << (i * w)
+            }
+        };
+        for (_, rows) in &ws.blocks {
+            for &bits in rows.iter() {
+                if bits == 0 {
+                    continue;
+                }
+                let mut prev_in = false;
+                for i in 0..n_windows {
+                    let cur_in = bits & window_mask(i) != 0;
+                    if cur_in {
+                        sizes[i] += 1;
+                    }
+                    if i > 0 {
+                        match (prev_in, cur_in) {
+                            (false, true) => ups[i - 1] += 1,
+                            (true, false) => downs[i - 1] += 1,
+                            _ => {}
+                        }
+                    }
+                    prev_in = cur_in;
+                }
+            }
+        }
+        let mut up_pct = Vec::new();
+        let mut down_pct = Vec::new();
+        for i in 0..n_windows - 1 {
+            if sizes[i + 1] > 0 {
+                up_pct.push(100.0 * ups[i] as f64 / sizes[i + 1] as f64);
+            }
+            if sizes[i] > 0 {
+                down_pct.push(100.0 * downs[i] as f64 / sizes[i] as f64);
+            }
+        }
+        let zero = MinMedMax { min: 0.0, median: 0.0, max: 0.0 };
+        out.push(WindowChurn {
+            window_days: w * 7,
+            up: MinMedMax::of(&up_pct).unwrap_or(zero),
+            down: MinMedMax::of(&down_pct).unwrap_or(zero),
+        });
+    }
+    out
+}
+
+/// One week of Figure 4(c): drift relative to the first week.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WeekDrift {
+    /// Week index (1-based comparison weeks; week 0 is the reference).
+    pub week: usize,
+    /// Addresses active this week but not in week 0.
+    pub appear: usize,
+    /// Addresses active in week 0 but not this week.
+    pub disappear: usize,
+    /// `appear` as a fraction of week 0's active count.
+    pub appear_frac: f64,
+    /// `disappear` as a fraction of week 0's active count.
+    pub disappear_frac: f64,
+}
+
+/// Computes Figure 4(c): per-week appear/disappear versus week 0.
+pub fn year_drift(ws: &WeeklyDataset) -> Vec<WeekDrift> {
+    let mut base = 0u64;
+    let mut appear = vec![0u64; ws.num_weeks];
+    let mut disappear = vec![0u64; ws.num_weeks];
+    for (_, rows) in &ws.blocks {
+        for &bits in rows.iter() {
+            if bits == 0 {
+                continue;
+            }
+            let in_base = bits & 1 != 0;
+            if in_base {
+                base += 1;
+            }
+            for w in 1..ws.num_weeks {
+                let in_w = bits & (1u64 << w) != 0;
+                match (in_base, in_w) {
+                    (false, true) => appear[w] += 1,
+                    (true, false) => disappear[w] += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let basef = base.max(1) as f64;
+    (1..ws.num_weeks)
+        .map(|w| WeekDrift {
+            week: w,
+            appear: appear[w] as usize,
+            disappear: disappear[w] as usize,
+            appear_frac: appear[w] as f64 / basef,
+            disappear_frac: disappear[w] as f64 / basef,
+        })
+        .collect()
+}
+
+/// Computes Figure 5(a): the distribution (as an [`Ecdf`]) over ASes
+/// of the per-AS *median* percentage of addresses with an up event per
+/// window pair, for one window size.
+///
+/// `resolve` maps a `/24` block to its origin AS (the synthetic
+/// universe never splits a `/24` across ASes, matching how the paper
+/// aggregates at `/24`-or-coarser granularity). Only ASes with at
+/// least `min_ips` distinct active addresses are included (paper:
+/// 1000).
+pub fn per_as_churn<F>(
+    ds: &DailyDataset,
+    window_days: usize,
+    min_ips: usize,
+    mut resolve: F,
+) -> Ecdf
+where
+    F: FnMut(Block24) -> Option<Asn>,
+{
+    let w = window_days;
+    let n_windows = ds.num_days / w;
+    assert!(n_windows >= 2, "need at least two windows");
+    #[derive(Default)]
+    struct AsAcc {
+        active_ips: u64,
+        ups: Vec<u64>,   // per pair
+        sizes: Vec<u64>, // per window
+    }
+    let mut per_as: HashMap<Asn, AsAcc> = HashMap::new();
+    for rec in &ds.blocks {
+        let Some(asn) = resolve(rec.block) else { continue };
+        let acc = per_as.entry(asn).or_insert_with(|| AsAcc {
+            active_ips: 0,
+            ups: vec![0; n_windows - 1],
+            sizes: vec![0; n_windows],
+        });
+        for bits in rec.rows.iter() {
+            if bits.is_empty() {
+                continue;
+            }
+            acc.active_ips += 1;
+            let mut prev_in = false;
+            for i in 0..n_windows {
+                let cur_in = bits.any_in_range(i * w, (i + 1) * w);
+                if cur_in {
+                    acc.sizes[i] += 1;
+                }
+                if i > 0 && !prev_in && cur_in {
+                    acc.ups[i - 1] += 1;
+                }
+                prev_in = cur_in;
+            }
+        }
+    }
+    let mut medians = Vec::new();
+    for acc in per_as.values() {
+        if (acc.active_ips as usize) < min_ips {
+            continue;
+        }
+        let pcts: Vec<f64> = (0..acc.ups.len())
+            .filter(|&i| acc.sizes[i + 1] > 0)
+            .map(|i| 100.0 * acc.ups[i] as f64 / acc.sizes[i + 1] as f64)
+            .collect();
+        if let Some(m) = MinMedMax::of(&pcts) {
+            medians.push(m.median);
+        }
+    }
+    Ecdf::new(medians)
+}
+
+/// BGP attribution of long-term appear/disappear events (Table 2 rows
+/// "BGP no change / origin change / announce-withdraw").
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BgpBreakdown {
+    /// Fraction with the same origin AS in both periods.
+    pub no_change: f64,
+    /// Fraction routed in both periods but by different origins.
+    pub origin_change: f64,
+    /// Fraction routed in exactly one of the periods.
+    pub announce_withdraw: f64,
+}
+
+/// Table 2: long-term appear/disappear between two multi-week unions.
+#[derive(Debug, Clone)]
+pub struct LongTermChurn {
+    /// Addresses active late but not early.
+    pub appear: AddrSet,
+    /// Addresses active early but not late.
+    pub disappear: AddrSet,
+    /// Fraction of appearing addresses whose entire containing `/24`
+    /// appeared (no address of the block active early).
+    pub appear_full_block_frac: f64,
+    /// Fraction of disappearing addresses whose entire `/24` disappeared.
+    pub disappear_full_block_frac: f64,
+    /// BGP attribution of appearing addresses.
+    pub appear_bgp: BgpBreakdown,
+    /// BGP attribution of disappearing addresses.
+    pub disappear_bgp: BgpBreakdown,
+}
+
+fn bgp_breakdown(
+    addrs: &AddrSet,
+    bgp: &BgpTimeline,
+    early_days: core::ops::Range<u16>,
+    late_days: core::ops::Range<u16>,
+) -> BgpBreakdown {
+    if addrs.is_empty() {
+        return BgpBreakdown { no_change: 0.0, origin_change: 0.0, announce_withdraw: 0.0 };
+    }
+    // Memoize per /24: origins only change at prefix granularity ≥ /24
+    // in practice, and this keeps the pass linear.
+    let mut cache: HashMap<Block24, (Option<Asn>, Option<Asn>)> = HashMap::new();
+    let (mut same, mut diff, mut aw) = (0u64, 0u64, 0u64);
+    for addr in addrs.iter() {
+        let block = Block24::of(addr);
+        let (e, l) = *cache.entry(block).or_insert_with(|| {
+            (
+                bgp.majority_origin(addr, early_days.clone()),
+                bgp.majority_origin(addr, late_days.clone()),
+            )
+        });
+        match (e, l) {
+            (Some(a), Some(b)) if a == b => same += 1,
+            (Some(_), Some(_)) => diff += 1,
+            (None, None) => same += 1, // never routed in either period: no change visible
+            _ => aw += 1,
+        }
+    }
+    let total = addrs.len() as f64;
+    BgpBreakdown {
+        no_change: same as f64 / total,
+        origin_change: diff as f64 / total,
+        announce_withdraw: aw as f64 / total,
+    }
+}
+
+fn full_block_fraction(events: &AddrSet, other_period: &AddrSet) -> f64 {
+    if events.is_empty() {
+        return 0.0;
+    }
+    let mut covered = 0u64;
+    for addr in events.iter() {
+        let block = Block24::of(addr).prefix();
+        if !other_period.any_in(block) {
+            covered += 1;
+        }
+    }
+    covered as f64 / events.len() as f64
+}
+
+/// Computes Table 2 over the weekly dataset.
+///
+/// `early`/`late` are week ranges (paper: weeks 0..9 ≈ Jan/Feb and
+/// 43..52 ≈ Nov/Dec); `days_per_week` maps week indices onto the BGP
+/// timeline's day axis.
+pub fn long_term(
+    ws: &WeeklyDataset,
+    early: core::ops::Range<usize>,
+    late: core::ops::Range<usize>,
+    bgp: &BgpTimeline,
+    days_per_week: u16,
+) -> LongTermChurn {
+    let early_set = ws.window_union(early.clone());
+    let late_set = ws.window_union(late.clone());
+    let appear = late_set.difference(&early_set);
+    let disappear = early_set.difference(&late_set);
+    let early_days = early.start as u16 * days_per_week..early.end as u16 * days_per_week;
+    let late_days = late.start as u16 * days_per_week..late.end as u16 * days_per_week;
+    LongTermChurn {
+        appear_full_block_frac: full_block_fraction(&appear, &early_set),
+        disappear_full_block_frac: full_block_fraction(&disappear, &late_set),
+        appear_bgp: bgp_breakdown(&appear, bgp, early_days.clone(), late_days.clone()),
+        disappear_bgp: bgp_breakdown(&disappear, bgp, early_days, late_days),
+        appear,
+        disappear,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DailyDatasetBuilder, WeeklyDatasetBuilder};
+    use ipactive_bgp::{BgpEvent, BgpEventKind, RoutingTable};
+    use ipactive_net::Addr;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn daily_series_counts_transitions() {
+        let mut b = DailyDatasetBuilder::new(4);
+        // addr1: days 0,1   addr2: days 1,2,3   addr3: day 3 only
+        b.record_hits(0, a("10.0.0.1"), 1);
+        b.record_hits(1, a("10.0.0.1"), 1);
+        for d in 1..4 {
+            b.record_hits(d, a("10.0.0.2"), 1);
+        }
+        b.record_hits(3, a("10.0.0.3"), 1);
+        let s = daily_series(&b.finish());
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0], DayChurn { day: 0, active: 1, up: 0, down: 0 });
+        assert_eq!(s[1], DayChurn { day: 1, active: 2, up: 1, down: 0 });
+        assert_eq!(s[2], DayChurn { day: 2, active: 1, up: 0, down: 1 });
+        assert_eq!(s[3], DayChurn { day: 3, active: 2, up: 1, down: 0 });
+    }
+
+    #[test]
+    fn weekday_profile_averages_by_dow() {
+        let mut b = DailyDatasetBuilder::new(14);
+        // Two addresses active on weekdays only (days 0..5 and 7..12).
+        for d in 0..14usize {
+            if d % 7 < 5 {
+                b.record_hits(d, a("10.0.0.1"), 1);
+                b.record_hits(d, a("10.0.0.2"), 1);
+            } else {
+                b.record_hits(d, a("10.0.0.1"), 1);
+            }
+        }
+        let profile = weekday_profile(&b.finish());
+        for (dow, &v) in profile.iter().enumerate() {
+            let expect = if dow < 5 { 2.0 } else { 1.0 };
+            assert!((v - expect).abs() < 1e-12, "dow {dow}");
+        }
+    }
+
+    #[test]
+    fn window_sweep_aggregates_away_short_term_churn() {
+        // Address flickers daily but is present in every 2-day window:
+        // churn at w=1, none at w=2.
+        let mut b = DailyDatasetBuilder::new(8);
+        for d in (0..8).step_by(2) {
+            b.record_hits(d, a("10.0.0.1"), 1);
+        }
+        // A stable companion so windows are never empty.
+        for d in 0..8 {
+            b.record_hits(d, a("10.0.0.2"), 1);
+        }
+        let ds = b.finish();
+        let sweep = window_sweep(&ds, &[1, 2, 4]);
+        assert_eq!(sweep.len(), 3);
+        let w1 = &sweep[0];
+        assert!(w1.up.max > 0.0, "daily flicker must show at w=1");
+        let w2 = &sweep[1];
+        assert_eq!(w2.up.max, 0.0, "2-day windows absorb the flicker");
+        assert_eq!(w2.down.max, 0.0);
+    }
+
+    #[test]
+    fn window_sweep_skips_oversized_windows() {
+        let mut b = DailyDatasetBuilder::new(6);
+        b.record_hits(0, a("10.0.0.1"), 1);
+        let ds = b.finish();
+        // w=6 would give a single window (no pairs): must be skipped.
+        let sweep = window_sweep(&ds, &[1, 6, 3]);
+        let sizes: Vec<usize> = sweep.iter().map(|s| s.window_days).collect();
+        assert_eq!(sizes, vec![1, 3]);
+    }
+
+    #[test]
+    fn weekly_window_sweep_matches_manual_counts() {
+        let mut b = WeeklyDatasetBuilder::new(8);
+        // addr x: alternates 2-week windows (in windows 0 and 2 of w=2);
+        // addr y: steady all 8 weeks.
+        let (x, y) = (a("10.0.0.1"), a("10.0.0.2"));
+        for wk in [0usize, 1, 4, 5] {
+            b.record_week(wk, x, 1);
+        }
+        for wk in 0..8 {
+            b.record_week(wk, y, 1);
+        }
+        let ws = b.finish();
+        let sweep = weekly_window_sweep(&ws, &[2, 8, 9]);
+        // w=9 produces <2 windows and is skipped; w=8 gives 1 window (skipped too).
+        assert_eq!(sweep.len(), 1);
+        let s = &sweep[0];
+        assert_eq!(s.window_days, 14);
+        // Window membership for x: [1,0,1,0]; pairs: down, up, down.
+        // up%: pair1: 0/1; pair2: 1/2 = 50%; pair3: 0/1.
+        assert_eq!(s.up.max, 50.0);
+        assert_eq!(s.up.min, 0.0);
+        assert_eq!(s.down.max, 50.0);
+    }
+
+    #[test]
+    fn year_drift_relative_to_week_zero() {
+        let mut b = WeeklyDatasetBuilder::new(4);
+        // week0: {x, y}; week1: {x}; week2: {x, z}; week3: {z}
+        let (x, y, z) = (a("10.0.0.1"), a("10.0.0.2"), a("10.0.1.1"));
+        b.record_week(0, x, 1);
+        b.record_week(0, y, 1);
+        b.record_week(1, x, 1);
+        b.record_week(2, x, 1);
+        b.record_week(2, z, 1);
+        b.record_week(3, z, 1);
+        let drift = year_drift(&b.finish());
+        assert_eq!(drift.len(), 3);
+        assert_eq!((drift[0].appear, drift[0].disappear), (0, 1)); // week1: y gone
+        assert_eq!((drift[1].appear, drift[1].disappear), (1, 1)); // week2: z new, y gone
+        assert_eq!((drift[2].appear, drift[2].disappear), (1, 2)); // week3: z new, x+y gone
+        assert!((drift[2].disappear_frac - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_as_churn_separates_stable_and_volatile_ases() {
+        let mut b = DailyDatasetBuilder::new(8);
+        // AS 1 (block 10.0.0.0/24): fully stable addresses.
+        for host in 0..50u8 {
+            for d in 0..8 {
+                b.record_hits(d, Block24::of(a("10.0.0.0")).addr(host), 1);
+            }
+        }
+        // AS 2 (block 10.0.1.0/24): half the addresses alternate windows.
+        for host in 0..50u8 {
+            for d in 0..8 {
+                let volatile = host % 2 == 0;
+                // Volatile hosts occupy odd 2-day windows only, yielding
+                // up events in half of the window pairs.
+                let on = if volatile { (d / 2) % 2 == 1 } else { true };
+                if on {
+                    b.record_hits(d, Block24::of(a("10.0.1.0")).addr(host), 1);
+                }
+            }
+        }
+        let ds = b.finish();
+        let resolve = |block: Block24| {
+            Some(if block == Block24::of(a("10.0.0.0")) { Asn(1) } else { Asn(2) })
+        };
+        let ecdf = per_as_churn(&ds, 2, 10, resolve);
+        assert_eq!(ecdf.len(), 2);
+        let samples = ecdf.samples();
+        assert_eq!(samples[0], 0.0); // the stable AS
+        assert!(samples[1] > 20.0, "volatile AS median {}%", samples[1]);
+    }
+
+    #[test]
+    fn per_as_churn_applies_min_ips_filter() {
+        let mut b = DailyDatasetBuilder::new(4);
+        b.record_hits(0, a("10.0.0.1"), 1);
+        let ds = b.finish();
+        let ecdf = per_as_churn(&ds, 2, 100, |_| Some(Asn(9)));
+        assert!(ecdf.is_empty());
+    }
+
+    #[test]
+    fn long_term_full_block_and_bgp_attribution() {
+        let mut b = WeeklyDatasetBuilder::new(8);
+        // Block A (10.0.0.0/24): active early only — disappears entirely.
+        for host in 0..10u8 {
+            b.record_week(0, Block24::of(a("10.0.0.0")).addr(host), 1);
+        }
+        // Block B (10.0.1.0/24): active late only — appears entirely.
+        for host in 0..10u8 {
+            b.record_week(7, Block24::of(a("10.0.1.0")).addr(host), 1);
+        }
+        // Block C (10.0.2.0/24): one addr swaps for another (partial).
+        b.record_week(0, a("10.0.2.1"), 1);
+        b.record_week(0, a("10.0.2.2"), 1);
+        b.record_week(7, a("10.0.2.2"), 1);
+        b.record_week(7, a("10.0.2.3"), 1);
+        let ws = b.finish();
+
+        let mut table = RoutingTable::new();
+        table.announce("10.0.0.0/16".parse().unwrap(), Asn(77));
+        let mut bgp = BgpTimeline::new(table);
+        // Block B's /24 gets announced (more specific) mid-year by AS88.
+        bgp.push(BgpEvent {
+            day: 30,
+            prefix: "10.0.1.0/24".parse().unwrap(),
+            kind: BgpEventKind::OriginChange { to: Asn(88) },
+        });
+
+        let lt = long_term(&ws, 0..2, 6..8, &bgp, 7);
+        assert_eq!(lt.appear.len(), 11); // block B (10) + 10.0.2.3
+        assert_eq!(lt.disappear.len(), 11); // block A (10) + 10.0.2.1
+        assert!((lt.appear_full_block_frac - 10.0 / 11.0).abs() < 1e-9);
+        assert!((lt.disappear_full_block_frac - 10.0 / 11.0).abs() < 1e-9);
+        // Appearing block B changed origin 77 -> 88; 10.0.2.3 stayed at 77.
+        assert!((lt.appear_bgp.origin_change - 10.0 / 11.0).abs() < 1e-9);
+        assert!((lt.appear_bgp.no_change - 1.0 / 11.0).abs() < 1e-9);
+        // Disappearing addresses all stayed under AS77.
+        assert!((lt.disappear_bgp.no_change - 1.0).abs() < 1e-9);
+    }
+}

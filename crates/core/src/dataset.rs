@@ -1,0 +1,526 @@
+//! The dataset model: what the collector hands to the analyses.
+//!
+//! The paper's processed CDN logs give, per IP address, the exact
+//! number of successful requests per day (daily dataset, 112 days,
+//! Aug 17 – Dec 6 2015) and per week (weekly dataset, 52 weeks of
+//! 2015). [`DailyDataset`] and [`WeeklyDataset`] are the in-memory
+//! equivalents, organized per `/24` block so the spatio-temporal
+//! analyses of Section 5 read naturally off the activity matrices.
+
+use ipactive_net::{Addr, AddrSet, Block24, DayBits};
+use std::collections::HashMap;
+
+/// Per-address traffic summary over the daily window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpTraffic {
+    /// Host index within the block (last octet).
+    pub host: u8,
+    /// Number of days the address was active (1..=num_days).
+    pub days_active: u8,
+    /// Total hits over the window.
+    pub total_hits: u64,
+    /// Median hits over the address's *active* days.
+    pub median_daily_hits: u32,
+}
+
+/// Activity and traffic of one `/24` block over the daily window.
+#[derive(Debug, Clone)]
+pub struct BlockRecord {
+    /// The block.
+    pub block: Block24,
+    /// Activity matrix: `rows[i]` is the day-bitset of address `x.y.z.i`.
+    pub rows: Box<[DayBits; 256]>,
+    /// Total hits from the block over the window.
+    pub total_hits: u64,
+    /// Number of sampled User-Agent observations (1-in-N of hits).
+    pub ua_samples: u64,
+    /// Number of *distinct* sampled User-Agent strings.
+    pub ua_unique: u32,
+    /// Per-address traffic summaries (only addresses with activity),
+    /// sorted by host index.
+    pub ip_traffic: Vec<IpTraffic>,
+}
+
+impl BlockRecord {
+    /// Filling degree (Section 5.1): number of addresses active at
+    /// least once in `days`. Range 0..=256 (the paper writes 1..=256
+    /// because it only considers *active* blocks).
+    pub fn filling_degree(&self, days: core::ops::Range<usize>) -> u32 {
+        self.rows
+            .iter()
+            .filter(|bits| bits.any_in_range(days.start, days.end))
+            .count() as u32
+    }
+
+    /// Spatio-temporal utilization (Section 5.1): total active
+    /// (address, day) pairs in `days` divided by the maximum
+    /// `256 × days.len()`. Range 0..=1.
+    pub fn stu(&self, days: core::ops::Range<usize>) -> f64 {
+        let span = days.end - days.start;
+        if span == 0 {
+            return 0.0;
+        }
+        let active: u32 = self.rows.iter().map(|b| b.count_range(days.start, days.end)).sum();
+        active as f64 / (256.0 * span as f64)
+    }
+
+    /// Number of addresses active on a single day.
+    pub fn active_on(&self, day: usize) -> u32 {
+        self.rows.iter().filter(|b| b.get(day)).count() as u32
+    }
+
+    /// Whether any address was active in `days`.
+    pub fn any_active(&self, days: core::ops::Range<usize>) -> bool {
+        self.rows.iter().any(|b| b.any_in_range(days.start, days.end))
+    }
+}
+
+/// The daily dataset: one [`BlockRecord`] per active `/24`, sorted by
+/// block, over `num_days` observation days.
+#[derive(Debug, Clone)]
+pub struct DailyDataset {
+    /// Length of the observation window in days (112 in the paper).
+    pub num_days: usize,
+    /// Per-block records, sorted by block id.
+    pub blocks: Vec<BlockRecord>,
+}
+
+impl DailyDataset {
+    /// Looks up a block's record.
+    pub fn block(&self, block: Block24) -> Option<&BlockRecord> {
+        self.blocks
+            .binary_search_by_key(&block, |r| r.block)
+            .ok()
+            .map(|i| &self.blocks[i])
+    }
+
+    /// The set of addresses active on day `d`.
+    pub fn day_set(&self, d: usize) -> AddrSet {
+        assert!(d < self.num_days, "day {d} outside window");
+        let mut out = Vec::new();
+        for rec in &self.blocks {
+            for (i, bits) in rec.rows.iter().enumerate() {
+                if bits.get(d) {
+                    out.push(rec.block.addr(i as u8));
+                }
+            }
+        }
+        AddrSet::from_sorted(out)
+    }
+
+    /// Union of active addresses over a day range (a "window" in the
+    /// Section 4.1 sense).
+    pub fn window_union(&self, days: core::ops::Range<usize>) -> AddrSet {
+        assert!(days.end <= self.num_days, "window outside dataset");
+        let mut out = Vec::new();
+        for rec in &self.blocks {
+            for (i, bits) in rec.rows.iter().enumerate() {
+                if bits.any_in_range(days.start, days.end) {
+                    out.push(rec.block.addr(i as u8));
+                }
+            }
+        }
+        AddrSet::from_sorted(out)
+    }
+
+    /// All addresses active at least once in the window.
+    pub fn all_active(&self) -> AddrSet {
+        self.window_union(0..self.num_days)
+    }
+
+    /// Total number of distinct active addresses.
+    pub fn total_active(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|r| r.rows.iter().filter(|b| !b.is_empty()).count())
+            .sum()
+    }
+
+    /// Iterator over every per-address traffic summary.
+    pub fn ip_traffic(&self) -> impl Iterator<Item = (Addr, &IpTraffic)> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(|r| r.ip_traffic.iter().map(move |t| (r.block.addr(t.host), t)))
+    }
+}
+
+/// Accumulator used by collectors to build a [`DailyDataset`] from a
+/// stream of `(day, addr, hits)` and `(day, addr, ua_hash)` records —
+/// in any order.
+#[derive(Debug, Default)]
+pub struct DailyDatasetBuilder {
+    num_days: usize,
+    blocks: HashMap<Block24, BlockAcc>,
+}
+
+#[derive(Debug, Default)]
+struct BlockAcc {
+    ips: HashMap<u8, IpAcc>,
+    total_hits: u64,
+    ua_samples: u64,
+    ua_hashes: std::collections::HashSet<u64>,
+}
+
+#[derive(Debug, Default)]
+struct IpAcc {
+    bits: DayBits,
+    /// `(day, hits)` per active day, in arrival order.
+    daily: Vec<(u8, u32)>,
+    total: u64,
+}
+
+impl DailyDatasetBuilder {
+    /// Creates a builder for a window of `num_days` days (≤ 128).
+    pub fn new(num_days: usize) -> Self {
+        assert!(num_days <= DayBits::CAPACITY, "window exceeds {} days", DayBits::CAPACITY);
+        DailyDatasetBuilder { num_days, blocks: HashMap::new() }
+    }
+
+    /// Records `hits` successful requests from `addr` on `day`.
+    /// Multiple records for the same (day, addr) accumulate.
+    pub fn record_hits(&mut self, day: usize, addr: Addr, hits: u64) {
+        assert!(day < self.num_days, "day {day} outside window");
+        if hits == 0 {
+            return; // activity is defined by successful requests
+        }
+        let acc = self.blocks.entry(Block24::of(addr)).or_default();
+        acc.total_hits += hits;
+        let ip = acc.ips.entry(addr.host_index()).or_default();
+        let clamped = hits.min(u32::MAX as u64) as u32;
+        if ip.bits.get(day) {
+            // Accumulate into the existing sample for this day.
+            let slot = ip
+                .daily
+                .iter_mut()
+                .find(|(d, _)| *d as usize == day)
+                .expect("bit set implies a daily sample exists");
+            slot.1 = slot.1.saturating_add(clamped);
+        } else {
+            ip.bits.set(day);
+            ip.daily.push((day as u8, clamped));
+        }
+        ip.total += hits;
+    }
+
+    /// Records one sampled User-Agent observation.
+    pub fn record_ua(&mut self, _day: usize, addr: Addr, ua_hash: u64) {
+        let acc = self.blocks.entry(Block24::of(addr)).or_default();
+        acc.ua_samples += 1;
+        acc.ua_hashes.insert(ua_hash);
+    }
+
+    /// Finalizes into an immutable dataset.
+    pub fn finish(self) -> DailyDataset {
+        let mut blocks: Vec<BlockRecord> = self
+            .blocks
+            .into_iter()
+            .map(|(block, acc)| {
+                let mut rows: Box<[DayBits; 256]> = Box::new([DayBits::new(); 256]);
+                let mut ip_traffic = Vec::with_capacity(acc.ips.len());
+                for (host, ip) in acc.ips {
+                    rows[host as usize] = ip.bits;
+                    let mut daily: Vec<u32> = ip.daily.iter().map(|&(_, h)| h).collect();
+                    daily.sort_unstable();
+                    let median = daily[daily.len() / 2];
+                    ip_traffic.push(IpTraffic {
+                        host,
+                        days_active: ip.bits.count() as u8,
+                        total_hits: ip.total,
+                        median_daily_hits: median,
+                    });
+                }
+                ip_traffic.sort_unstable_by_key(|t| t.host);
+                BlockRecord {
+                    block,
+                    rows,
+                    total_hits: acc.total_hits,
+                    ua_samples: acc.ua_samples,
+                    ua_unique: acc.ua_hashes.len() as u32,
+                    ip_traffic,
+                }
+            })
+            .collect();
+        blocks.sort_unstable_by_key(|r| r.block);
+        DailyDataset { num_days: self.num_days, blocks }
+    }
+}
+
+/// The weekly dataset: per-block week-bitsets over `num_weeks` weeks,
+/// plus per-week per-address hit totals (as a multiset — the traffic
+/// consolidation analysis needs values, not identities).
+#[derive(Debug, Clone)]
+pub struct WeeklyDataset {
+    /// Number of weeks (52 in the paper).
+    pub num_weeks: usize,
+    /// Per-block `(block, rows)` where `rows[i]` has bit `w` set iff
+    /// address `i` was active in week `w`. Sorted by block.
+    pub blocks: Vec<(Block24, Box<[u64; 256]>)>,
+    /// `week_hits[w]` = per-active-address total hits in week `w`.
+    pub week_hits: Vec<Vec<u64>>,
+}
+
+impl WeeklyDataset {
+    /// The set of addresses active in week `w`.
+    pub fn week_set(&self, w: usize) -> AddrSet {
+        assert!(w < self.num_weeks);
+        let mut out = Vec::new();
+        for (block, rows) in &self.blocks {
+            for (i, bits) in rows.iter().enumerate() {
+                if bits & (1u64 << w) != 0 {
+                    out.push(block.addr(i as u8));
+                }
+            }
+        }
+        AddrSet::from_sorted(out)
+    }
+
+    /// Union of addresses active in a week range.
+    pub fn window_union(&self, weeks: core::ops::Range<usize>) -> AddrSet {
+        assert!(weeks.end <= self.num_weeks);
+        let mask: u64 = if weeks.len() >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << weeks.len()) - 1) << weeks.start
+        };
+        let mut out = Vec::new();
+        for (block, rows) in &self.blocks {
+            for (i, bits) in rows.iter().enumerate() {
+                if bits & mask != 0 {
+                    out.push(block.addr(i as u8));
+                }
+            }
+        }
+        AddrSet::from_sorted(out)
+    }
+
+    /// All addresses active in any week.
+    pub fn all_active(&self) -> AddrSet {
+        self.window_union(0..self.num_weeks)
+    }
+
+    /// Year-scale filling degree of a block: addresses active in at
+    /// least one week (the weekly analogue of the Section 5.1 FD).
+    pub fn filling_degree(&self, block: Block24) -> u32 {
+        self.rows_of(block)
+            .map(|rows| rows.iter().filter(|&&b| b != 0).count() as u32)
+            .unwrap_or(0)
+    }
+
+    /// Year-scale spatio-temporal utilization of a block: active
+    /// (address, week) pairs over `256 × num_weeks`.
+    pub fn stu(&self, block: Block24) -> f64 {
+        self.rows_of(block)
+            .map(|rows| {
+                let active: u32 = rows.iter().map(|b| b.count_ones()).sum();
+                active as f64 / (256.0 * self.num_weeks as f64)
+            })
+            .unwrap_or(0.0)
+    }
+
+    fn rows_of(&self, block: Block24) -> Option<&[u64; 256]> {
+        self.blocks
+            .binary_search_by_key(&block, |(b, _)| *b)
+            .ok()
+            .map(|i| &*self.blocks[i].1)
+    }
+
+    /// Total distinct active addresses over the year.
+    pub fn total_active(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|(_, rows)| rows.iter().filter(|&&b| b != 0).count())
+            .sum()
+    }
+}
+
+/// Accumulator for [`WeeklyDataset`].
+#[derive(Debug, Default)]
+pub struct WeeklyDatasetBuilder {
+    num_weeks: usize,
+    blocks: HashMap<Block24, Box<[u64; 256]>>,
+    week_hits: Vec<Vec<u64>>,
+}
+
+impl WeeklyDatasetBuilder {
+    /// Creates a builder for `num_weeks` weeks (≤ 64).
+    pub fn new(num_weeks: usize) -> Self {
+        assert!(num_weeks <= 64, "week bitsets hold at most 64 weeks");
+        WeeklyDatasetBuilder {
+            num_weeks,
+            blocks: HashMap::new(),
+            week_hits: vec![Vec::new(); num_weeks],
+        }
+    }
+
+    /// Records that `addr` was active in week `w` with `hits` total
+    /// requests that week.
+    pub fn record_week(&mut self, w: usize, addr: Addr, hits: u64) {
+        assert!(w < self.num_weeks);
+        if hits == 0 {
+            return;
+        }
+        let rows = self
+            .blocks
+            .entry(Block24::of(addr))
+            .or_insert_with(|| Box::new([0u64; 256]));
+        rows[addr.host_index() as usize] |= 1u64 << w;
+        self.week_hits[w].push(hits);
+    }
+
+    /// Finalizes into an immutable dataset.
+    pub fn finish(self) -> WeeklyDataset {
+        let mut blocks: Vec<(Block24, Box<[u64; 256]>)> = self.blocks.into_iter().collect();
+        blocks.sort_unstable_by_key(|(b, _)| *b);
+        WeeklyDataset { num_weeks: self.num_weeks, blocks, week_hits: self.week_hits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn tiny_daily() -> DailyDataset {
+        let mut b = DailyDatasetBuilder::new(7);
+        // Address active 3 days with varying hits.
+        b.record_hits(0, addr("10.0.0.1"), 10);
+        b.record_hits(1, addr("10.0.0.1"), 30);
+        b.record_hits(6, addr("10.0.0.1"), 20);
+        // Always-on heavy hitter.
+        for d in 0..7 {
+            b.record_hits(d, addr("10.0.0.2"), 1000);
+        }
+        // One-day address in another block.
+        b.record_hits(3, addr("10.0.1.9"), 1);
+        // UA samples.
+        b.record_ua(0, addr("10.0.0.2"), 111);
+        b.record_ua(1, addr("10.0.0.2"), 111);
+        b.record_ua(2, addr("10.0.0.2"), 222);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_sorted_blocks_and_counts() {
+        let ds = tiny_daily();
+        assert_eq!(ds.blocks.len(), 2);
+        assert!(ds.blocks[0].block < ds.blocks[1].block);
+        assert_eq!(ds.total_active(), 3);
+        assert_eq!(ds.all_active().len(), 3);
+    }
+
+    #[test]
+    fn day_sets_and_window_unions() {
+        let ds = tiny_daily();
+        let d0 = ds.day_set(0);
+        assert_eq!(d0.len(), 2);
+        assert!(d0.contains(addr("10.0.0.1")) && d0.contains(addr("10.0.0.2")));
+        let d3 = ds.day_set(3);
+        assert_eq!(d3.len(), 2);
+        assert!(d3.contains(addr("10.0.1.9")));
+        let w = ds.window_union(2..5);
+        assert!(w.contains(addr("10.0.0.2")) && w.contains(addr("10.0.1.9")));
+        assert!(!w.contains(addr("10.0.0.1")));
+    }
+
+    #[test]
+    fn traffic_summaries() {
+        let ds = tiny_daily();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        assert_eq!(rec.total_hits, 60 + 7000);
+        let t1 = rec.ip_traffic.iter().find(|t| t.host == 1).unwrap();
+        assert_eq!(t1.days_active, 3);
+        assert_eq!(t1.total_hits, 60);
+        assert_eq!(t1.median_daily_hits, 20);
+        let t2 = rec.ip_traffic.iter().find(|t| t.host == 2).unwrap();
+        assert_eq!(t2.days_active, 7);
+        assert_eq!(t2.median_daily_hits, 1000);
+    }
+
+    #[test]
+    fn ua_aggregation() {
+        let ds = tiny_daily();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        assert_eq!(rec.ua_samples, 3);
+        assert_eq!(rec.ua_unique, 2);
+    }
+
+    #[test]
+    fn fd_and_stu() {
+        let ds = tiny_daily();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        assert_eq!(rec.filling_degree(0..7), 2);
+        assert_eq!(rec.filling_degree(3..5), 1); // only the always-on addr
+        // STU: (3 + 7) active addr-days over 256*7.
+        let expect = 10.0 / (256.0 * 7.0);
+        assert!((rec.stu(0..7) - expect).abs() < 1e-12);
+        assert_eq!(rec.active_on(6), 2);
+        assert!(rec.any_active(0..1));
+    }
+
+    #[test]
+    fn duplicate_hit_records_accumulate() {
+        let mut b = DailyDatasetBuilder::new(3);
+        b.record_hits(1, addr("10.0.0.5"), 4);
+        b.record_hits(1, addr("10.0.0.5"), 6);
+        let ds = b.finish();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        let t = &rec.ip_traffic[0];
+        assert_eq!(t.days_active, 1);
+        assert_eq!(t.total_hits, 10);
+        assert_eq!(t.median_daily_hits, 10);
+    }
+
+    #[test]
+    fn zero_hits_do_not_mark_activity() {
+        let mut b = DailyDatasetBuilder::new(3);
+        b.record_hits(0, addr("10.0.0.5"), 0);
+        let ds = b.finish();
+        assert_eq!(ds.total_active(), 0);
+    }
+
+    #[test]
+    fn weekly_builder_roundtrip() {
+        let mut b = WeeklyDatasetBuilder::new(52);
+        b.record_week(0, addr("10.0.0.1"), 100);
+        b.record_week(51, addr("10.0.0.1"), 100);
+        b.record_week(10, addr("10.0.2.7"), 5);
+        let ds = b.finish();
+        assert_eq!(ds.total_active(), 2);
+        assert_eq!(ds.week_set(0).len(), 1);
+        assert_eq!(ds.week_set(1).len(), 0);
+        assert!(ds.week_set(51).contains(addr("10.0.0.1")));
+        assert_eq!(ds.window_union(0..52).len(), 2);
+        assert_eq!(ds.window_union(1..10).len(), 0);
+        assert_eq!(ds.week_hits[0], vec![100]);
+        assert_eq!(ds.week_hits[10], vec![5]);
+    }
+
+    #[test]
+    fn weekly_fd_and_stu() {
+        let mut b = WeeklyDatasetBuilder::new(4);
+        let block = Block24::of(addr("10.0.0.0"));
+        // Two addresses: one active all 4 weeks, one active 1 week.
+        for w in 0..4 {
+            b.record_week(w, block.addr(1), 10);
+        }
+        b.record_week(2, block.addr(2), 5);
+        let ds = b.finish();
+        assert_eq!(ds.filling_degree(block), 2);
+        let expect = 5.0 / (256.0 * 4.0);
+        assert!((ds.stu(block) - expect).abs() < 1e-12);
+        // Unknown block.
+        assert_eq!(ds.filling_degree(Block24::new(99)), 0);
+        assert_eq!(ds.stu(Block24::new(99)), 0.0);
+    }
+
+    #[test]
+    fn weekly_window_union_full_width_mask() {
+        let mut b = WeeklyDatasetBuilder::new(64);
+        b.record_week(63, addr("10.0.0.1"), 1);
+        let ds = b.finish();
+        assert_eq!(ds.window_union(0..64).len(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Internet-wide demographics (Section 7, Figures 11 and 12).
+//!
+//! Three per-`/24` features are projected onto a unified `[0, 1]`
+//! scale — spatio-temporal utilization (already normalized), traffic
+//! (log-transformed, divided by the max log across blocks), and the
+//! relative host count (same treatment of unique UA samples) — then
+//! binned into a 10×10×10 cube. Figure 12 projects the cube per RIR
+//! onto (STU × traffic) with host count as color.
+
+use crate::dataset::DailyDataset;
+use ipactive_net::Block24;
+use ipactive_rir::{DelegationDb, Rir};
+
+/// Number of bins per feature axis (paper: 10, giving 1000 cells).
+pub const BINS: usize = 10;
+
+/// Normalized features of one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockFeatures {
+    /// The block.
+    pub block: Block24,
+    /// Spatio-temporal utilization in `(0, 1]`.
+    pub stu: f64,
+    /// Normalized log-traffic in `[0, 1]`.
+    pub traffic: f64,
+    /// Normalized log-relative-host-count in `[0, 1]`.
+    pub hosts: f64,
+}
+
+/// Extracts and normalizes the feature triple for every active block.
+pub fn features(ds: &DailyDataset) -> Vec<BlockFeatures> {
+    let window = 0..ds.num_days;
+    let active: Vec<_> = ds
+        .blocks
+        .iter()
+        .filter(|r| r.any_active(window.clone()))
+        .collect();
+    let log = |v: u64| ((v + 1) as f64).ln();
+    let max_traffic = active.iter().map(|r| log(r.total_hits)).fold(0.0f64, f64::max);
+    let max_hosts =
+        active.iter().map(|r| log(r.ua_unique as u64)).fold(0.0f64, f64::max);
+    active
+        .iter()
+        .map(|r| BlockFeatures {
+            block: r.block,
+            stu: r.stu(window.clone()),
+            traffic: if max_traffic > 0.0 { log(r.total_hits) / max_traffic } else { 0.0 },
+            hosts: if max_hosts > 0.0 { log(r.ua_unique as u64) / max_hosts } else { 0.0 },
+        })
+        .collect()
+}
+
+fn bin(v: f64) -> usize {
+    ((v * BINS as f64) as usize).min(BINS - 1)
+}
+
+/// The 10×10×10 demographics cube (Figure 11).
+#[derive(Debug, Clone)]
+pub struct Cube {
+    /// `counts[stu][traffic][hosts]`.
+    pub counts: Vec<[[u32; BINS]; BINS]>,
+    /// Total blocks binned.
+    pub total: u64,
+}
+
+/// Bins features into the cube.
+pub fn cube(features: &[BlockFeatures]) -> Cube {
+    let mut counts = vec![[[0u32; BINS]; BINS]; BINS];
+    for f in features {
+        counts[bin(f.stu)][bin(f.traffic)][bin(f.hosts)] += 1;
+    }
+    Cube { counts, total: features.len() as u64 }
+}
+
+impl Cube {
+    /// The non-empty cells, as `(stu_bin, traffic_bin, hosts_bin, count)`,
+    /// sorted by count descending — the spheres of Figure 11.
+    pub fn cells(&self) -> Vec<(usize, usize, usize, u32)> {
+        let mut out = Vec::new();
+        for (s, plane) in self.counts.iter().enumerate() {
+            for (t, row) in plane.iter().enumerate() {
+                for (h, &c) in row.iter().enumerate() {
+                    if c > 0 {
+                        out.push((s, t, h, c));
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        out
+    }
+
+    /// Marginal distribution over the STU axis — the "strong division
+    /// along the spatio-temporal utilization axis" observation.
+    pub fn stu_marginal(&self) -> [u64; BINS] {
+        let mut out = [0u64; BINS];
+        for (s, plane) in self.counts.iter().enumerate() {
+            out[s] = plane.iter().flatten().map(|&c| c as u64).sum();
+        }
+        out
+    }
+}
+
+/// One cell of a Figure 12 per-RIR grid: block count plus mean host
+/// feature (the color scale).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GridCell {
+    /// Blocks in the cell.
+    pub count: u32,
+    /// Mean normalized host count of those blocks.
+    pub mean_hosts: f64,
+}
+
+/// A per-RIR (STU × traffic) grid.
+#[derive(Debug, Clone)]
+pub struct RirGrid {
+    /// The registry.
+    pub rir: Rir,
+    /// `cells[stu][traffic]`.
+    pub cells: [[GridCell; BINS]; BINS],
+    /// Total blocks attributed to this RIR.
+    pub total: u64,
+}
+
+/// Computes Figure 12: one grid per RIR.
+pub fn per_rir(features: &[BlockFeatures], db: &DelegationDb) -> Vec<RirGrid> {
+    let mut sums = vec![[[0f64; BINS]; BINS]; 5];
+    let mut counts = vec![[[0u32; BINS]; BINS]; 5];
+    let mut totals = [0u64; 5];
+    for f in features {
+        let Some(rir) = db.rir_of(f.block.network()) else { continue };
+        let i = rir.index();
+        let (s, t) = (bin(f.stu), bin(f.traffic));
+        counts[i][s][t] += 1;
+        sums[i][s][t] += f.hosts;
+        totals[i] += 1;
+    }
+    Rir::ALL
+        .into_iter()
+        .map(|rir| {
+            let i = rir.index();
+            let mut cells = [[GridCell::default(); BINS]; BINS];
+            for s in 0..BINS {
+                for t in 0..BINS {
+                    let c = counts[i][s][t];
+                    cells[s][t] = GridCell {
+                        count: c,
+                        mean_hosts: if c > 0 { sums[i][s][t] / c as f64 } else { 0.0 },
+                    };
+                }
+            }
+            RirGrid { rir, cells, total: totals[i] }
+        })
+        .collect()
+}
+
+impl RirGrid {
+    /// Fraction of this RIR's blocks with STU in the top `k` bins —
+    /// used to compare, e.g., LACNIC/AFRINIC conservation against
+    /// ARIN's slack.
+    pub fn high_stu_fraction(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n: u64 = self
+            .cells
+            .iter()
+            .skip(BINS - k)
+            .flat_map(|row| row.iter())
+            .map(|c| c.count as u64)
+            .sum();
+        n as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DailyDatasetBuilder;
+    use ipactive_net::Addr;
+    use ipactive_rir::{CountryCode, Delegation};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn fixture() -> DailyDataset {
+        let mut b = DailyDatasetBuilder::new(4);
+        // Low-STU, low-traffic block.
+        b.record_hits(0, a("10.0.0.1"), 10);
+        b.record_ua(0, a("10.0.0.1"), 1);
+        // High-STU, high-traffic, high-diversity gateway block.
+        let gw = Block24::of(a("20.0.0.0"));
+        for host in 0..=255u8 {
+            for d in 0..4 {
+                b.record_hits(d, gw.addr(host), 10_000);
+            }
+        }
+        for i in 0..500u64 {
+            b.record_ua(0, gw.addr((i % 256) as u8), i);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn features_are_normalized() {
+        let f = features(&fixture());
+        assert_eq!(f.len(), 2);
+        for bf in &f {
+            assert!((0.0..=1.0).contains(&bf.stu));
+            assert!((0.0..=1.0).contains(&bf.traffic));
+            assert!((0.0..=1.0).contains(&bf.hosts));
+        }
+        let gw = f.iter().find(|x| x.block == Block24::of(a("20.0.0.0"))).unwrap();
+        assert!((gw.stu - 1.0).abs() < 1e-12);
+        assert!((gw.traffic - 1.0).abs() < 1e-12);
+        assert!((gw.hosts - 1.0).abs() < 1e-12);
+        let lo = f.iter().find(|x| x.block == Block24::of(a("10.0.0.0"))).unwrap();
+        assert!(lo.stu < 0.01 && lo.traffic < 0.5 && lo.hosts < 0.5);
+    }
+
+    #[test]
+    fn cube_bins_and_marginals() {
+        let f = features(&fixture());
+        let c = cube(&f);
+        assert_eq!(c.total, 2);
+        let cells = c.cells();
+        assert_eq!(cells.len(), 2);
+        // Gateway block lands in the extreme corner.
+        assert!(cells.iter().any(|&(s, t, h, n)| s == 9 && t == 9 && h == 9 && n == 1));
+        let marg = c.stu_marginal();
+        assert_eq!(marg.iter().sum::<u64>(), 2);
+        assert_eq!(marg[0], 1);
+        assert_eq!(marg[9], 1);
+    }
+
+    #[test]
+    fn per_rir_grids() {
+        let mut db = DelegationDb::new();
+        db.insert(Delegation {
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            rir: Rir::Arin,
+            country: CountryCode::new("US"),
+        });
+        db.insert(Delegation {
+            prefix: "20.0.0.0/8".parse().unwrap(),
+            rir: Rir::Apnic,
+            country: CountryCode::new("CN"),
+        });
+        let f = features(&fixture());
+        let grids = per_rir(&f, &db);
+        assert_eq!(grids.len(), 5);
+        let arin = &grids[Rir::Arin.index()];
+        assert_eq!(arin.total, 1);
+        assert_eq!(arin.high_stu_fraction(1), 0.0);
+        let apnic = &grids[Rir::Apnic.index()];
+        assert_eq!(apnic.total, 1);
+        assert!((apnic.high_stu_fraction(1) - 1.0).abs() < 1e-12);
+        assert!((apnic.cells[9][9].mean_hosts - 1.0).abs() < 1e-12);
+        assert_eq!(grids[Rir::Lacnic.index()].total, 0);
+        assert_eq!(grids[Rir::Lacnic.index()].high_stu_fraction(3), 0.0);
+    }
+
+    #[test]
+    fn bin_edges() {
+        assert_eq!(bin(0.0), 0);
+        assert_eq!(bin(0.099), 0);
+        assert_eq!(bin(0.1), 1);
+        assert_eq!(bin(0.999), 9);
+        assert_eq!(bin(1.0), 9);
+    }
+}

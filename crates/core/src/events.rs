@@ -1,0 +1,216 @@
+//! Event sizing and BGP correlation (Section 4.2, Figures 5(b), 5(c)).
+
+use crate::dataset::DailyDataset;
+use ipactive_bgp::BgpTimeline;
+use ipactive_net::{AddrSet, EventSizeHistogram};
+
+/// Whether to size/correlate up events or down events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventDirection {
+    /// Absent in window *i*, present in window *i+1*.
+    Up,
+    /// Present in window *i*, absent in window *i+1*.
+    Down,
+}
+
+/// Builds the Figure 5(b) event-size histogram for one window size,
+/// aggregated over all consecutive window pairs in the dataset.
+///
+/// For each per-address event, the smallest covering prefix mask is
+/// computed (see [`ipactive_net::covering_mask`]); the histogram
+/// fractions over the display buckets reproduce the figure's bars.
+pub fn event_sizes(
+    ds: &DailyDataset,
+    window_days: usize,
+    direction: EventDirection,
+) -> EventSizeHistogram {
+    let n_windows = ds.num_days / window_days;
+    let mut hist = EventSizeHistogram::new();
+    if n_windows < 2 {
+        return hist;
+    }
+    let mut prev = ds.window_union(0..window_days);
+    for i in 1..n_windows {
+        let cur = ds.window_union(i * window_days..(i + 1) * window_days);
+        let (events, exclusion) = match direction {
+            EventDirection::Up => (cur.difference(&prev), &prev),
+            EventDirection::Down => (prev.difference(&cur), &cur),
+        };
+        let pair_hist = EventSizeHistogram::from_events(&events, exclusion);
+        hist.merge(&pair_hist);
+        prev = cur;
+    }
+    hist
+}
+
+/// Figure 5(c): fraction of events coinciding with a BGP change, for
+/// one window size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BgpCorrelation {
+    /// Window size in days.
+    pub window_days: usize,
+    /// Percentage of up events whose address was covered by a BGP
+    /// change within the window pair's span.
+    pub up_pct: f64,
+    /// Same for down events.
+    pub down_pct: f64,
+    /// Same for steadily active addresses (present in both windows) —
+    /// the control group.
+    pub steady_pct: f64,
+}
+
+/// Computes Figure 5(c) for one window size.
+///
+/// `day_offset` maps dataset day 0 onto the BGP timeline's day axis
+/// (the paper's daily window starts mid-August; BGP days count from
+/// the start of the year).
+pub fn bgp_correlation(
+    ds: &DailyDataset,
+    window_days: usize,
+    bgp: &BgpTimeline,
+    day_offset: u16,
+) -> BgpCorrelation {
+    let n_windows = ds.num_days / window_days;
+    assert!(n_windows >= 2, "need at least two windows");
+    let (mut up_hit, mut up_all) = (0u64, 0u64);
+    let (mut down_hit, mut down_all) = (0u64, 0u64);
+    let (mut steady_hit, mut steady_all) = (0u64, 0u64);
+    let mut prev = ds.window_union(0..window_days);
+    for i in 1..n_windows {
+        let cur = ds.window_union(i * window_days..(i + 1) * window_days);
+        let span_start = day_offset + ((i - 1) * window_days) as u16;
+        let span_end = day_offset + ((i + 1) * window_days) as u16;
+        let changes = bgp.changes_in(span_start..span_end);
+        let count =
+            |set: &AddrSet| set.iter().filter(|&a| changes.affects(a)).count() as u64;
+        let ups = cur.difference(&prev);
+        let downs = prev.difference(&cur);
+        let steady = cur.intersect(&prev);
+        up_hit += count(&ups);
+        up_all += ups.len() as u64;
+        down_hit += count(&downs);
+        down_all += downs.len() as u64;
+        steady_hit += count(&steady);
+        steady_all += steady.len() as u64;
+        prev = cur;
+    }
+    let pct = |hit: u64, all: u64| if all == 0 { 0.0 } else { 100.0 * hit as f64 / all as f64 };
+    BgpCorrelation {
+        window_days,
+        up_pct: pct(up_hit, up_all),
+        down_pct: pct(down_hit, down_all),
+        steady_pct: pct(steady_hit, steady_all),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DailyDatasetBuilder;
+    use ipactive_bgp::{Asn, BgpEvent, BgpEventKind, RoutingTable};
+    use ipactive_net::{Addr, Block24};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn whole_block_flip_sizes_as_block_event() {
+        let mut b = DailyDatasetBuilder::new(4);
+        // Window size 2. Block X active in window 0 only; block Y in window 1 only.
+        // A steady neighbor block bounds growth at /22 distance.
+        for host in 0..=255u8 {
+            b.record_hits(0, Block24::of(a("10.0.0.0")).addr(host), 1);
+            b.record_hits(2, Block24::of(a("10.0.1.0")).addr(host), 1);
+        }
+        for d in 0..4 {
+            b.record_hits(d, a("10.0.2.7"), 1); // steady
+        }
+        let ds = b.finish();
+        let up = event_sizes(&ds, 2, EventDirection::Up);
+        assert_eq!(up.total(), 256); // every addr of block Y
+        // All events must be "bulky": mask <= /24 (block-or-larger).
+        assert!(up.fraction_between(0, 24) > 0.999, "buckets: {:?}", up.figure5b_buckets());
+        let down = event_sizes(&ds, 2, EventDirection::Down);
+        assert_eq!(down.total(), 256);
+        assert!(down.fraction_between(0, 24) > 0.999);
+    }
+
+    #[test]
+    fn isolated_flips_size_as_single_addresses() {
+        let mut b = DailyDatasetBuilder::new(4);
+        // Dense steady block with two alternating addresses inside it.
+        for host in 0..=255u8 {
+            let addr = Block24::of(a("10.0.0.0")).addr(host);
+            match host {
+                10 => b.record_hits(0, addr, 1), // down after window 0
+                11 => b.record_hits(2, addr, 1), // up in window 1
+                _ => {
+                    for d in 0..4 {
+                        b.record_hits(d, addr, 1);
+                    }
+                }
+            }
+        }
+        let ds = b.finish();
+        let up = event_sizes(&ds, 2, EventDirection::Up);
+        assert_eq!(up.total(), 1);
+        assert!(up.fraction_between(29, 32) > 0.999);
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_histogram() {
+        let ds = DailyDatasetBuilder::new(4).finish();
+        assert_eq!(event_sizes(&ds, 2, EventDirection::Up).total(), 0);
+    }
+
+    #[test]
+    fn bgp_correlation_flags_only_covered_events() {
+        let mut b = DailyDatasetBuilder::new(4);
+        // Two up events in window pair (0,1): one inside a changed
+        // prefix, one outside. Plus steady addresses in both regions.
+        b.record_hits(2, a("10.0.0.1"), 1); // up, inside change
+        b.record_hits(2, a("20.0.0.1"), 1); // up, outside change
+        for d in 0..4 {
+            b.record_hits(d, a("10.0.0.200"), 1); // steady, inside change
+            b.record_hits(d, a("20.0.0.200"), 1); // steady, outside
+        }
+        b.record_hits(0, a("20.0.0.9"), 1); // down, outside change
+        let ds = b.finish();
+
+        let mut table = RoutingTable::new();
+        table.announce("10.0.0.0/8".parse().unwrap(), Asn(1));
+        table.announce("20.0.0.0/8".parse().unwrap(), Asn(2));
+        let mut bgp = BgpTimeline::new(table);
+        bgp.push(BgpEvent {
+            day: 101, // inside the span 100..104 (offset 100)
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            kind: BgpEventKind::OriginChange { to: Asn(9) },
+        });
+
+        let corr = bgp_correlation(&ds, 2, &bgp, 100);
+        assert!((corr.up_pct - 50.0).abs() < 1e-9, "up {}", corr.up_pct);
+        assert!((corr.down_pct - 0.0).abs() < 1e-9);
+        assert!((corr.steady_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bgp_correlation_ignores_changes_outside_span() {
+        let mut b = DailyDatasetBuilder::new(4);
+        b.record_hits(2, a("10.0.0.1"), 1);
+        b.record_hits(0, a("10.0.0.2"), 1);
+        let ds = b.finish();
+        let mut table = RoutingTable::new();
+        table.announce("10.0.0.0/8".parse().unwrap(), Asn(1));
+        let mut bgp = BgpTimeline::new(table);
+        bgp.push(BgpEvent {
+            day: 300,
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            kind: BgpEventKind::Withdraw,
+        });
+        let corr = bgp_correlation(&ds, 2, &bgp, 0);
+        assert_eq!(corr.up_pct, 0.0);
+        assert_eq!(corr.down_pct, 0.0);
+    }
+}

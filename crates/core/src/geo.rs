@@ -1,0 +1,180 @@
+//! Geographic dissection of visibility (Section 3.4, Figure 3).
+
+use crate::visibility::VisibilitySplit;
+use ipactive_net::AddrSet;
+use ipactive_rir::{subscriber_ranks, CountryCode, DelegationDb, Rir, SubscriberRanks};
+use std::collections::HashMap;
+
+/// Per-RIR visibility splits, indexed per [`Rir::index`] —
+/// Figure 3(a).
+pub fn by_rir(cdn: &AddrSet, icmp: &AddrSet, db: &DelegationDb) -> [VisibilitySplit; 5] {
+    let mut out = [VisibilitySplit::default(); 5];
+    let union = cdn.union(icmp);
+    for addr in union.iter() {
+        let Some(rir) = db.rir_of(addr) else { continue };
+        let slot = &mut out[rir.index()];
+        match (cdn.contains(addr), icmp.contains(addr)) {
+            (true, true) => slot.both += 1,
+            (true, false) => slot.cdn_only += 1,
+            (false, true) => slot.icmp_only += 1,
+            (false, false) => unreachable!("address from the union"),
+        }
+    }
+    out
+}
+
+/// One Figure 3(b) bar: a country's visibility split plus its ITU
+/// subscriber ranks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountryVisibility {
+    /// The country.
+    pub country: CountryCode,
+    /// Its visibility split.
+    pub split: VisibilitySplit,
+    /// ITU broadband/cellular ranks, if in the Figure 3(b) table.
+    pub ranks: Option<SubscriberRanks>,
+}
+
+impl CountryVisibility {
+    /// Fraction of this country's seen addresses that answer ICMP —
+    /// the "80% in China vs 25% in Japan" observation.
+    pub fn icmp_response_rate(&self) -> f64 {
+        let seen = self.split.total();
+        if seen == 0 {
+            0.0
+        } else {
+            (self.split.both + self.split.icmp_only) as f64 / seen as f64
+        }
+    }
+}
+
+/// Computes Figure 3(b): the top `n` countries by combined visible
+/// addresses, each with its split and ITU ranks.
+pub fn top_countries(
+    cdn: &AddrSet,
+    icmp: &AddrSet,
+    db: &DelegationDb,
+    n: usize,
+) -> Vec<CountryVisibility> {
+    let mut per_country: HashMap<CountryCode, VisibilitySplit> = HashMap::new();
+    let union = cdn.union(icmp);
+    for addr in union.iter() {
+        let Some(country) = db.country_of(addr) else { continue };
+        let slot = per_country.entry(country).or_default();
+        match (cdn.contains(addr), icmp.contains(addr)) {
+            (true, true) => slot.both += 1,
+            (true, false) => slot.cdn_only += 1,
+            (false, true) => slot.icmp_only += 1,
+            (false, false) => unreachable!("address from the union"),
+        }
+    }
+    let mut rows: Vec<CountryVisibility> = per_country
+        .into_iter()
+        .map(|(country, split)| CountryVisibility {
+            country,
+            split,
+            ranks: subscriber_ranks(country),
+        })
+        .collect();
+    rows.sort_by(|x, y| {
+        y.split.total().cmp(&x.split.total()).then(x.country.cmp(&y.country))
+    });
+    rows.truncate(n);
+    rows
+}
+
+/// CDN-added visibility per RIR: how much the CDN grows the visible
+/// address pool relative to ICMP alone (the paper's "+150% in the
+/// African region").
+pub fn cdn_gain_over_icmp(split: &VisibilitySplit) -> f64 {
+    let icmp_seen = split.both + split.icmp_only;
+    if icmp_seen == 0 {
+        if split.cdn_only > 0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        split.cdn_only as f64 / icmp_seen as f64
+    }
+}
+
+/// Re-exported display order for the Figure 3(a) bars.
+pub fn rir_display_order() -> [Rir; 5] {
+    Rir::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipactive_net::Addr;
+    use ipactive_rir::Delegation;
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        addrs.iter().map(|s| s.parse::<Addr>().unwrap()).collect()
+    }
+
+    fn db() -> DelegationDb {
+        let mut db = DelegationDb::new();
+        for (p, rir, cc) in [
+            ("10.0.0.0/8", Rir::Arin, "US"),
+            ("80.0.0.0/8", Rir::Ripe, "DE"),
+            ("1.0.0.0/8", Rir::Apnic, "CN"),
+            ("41.0.0.0/8", Rir::Afrinic, "ZA"),
+        ] {
+            db.insert(Delegation {
+                prefix: p.parse().unwrap(),
+                rir,
+                country: CountryCode::new(cc),
+            });
+        }
+        db
+    }
+
+    #[test]
+    fn rir_grouping() {
+        let cdn = set(&["10.0.0.1", "10.0.0.2", "80.1.1.1"]);
+        let icmp = set(&["10.0.0.2", "1.2.3.4"]);
+        let grouped = by_rir(&cdn, &icmp, &db());
+        let arin = grouped[Rir::Arin.index()];
+        assert_eq!(arin, VisibilitySplit { cdn_only: 1, both: 1, icmp_only: 0 });
+        let ripe = grouped[Rir::Ripe.index()];
+        assert_eq!(ripe.cdn_only, 1);
+        let apnic = grouped[Rir::Apnic.index()];
+        assert_eq!(apnic.icmp_only, 1);
+        assert_eq!(grouped[Rir::Lacnic.index()].total(), 0);
+    }
+
+    #[test]
+    fn undelegated_addresses_are_skipped() {
+        let cdn = set(&["200.0.0.1"]); // not in the fixture db
+        let grouped = by_rir(&cdn, &AddrSet::new(), &db());
+        assert!(grouped.iter().all(|s| s.total() == 0));
+    }
+
+    #[test]
+    fn top_countries_sorted_and_ranked() {
+        let cdn = set(&["10.0.0.1", "10.0.0.2", "10.0.0.3", "1.1.1.1", "80.1.1.1"]);
+        let icmp = set(&["1.1.1.1", "1.1.1.2"]);
+        let rows = top_countries(&cdn, &icmp, &db(), 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].country.as_str(), "US");
+        assert_eq!(rows[0].split.total(), 3);
+        assert_eq!(rows[1].country.as_str(), "CN");
+        assert_eq!(rows[1].split.total(), 2);
+        assert!(rows[0].ranks.is_some());
+        // CN: 2 addrs, both ICMP-visible -> response rate 1.0.
+        assert!((rows[1].icmp_response_rate() - 1.0).abs() < 1e-12);
+        // US: 3 addrs, none ICMP-visible.
+        assert_eq!(rows[0].icmp_response_rate(), 0.0);
+    }
+
+    #[test]
+    fn cdn_gain_metric() {
+        let s = VisibilitySplit { cdn_only: 150, both: 80, icmp_only: 20 };
+        assert!((cdn_gain_over_icmp(&s) - 1.5).abs() < 1e-12);
+        let none = VisibilitySplit { cdn_only: 5, both: 0, icmp_only: 0 };
+        assert!(cdn_gain_over_icmp(&none).is_infinite());
+        assert_eq!(cdn_gain_over_icmp(&VisibilitySplit::default()), 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # ipactive-core
+//!
+//! The analysis library reproducing *Beyond Counting: New Perspectives
+//! on the Active IPv4 Address Space* (Richter et al., IMC 2016): data
+//! model and every metric and analysis from the paper.
+//!
+//! ## Data model
+//!
+//! * [`DailyDataset`] — per-`/24` activity matrices (address × day
+//!   bits) plus per-address traffic summaries over the paper's
+//!   112-day daily window (Section 3.2, Table 1).
+//! * [`WeeklyDataset`] — 52 weeks of activity bits and per-week
+//!   traffic multisets for the year-long view.
+//!
+//! ## Analyses (paper section → module)
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §3.2/3.3 visibility vs ICMP (Fig 2) | [`visibility`] |
+//! | §3.4 geography (Fig 3) | [`geo`] |
+//! | §4.1 churn & volatility (Fig 4) | [`churn`] |
+//! | §4.2 per-AS / event sizes / BGP (Fig 5, Table 2) | [`churn`], [`events`] |
+//! | §5.1 FD & STU metrics (Fig 6/7) | [`matrix`] |
+//! | §5.2 change detection (Fig 8a) | [`change`] |
+//! | §5.3/5.4 addressing practice (Fig 8b/8c) | [`blocks`] |
+//! | §6 traffic & devices (Fig 9/10) | [`traffic`], [`hosts`] |
+//! | §7 demographics (Fig 11/12) | [`demographics`] |
+//! | §8 reputation lifetimes | [`persistence`] |
+//! | §8 market / governance | [`market`] |
+//! | related work: reliability | [`outages`] |
+//! | §2 growth timeline (Fig 1) | [`timeline`] |
+//! | Table 1 dataset census | [`census`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocks;
+pub mod census;
+pub mod change;
+pub mod churn;
+mod dataset;
+pub mod demographics;
+pub mod events;
+pub mod geo;
+pub mod hosts;
+pub mod market;
+pub mod matrix;
+pub mod outages;
+pub mod persistence;
+pub mod stats;
+pub mod timeline;
+pub mod traffic;
+pub mod visibility;
+
+pub use dataset::{
+    BlockRecord, DailyDataset, DailyDatasetBuilder, IpTraffic, WeeklyDataset,
+    WeeklyDatasetBuilder,
+};

@@ -1,0 +1,213 @@
+//! Property-based tests for the analysis library: invariants that must
+//! hold for *any* activity history, not just the fixtures.
+
+use ipactive_core::{blocks, change, churn, events, matrix, traffic, DailyDatasetBuilder};
+use ipactive_net::{Addr, Block24};
+use proptest::prelude::*;
+
+const DAYS: usize = 12;
+
+/// A random daily dataset over a handful of blocks.
+fn arb_dataset() -> impl Strategy<Value = ipactive_core::DailyDataset> {
+    // (block_index, host, day, hits) tuples.
+    prop::collection::vec(
+        (0u32..4, any::<u8>(), 0usize..DAYS, 1u64..500),
+        0..300,
+    )
+    .prop_map(|records| {
+        let mut b = DailyDatasetBuilder::new(DAYS);
+        for (blk, host, day, hits) in records {
+            let block = Block24::new(0x0A_0000 + blk);
+            b.record_hits(day, block.addr(host), hits);
+        }
+        b.finish()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Up/down events are conserved: between consecutive days,
+    /// |active(d+1)| - |active(d)| == up - down.
+    #[test]
+    fn churn_events_are_conserved(ds in arb_dataset()) {
+        let series = churn::daily_series(&ds);
+        for w in series.windows(2) {
+            let delta = w[1].active as i64 - w[0].active as i64;
+            prop_assert_eq!(delta, w[1].up as i64 - w[1].down as i64);
+        }
+    }
+
+    /// The daily series matches set computations done the slow way.
+    #[test]
+    fn daily_series_matches_set_difference(ds in arb_dataset()) {
+        let series = churn::daily_series(&ds);
+        for (d, point) in series.iter().enumerate().skip(1) {
+            let prev = ds.day_set(d - 1);
+            let cur = ds.day_set(d);
+            prop_assert_eq!(point.active, cur.len());
+            prop_assert_eq!(point.up, cur.difference(&prev).len());
+            prop_assert_eq!(point.down, prev.difference(&cur).len());
+        }
+    }
+
+    /// STU and FD bounds and consistency: 0 ≤ STU ≤ 1, FD ≤ 256,
+    /// and STU ≤ FD/256 (an address contributes at most all days).
+    #[test]
+    fn stu_fd_bounds(ds in arb_dataset()) {
+        for rec in &ds.blocks {
+            let m = matrix::BlockMetrics::of(rec, 0..ds.num_days);
+            prop_assert!(m.fd <= 256);
+            prop_assert!((0.0..=1.0).contains(&m.stu));
+            prop_assert!(m.stu <= m.fd as f64 / 256.0 + 1e-12);
+            // A nonempty block has nonzero metrics.
+            if rec.any_active(0..ds.num_days) {
+                prop_assert!(m.fd >= 1);
+                prop_assert!(m.stu > 0.0);
+            }
+        }
+    }
+
+    /// Window aggregation only merges activity: the union of windows
+    /// of any size equals the all-days union, and per-window unions
+    /// never exceed it.
+    #[test]
+    fn window_unions_nest(ds in arb_dataset(), w in 1usize..=DAYS) {
+        let all = ds.all_active();
+        let n_windows = ds.num_days / w;
+        let mut seen = ipactive_net::AddrSet::new();
+        for i in 0..n_windows {
+            let win = ds.window_union(i * w..(i + 1) * w);
+            prop_assert!(win.len() <= all.len());
+            for a in win.iter() {
+                prop_assert!(all.contains(a));
+            }
+            seen = seen.union(&win);
+        }
+        // Windows cover all days when w divides the window count.
+        if n_windows * w == ds.num_days {
+            prop_assert_eq!(seen.len(), all.len());
+        }
+    }
+
+    /// Event-size histograms account for exactly the up events.
+    #[test]
+    fn event_sizes_total_matches_up_count(ds in arb_dataset(), w in 1usize..=4) {
+        let n_windows = ds.num_days / w;
+        if n_windows < 2 {
+            return Ok(());
+        }
+        let hist = events::event_sizes(&ds, w, events::EventDirection::Up);
+        let mut expected = 0u64;
+        let mut prev = ds.window_union(0..w);
+        for i in 1..n_windows {
+            let cur = ds.window_union(i * w..(i + 1) * w);
+            expected += cur.difference(&prev).len() as u64;
+            prev = cur;
+        }
+        prop_assert_eq!(hist.total(), expected);
+        // Bucket fractions sum to 1 when any events exist.
+        if expected > 0 {
+            let s: f64 = hist.figure5b_buckets().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Change detection partitions the active blocks exactly.
+    #[test]
+    fn change_partition_is_exhaustive(ds in arb_dataset(), month in 1usize..=6) {
+        let part = change::detect(&ds, month, 0.25);
+        let active = ds.blocks.iter().filter(|r| r.any_active(0..ds.num_days)).count();
+        prop_assert_eq!(part.major.len() + part.stable.len(), active);
+        prop_assert_eq!(part.deltas.len(), active);
+        for d in &part.deltas {
+            prop_assert!(d.max_delta.abs() <= 1.0 + 1e-12);
+            let is_major = part.major.contains(&d.block);
+            prop_assert_eq!(is_major, d.max_delta.abs() > 0.25);
+        }
+    }
+
+    /// Cumulative traffic shares are monotone and end at 1 (when any
+    /// traffic exists); bin populations sum to the address count.
+    #[test]
+    fn cumulative_shares_invariants(ds in arb_dataset()) {
+        let c = traffic::cumulative_shares(&ds);
+        prop_assert!(c.ips.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        prop_assert!(c.traffic.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        let total = ds.total_active();
+        if total > 0 {
+            prop_assert!((c.ips.last().unwrap() - 1.0).abs() < 1e-9);
+            prop_assert!((c.traffic.last().unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Figure 9(a) bins: every active address lands in exactly one bin.
+    #[test]
+    fn hits_bins_cover_population(ds in arb_dataset()) {
+        let bins = traffic::hits_by_days_active(&ds);
+        prop_assert_eq!(bins.len(), ds.num_days);
+        // Recount addresses per bin by hand.
+        let mut counts = vec![0usize; ds.num_days];
+        for (_, t) in ds.ip_traffic() {
+            counts[t.days_active as usize - 1] += 1;
+        }
+        for (bin, count) in bins.iter().zip(counts) {
+            prop_assert_eq!(bin.is_some(), count > 0);
+        }
+    }
+
+    /// top_share is monotone in the fraction and bounded by 1.
+    #[test]
+    fn top_share_monotone(hits in prop::collection::vec(0u64..10_000, 1..200)) {
+        let s10 = traffic::top_share(&hits, 0.1);
+        let s50 = traffic::top_share(&hits, 0.5);
+        let s100 = traffic::top_share(&hits, 1.0);
+        prop_assert!(s10 <= s50 + 1e-12);
+        prop_assert!(s50 <= s100 + 1e-12);
+        prop_assert!(s100 <= 1.0 + 1e-12);
+        let total: u64 = hits.iter().sum();
+        if total > 0 {
+            prop_assert!((s100 - 1.0).abs() < 1e-12);
+            // Top 10% always gets at least its proportional share.
+            prop_assert!(s10 >= 0.1 - 1e-9);
+        }
+    }
+
+    /// Potential-utilization categories never overlap impossible ways.
+    #[test]
+    fn potential_utilization_consistent(ds in arb_dataset()) {
+        let p = blocks::potential_utilization(&ds);
+        prop_assert!(p.low_fd_blocks <= p.active_blocks);
+        prop_assert!(p.high_fd_blocks <= p.active_blocks);
+        prop_assert!(p.high_fd_high_stu + p.high_fd_low_stu <= p.high_fd_blocks * 2);
+        prop_assert!(p.high_fd_high_stu <= p.high_fd_blocks);
+        prop_assert!(p.high_fd_low_stu <= p.high_fd_blocks);
+        // FD<64 and FD>250 are disjoint.
+        prop_assert!(p.low_fd_blocks + p.high_fd_blocks <= p.active_blocks);
+    }
+}
+
+/// Deterministic regression: an address active every day must never
+/// appear as an up or down event at any window size.
+#[test]
+fn always_on_address_never_churns() {
+    let mut b = DailyDatasetBuilder::new(DAYS);
+    let addr: Addr = "10.0.0.1".parse().unwrap();
+    for d in 0..DAYS {
+        b.record_hits(d, addr, 7);
+    }
+    // Noise neighbors.
+    b.record_hits(0, "10.0.0.2".parse().unwrap(), 1);
+    b.record_hits(DAYS - 1, "10.0.0.3".parse().unwrap(), 1);
+    let ds = b.finish();
+    for w in 1..=DAYS / 2 {
+        let n = ds.num_days / w;
+        let mut prev = ds.window_union(0..w);
+        for i in 1..n {
+            let cur = ds.window_union(i * w..(i + 1) * w);
+            assert!(!cur.difference(&prev).contains(addr));
+            assert!(!prev.difference(&cur).contains(addr));
+            prev = cur;
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Keyword-based assignment classification.
+
+use crate::synth::PtrTable;
+use ipactive_net::Block24;
+
+/// Assignment practice suggested by a hostname (or a block of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignmentHint {
+    /// Name suggests static assignment (`static` keyword).
+    Static,
+    /// Name suggests dynamic assignment (`dynamic`, `pool`, `dhcp`,
+    /// `ppp`, `dial` keywords).
+    Dynamic,
+    /// No policy-revealing keyword (opaque name or no record).
+    Unknown,
+}
+
+/// Keywords suggesting dynamic assignment, per the methodology of
+/// the paper's references [24, 30, 35] (Moura et al., Quan et al.,
+/// Xie et al.) — access-technology labels like `dsl` and `cable` mark
+/// consumer pools that are overwhelmingly dynamically assigned.
+const DYNAMIC_KEYWORDS: [&str; 7] =
+    ["dynamic", "pool", "dhcp", "ppp", "dial", "dsl", "cable"];
+
+/// Classifies a single PTR name by keyword search (case-insensitive on
+/// ASCII; hostnames are ASCII by construction).
+///
+/// A name carrying *both* static and dynamic keywords is treated as
+/// [`AssignmentHint::Unknown`] — contradictory labels are untrustworthy.
+///
+/// ```
+/// use ipactive_dns::{classify_name, AssignmentHint};
+/// assert_eq!(classify_name("static-24-1-2-3.isp.example.net"), AssignmentHint::Static);
+/// assert_eq!(classify_name("pool-81-2-3-4.dsl.example.de"), AssignmentHint::Dynamic);
+/// assert_eq!(classify_name("host-24-1-2-3.example.com"), AssignmentHint::Unknown);
+/// ```
+pub fn classify_name(name: &str) -> AssignmentHint {
+    let lower = name.to_ascii_lowercase();
+    let is_static = lower.contains("static");
+    let is_dynamic = DYNAMIC_KEYWORDS.iter().any(|k| lower.contains(k));
+    match (is_static, is_dynamic) {
+        (true, false) => AssignmentHint::Static,
+        (false, true) => AssignmentHint::Dynamic,
+        _ => AssignmentHint::Unknown,
+    }
+}
+
+/// Classifies a `/24` block from its PTR records, requiring consistency:
+/// the block is tagged static/dynamic only when at least `min_records`
+/// addresses have PTR names and **all** keyword-bearing names agree.
+///
+/// The paper tags blocks "containing addresses with consistent names
+/// that suggest static … as well as dynamic … assignment".
+pub fn classify_block(table: &PtrTable, block: Block24, min_records: usize) -> AssignmentHint {
+    let mut votes_static = 0usize;
+    let mut votes_dynamic = 0usize;
+    let mut records = 0usize;
+    for addr in block.addrs() {
+        if let Some(name) = table.name_of(addr) {
+            records += 1;
+            match classify_name(&name) {
+                AssignmentHint::Static => votes_static += 1,
+                AssignmentHint::Dynamic => votes_dynamic += 1,
+                AssignmentHint::Unknown => {}
+            }
+        }
+    }
+    if records < min_records {
+        return AssignmentHint::Unknown;
+    }
+    match (votes_static > 0, votes_dynamic > 0) {
+        (true, false) => AssignmentHint::Static,
+        (false, true) => AssignmentHint::Dynamic,
+        _ => AssignmentHint::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::NamingScheme;
+
+    #[test]
+    fn single_name_keywords() {
+        assert_eq!(classify_name("STATIC-host.example"), AssignmentHint::Static);
+        assert_eq!(classify_name("dyn.example"), AssignmentHint::Unknown); // 'dyn' alone is ambiguous
+        assert_eq!(classify_name("dynamic-81-1-1-1.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("dhcp081.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("ppp-12.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("dialup-9.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("ip-pool-7.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("adsl-81-1-1-1.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name("cable-modem-3.example"), AssignmentHint::Dynamic);
+        assert_eq!(classify_name(""), AssignmentHint::Unknown);
+    }
+
+    #[test]
+    fn contradictory_names_are_unknown() {
+        assert_eq!(classify_name("static-dhcp-pool.example"), AssignmentHint::Unknown);
+    }
+
+    #[test]
+    fn block_classification_respects_scheme() {
+        let block = Block24::new(42);
+        let mut table = PtrTable::new();
+        table.set_scheme(block, NamingScheme::StaticKeyword { domain: "uni.example".into() });
+        assert_eq!(classify_block(&table, block, 10), AssignmentHint::Static);
+
+        let mut table = PtrTable::new();
+        table.set_scheme(block, NamingScheme::PoolKeyword { domain: "isp.example".into() });
+        assert_eq!(classify_block(&table, block, 10), AssignmentHint::Dynamic);
+
+        let mut table = PtrTable::new();
+        table.set_scheme(block, NamingScheme::Opaque { domain: "corp.example".into() });
+        assert_eq!(classify_block(&table, block, 10), AssignmentHint::Unknown);
+    }
+
+    #[test]
+    fn absent_records_are_unknown() {
+        let table = PtrTable::new();
+        assert_eq!(classify_block(&table, Block24::new(7), 1), AssignmentHint::Unknown);
+    }
+
+    #[test]
+    fn min_records_threshold_applies() {
+        let block = Block24::new(9);
+        let mut table = PtrTable::new();
+        // Partial coverage scheme: only 1/8 of addresses get names.
+        table.set_scheme(
+            block,
+            NamingScheme::Partial {
+                inner: Box::new(NamingScheme::DynamicKeyword { domain: "x.example".into() }),
+                one_in: 8,
+            },
+        );
+        // 256/8 = 32 records exist; threshold above that yields Unknown.
+        assert_eq!(classify_block(&table, block, 64), AssignmentHint::Unknown);
+        assert_eq!(classify_block(&table, block, 16), AssignmentHint::Dynamic);
+    }
+}

@@ -1,0 +1,21 @@
+//! # ipactive-dns
+//!
+//! Reverse-DNS (PTR) substrate: synthesis of hostname records for the
+//! simulated address space, and the keyword classifier the paper uses
+//! to tag `/24` blocks as statically or dynamically assigned
+//! (Section 5.3, following the methodology of Xie et al. and Moura et
+//! al.: names containing `static` suggest static assignment; `dynamic`,
+//! `pool`, `dhcp`, `ppp`, `dial` suggest dynamic assignment).
+//!
+//! Coverage is intentionally imperfect, as in reality: many blocks
+//! carry no PTR records or opaque names, and the classifier requires
+//! *consistent* names across a block before tagging it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classify;
+mod synth;
+
+pub use classify::{classify_block, classify_name, AssignmentHint};
+pub use synth::{NamingScheme, PtrTable};

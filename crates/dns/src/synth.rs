@@ -1,0 +1,169 @@
+//! PTR record synthesis.
+//!
+//! Blocks are assigned a *naming scheme*; names are derived on demand
+//! from the scheme and the address, so the table stores one scheme per
+//! block rather than 256 strings.
+
+use ipactive_net::{Addr, Block24};
+use std::collections::HashMap;
+
+/// How a block names its addresses in reverse DNS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NamingScheme {
+    /// `static-a-b-c-d.<domain>` — reveals static assignment.
+    StaticKeyword {
+        /// Operator domain suffix.
+        domain: String,
+    },
+    /// `dynamic-a-b-c-d.<domain>` — reveals dynamic assignment.
+    DynamicKeyword {
+        /// Operator domain suffix.
+        domain: String,
+    },
+    /// `pool-a-b-c-d.<domain>` — reveals dynamic pool assignment.
+    PoolKeyword {
+        /// Operator domain suffix.
+        domain: String,
+    },
+    /// `host-a-b-c-d.<domain>` — name exists but reveals nothing.
+    Opaque {
+        /// Operator domain suffix.
+        domain: String,
+    },
+    /// Only one in `one_in` addresses has a record (sparse zone files).
+    Partial {
+        /// The scheme used for the addresses that do have records.
+        inner: Box<NamingScheme>,
+        /// Sampling modulus: host indices divisible by this get names.
+        one_in: u8,
+    },
+    /// No PTR records at all.
+    None,
+}
+
+impl NamingScheme {
+    fn render(&self, addr: Addr) -> Option<String> {
+        let [a, b, c, d] = addr.octets();
+        match self {
+            NamingScheme::StaticKeyword { domain } => Some(format!("static-{a}-{b}-{c}-{d}.{domain}")),
+            NamingScheme::DynamicKeyword { domain } => {
+                Some(format!("dynamic-{a}-{b}-{c}-{d}.{domain}"))
+            }
+            NamingScheme::PoolKeyword { domain } => Some(format!("pool-{a}-{b}-{c}-{d}.{domain}")),
+            NamingScheme::Opaque { domain } => Some(format!("host-{a}-{b}-{c}-{d}.{domain}")),
+            NamingScheme::Partial { inner, one_in } => {
+                if *one_in > 0 && addr.host_index() % one_in == 0 {
+                    inner.render(addr)
+                } else {
+                    None
+                }
+            }
+            NamingScheme::None => None,
+        }
+    }
+}
+
+/// Reverse-DNS table: per-`/24` naming schemes, rendered on lookup.
+///
+/// ```
+/// use ipactive_dns::{NamingScheme, PtrTable};
+/// use ipactive_net::{Addr, Block24};
+/// let mut t = PtrTable::new();
+/// let block = Block24::of("81.10.20.0".parse().unwrap());
+/// t.set_scheme(block, NamingScheme::PoolKeyword { domain: "dsl.example.de".into() });
+/// let name = t.name_of("81.10.20.7".parse().unwrap()).unwrap();
+/// assert_eq!(name, "pool-81-10-20-7.dsl.example.de");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PtrTable {
+    schemes: HashMap<Block24, NamingScheme>,
+}
+
+impl PtrTable {
+    /// An empty table (every lookup misses).
+    pub fn new() -> Self {
+        PtrTable { schemes: HashMap::new() }
+    }
+
+    /// Sets the naming scheme for a block.
+    pub fn set_scheme(&mut self, block: Block24, scheme: NamingScheme) {
+        self.schemes.insert(block, scheme);
+    }
+
+    /// The naming scheme of a block, if configured.
+    pub fn scheme_of(&self, block: Block24) -> Option<&NamingScheme> {
+        self.schemes.get(&block)
+    }
+
+    /// The PTR name of `addr`, if one exists.
+    pub fn name_of(&self, addr: Addr) -> Option<String> {
+        self.schemes.get(&Block24::of(addr))?.render(addr)
+    }
+
+    /// Number of blocks with a configured scheme.
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether no block has a scheme.
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn renders_each_scheme() {
+        let mut t = PtrTable::new();
+        let b = Block24::of(addr("10.1.2.0"));
+        t.set_scheme(b, NamingScheme::StaticKeyword { domain: "u.example".into() });
+        assert_eq!(t.name_of(addr("10.1.2.3")).unwrap(), "static-10-1-2-3.u.example");
+        t.set_scheme(b, NamingScheme::DynamicKeyword { domain: "u.example".into() });
+        assert_eq!(t.name_of(addr("10.1.2.3")).unwrap(), "dynamic-10-1-2-3.u.example");
+        t.set_scheme(b, NamingScheme::Opaque { domain: "u.example".into() });
+        assert_eq!(t.name_of(addr("10.1.2.3")).unwrap(), "host-10-1-2-3.u.example");
+        t.set_scheme(b, NamingScheme::None);
+        assert_eq!(t.name_of(addr("10.1.2.3")), None);
+    }
+
+    #[test]
+    fn partial_scheme_samples_hosts() {
+        let mut t = PtrTable::new();
+        let b = Block24::of(addr("10.1.2.0"));
+        t.set_scheme(
+            b,
+            NamingScheme::Partial {
+                inner: Box::new(NamingScheme::Opaque { domain: "x.example".into() }),
+                one_in: 4,
+            },
+        );
+        let named = b.addrs().filter(|&a| t.name_of(a).is_some()).count();
+        assert_eq!(named, 64);
+        assert!(t.name_of(addr("10.1.2.0")).is_some());
+        assert!(t.name_of(addr("10.1.2.1")).is_none());
+    }
+
+    #[test]
+    fn unconfigured_block_misses() {
+        let t = PtrTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.name_of(addr("9.9.9.9")), None);
+    }
+
+    #[test]
+    fn names_are_distinct_per_address() {
+        let mut t = PtrTable::new();
+        let b = Block24::of(addr("198.51.100.0"));
+        t.set_scheme(b, NamingScheme::PoolKeyword { domain: "isp.example".into() });
+        let names: std::collections::HashSet<String> =
+            b.addrs().filter_map(|a| t.name_of(a)).collect();
+        assert_eq!(names.len(), 256);
+    }
+}

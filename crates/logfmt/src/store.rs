@@ -1,0 +1,238 @@
+//! On-disk log store: one framed file per observation day.
+//!
+//! Production collectors persist their aggregates as a directory of
+//! day files (`day-0000.iplog`, `day-0001.iplog`, …), each an
+//! independently framed stream — so a damaged or missing day costs
+//! that day, not the dataset. [`LogStore`] provides that layout with
+//! the same strict/tolerant read semantics as the in-memory framing.
+
+use crate::{FrameError, FrameReader, FrameWriter, ReadMode, Record};
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// A directory of per-day framed log files.
+#[derive(Debug, Clone)]
+pub struct LogStore {
+    dir: PathBuf,
+}
+
+/// Error from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A day file's content was damaged (strict reads only).
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<FrameError> for StoreError {
+    fn from(e: FrameError) -> Self {
+        StoreError::Frame(e)
+    }
+}
+
+impl LogStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<LogStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(LogStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn day_path(&self, day: u16) -> PathBuf {
+        self.dir.join(format!("day-{day:04}.iplog"))
+    }
+
+    /// Writes one day's records, replacing any existing file for that
+    /// day. The write goes to a temporary file first and is renamed
+    /// into place, so readers never observe a half-written day.
+    pub fn write_day(&self, day: u16, records: &[Record]) -> Result<(), StoreError> {
+        let tmp = self.dir.join(format!(".day-{day:04}.tmp"));
+        {
+            let mut writer = FrameWriter::new(BufWriter::new(File::create(&tmp)?));
+            for rec in records {
+                writer.write(rec)?;
+            }
+            writer.finish()?.into_inner().map_err(|e| StoreError::Io(e.into_error()))?
+                .sync_all()?;
+        }
+        fs::rename(&tmp, self.day_path(day))?;
+        Ok(())
+    }
+
+    /// Whether a file exists for `day`.
+    pub fn has_day(&self, day: u16) -> bool {
+        self.day_path(day).exists()
+    }
+
+    /// The days present in the store, ascending.
+    pub fn days(&self) -> Result<Vec<u16>, StoreError> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name.strip_prefix("day-").and_then(|s| s.strip_suffix(".iplog"))
+            {
+                if let Ok(day) = num.parse::<u16>() {
+                    out.push(day);
+                }
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Reads one day's records with the given tolerance. Returns the
+    /// records plus the number of damaged frames skipped.
+    pub fn read_day(&self, day: u16, mode: ReadMode) -> Result<(Vec<Record>, u64), StoreError> {
+        let file = File::open(self.day_path(day))?;
+        let mut reader = FrameReader::new(BufReader::new(file), mode);
+        let records = reader.read_all()?;
+        Ok((records, reader.skipped()))
+    }
+
+    /// Streams every stored day through `f`, in day order, tolerantly
+    /// (a damaged day delivers what survived). Returns total skipped
+    /// frames.
+    pub fn for_each_day(
+        &self,
+        mut f: impl FnMut(u16, Vec<Record>),
+    ) -> Result<u64, StoreError> {
+        let mut skipped = 0;
+        for day in self.days()? {
+            let (records, s) = self.read_day(day, ReadMode::Tolerant)?;
+            skipped += s;
+            f(day, records);
+        }
+        Ok(skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipactive_net::Addr;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ipactive-logstore-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn recs(day: u16, n: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::Hits {
+                day,
+                addr: Addr::new(0x0A000000 + i),
+                hits: (i as u64 + 1) * 3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let store = LogStore::open(tmpdir("roundtrip")).unwrap();
+        store.write_day(0, &recs(0, 10)).unwrap();
+        store.write_day(3, &recs(3, 5)).unwrap();
+        assert!(store.has_day(0));
+        assert!(!store.has_day(1));
+        assert_eq!(store.days().unwrap(), vec![0, 3]);
+        let (got, skipped) = store.read_day(0, ReadMode::Strict).unwrap();
+        assert_eq!(got, recs(0, 10));
+        assert_eq!(skipped, 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn rewrite_replaces_day() {
+        let store = LogStore::open(tmpdir("rewrite")).unwrap();
+        store.write_day(7, &recs(7, 10)).unwrap();
+        store.write_day(7, &recs(7, 2)).unwrap();
+        let (got, _) = store.read_day(7, ReadMode::Strict).unwrap();
+        assert_eq!(got.len(), 2);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn for_each_day_streams_in_order() {
+        let store = LogStore::open(tmpdir("stream")).unwrap();
+        for day in [5u16, 1, 9] {
+            store.write_day(day, &recs(day, 3)).unwrap();
+        }
+        let mut seen = Vec::new();
+        let skipped = store
+            .for_each_day(|day, records| {
+                assert_eq!(records.len(), 3);
+                seen.push(day);
+            })
+            .unwrap();
+        assert_eq!(seen, vec![1, 5, 9]);
+        assert_eq!(skipped, 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn damaged_day_is_contained() {
+        let store = LogStore::open(tmpdir("damage")).unwrap();
+        store.write_day(0, &recs(0, 20)).unwrap();
+        store.write_day(1, &recs(1, 20)).unwrap();
+        // Corrupt day 0's file in the middle.
+        let path = store.dir().join("day-0000.iplog");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        fs::write(&path, bytes).unwrap();
+        // Strict read of day 0 fails or loses data; tolerant succeeds.
+        let (survived, _) = store.read_day(0, ReadMode::Tolerant).unwrap();
+        assert!(survived.len() < 20);
+        for rec in &survived {
+            assert!(recs(0, 20).contains(rec), "fabricated {rec:?}");
+        }
+        // Day 1 is untouched.
+        let (clean, skipped) = store.read_day(1, ReadMode::Strict).unwrap();
+        assert_eq!(clean, recs(1, 20));
+        assert_eq!(skipped, 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_day_is_an_io_error() {
+        let store = LogStore::open(tmpdir("missing")).unwrap();
+        assert!(matches!(store.read_day(42, ReadMode::Strict), Err(StoreError::Io(_))));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn empty_store_has_no_days() {
+        let store = LogStore::open(tmpdir("empty")).unwrap();
+        assert!(store.days().unwrap().is_empty());
+        assert_eq!(store.for_each_day(|_, _| panic!("no days")).unwrap(), 0);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+}

@@ -1,0 +1,120 @@
+//! LEB128 variable-length integers.
+//!
+//! All integer fields on the wire are unsigned LEB128: 7 payload bits
+//! per byte, continuation in the high bit, at most 10 bytes for a `u64`.
+
+use bytes::{Buf, BufMut};
+use core::fmt;
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_LEN: usize = 10;
+
+/// Error decoding a varint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The input ended before the terminating byte.
+    Truncated,
+    /// More than 10 bytes, or bits beyond the 64th set.
+    Overflow,
+}
+
+impl fmt::Display for VarintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarintError::Truncated => write!(f, "varint truncated"),
+            VarintError::Overflow => write!(f, "varint overflows u64"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Appends the LEB128 encoding of `v` to `buf`.
+pub fn encode_u64<B: BufMut>(buf: &mut B, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Decodes a LEB128 `u64` from the front of `buf`, advancing it.
+pub fn decode_u64<B: Buf>(buf: &mut B) -> Result<u64, VarintError> {
+    let mut value: u64 = 0;
+    for shift in (0..MAX_LEN as u32).map(|i| i * 7) {
+        if !buf.has_remaining() {
+            return Err(VarintError::Truncated);
+        }
+        let byte = buf.get_u8();
+        let payload = (byte & 0x7F) as u64;
+        if shift == 63 && payload > 1 {
+            return Err(VarintError::Overflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+    }
+    Err(VarintError::Overflow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> usize {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        let len = buf.len();
+        let mut slice = &buf[..];
+        assert_eq!(decode_u64(&mut slice).unwrap(), v);
+        assert!(slice.is_empty(), "decoder must consume exactly the varint");
+        len
+    }
+
+    #[test]
+    fn roundtrip_boundaries() {
+        assert_eq!(roundtrip(0), 1);
+        assert_eq!(roundtrip(127), 1);
+        assert_eq!(roundtrip(128), 2);
+        assert_eq!(roundtrip(16_383), 2);
+        assert_eq!(roundtrip(16_384), 3);
+        assert_eq!(roundtrip(u32::MAX as u64), 5);
+        assert_eq!(roundtrip(u64::MAX), 10);
+    }
+
+    #[test]
+    fn truncated_input() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut slice = &buf[..cut];
+            assert_eq!(decode_u64(&mut slice), Err(VarintError::Truncated));
+        }
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 10 continuation bytes then more.
+        let buf = [0xFFu8; 11];
+        let mut slice = &buf[..];
+        assert_eq!(decode_u64(&mut slice), Err(VarintError::Overflow));
+        // Exactly 10 bytes but top bits beyond 64 set (last byte 0x7F).
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x7F);
+        let mut slice = &buf[..];
+        assert_eq!(decode_u64(&mut slice), Err(VarintError::Overflow));
+    }
+
+    #[test]
+    fn max_u64_is_valid() {
+        let mut buf = vec![0xFFu8; 9];
+        buf.push(0x01);
+        let mut slice = &buf[..];
+        assert_eq!(decode_u64(&mut slice), Ok(u64::MAX));
+    }
+}

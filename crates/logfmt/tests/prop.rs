@@ -1,0 +1,77 @@
+//! Property-based tests for the log wire format.
+
+use ipactive_logfmt::{decode_u64, encode_u64, FrameReader, FrameWriter, ReadMode, Record};
+use ipactive_net::Addr;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        any::<u16>().prop_map(|day| Record::DayStart { day }),
+        (any::<u16>(), any::<u32>(), any::<u64>())
+            .prop_map(|(day, a, hits)| Record::Hits { day, addr: Addr::new(a), hits }),
+        (any::<u16>(), any::<u32>(), any::<u64>())
+            .prop_map(|(day, a, ua_hash)| Record::UaSample { day, addr: Addr::new(a), ua_hash }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut slice = &buf[..];
+        prop_assert_eq!(decode_u64(&mut slice).unwrap(), v);
+        prop_assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, v);
+        // Length must match bit-width: ceil(bits/7), minimum 1.
+        let bits = 64 - v.leading_zeros() as usize;
+        let expect = core::cmp::max(1, bits.div_ceil(7));
+        prop_assert_eq!(buf.len(), expect);
+    }
+
+    #[test]
+    fn record_roundtrip(rec in arb_record()) {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        prop_assert_eq!(Record::decode(&buf).unwrap(), rec);
+    }
+
+    #[test]
+    fn stream_roundtrip(records in prop::collection::vec(arb_record(), 0..100)) {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let mut reader = FrameReader::new(&buf[..], ReadMode::Strict);
+        prop_assert_eq!(reader.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn corrupted_streams_never_fabricate(records in prop::collection::vec(arb_record(), 1..30),
+                                         pos_frac in 0.0f64..1.0, mask in 1u8..=255) {
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        w.finish().unwrap();
+        let pos = ((buf.len() - 1) as f64 * pos_frac) as usize;
+        buf[pos] ^= mask;
+        let mut reader = FrameReader::new(&buf[..], ReadMode::Tolerant);
+        loop {
+            match reader.read() {
+                Ok(Some(rec)) => prop_assert!(records.contains(&rec), "fabricated {rec:?}"),
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Sorted address sets with range queries.
+//!
+//! Snapshot-level analyses (up/down events, visibility joins, BGP
+//! correlation) operate on large immutable sets of active addresses.
+//! [`AddrSet`] stores them as a sorted, deduplicated `Vec<Addr>`:
+//! membership and prefix-range emptiness are binary searches, and set
+//! algebra is a linear merge — cache-friendly and far smaller than a
+//! hash set at the hundreds-of-millions scale the paper works at.
+
+use crate::{Addr, Prefix};
+
+/// An immutable, sorted, deduplicated set of IPv4 addresses.
+///
+/// ```
+/// use ipactive_net::{Addr, AddrSet};
+/// let set = AddrSet::from_unsorted(vec![
+///     "10.0.0.2".parse().unwrap(),
+///     "10.0.0.1".parse().unwrap(),
+///     "10.0.0.2".parse().unwrap(),
+/// ]);
+/// assert_eq!(set.len(), 2);
+/// assert!(set.contains("10.0.0.1".parse().unwrap()));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AddrSet {
+    addrs: Vec<Addr>,
+}
+
+impl AddrSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        AddrSet { addrs: Vec::new() }
+    }
+
+    /// Builds a set from arbitrary input, sorting and deduplicating.
+    pub fn from_unsorted(mut addrs: Vec<Addr>) -> Self {
+        addrs.sort_unstable();
+        addrs.dedup();
+        AddrSet { addrs }
+    }
+
+    /// Builds a set from input that is already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant does not hold.
+    pub fn from_sorted(addrs: Vec<Addr>) -> Self {
+        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "input not sorted/deduped");
+        AddrSet { addrs }
+    }
+
+    /// Number of addresses in the set.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.addrs.binary_search(&addr).is_ok()
+    }
+
+    /// Number of set members inside `prefix`.
+    pub fn count_in(&self, prefix: Prefix) -> usize {
+        let lo = self.addrs.partition_point(|&a| a < prefix.network());
+        let hi = self.addrs.partition_point(|&a| a <= prefix.last());
+        hi - lo
+    }
+
+    /// Whether any set member falls inside `prefix`.
+    ///
+    /// This is the hot primitive behind event sizing (Section 4.2): it
+    /// runs two binary searches and never materializes the range.
+    pub fn any_in(&self, prefix: Prefix) -> bool {
+        let lo = self.addrs.partition_point(|&a| a < prefix.network());
+        lo < self.addrs.len() && self.addrs[lo] <= prefix.last()
+    }
+
+    /// The members of the set, sorted ascending.
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.addrs
+    }
+
+    /// Iterator over members, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.addrs.iter().copied()
+    }
+
+    /// Set union via linear merge.
+    pub fn union(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::with_capacity(self.len().max(other.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                core::cmp::Ordering::Less => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                }
+                core::cmp::Ordering::Greater => {
+                    out.push(other.addrs[j]);
+                    j += 1;
+                }
+                core::cmp::Ordering::Equal => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.addrs[i..]);
+        out.extend_from_slice(&other.addrs[j..]);
+        AddrSet { addrs: out }
+    }
+
+    /// Set intersection via linear merge.
+    pub fn intersect(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        AddrSet { addrs: out }
+    }
+
+    /// Set difference (`self \ other`) via linear merge.
+    ///
+    /// `a.difference(&b)` yields exactly the *up events* from snapshot
+    /// `b` to snapshot `a` (present now, absent before), and the *down
+    /// events* when the arguments are swapped.
+    pub fn difference(&self, other: &AddrSet) -> AddrSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                core::cmp::Ordering::Less => {
+                    out.push(self.addrs[i]);
+                    i += 1;
+                }
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.addrs[i..]);
+        AddrSet { addrs: out }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersect_len(&self, other: &AddrSet) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0);
+        while i < self.addrs.len() && j < other.addrs.len() {
+            match self.addrs[i].cmp(&other.addrs[j]) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// The minimal ordered list of CIDR prefixes covering *exactly*
+    /// this set (every member inside some prefix, no non-member inside
+    /// any). Contiguous runs of addresses compress into large blocks —
+    /// turning raw event sets into operator-readable prefix lists.
+    ///
+    /// ```
+    /// use ipactive_net::{Addr, AddrSet};
+    /// let set: AddrSet = (0u32..512).map(|i| Addr::new(0x0A000000 + i)).collect();
+    /// let ps = set.to_prefixes();
+    /// assert_eq!(ps.len(), 1);
+    /// assert_eq!(ps[0].to_string(), "10.0.0.0/23");
+    /// ```
+    pub fn to_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.addrs.len() {
+            // Find the maximal consecutive run starting at i.
+            let start = self.addrs[i];
+            let mut j = i + 1;
+            while j < self.addrs.len()
+                && self.addrs[j].bits() as u64 == self.addrs[j - 1].bits() as u64 + 1
+            {
+                j += 1;
+            }
+            out.extend(Prefix::cover_range(start, (j - i) as u64));
+            i = j;
+        }
+        out
+    }
+
+    /// The distinct `/24` blocks touched by this set, ascending.
+    pub fn blocks24(&self) -> Vec<crate::Block24> {
+        let mut out: Vec<crate::Block24> = Vec::new();
+        for &a in &self.addrs {
+            let b = crate::Block24::of(a);
+            if out.last() != Some(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Addr> for AddrSet {
+    fn from_iter<T: IntoIterator<Item = Addr>>(iter: T) -> Self {
+        AddrSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn set(addrs: &[&str]) -> AddrSet {
+        addrs.iter().map(|s| a(s)).collect()
+    }
+
+    #[test]
+    fn from_unsorted_dedups_and_sorts() {
+        let s = set(&["9.9.9.9", "1.1.1.1", "9.9.9.9", "5.5.5.5"]);
+        assert_eq!(s.len(), 3);
+        let v: Vec<String> = s.iter().map(|a| a.to_string()).collect();
+        assert_eq!(v, vec!["1.1.1.1", "5.5.5.5", "9.9.9.9"]);
+    }
+
+    #[test]
+    fn contains_and_range_queries() {
+        let s = set(&["10.0.0.5", "10.0.0.200", "10.0.1.3", "10.0.3.1"]);
+        assert!(s.contains(a("10.0.0.200")));
+        assert!(!s.contains(a("10.0.0.201")));
+        let p24: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(s.count_in(p24), 2);
+        assert!(s.any_in(p24));
+        let p22: Prefix = "10.0.0.0/22".parse().unwrap();
+        assert_eq!(s.count_in(p22), 4);
+        let empty: Prefix = "10.0.2.0/24".parse().unwrap();
+        assert_eq!(s.count_in(empty), 0);
+        assert!(!s.any_in(empty));
+    }
+
+    #[test]
+    fn any_in_at_vector_end() {
+        let s = set(&["10.0.0.5"]);
+        assert!(!s.any_in("10.0.1.0/24".parse().unwrap()));
+        assert!(s.any_in("10.0.0.0/24".parse().unwrap()));
+        assert!(s.any_in("0.0.0.0/0".parse().unwrap()));
+        assert!(AddrSet::new().is_empty());
+        assert!(!AddrSet::new().any_in("0.0.0.0/0".parse().unwrap()));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let x = set(&["1.0.0.1", "1.0.0.2", "1.0.0.3"]);
+        let y = set(&["1.0.0.3", "1.0.0.4"]);
+        assert_eq!(x.union(&y).len(), 4);
+        assert_eq!(x.intersect(&y).len(), 1);
+        assert_eq!(x.intersect_len(&y), 1);
+        let up = y.difference(&x); // present in y, absent in x
+        assert_eq!(up.len(), 1);
+        assert!(up.contains(a("1.0.0.4")));
+        let down = x.difference(&y);
+        assert_eq!(down.len(), 2);
+    }
+
+    #[test]
+    fn difference_with_disjoint_and_empty() {
+        let x = set(&["1.0.0.1"]);
+        let y = set(&["2.0.0.1"]);
+        assert_eq!(x.difference(&y), x);
+        assert_eq!(x.difference(&AddrSet::new()), x);
+        assert_eq!(AddrSet::new().difference(&x), AddrSet::new());
+    }
+
+    #[test]
+    fn to_prefixes_compresses_runs() {
+        // A /25-aligned run of 128, a lone address, and a pair.
+        let mut addrs: Vec<Addr> = (0u32..128).map(|i| Addr::new(0x0A000000 + i)).collect();
+        addrs.push(a("10.0.1.7"));
+        addrs.push(a("10.0.2.4"));
+        addrs.push(a("10.0.2.5"));
+        let set = AddrSet::from_unsorted(addrs);
+        let ps: Vec<String> = set.to_prefixes().iter().map(|p| p.to_string()).collect();
+        assert_eq!(ps, vec!["10.0.0.0/25", "10.0.1.7/32", "10.0.2.4/31"]);
+        assert!(AddrSet::new().to_prefixes().is_empty());
+    }
+
+    #[test]
+    fn blocks24_dedups_consecutive() {
+        let s = set(&["10.0.0.1", "10.0.0.2", "10.0.1.9", "10.2.0.1"]);
+        let blocks = s.blocks24();
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[0].network().to_string(), "10.0.0.0");
+        assert_eq!(blocks[2].network().to_string(), "10.2.0.0");
+    }
+}

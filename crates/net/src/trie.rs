@@ -1,0 +1,277 @@
+//! Binary radix trie keyed by CIDR prefixes.
+//!
+//! Used by the BGP substrate for longest-prefix match (routing lookups)
+//! and by the RIR substrate for delegation lookups. A straightforward
+//! uncompressed binary trie: simple and robust (the smoltcp design
+//! philosophy), with node storage in a flat arena to keep allocation
+//! per-insert at amortized O(1).
+
+use crate::{Addr, Prefix};
+
+const NO_NODE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    children: [u32; 2],
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node { children: [NO_NODE; 2], value: None }
+    }
+}
+
+/// A map from CIDR prefixes to values, supporting exact lookup,
+/// longest-prefix match, and covered-prefix queries.
+///
+/// ```
+/// use ipactive_net::{Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "big");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "small");
+/// let (p, v) = t.longest_match("10.1.2.3".parse().unwrap()).unwrap();
+/// assert_eq!(*v, "small");
+/// assert_eq!(p.to_string(), "10.1.0.0/16");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { nodes: vec![Node::new()], len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: Addr, depth: u8) -> usize {
+        ((addr.bits() >> (31 - depth)) & 1) as usize
+    }
+
+    /// Inserts `prefix -> value`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let mut node = 0u32;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), depth);
+            let child = self.nodes[node as usize].children[b];
+            let child = if child == NO_NODE {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[node as usize].children[b] = idx;
+                idx
+            } else {
+                child
+            };
+            node = child;
+        }
+        let slot = &mut self.nodes[node as usize].value;
+        let old = slot.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let mut node = 0u32;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), depth);
+            let child = self.nodes[node as usize].children[b];
+            if child == NO_NODE {
+                return None;
+            }
+            node = child;
+        }
+        self.nodes[node as usize].value.as_ref()
+    }
+
+    /// Removes a prefix, returning its value. Node storage is not
+    /// compacted (removal is rare in our workloads; the arena stays).
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let mut node = 0u32;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), depth);
+            let child = self.nodes[node as usize].children[b];
+            if child == NO_NODE {
+                return None;
+            }
+            node = child;
+        }
+        let old = self.nodes[node as usize].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for `addr`: the most-specific stored prefix
+    /// containing it, with its value.
+    pub fn longest_match(&self, addr: Addr) -> Option<(Prefix, &T)> {
+        let mut node = 0u32;
+        let mut best: Option<(u8, &T)> = self.nodes[0].value.as_ref().map(|v| (0u8, v));
+        for depth in 0..32u8 {
+            let b = Self::bit(addr, depth);
+            let child = self.nodes[node as usize].children[b];
+            if child == NO_NODE {
+                break;
+            }
+            node = child;
+            if let Some(v) = self.nodes[node as usize].value.as_ref() {
+                best = Some((depth + 1, v));
+            }
+        }
+        best.map(|(len, v)| (Prefix::new(addr, len), v))
+    }
+
+    /// All stored `(prefix, value)` pairs covered by `root` (including
+    /// `root` itself if stored), in trie (address) order.
+    pub fn covered_by(&self, root: Prefix) -> Vec<(Prefix, &T)> {
+        // Walk down to the node for `root`, then DFS below it.
+        let mut node = 0u32;
+        for depth in 0..root.len() {
+            let b = Self::bit(root.network(), depth);
+            let child = self.nodes[node as usize].children[b];
+            if child == NO_NODE {
+                return Vec::new();
+            }
+            node = child;
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![(node, root.network().bits(), root.len())];
+        while let Some((n, base, len)) = stack.pop() {
+            if let Some(v) = self.nodes[n as usize].value.as_ref() {
+                out.push((Prefix::new(Addr::new(base), len), v));
+            }
+            // Push high branch first so the low branch pops first (address order).
+            for b in [1usize, 0] {
+                let child = self.nodes[n as usize].children[b];
+                if child != NO_NODE {
+                    debug_assert!(len < 32);
+                    let child_base = base | ((b as u32) << (31 - len));
+                    stack.push((child, child_base, len + 1));
+                }
+            }
+        }
+        out
+    }
+
+    /// All stored `(prefix, value)` pairs, in address order.
+    pub fn iter(&self) -> Vec<(Prefix, &T)> {
+        self.covered_by(Prefix::ALL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn longest_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "eight");
+        t.insert(p("10.1.0.0/16"), "sixteen");
+        t.insert(p("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.longest_match(a("10.1.2.3")).unwrap().1, &"twentyfour");
+        assert_eq!(t.longest_match(a("10.1.3.3")).unwrap().1, &"sixteen");
+        assert_eq!(t.longest_match(a("10.9.9.9")).unwrap().1, &"eight");
+        assert!(t.longest_match(a("11.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn longest_match_returns_matched_prefix() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.0.0/16"), ());
+        let (matched, _) = t.longest_match(a("10.1.200.9")).unwrap();
+        assert_eq!(matched, p("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        assert_eq!(t.longest_match(a("203.0.113.1")).unwrap().1, &"default");
+    }
+
+    #[test]
+    fn remove_restores_previous_behavior() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.longest_match(a("10.1.2.3")).unwrap().1, &1);
+    }
+
+    #[test]
+    fn covered_by_returns_subtree_in_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 0);
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.128.0.0/16"), 2);
+        t.insert(p("11.0.0.0/8"), 3);
+        let covered = t.covered_by(p("10.0.0.0/8"));
+        let prefixes: Vec<String> = covered.iter().map(|(pr, _)| pr.to_string()).collect();
+        assert_eq!(prefixes, vec!["10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/16"]);
+        assert_eq!(t.iter().len(), 4);
+    }
+
+    #[test]
+    fn slash32_prefixes_work() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), "host");
+        assert_eq!(t.longest_match(a("1.2.3.4")).unwrap().1, &"host");
+        assert!(t.longest_match(a("1.2.3.5")).is_none());
+        assert_eq!(t.get(p("1.2.3.4/32")), Some(&"host"));
+    }
+
+    #[test]
+    fn dense_sibling_prefixes() {
+        let mut t = PrefixTrie::new();
+        for i in 0..=255u32 {
+            t.insert(Prefix::new(Addr::new(i << 24), 8), i);
+        }
+        assert_eq!(t.len(), 256);
+        assert_eq!(t.longest_match(a("42.1.2.3")).unwrap().1, &42);
+        assert_eq!(t.iter().len(), 256);
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the ipactive-net primitives.
+
+use ipactive_net::{covering_mask, Addr, AddrSet, Block24, DayBits, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_addr() -> impl Strategy<Value = Addr> {
+    any::<u32>().prop_map(Addr::new)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(base, len)| Prefix::new(Addr::new(base), len))
+}
+
+proptest! {
+    #[test]
+    fn addr_display_parse_roundtrip(bits in any::<u32>()) {
+        let a = Addr::new(bits);
+        let parsed: Addr = a.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let parsed: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn prefix_contains_network_and_last(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.contains(p.last()));
+    }
+
+    #[test]
+    fn prefix_split_partitions(p in arb_prefix(), probe in any::<u32>()) {
+        if let Some((lo, hi)) = p.split() {
+            let a = Addr::new(probe);
+            let in_parent = p.contains(a);
+            let in_children = lo.contains(a) || hi.contains(a);
+            prop_assert_eq!(in_parent, in_children);
+            // Children are disjoint.
+            prop_assert!(!(lo.contains(a) && hi.contains(a)));
+        }
+    }
+
+    #[test]
+    fn supernet_covers_child(p in arb_prefix()) {
+        if let Some(sup) = p.supernet() {
+            prop_assert!(sup.covers(p));
+            prop_assert_eq!(sup.len() + 1, p.len());
+        }
+    }
+
+    #[test]
+    fn block24_contains_its_addrs(bits in any::<u32>()) {
+        let a = Addr::new(bits);
+        let b = Block24::of(a);
+        prop_assert!(b.prefix().contains(a));
+        prop_assert_eq!(b.addr(a.host_index()), a);
+    }
+
+    #[test]
+    fn set_algebra_laws(xs in prop::collection::vec(any::<u32>(), 0..200),
+                        ys in prop::collection::vec(any::<u32>(), 0..200)) {
+        let x: AddrSet = xs.iter().map(|&v| Addr::new(v)).collect();
+        let y: AddrSet = ys.iter().map(|&v| Addr::new(v)).collect();
+        let union = x.union(&y);
+        let inter = x.intersect(&y);
+        let dx = x.difference(&y);
+        let dy = y.difference(&x);
+        // |A ∪ B| = |A| + |B| − |A ∩ B|
+        prop_assert_eq!(union.len(), x.len() + y.len() - inter.len());
+        prop_assert_eq!(inter.len(), x.intersect_len(&y));
+        // Difference + intersection partitions each set.
+        prop_assert_eq!(dx.len() + inter.len(), x.len());
+        prop_assert_eq!(dy.len() + inter.len(), y.len());
+        // Every member of the difference is in x but not y.
+        for a in dx.iter() {
+            prop_assert!(x.contains(a) && !y.contains(a));
+        }
+    }
+
+    #[test]
+    fn set_count_in_matches_filter(xs in prop::collection::vec(any::<u32>(), 0..200),
+                                   p in arb_prefix()) {
+        let set: AddrSet = xs.iter().map(|&v| Addr::new(v)).collect();
+        let expect = set.iter().filter(|&a| p.contains(a)).count();
+        prop_assert_eq!(set.count_in(p), expect);
+        prop_assert_eq!(set.any_in(p), expect > 0);
+    }
+
+    #[test]
+    fn covering_mask_prefix_excludes_all(addr in arb_addr(),
+                                         xs in prop::collection::vec(any::<u32>(), 0..100)) {
+        let exclusion: AddrSet = xs
+            .iter()
+            .map(|&v| Addr::new(v))
+            .filter(|&a| a != addr)
+            .collect();
+        let m = covering_mask(addr, &exclusion);
+        let covered = Prefix::containing(addr, m);
+        // The covering prefix contains no excluded address...
+        prop_assert!(!exclusion.any_in(covered));
+        // ...and is maximal: one bit shorter would contain one (unless /0).
+        if m > 0 {
+            let bigger = Prefix::containing(addr, m - 1);
+            prop_assert!(exclusion.any_in(bigger));
+        }
+    }
+
+    #[test]
+    fn to_prefixes_covers_exactly(xs in prop::collection::vec(any::<u32>(), 0..150)) {
+        let set: AddrSet = xs.iter().map(|&v| Addr::new(v)).collect();
+        let prefixes = set.to_prefixes();
+        // Total coverage equals the set size (prefixes are disjoint and
+        // contain only members).
+        let total: u64 = prefixes.iter().map(|p| p.num_addrs() as u64).sum();
+        prop_assert_eq!(total, set.len() as u64);
+        // Every member is inside some prefix.
+        for a in set.iter() {
+            prop_assert!(prefixes.iter().any(|p| p.contains(a)));
+        }
+        // Prefixes are ordered and non-overlapping.
+        for w in prefixes.windows(2) {
+            prop_assert!(w[0].last() < w[1].network());
+        }
+    }
+
+    #[test]
+    fn cover_range_is_exact(start in any::<u32>(), count in 1u64..10_000) {
+        let count = count.min((1u64 << 32) - start as u64);
+        let ps = Prefix::cover_range(Addr::new(start), count);
+        let mut cursor = start as u64;
+        for p in &ps {
+            prop_assert_eq!(p.network().bits() as u64, cursor);
+            cursor += p.num_addrs() as u64;
+        }
+        prop_assert_eq!(cursor - start as u64, count);
+    }
+
+    #[test]
+    fn daybits_count_range_matches_iter(days in prop::collection::vec(0usize..128, 0..64),
+                                        start in 0usize..=128, width in 0usize..=128) {
+        let mut b = DayBits::new();
+        for &d in &days {
+            b.set(d);
+        }
+        let end = (start + width).min(128);
+        let start = start.min(end);
+        let expect = b.iter().filter(|&d| d >= start && d < end).count() as u32;
+        prop_assert_eq!(b.count_range(start, end), expect);
+    }
+
+    #[test]
+    fn trie_longest_match_is_most_specific(entries in prop::collection::vec(
+            (any::<u32>(), 0u8..=32), 1..60), probe in any::<u32>()) {
+        let mut trie = PrefixTrie::new();
+        let mut list: Vec<Prefix> = Vec::new();
+        for (base, len) in entries {
+            let p = Prefix::new(Addr::new(base), len);
+            trie.insert(p, p.len());
+            list.push(p);
+        }
+        let probe = Addr::new(probe);
+        let expect = list
+            .iter()
+            .filter(|p| p.contains(probe))
+            .map(|p| p.len())
+            .max();
+        match (trie.longest_match(probe), expect) {
+            (Some((matched, &len)), Some(best)) => {
+                prop_assert_eq!(len, best);
+                prop_assert_eq!(matched.len(), best);
+                prop_assert!(matched.contains(probe));
+            }
+            (None, None) => {}
+            (got, want) => prop_assert!(false, "mismatch: got {:?}, want {:?}", got.map(|g| g.0), want),
+        }
+    }
+}

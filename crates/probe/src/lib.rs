@@ -1,0 +1,29 @@
+//! # ipactive-probe
+//!
+//! Active-measurement substrate: simulators for the probing campaigns
+//! the paper compares its passive CDN view against (Section 3):
+//!
+//! * [`IcmpScanner`] — ZMap-style ICMP echo sweeps. The paper uses the
+//!   union of 8 scans from October 2015; responsiveness varies per
+//!   host (NATs and firewalls suppress replies; some hosts answer only
+//!   intermittently).
+//! * [`PortScanner`] — application-port scans (HTTP(S), SMTP, IMAP(S),
+//!   POP3(S)) used to classify ICMP-only addresses as servers
+//!   (Figure 2(b)).
+//! * [`TracerouteCampaign`] — CAIDA-Ark-style traceroute runs that
+//!   surface router interface addresses via ICMP TTL-exceeded replies.
+//!
+//! The scanners are generic over a [`ProbeTarget`]: the synthetic
+//! universe (crate `ipactive-cdnsim`) implements it from ground truth,
+//! so probing observes — rather than copies — the simulated Internet.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scan;
+mod service;
+mod target;
+
+pub use scan::{IcmpScanner, PortScanner, ScanCampaign, TracerouteCampaign};
+pub use service::{Service, ServiceSet};
+pub use target::ProbeTarget;

@@ -1,0 +1,309 @@
+//! The scanners.
+
+use crate::{ProbeTarget, Service};
+use ipactive_net::AddrSet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// ZMap-style single-pass ICMP echo sweep.
+///
+/// Each candidate address is probed once per scan; it appears in the
+/// result with its target-defined response probability. Scans are
+/// deterministic in `(seed, scan_id)`, so repeated campaigns are
+/// reproducible while distinct scans see independent intermittent
+/// hosts.
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpScanner {
+    seed: u64,
+}
+
+impl IcmpScanner {
+    /// Creates a scanner with a campaign seed.
+    pub fn new(seed: u64) -> Self {
+        IcmpScanner { seed }
+    }
+
+    /// Runs scan number `scan_id`, returning the responding addresses.
+    pub fn scan<T: ProbeTarget>(&self, target: &T, scan_id: u32) -> AddrSet {
+        let mut out = Vec::new();
+        for block in target.candidate_blocks() {
+            // One RNG per (campaign, scan, block): parallelizable and
+            // independent of visit order.
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (scan_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (block.id() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            );
+            for addr in block.addrs() {
+                let p = target.icmp_response_probability(addr);
+                if p > 0.0 && rng.random::<f64>() < p {
+                    out.push(addr);
+                }
+            }
+        }
+        AddrSet::from_unsorted(out)
+    }
+}
+
+impl IcmpScanner {
+    /// Runs a *sampled* sweep in the style of Heidemann et al.'s
+    /// census surveys (the paper's Section 3.1): only a deterministic
+    /// `fraction` of each block's addresses is probed. Sampling is by
+    /// host-index hash, so repeated sampled scans probe the same
+    /// subset — as a survey that revisits its sample would.
+    pub fn scan_sample<T: ProbeTarget>(
+        &self,
+        target: &T,
+        scan_id: u32,
+        fraction: f64,
+    ) -> AddrSet {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let threshold = (fraction * u32::MAX as f64) as u32;
+        let mut out = Vec::new();
+        for block in target.candidate_blocks() {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (scan_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (block.id() as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+            );
+            for addr in block.addrs() {
+                // Membership in the sample is a pure function of the
+                // address (not the scan), like a fixed survey panel.
+                let h = (addr.bits() as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(17) as u32;
+                let in_sample = h <= threshold;
+                // Keep RNG consumption identical to a full scan so the
+                // responders we do probe match `scan()`'s coin flips.
+                let p = target.icmp_response_probability(addr);
+                let respond = p > 0.0 && rng.random::<f64>() < p;
+                if in_sample && respond {
+                    out.push(addr);
+                }
+            }
+        }
+        AddrSet::from_unsorted(out)
+    }
+}
+
+/// A multi-scan ICMP campaign (the paper uses the union of 8 scans).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanCampaign {
+    scanner: IcmpScanner,
+    /// Number of scans to run.
+    pub scans: u32,
+}
+
+impl ScanCampaign {
+    /// Creates a campaign of `scans` sweeps.
+    pub fn new(seed: u64, scans: u32) -> Self {
+        ScanCampaign { scanner: IcmpScanner::new(seed), scans }
+    }
+
+    /// Runs all sweeps and returns each scan's responder set.
+    pub fn run<T: ProbeTarget>(&self, target: &T) -> Vec<AddrSet> {
+        (0..self.scans).map(|i| self.scanner.scan(target, i)).collect()
+    }
+
+    /// Runs all sweeps and returns the union of responders — the
+    /// "seen in ICMP" set of Figure 2.
+    pub fn run_union<T: ProbeTarget>(&self, target: &T) -> AddrSet {
+        self.run(target)
+            .into_iter()
+            .fold(AddrSet::new(), |acc, s| acc.union(&s))
+    }
+}
+
+/// Application-port scanner (deterministic: an open service answers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortScanner;
+
+impl PortScanner {
+    /// Creates a port scanner.
+    pub fn new() -> Self {
+        PortScanner
+    }
+
+    /// Addresses answering on `service`.
+    pub fn scan<T: ProbeTarget>(&self, target: &T, service: Service) -> AddrSet {
+        let mut out = Vec::new();
+        for block in target.candidate_blocks() {
+            for addr in block.addrs() {
+                if target.open_services(addr).contains(service) {
+                    out.push(addr);
+                }
+            }
+        }
+        AddrSet::from_unsorted(out)
+    }
+
+    /// Addresses answering on *any* probed service — the paper's
+    /// "server" classification input.
+    pub fn scan_any<T: ProbeTarget>(&self, target: &T) -> AddrSet {
+        let mut out = Vec::new();
+        for block in target.candidate_blocks() {
+            for addr in block.addrs() {
+                if !target.open_services(addr).is_empty() {
+                    out.push(addr);
+                }
+            }
+        }
+        AddrSet::from_unsorted(out)
+    }
+}
+
+/// Ark-style traceroute campaign: collects router interface addresses
+/// that appear on forwarding paths.
+///
+/// Coverage is imperfect — each router interface is discovered with
+/// probability `discovery_prob` over the whole campaign, modelling
+/// paths never traversed by the probes.
+#[derive(Debug, Clone, Copy)]
+pub struct TracerouteCampaign {
+    seed: u64,
+    /// Per-interface probability of appearing in at least one trace.
+    pub discovery_prob: f64,
+}
+
+impl TracerouteCampaign {
+    /// Creates a campaign; `discovery_prob` in `[0, 1]`.
+    pub fn new(seed: u64, discovery_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&discovery_prob));
+        TracerouteCampaign { seed, discovery_prob }
+    }
+
+    /// Runs the campaign, returning discovered router interfaces.
+    pub fn run<T: ProbeTarget>(&self, target: &T) -> AddrSet {
+        let mut out = Vec::new();
+        for block in target.candidate_blocks() {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ (block.id() as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            );
+            for addr in block.addrs() {
+                if target.is_router_interface(addr) && rng.random::<f64>() < self.discovery_prob {
+                    out.push(addr);
+                }
+            }
+        }
+        AddrSet::from_unsorted(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::testutil::FixtureTarget;
+    use crate::ServiceSet;
+    use ipactive_net::{Addr, Block24};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn fixture() -> FixtureTarget {
+        let block = Block24::of(a("10.0.0.0"));
+        let mut t = FixtureTarget { blocks: vec![block], ..Default::default() };
+        t.icmp.insert(a("10.0.0.1"), 1.0); // always answers
+        t.icmp.insert(a("10.0.0.2"), 0.0); // never answers
+        t.icmp.insert(a("10.0.0.3"), 0.5); // intermittent
+        t.services.insert(a("10.0.0.10"), ServiceSet::web());
+        t.services.insert(a("10.0.0.11"), ServiceSet::mail());
+        t.routers.push(a("10.0.0.20"));
+        t
+    }
+
+    #[test]
+    fn deterministic_hosts_always_respond() {
+        let t = fixture();
+        let scan = IcmpScanner::new(1).scan(&t, 0);
+        assert!(scan.contains(a("10.0.0.1")));
+        assert!(!scan.contains(a("10.0.0.2")));
+        assert!(!scan.contains(a("10.0.0.99"))); // unmodelled addr: silent
+    }
+
+    #[test]
+    fn scans_are_reproducible() {
+        let t = fixture();
+        let s1 = IcmpScanner::new(7).scan(&t, 3);
+        let s2 = IcmpScanner::new(7).scan(&t, 3);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn intermittent_host_found_by_union_of_scans() {
+        let t = fixture();
+        // One scan may miss a p=0.5 host; eight scans miss it with
+        // probability 2^-8 — and deterministically don't, here.
+        let union = ScanCampaign::new(11, 8).run_union(&t);
+        assert!(union.contains(a("10.0.0.3")));
+        // Per-scan results differ across scan ids for intermittent hosts.
+        let scans = ScanCampaign::new(11, 8).run(&t);
+        let hits = scans.iter().filter(|s| s.contains(a("10.0.0.3"))).count();
+        assert!(hits > 0 && hits < 8, "p=0.5 host hit {hits}/8 scans");
+    }
+
+    #[test]
+    fn sampled_scan_is_a_subset_of_the_full_scan() {
+        let block = Block24::of(a("10.2.0.0"));
+        let t = FixtureTarget {
+            blocks: vec![block],
+            icmp: block.addrs().map(|a| (a, 1.0)).collect(),
+            ..Default::default()
+        };
+        let scanner = IcmpScanner::new(3);
+        let full = scanner.scan(&t, 0);
+        let sampled = scanner.scan_sample(&t, 0, 0.1);
+        assert!(!sampled.is_empty(), "10% of 256 must hit something");
+        assert!(sampled.len() < full.len());
+        for addr in sampled.iter() {
+            assert!(full.contains(addr), "sample probed outside the full scan");
+        }
+        // Roughly a tenth, with generous tolerance.
+        assert!((10..=55).contains(&sampled.len()), "{} sampled", sampled.len());
+        // The panel is fixed: the same addresses across scan ids.
+        let again = scanner.scan_sample(&t, 1, 0.1);
+        assert_eq!(sampled, again, "p=1 responders: panel must be identical");
+        // Fraction 0 and 1 are the extremes.
+        assert!(scanner.scan_sample(&t, 0, 0.0).is_empty());
+        assert_eq!(scanner.scan_sample(&t, 0, 1.0), full);
+    }
+
+    #[test]
+    fn port_scanner_finds_only_open_services() {
+        let t = fixture();
+        let ps = PortScanner::new();
+        let http = ps.scan(&t, Service::Http);
+        assert!(http.contains(a("10.0.0.10")));
+        assert!(!http.contains(a("10.0.0.11")));
+        let smtp = ps.scan(&t, Service::Smtp);
+        assert!(smtp.contains(a("10.0.0.11")));
+        let any = ps.scan_any(&t);
+        assert_eq!(any.len(), 2);
+    }
+
+    #[test]
+    fn traceroute_discovers_routers_with_full_probability() {
+        let t = fixture();
+        let tr = TracerouteCampaign::new(5, 1.0).run(&t);
+        assert_eq!(tr.len(), 1);
+        assert!(tr.contains(a("10.0.0.20")));
+    }
+
+    #[test]
+    fn traceroute_with_zero_probability_finds_nothing() {
+        let t = fixture();
+        let tr = TracerouteCampaign::new(5, 0.0).run(&t);
+        assert!(tr.is_empty());
+    }
+
+    #[test]
+    fn partial_discovery_rate_roughly_holds() {
+        // 256 routers at 50% discovery: expect ~128, tolerate wide noise.
+        let block = Block24::of(a("10.1.0.0"));
+        let t = FixtureTarget {
+            blocks: vec![block],
+            routers: block.addrs().collect(),
+            ..Default::default()
+        };
+        let found = TracerouteCampaign::new(9, 0.5).run(&t).len();
+        assert!((80..=176).contains(&found), "found {found} of 256");
+    }
+}

@@ -1,0 +1,122 @@
+//! Application-layer services a host may expose.
+
+use core::fmt;
+
+/// One probe-able application service (the set ZMap scans that the
+/// paper uses to identify servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Service {
+    /// TCP/80.
+    Http = 0,
+    /// TCP/443.
+    Https = 1,
+    /// TCP/25.
+    Smtp = 2,
+    /// TCP/143 and /993.
+    Imap = 3,
+    /// TCP/110 and /995.
+    Pop3 = 4,
+}
+
+impl Service {
+    /// All probed services.
+    pub const ALL: [Service; 5] =
+        [Service::Http, Service::Https, Service::Smtp, Service::Imap, Service::Pop3];
+}
+
+impl fmt::Display for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Service::Http => "HTTP",
+            Service::Https => "HTTPS",
+            Service::Smtp => "SMTP",
+            Service::Imap => "IMAP",
+            Service::Pop3 => "POP3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of exposed services, packed into one byte.
+///
+/// ```
+/// use ipactive_probe::{Service, ServiceSet};
+/// let s = ServiceSet::new().with(Service::Http).with(Service::Smtp);
+/// assert!(s.contains(Service::Http));
+/// assert!(!s.contains(Service::Https));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ServiceSet(u8);
+
+impl ServiceSet {
+    /// The empty set (no services — a non-server host).
+    pub const fn new() -> Self {
+        ServiceSet(0)
+    }
+
+    /// A typical web server's set (HTTP + HTTPS).
+    pub const fn web() -> Self {
+        ServiceSet(0b00011)
+    }
+
+    /// A typical mail server's set (SMTP + IMAP + POP3).
+    pub const fn mail() -> Self {
+        ServiceSet(0b11100)
+    }
+
+    /// Returns the set with `svc` added.
+    pub const fn with(self, svc: Service) -> Self {
+        ServiceSet(self.0 | (1 << svc as u8))
+    }
+
+    /// Whether `svc` is exposed.
+    pub const fn contains(self, svc: Service) -> bool {
+        self.0 & (1 << svc as u8) != 0
+    }
+
+    /// Number of exposed services.
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no service is exposed.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_and_contains() {
+        let mut s = ServiceSet::new();
+        assert!(s.is_empty());
+        for svc in Service::ALL {
+            assert!(!s.contains(svc));
+            s = s.with(svc);
+            assert!(s.contains(svc));
+        }
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn canned_sets() {
+        assert!(ServiceSet::web().contains(Service::Http));
+        assert!(ServiceSet::web().contains(Service::Https));
+        assert!(!ServiceSet::web().contains(Service::Smtp));
+        assert!(ServiceSet::mail().contains(Service::Smtp));
+        assert!(ServiceSet::mail().contains(Service::Imap));
+        assert!(ServiceSet::mail().contains(Service::Pop3));
+        assert!(!ServiceSet::mail().contains(Service::Http));
+    }
+
+    #[test]
+    fn with_is_idempotent() {
+        let s = ServiceSet::new().with(Service::Http).with(Service::Http);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! The interface probed systems expose to the scanners.
+
+use crate::ServiceSet;
+use ipactive_net::{Addr, Block24};
+
+/// Ground truth a scanner can *probe* (but not directly read).
+///
+/// Implementations describe per-address probe behaviour; the scanners
+/// turn that into observations with realistic sampling noise. The
+/// synthetic universe implements this from its host population.
+pub trait ProbeTarget {
+    /// Probability that a single ICMP echo request to `addr` receives
+    /// a reply (0.0 = never: unused space, firewalled hosts, NATs that
+    /// drop unsolicited probes; 1.0 = always: routers, most servers).
+    fn icmp_response_probability(&self, addr: Addr) -> f64;
+
+    /// Application services `addr` answers on (servers only).
+    fn open_services(&self, addr: Addr) -> ServiceSet;
+
+    /// Whether `addr` is a router interface that can appear on
+    /// forwarding paths (and thus in traceroute output).
+    fn is_router_interface(&self, addr: Addr) -> bool;
+
+    /// The `/24` blocks worth probing. A real ZMap sweep covers the
+    /// whole unicast space; blocks outside this list are guaranteed
+    /// unresponsive, so skipping them changes nothing observable.
+    fn candidate_blocks(&self) -> Vec<Block24>;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A hand-built target for scanner tests.
+    #[derive(Default)]
+    pub struct FixtureTarget {
+        pub icmp: HashMap<Addr, f64>,
+        pub services: HashMap<Addr, ServiceSet>,
+        pub routers: Vec<Addr>,
+        pub blocks: Vec<Block24>,
+    }
+
+    impl ProbeTarget for FixtureTarget {
+        fn icmp_response_probability(&self, addr: Addr) -> f64 {
+            self.icmp.get(&addr).copied().unwrap_or(0.0)
+        }
+
+        fn open_services(&self, addr: Addr) -> ServiceSet {
+            self.services.get(&addr).copied().unwrap_or_default()
+        }
+
+        fn is_router_interface(&self, addr: Addr) -> bool {
+            self.routers.contains(&addr)
+        }
+
+        fn candidate_blocks(&self) -> Vec<Block24> {
+            self.blocks.clone()
+        }
+    }
+}

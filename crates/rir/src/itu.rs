@@ -1,0 +1,87 @@
+//! ITU-style subscriber statistics.
+//!
+//! Figure 3(b) annotates the top countries with their world rank in
+//! fixed-broadband and cellular subscriptions (ITU, 2015). The ranks
+//! for the paper's eleven displayed countries are reproduced here as a
+//! lookup table; the synthetic universe uses the same countries so the
+//! regenerated figure carries identical annotations.
+
+use crate::CountryCode;
+
+/// World ranks in subscriber counts for one country (1 = most
+/// subscribers worldwide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberRanks {
+    /// Rank by fixed-broadband subscriptions.
+    pub broadband: u8,
+    /// Rank by cellular subscriptions.
+    pub cellular: u8,
+}
+
+/// ITU 2015 ranks for the countries shown in Figure 3(b).
+///
+/// Returns `None` for countries outside the paper's display set.
+pub fn subscriber_ranks(country: CountryCode) -> Option<SubscriberRanks> {
+    // (code, broadband rank, cellular rank) as annotated in Figure 3(b).
+    const TABLE: [(&str, u8, u8); 11] = [
+        ("US", 2, 3),
+        ("CN", 1, 1),
+        ("JP", 3, 7),
+        ("BR", 7, 5),
+        ("DE", 4, 14),
+        ("KR", 9, 25),
+        ("GB", 8, 19),
+        ("FR", 5, 22),
+        ("RU", 6, 6),
+        ("IT", 12, 16),
+        ("IN", 10, 2),
+    ];
+    TABLE
+        .iter()
+        .find(|(code, _, _)| CountryCode::new(code) == country)
+        .map(|&(_, broadband, cellular)| SubscriberRanks { broadband, cellular })
+}
+
+/// The Figure 3(b) country display order (top countries by combined
+/// CDN+ICMP visible addresses in the paper).
+pub const FIGURE3B_COUNTRIES: [&str; 11] =
+    ["US", "CN", "JP", "BR", "DE", "KR", "GB", "FR", "RU", "IT", "IN"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_countries_have_ranks() {
+        let us = subscriber_ranks(CountryCode::new("US")).unwrap();
+        assert_eq!((us.broadband, us.cellular), (2, 3));
+        let cn = subscriber_ranks(CountryCode::new("CN")).unwrap();
+        assert_eq!((cn.broadband, cn.cellular), (1, 1));
+        let in_ = subscriber_ranks(CountryCode::new("IN")).unwrap();
+        assert_eq!((in_.broadband, in_.cellular), (10, 2));
+    }
+
+    #[test]
+    fn unknown_country_is_none() {
+        assert!(subscriber_ranks(CountryCode::new("ZZ")).is_none());
+    }
+
+    #[test]
+    fn all_display_countries_covered() {
+        for code in FIGURE3B_COUNTRIES {
+            assert!(
+                subscriber_ranks(CountryCode::new(code)).is_some(),
+                "missing ranks for {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn broadband_ranks_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for code in FIGURE3B_COUNTRIES {
+            let r = subscriber_ranks(CountryCode::new(code)).unwrap();
+            assert!(seen.insert(r.broadband), "duplicate broadband rank for {code}");
+        }
+    }
+}

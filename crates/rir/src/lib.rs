@@ -1,0 +1,25 @@
+//! # ipactive-rir
+//!
+//! Regional Internet Registry (RIR) substrate: address delegations,
+//! country assignment, registry exhaustion dates, and ITU-style
+//! subscriber ranks.
+//!
+//! The paper joins address activity against the RIRs' extended
+//! delegation files to produce regional breakdowns (Figures 3 and 12)
+//! and annotates its growth timeline with registry exhaustion dates
+//! (Figure 1). This crate reimplements those joins over a delegation
+//! database; the synthetic universe populates it with delegations that
+//! follow real registry proportions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod itu;
+mod nro;
+mod region;
+
+pub use db::{Delegation, DelegationDb};
+pub use nro::{parse_nro, range_to_prefixes, to_nro_text, NroError, NroErrorKind};
+pub use itu::{subscriber_ranks, SubscriberRanks, FIGURE3B_COUNTRIES};
+pub use region::{CountryCode, Rir, YearMonth, RIR_EXHAUSTION, IANA_EXHAUSTION};

@@ -1,0 +1,58 @@
+//! Property tests for the registry substrate.
+
+use ipactive_net::Addr;
+use ipactive_rir::{parse_nro, range_to_prefixes, CountryCode, DelegationDb, Rir};
+use proptest::prelude::*;
+
+proptest! {
+    /// CIDR expansion covers the requested range exactly, contiguously,
+    /// and in order, for any start/count that fits the space.
+    #[test]
+    fn range_expansion_is_exact(start in any::<u32>(), count in 1u64..100_000) {
+        let count = count.min((1u64 << 32) - start as u64);
+        let prefixes = range_to_prefixes(Addr::new(start), count);
+        let mut cursor = start as u64;
+        for p in &prefixes {
+            prop_assert_eq!(p.network().bits() as u64, cursor, "gap or overlap");
+            cursor += p.num_addrs() as u64;
+        }
+        prop_assert_eq!(cursor - start as u64, count, "total coverage");
+        // Expansion is minimal-ish: never more prefixes than set bits
+        // of count plus alignment fixups (bounded by 64).
+        prop_assert!(prefixes.len() <= 64);
+    }
+
+    /// Round trip: synthesize an NRO file from random records, parse
+    /// it back, and confirm lookups resolve to the right registry.
+    #[test]
+    fn nro_roundtrip(records in prop::collection::vec(
+        (0u8..5, 0u32..200, 1u64..4096), 1..20)) {
+        let regs = ["arin", "ripencc", "apnic", "lacnic", "afrinic"];
+        let rirs = [Rir::Arin, Rir::Ripe, Rir::Apnic, Rir::Lacnic, Rir::Afrinic];
+        let ccs = ["US", "DE", "CN", "BR", "ZA"];
+        let mut text = String::from("2|nro|20160101|1|19830101|20151231|+0000\n");
+        let mut expected = Vec::new();
+        for (i, &(reg, slot, count)) in records.iter().enumerate() {
+            // Disjoint /16-aligned starts so lookups are unambiguous.
+            let start = ((10 + i as u32) << 24) | (slot << 16);
+            let a = Addr::new(start);
+            text.push_str(&format!(
+                "{}|{}|ipv4|{}|{}|20100101|allocated\n",
+                regs[reg as usize], ccs[reg as usize], a, count
+            ));
+            expected.push((a, rirs[reg as usize], ccs[reg as usize]));
+        }
+        let db = DelegationDb::from_nro(&text).unwrap();
+        for (addr, rir, cc) in expected {
+            let d = db.lookup(addr).unwrap();
+            prop_assert_eq!(d.rir, rir);
+            prop_assert_eq!(d.country, CountryCode::new(cc));
+        }
+    }
+
+    /// The parser never panics on arbitrary junk — it returns Ok or Err.
+    #[test]
+    fn parser_is_total(junk in "[ -~\n|]{0,500}") {
+        let _ = parse_nro(&junk);
+    }
+}

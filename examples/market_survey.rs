@@ -1,0 +1,75 @@
+//! Market survey: the Section 8 "implications to Internet governance"
+//! scenario. Combine routing-table coverage, per-RIR utilization, and
+//! the activity census to estimate how much advertised space is
+//! actually in use — the evidence base an RIR or address broker would
+//! want when judging transfer requests.
+//!
+//! ```sh
+//! cargo run --release --example market_survey
+//! ```
+
+use ipactive::cdnsim::{Universe, UniverseConfig};
+use ipactive::core::{demographics, market};
+use ipactive::rir::Rir;
+
+fn main() {
+    let universe = Universe::generate(UniverseConfig::small(23));
+    let daily = universe.build_daily();
+
+    let s = market::survey(&daily, universe.bgp().base());
+    println!("== IPv4 market survey ==\n");
+    println!("advertised unicast addresses : {}", s.advertised);
+    println!("observed active addresses    : {}", s.active);
+    println!(
+        "active share of advertised   : {:.1}%  (paper: 42.8%)",
+        100.0 * s.active_share
+    );
+
+    // Restrict to blocks with observed WWW clients, as the paper does,
+    // and estimate the unused remainder inside them.
+    println!(
+        "\nwithin the {} active /24s ({} addresses):",
+        s.active_blocks,
+        s.active_blocks * 256
+    );
+    println!("  unused despite being in active blocks: {}", s.idle_in_active_blocks);
+
+    // Per-RIR utilization: who still has slack, who is exhausted in
+    // practice (Figure 12's policy reading).
+    let feats = demographics::features(&daily);
+    let grids = demographics::per_rir(&feats, universe.delegations());
+    println!("\nper-RIR utilization of active blocks:");
+    println!("  {:<9} {:>7} {:>12} {:>14}", "RIR", "blocks", "high-STU", "exhaustion");
+    for g in &grids {
+        let rir: Rir = g.rir;
+        let status = match rir.exhaustion() {
+            Some(ym) => format!("exhausted {ym}"),
+            None => "free pool left".to_string(),
+        };
+        println!(
+            "  {:<9} {:>7} {:>11.0}% {:>16}",
+            rir.name(),
+            g.total,
+            100.0 * g.high_stu_fraction(3),
+            status
+        );
+    }
+
+    // Candidate sellers: ASes holding the most low-utilization space.
+    let holdings: Vec<_> = universe
+        .blocks
+        .iter()
+        .map(|e| (e.block, universe.ases[e.as_index].asn))
+        .collect();
+    let ranking = market::slack_ranking(&holdings, &daily);
+    println!("\ntop candidate transfer-market sellers (most idle addresses):");
+    for slack in ranking.iter().take(5) {
+        println!(
+            "  {:<10} ~{} idle of {} held ({:.0}% idle)",
+            slack.asn.to_string(),
+            slack.addrs_idle,
+            slack.addrs_held,
+            100.0 * slack.idle_fraction()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Operator audit: the Section 8 "implications to network management"
+//! scenario. A network operator monitors their own address space with
+//! the paper's metrics to find reclaimable blocks: sparsely-filled
+//! static space and oversized dynamic pools.
+//!
+//! ```sh
+//! cargo run --release --example operator_audit
+//! ```
+
+use ipactive::cdnsim::{AsKind, Universe, UniverseConfig};
+use ipactive::core::matrix::BlockMetrics;
+
+fn main() {
+    let universe = Universe::generate(UniverseConfig::small(7));
+    let daily = universe.build_daily();
+
+    // Audit the largest residential ISP in the universe, as its own
+    // operator would: per-block utilization, then recommendations.
+    let isp = universe
+        .ases
+        .iter()
+        .filter(|a| a.kind == AsKind::ResidentialIsp)
+        .max_by_key(|a| a.block_range.1 - a.block_range.0)
+        .expect("universe has residential ISPs");
+    println!(
+        "== address audit for {} ({} — {} /24 blocks) ==\n",
+        isp.asn,
+        isp.country,
+        isp.block_range.1 - isp.block_range.0
+    );
+
+    let mut reclaimable_addrs = 0u32;
+    let mut rows = Vec::new();
+    for entry in &universe.blocks[isp.block_range.0..isp.block_range.1] {
+        let Some(rec) = daily.block(entry.block) else {
+            rows.push((entry.block, None));
+            continue;
+        };
+        let m = BlockMetrics::of(rec, 0..daily.num_days);
+        rows.push((entry.block, Some(m)));
+    }
+
+    println!("{:<18} {:>4} {:>6}  recommendation", "block", "FD", "STU");
+    for (block, metrics) in rows {
+        match metrics {
+            None => {
+                reclaimable_addrs += 256;
+                println!("{:<18} {:>4} {:>6}  UNUSED — reclaim or lease out", block, "-", "-");
+            }
+            Some(m) => {
+                let advice = if m.fd < 64 {
+                    reclaimable_addrs += 256 - m.fd;
+                    "sparse static space — renumber into a shared pool"
+                } else if m.fd > 250 && m.stu < 0.6 {
+                    reclaimable_addrs += ((1.0 - m.stu) * 128.0) as u32;
+                    "oversized dynamic pool — shrink the pool"
+                } else if m.fd > 250 {
+                    "well-utilized dynamic pool"
+                } else {
+                    "moderately utilized"
+                };
+                println!("{:<18} {:>4} {:>6.2}  {advice}", block, m.fd, m.stu);
+            }
+        }
+    }
+
+    println!(
+        "\nestimated reclaimable addresses: ~{} (of {} held)",
+        reclaimable_addrs,
+        (isp.block_range.1 - isp.block_range.0) * 256
+    );
+    println!("(candidates for transfer-market supply, per the paper's Section 8)");
+}

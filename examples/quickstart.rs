@@ -1,0 +1,75 @@
+//! Quickstart: generate a miniature Internet, build the datasets, and
+//! compute the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ipactive::cdnsim::{Universe, UniverseConfig};
+use ipactive::core::{blocks, churn, matrix, traffic};
+
+fn main() {
+    // Everything is seeded: rerunning reproduces identical output.
+    let config = UniverseConfig::small(42);
+    println!("generating a synthetic Internet ({} ASes)...", config.total_ases());
+    let universe = Universe::generate(config);
+    let daily = universe.build_daily();
+    let weekly = universe.build_weekly();
+
+    println!(
+        "\n{} /24 blocks, {} distinct active addresses over {} days",
+        daily.blocks.len(),
+        daily.total_active(),
+        daily.num_days
+    );
+
+    // --- Churn (Section 4) -------------------------------------------------
+    let series = churn::daily_series(&daily);
+    let avg_up: f64 = series.iter().skip(1).map(|d| d.up as f64).sum::<f64>()
+        / (series.len() - 1) as f64;
+    let avg_active: f64 =
+        series.iter().map(|d| d.active as f64).sum::<f64>() / series.len() as f64;
+    println!(
+        "daily churn: on average {:.1}% of the active pool turns over each day",
+        100.0 * avg_up / avg_active
+    );
+    let drift = churn::year_drift(&weekly);
+    if let Some(last) = drift.last() {
+        println!(
+            "across the year the active set drifted by +{:.0}%/-{:.0}% vs week 0",
+            100.0 * last.appear_frac,
+            100.0 * last.disappear_frac
+        );
+    }
+
+    // --- Spatio-temporal metrics (Section 5) -------------------------------
+    let busiest = daily
+        .blocks
+        .iter()
+        .max_by_key(|b| b.ip_traffic.len())
+        .expect("universe has active blocks");
+    let m = matrix::BlockMetrics::of(busiest, 0..daily.num_days);
+    println!(
+        "\nbusiest block {}: filling degree {} / 256, spatio-temporal utilization {:.2}",
+        busiest.block, m.fd, m.stu
+    );
+    println!("activity matrix (rows = 16-address groups, cols = days):");
+    for line in matrix::render(busiest, daily.num_days, 16).lines() {
+        println!("  |{line}|");
+    }
+
+    // --- Potential utilization (Section 5.4) -------------------------------
+    let p = blocks::potential_utilization(&daily);
+    println!(
+        "\n{} active /24s: {} sparsely filled (FD<64), {} run as full dynamic pools",
+        p.active_blocks, p.low_fd_blocks, p.high_fd_blocks
+    );
+
+    // --- Traffic concentration (Section 6) ---------------------------------
+    let shares = traffic::cumulative_shares(&daily);
+    println!(
+        "always-on addresses: {:.1}% of the pool, {:.1}% of all traffic",
+        100.0 * shares.always_on_ip_fraction(),
+        100.0 * shares.always_on_traffic_fraction()
+    );
+}
