@@ -2,7 +2,10 @@
 //! builds, probing campaigns, and the framed log pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ipactive_cdnsim::{collect_daily, emit_daily_logs, Universe, UniverseConfig};
+use ipactive_cdnsim::{
+    collect_daily, collect_daily_sharded, emit_daily_logs, emit_daily_shards, parallel_pipeline,
+    Universe, UniverseConfig,
+};
 use ipactive_probe::{IcmpScanner, PortScanner};
 use std::hint::black_box;
 use std::sync::OnceLock;
@@ -50,5 +53,33 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_generate, bench_builds, bench_probing, bench_pipeline);
+/// The multi-collector scaling story: the same end-to-end pipeline at
+/// one collector vs several, plus the isolated collector stage over
+/// pre-encoded shards (where the scaling is purest — no generation
+/// cost in the loop). On a ≥4-core machine `c4` beats `c1`.
+fn bench_sharded_pipeline(c: &mut Criterion) {
+    let u = universe();
+    let mut group = c.benchmark_group("sharded_pipeline");
+    for (workers, collectors) in [(1usize, 1usize), (4, 1), (4, 2), (4, 4)] {
+        group.bench_function(format!("end_to_end_w{workers}_c{collectors}"), |b| {
+            b.iter(|| black_box(parallel_pipeline(u, workers, collectors).1.totals))
+        });
+    }
+    for collectors in [1usize, 2, 4] {
+        let shards = emit_daily_shards(u, collectors).unwrap();
+        group.bench_function(format!("collect_stage_c{collectors}"), |b| {
+            b.iter(|| black_box(collect_daily_sharded(&shards, u.config().daily_days).1.totals))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_builds,
+    bench_probing,
+    bench_pipeline,
+    bench_sharded_pipeline
+);
 criterion_main!(benches);

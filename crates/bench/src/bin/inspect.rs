@@ -5,7 +5,12 @@
 //!
 //! ```text
 //! inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]
+//!         [--workers N] [--collectors M]
 //! ```
+//!
+//! `--workers`/`--collectors` build the datasets through the sharded
+//! log pipeline (identical output, printed throughput) instead of the
+//! direct builders.
 //!
 //! `BLOCK` is a `/24` network like `101.0.64.0`; `top` picks the
 //! busiest block, `changed` the busiest block with a mid-window
@@ -20,6 +25,8 @@ fn main() {
     let mut seed: u64 = 2015;
     let mut scale = Scale::Small;
     let mut truth = false;
+    let mut workers: Option<usize> = None;
+    let mut collectors: Option<usize> = None;
     let mut target: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -36,6 +43,18 @@ fn main() {
                 };
             }
             "--truth" => truth = true,
+            "--workers" => {
+                workers = args.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n >= 1);
+                if workers.is_none() {
+                    usage();
+                }
+            }
+            "--collectors" => {
+                collectors = args.next().and_then(|v| v.parse().ok()).filter(|&n: &usize| n >= 1);
+                if collectors.is_none() {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other if target.is_none() => target = Some(other.to_string()),
             _ => usage(),
@@ -44,7 +63,14 @@ fn main() {
     let target = target.unwrap_or_else(|| "top".to_string());
 
     eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
-    let repro = Repro::new(seed, scale);
+    let repro = if workers.is_some() || collectors.is_some() {
+        let (w, c) = (workers.unwrap_or(1), collectors.unwrap_or(1));
+        let (repro, summary) = Repro::new_via_pipeline(seed, scale, w, c);
+        eprint!("{}", summary.render());
+        repro
+    } else {
+        Repro::new(seed, scale)
+    };
     let daily = &repro.daily;
     let pop = repro.universe.population_summary();
     eprintln!(
@@ -178,7 +204,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M]"
     );
     std::process::exit(2);
 }

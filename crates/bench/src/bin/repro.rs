@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]
+//!       [--workers N] [--collectors M]
 //! repro list
 //! ```
 //!
 //! With no experiment arguments, runs all of them in paper order.
 //! Use a release build for `--scale full` (the default). `--out`
 //! writes the combined report to a file as well as stdout.
+//!
+//! `--workers`/`--collectors` route dataset construction through the
+//! sharded log pipeline instead of the direct builders — the datasets
+//! are identical (the differential suite proves it), so every
+//! experiment is unaffected; the flags exist to exercise and time the
+//! collection path at scale.
 
 use ipactive_bench::{CheckOutcome, Repro, Scale, EXPERIMENTS};
 
@@ -15,6 +22,8 @@ fn main() {
     let mut seed: u64 = 2015;
     let mut scale = Scale::Full;
     let mut out_path: Option<String> = None;
+    let mut workers: Option<usize> = None;
+    let mut collectors: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -45,6 +54,22 @@ fn main() {
                     _ => usage("--scale needs tiny|small|full"),
                 };
             }
+            "--workers" => {
+                workers = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--workers needs a positive integer")),
+                );
+            }
+            "--collectors" => {
+                collectors = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--collectors needs a positive integer")),
+                );
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -58,7 +83,16 @@ fn main() {
 
     eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
     let start = std::time::Instant::now();
-    let repro = Repro::new(seed, scale);
+    let repro = if workers.is_some() || collectors.is_some() {
+        let w = workers.unwrap_or(1);
+        let c = collectors.unwrap_or(1);
+        eprintln!("building datasets via sharded pipeline ({w} workers x {c} collectors) ...");
+        let (repro, summary) = Repro::new_via_pipeline(seed, scale, w, c);
+        eprint!("{}", summary.render());
+        repro
+    } else {
+        Repro::new(seed, scale)
+    };
     eprintln!(
         "universe ready in {:.1}s: {} /24 blocks, {} ASes, {} active addresses (daily)",
         start.elapsed().as_secs_f64(),
@@ -112,6 +146,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
+    eprintln!("             [--workers N] [--collectors M]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });

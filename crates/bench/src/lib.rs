@@ -8,7 +8,10 @@
 
 #![forbid(unsafe_code)]
 
-use ipactive_cdnsim::{monthly_counts, GrowthModel, Universe, UniverseConfig};
+use ipactive_cdnsim::{
+    monthly_counts, parallel_pipeline, parallel_pipeline_weekly, GrowthModel, PipelineReport,
+    Universe, UniverseConfig,
+};
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
     traffic, visibility, DailyDataset, WeeklyDataset,
@@ -56,6 +59,46 @@ pub struct Repro {
     routers: OnceLock<AddrSet>,
 }
 
+/// Throughput accounting for a pipeline-built [`Repro`] session: one
+/// [`PipelineReport`] per dataset cadence.
+pub struct PipelineRunSummary {
+    /// Report of the daily-dataset pipeline run.
+    pub daily: PipelineReport,
+    /// Report of the weekly-dataset pipeline run.
+    pub weekly: PipelineReport,
+}
+
+impl PipelineRunSummary {
+    /// Renders both reports as an operator-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, report) in [("daily", &self.daily), ("weekly", &self.weekly)] {
+            let _ = writeln!(
+                out,
+                "{name}: {} records, {:.1} MiB over {} workers -> {} collectors in {:.2}s ({:.0} records/s)",
+                report.totals.records_read,
+                report.totals.bytes as f64 / (1024.0 * 1024.0),
+                report.workers,
+                report.collectors(),
+                report.elapsed.as_secs_f64(),
+                report.records_per_sec(),
+            );
+            for (i, s) in report.per_collector.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "  collector {i}: {:>10} records, {:>8} buffers, {:>6.1} MiB, {} skipped ({:.0} records/s)",
+                    s.records_read,
+                    s.buffers,
+                    s.bytes as f64 / (1024.0 * 1024.0),
+                    s.frames_skipped,
+                    s.records_per_sec(),
+                );
+            }
+        }
+        out
+    }
+}
+
 /// The experiment identifiers, in paper order.
 pub const EXPERIMENTS: [&str; 24] = [
     "fig1", "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c",
@@ -78,6 +121,33 @@ impl Repro {
             servers: OnceLock::new(),
             routers: OnceLock::new(),
         }
+    }
+
+    /// Builds the session with both datasets produced by the sharded
+    /// log pipeline (`workers` edge threads × `collectors` collector
+    /// threads) instead of the direct builders. The datasets are
+    /// guaranteed identical to [`Repro::new`]'s — the differential
+    /// suite pins that — so every experiment runs unchanged; the
+    /// returned summary reports the pipeline's per-stage throughput.
+    pub fn new_via_pipeline(
+        seed: u64,
+        scale: Scale,
+        workers: usize,
+        collectors: usize,
+    ) -> (Repro, PipelineRunSummary) {
+        let universe = Universe::generate(scale.config(seed));
+        let (daily, daily_report) = parallel_pipeline(&universe, workers, collectors);
+        let (weekly, weekly_report) = parallel_pipeline_weekly(&universe, workers, collectors);
+        let repro = Repro {
+            universe,
+            daily,
+            weekly,
+            seed,
+            icmp: OnceLock::new(),
+            servers: OnceLock::new(),
+            routers: OnceLock::new(),
+        };
+        (repro, PipelineRunSummary { daily: daily_report, weekly: weekly_report })
     }
 
     fn cdn_union(&self) -> AddrSet {

@@ -44,6 +44,12 @@ mod universe;
 pub use behavior::SeedMixer;
 pub use config::{AsKind, CountryProfile, UniverseConfig, COUNTRY_PROFILES};
 pub use growth::{monthly_counts, GrowthModel};
-pub use pipeline::{collect_daily, collect_from_store, collect_weekly, emit_daily_logs, emit_daily_logs_packed, emit_weekly_logs, parallel_pipeline, persist_daily, PipelineStats};
+pub use pipeline::{
+    collect_daily, collect_daily_sharded, collect_from_store, collect_weekly,
+    collect_weekly_sharded, emit_daily_logs, emit_daily_logs_packed, emit_daily_shards,
+    emit_weekly_logs, emit_weekly_shards,
+    parallel_pipeline, parallel_pipeline_weekly, persist_daily, shard_of, CollectorStats,
+    PipelineReport, PipelineStats,
+};
 pub use policy::{AssignmentPolicy, DayEntry, HostPopulation, PolicySim};
 pub use universe::{AsEntry, BlockEntry, PopulationSummary, Universe};

@@ -4,19 +4,34 @@
 //! Mirrors the paper's data path ("a log entry is created, which is
 //! then processed and aggregated through a distributed data collection
 //! framework", Section 3.2): edge workers serialize per-address daily
-//! aggregates into the `ipactive-logfmt` framed stream; a collector
-//! decodes and folds them into a [`DailyDataset`]. The pipeline and
-//! the direct [`Universe::build_daily`] generator produce *identical*
+//! aggregates into the `ipactive-logfmt` framed stream; collectors
+//! decode and fold them into a [`DailyDataset`]. The pipeline and the
+//! direct [`Universe::build_daily`] generator produce *identical*
 //! datasets — a property the tests pin down — so analyses don't care
 //! which path produced their input.
+//!
+//! # Sharded topology
+//!
+//! [`parallel_pipeline`] runs `workers × collectors` threads: each
+//! edge worker serializes its slice of the universe into one buffer
+//! *per collector*, routing every `/24` block to the collector that
+//! [`shard_of`] hashes it to. Each collector folds its own partial
+//! [`DailyDatasetBuilder`]; the partials are merged (builder-level
+//! merge is commutative and associative) and finished once. Because
+//! blocks are partitioned by hash, no two collectors ever see the
+//! same block — the merge is exact, and the result is byte-identical
+//! to the single-collector and direct builds regardless of worker
+//! count, collector count, or arrival order.
 
-use crate::universe::Universe;
-use ipactive_core::{DailyDataset, DailyDatasetBuilder};
+use crate::universe::{BlockEntry, Universe};
+use ipactive_core::{DailyDataset, DailyDatasetBuilder, WeeklyDataset, WeeklyDatasetBuilder};
 use ipactive_logfmt::{FrameReader, FrameWriter, ReadMode, Record};
+use ipactive_net::Block24;
 use parking_lot::Mutex;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
-/// Counters from a pipeline run.
+/// Aggregate counters from a pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
     /// Records written by the edge side.
@@ -29,6 +44,147 @@ pub struct PipelineStats {
     pub bytes: u64,
 }
 
+/// Per-collector counters from a sharded pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Records this collector decoded and folded.
+    pub records_read: u64,
+    /// Damaged frames this collector skipped (tolerant mode).
+    pub frames_skipped: u64,
+    /// Unrecoverable decode errors (stream abandoned mid-shard).
+    pub decode_errors: u64,
+    /// Shard buffers this collector received.
+    pub buffers: u64,
+    /// Bytes routed to this collector.
+    pub bytes: u64,
+    /// Wall-clock time this collector spent decoding and folding.
+    pub elapsed: Duration,
+}
+
+impl CollectorStats {
+    /// Decode throughput of this collector, in records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.records_read as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Full accounting of a sharded pipeline run: aggregate totals plus
+/// one [`CollectorStats`] per collector, in shard order.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Aggregate counters (write side + sum over collectors).
+    pub totals: PipelineStats,
+    /// Per-collector counters, indexed by shard.
+    pub per_collector: Vec<CollectorStats>,
+    /// Edge worker threads the run used.
+    pub workers: usize,
+    /// End-to-end wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl PipelineReport {
+    /// Number of collector shards the run used.
+    pub fn collectors(&self) -> usize {
+        self.per_collector.len()
+    }
+
+    /// End-to-end throughput, in records accepted per second.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.totals.records_read as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Maps a `/24` block to its collector shard. A SplitMix64 finalizer
+/// disperses the (often sequential) block ids so shards stay balanced
+/// for any universe layout; every edge worker uses the same function,
+/// which is what guarantees collectors see disjoint block sets.
+pub fn shard_of(block: Block24, collectors: usize) -> usize {
+    debug_assert!(collectors >= 1);
+    let mut x = block.id() as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % collectors as u64) as usize
+}
+
+/// Folds one decoded record into a daily builder (ignoring cadence
+/// markers) — the single definition every collector path shares.
+fn fold_daily(record: Record, builder: &mut DailyDatasetBuilder) {
+    match record {
+        Record::Hits { day, addr, hits } => builder.record_hits(day as usize, addr, hits),
+        Record::UaSample { day, addr, ua_hash } => builder.record_ua(day as usize, addr, ua_hash),
+        Record::BlockDay(bd) => {
+            for rec in bd.unpack() {
+                if let Record::Hits { day, addr, hits } = rec {
+                    builder.record_hits(day as usize, addr, hits);
+                }
+            }
+        }
+        Record::DayStart { .. } | Record::Finish => {}
+    }
+}
+
+/// Serializes one block's daily-window records into `writer`.
+fn emit_block_daily<W: Write>(
+    universe: &Universe,
+    e: &BlockEntry,
+    writer: &mut FrameWriter<W>,
+) -> io::Result<()> {
+    let cfg = universe.config();
+    let sims = universe.block_sims(e);
+    for d in 0..cfg.daily_days {
+        let t = cfg.daily_offset + d;
+        for entry in universe.entries_on(e, &sims, t) {
+            let addr = e.block.addr(entry.host);
+            writer.write(&Record::Hits { day: d as u16, addr, hits: entry.hits as u64 })?;
+            for ua in universe.ua_samples_for(e, t, &entry) {
+                writer.write(&Record::UaSample { day: d as u16, addr, ua_hash: ua })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serializes one block's weekly totals into `writer`: one
+/// [`Record::Hits`] per active `(address, week)` whose `day` field
+/// carries the week index.
+fn emit_block_weekly<W: Write>(
+    universe: &Universe,
+    e: &BlockEntry,
+    writer: &mut FrameWriter<W>,
+) -> io::Result<()> {
+    let cfg = universe.config();
+    let sims = universe.block_sims(e);
+    for w in 0..cfg.weeks {
+        let mut acc = [0u64; 256];
+        for dow in 0..7usize {
+            for entry in universe.entries_on(e, &sims, w * 7 + dow) {
+                acc[entry.host as usize] += entry.hits as u64;
+            }
+        }
+        for (host, &hits) in acc.iter().enumerate() {
+            if hits > 0 {
+                writer.write(&Record::Hits {
+                    day: w as u16,
+                    addr: e.block.addr(host as u8),
+                    hits,
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Serializes the universe's daily-window logs into `out`.
 ///
 /// Records are emitted block-major (each block's days consecutively);
@@ -36,19 +192,8 @@ pub struct PipelineStats {
 /// order-independent. Returns the number of records written.
 pub fn emit_daily_logs<W: Write>(universe: &Universe, out: W) -> io::Result<u64> {
     let mut writer = FrameWriter::new(out);
-    let cfg = universe.config();
     for e in &universe.blocks {
-        let sims = universe.block_sims(e);
-        for d in 0..cfg.daily_days {
-            let t = cfg.daily_offset + d;
-            for entry in universe.entries_on(e, &sims, t) {
-                let addr = e.block.addr(entry.host);
-                writer.write(&Record::Hits { day: d as u16, addr, hits: entry.hits as u64 })?;
-                for ua in universe.ua_samples_for(e, t, &entry) {
-                    writer.write(&Record::UaSample { day: d as u16, addr, ua_hash: ua })?;
-                }
-            }
-        }
+        emit_block_daily(universe, e, &mut writer)?;
     }
     let written = writer.frames_written() + 1; // +1 for the Finish frame
     writer.finish()?;
@@ -146,53 +291,19 @@ pub fn collect_from_store(
     stats.frames_skipped = store.for_each_day(|_, records| {
         for record in records {
             stats.records_read += 1;
-            match record {
-                Record::Hits { day, addr, hits } => {
-                    builder.record_hits(day as usize, addr, hits)
-                }
-                Record::UaSample { day, addr, ua_hash } => {
-                    builder.record_ua(day as usize, addr, ua_hash)
-                }
-                Record::BlockDay(bd) => {
-                    for rec in bd.unpack() {
-                        if let Record::Hits { day, addr, hits } = rec {
-                            builder.record_hits(day as usize, addr, hits);
-                        }
-                    }
-                }
-                Record::DayStart { .. } | Record::Finish => {}
-            }
+            fold_daily(record, &mut builder);
         }
     })?;
     Ok((builder.finish(), stats))
 }
 
-/// Serializes the universe's *weekly* view into `out`: one
-/// [`Record::Hits`] per active `(address, week)` whose `day` field
-/// carries the week index (the framing layer is cadence-agnostic;
-/// [`collect_weekly`] interprets it back). Returns records written.
+/// Serializes the universe's *weekly* view into `out` (the framing
+/// layer is cadence-agnostic; [`collect_weekly`] interprets the `day`
+/// field back as a week index). Returns records written.
 pub fn emit_weekly_logs<W: Write>(universe: &Universe, out: W) -> io::Result<u64> {
     let mut writer = FrameWriter::new(out);
-    let cfg = universe.config();
     for e in &universe.blocks {
-        let sims = universe.block_sims(e);
-        for w in 0..cfg.weeks {
-            let mut acc = [0u64; 256];
-            for dow in 0..7usize {
-                for entry in universe.entries_on(e, &sims, w * 7 + dow) {
-                    acc[entry.host as usize] += entry.hits as u64;
-                }
-            }
-            for (host, &hits) in acc.iter().enumerate() {
-                if hits > 0 {
-                    writer.write(&Record::Hits {
-                        day: w as u16,
-                        addr: e.block.addr(host as u8),
-                        hits,
-                    })?;
-                }
-            }
-        }
+        emit_block_weekly(universe, e, &mut writer)?;
     }
     let written = writer.frames_written() + 1;
     writer.finish()?;
@@ -204,9 +315,9 @@ pub fn emit_weekly_logs<W: Write>(universe: &Universe, out: W) -> io::Result<u64
 pub fn collect_weekly<R: Read>(
     input: R,
     num_weeks: usize,
-) -> Result<(ipactive_core::WeeklyDataset, PipelineStats), ipactive_logfmt::FrameError> {
+) -> Result<(WeeklyDataset, PipelineStats), ipactive_logfmt::FrameError> {
     let mut reader = FrameReader::new(input, ReadMode::Tolerant);
-    let mut builder = ipactive_core::WeeklyDatasetBuilder::new(num_weeks);
+    let mut builder = WeeklyDatasetBuilder::new(num_weeks);
     let mut stats = PipelineStats::default();
     while let Some(record) = reader.read()? {
         stats.records_read += 1;
@@ -232,118 +343,350 @@ pub fn collect_daily<R: Read>(
     let mut stats = PipelineStats::default();
     while let Some(record) = reader.read()? {
         stats.records_read += 1;
-        match record {
-            Record::Hits { day, addr, hits } => builder.record_hits(day as usize, addr, hits),
-            Record::UaSample { day, addr, ua_hash } => {
-                builder.record_ua(day as usize, addr, ua_hash)
-            }
-            Record::BlockDay(bd) => {
-                for rec in bd.unpack() {
-                    if let Record::Hits { day, addr, hits } = rec {
-                        builder.record_hits(day as usize, addr, hits);
-                    }
-                }
-            }
-            Record::DayStart { .. } | Record::Finish => {}
-        }
+        fold_daily(record, &mut builder);
     }
     stats.frames_skipped = reader.skipped();
     Ok((builder.finish(), stats))
 }
 
-/// Runs the full pipeline with `workers` edge threads feeding one
-/// collector over a bounded channel, using the framed wire format for
-/// every hop — the multi-threaded equivalent of
-/// [`emit_daily_logs`] + [`collect_daily`].
+/// Decodes one shard buffer into `builder`, never failing: damaged
+/// frames are skipped, unrecoverable streams abandoned and counted.
+fn drain_shard_buffer(buf: &[u8], builder: &mut DailyDatasetBuilder, stats: &mut CollectorStats) {
+    stats.buffers += 1;
+    stats.bytes += buf.len() as u64;
+    let mut reader = FrameReader::new(buf, ReadMode::Tolerant);
+    loop {
+        match reader.read() {
+            Ok(Some(record)) => {
+                stats.records_read += 1;
+                fold_daily(record, builder);
+            }
+            Ok(None) => break,
+            Err(_) => {
+                stats.decode_errors += 1;
+                break;
+            }
+        }
+    }
+    stats.frames_skipped += reader.skipped();
+}
+
+/// Weekly counterpart of [`drain_shard_buffer`].
+fn drain_shard_buffer_weekly(
+    buf: &[u8],
+    builder: &mut WeeklyDatasetBuilder,
+    stats: &mut CollectorStats,
+) {
+    stats.buffers += 1;
+    stats.bytes += buf.len() as u64;
+    let mut reader = FrameReader::new(buf, ReadMode::Tolerant);
+    loop {
+        match reader.read() {
+            Ok(Some(record)) => {
+                stats.records_read += 1;
+                if let Record::Hits { day, addr, hits } = record {
+                    builder.record_week(day as usize, addr, hits);
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                stats.decode_errors += 1;
+                break;
+            }
+        }
+    }
+    stats.frames_skipped += reader.skipped();
+}
+
+/// Assembles the final report from write-side totals and per-collector
+/// counters.
+fn assemble_report(
+    write_side: PipelineStats,
+    per_collector: Vec<CollectorStats>,
+    workers: usize,
+    elapsed: Duration,
+) -> PipelineReport {
+    let mut totals = write_side;
+    for s in &per_collector {
+        totals.records_read += s.records_read;
+        totals.frames_skipped += s.frames_skipped;
+    }
+    PipelineReport { totals, per_collector, workers, elapsed }
+}
+
+/// Runs the full sharded pipeline: `workers` edge threads serialize
+/// block slices of the universe, routing each `/24` block's frames to
+/// one of `collectors` collector threads over bounded channels (see
+/// [`shard_of`]); each collector folds a partial builder and the
+/// partials merge into one [`DailyDataset`].
+///
+/// The output equals [`Universe::build_daily`] for *any* `(workers,
+/// collectors)` — the differential suite in `tests/end_to_end.rs`
+/// pins this grid-wide.
 pub fn parallel_pipeline(
     universe: &Universe,
     workers: usize,
-) -> (DailyDataset, PipelineStats) {
+    collectors: usize,
+) -> (DailyDataset, PipelineReport) {
     assert!(workers >= 1);
-    let cfg = universe.config();
-    let num_days = cfg.daily_days;
-    let stats = Mutex::new(PipelineStats::default());
-    let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(workers * 2);
+    assert!(collectors >= 1);
+    let num_days = universe.config().daily_days;
+    let start = Instant::now();
+    let write_side = Mutex::new(PipelineStats::default());
+
+    let channels: Vec<_> = (0..collectors)
+        .map(|_| crossbeam::channel::bounded::<Vec<u8>>(workers * 2))
+        .collect();
+    let (txs, rxs): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
 
     let chunk = universe.blocks.len().div_ceil(workers).max(1);
-    let dataset = crossbeam::scope(|scope| {
-        // Edge workers: serialize their block shard into one buffer.
-        for shard in universe.blocks.chunks(chunk) {
-            let tx = tx.clone();
-            let stats = &stats;
-            scope.spawn(move |_| {
-                let mut buf = Vec::new();
-                {
-                    let mut writer = FrameWriter::new(&mut buf);
-                    for e in shard {
-                        let sims = universe.block_sims(e);
-                        for d in 0..num_days {
-                            let t = universe.config().daily_offset + d;
-                            for entry in universe.entries_on(e, &sims, t) {
-                                let addr = e.block.addr(entry.host);
-                                writer
-                                    .write(&Record::Hits {
-                                        day: d as u16,
-                                        addr,
-                                        hits: entry.hits as u64,
-                                    })
-                                    .expect("vec write");
-                                for ua in universe.ua_samples_for(e, t, &entry) {
-                                    writer
-                                        .write(&Record::UaSample {
-                                            day: d as u16,
-                                            addr,
-                                            ua_hash: ua,
-                                        })
-                                        .expect("vec write");
-                                    }
-                            }
-                        }
+    let (dataset, per_collector) = crossbeam::scope(|scope| {
+        // Collectors: each folds its shard's frames into a partial
+        // builder, decoding tolerantly.
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .map(|rx| {
+                scope.spawn(move |_| {
+                    let begin = Instant::now();
+                    let mut builder = DailyDatasetBuilder::new(num_days);
+                    let mut stats = CollectorStats::default();
+                    for buf in rx.iter() {
+                        drain_shard_buffer(&buf, &mut builder, &mut stats);
                     }
-                    let mut s = stats.lock();
-                    s.records_written += writer.frames_written();
-                    writer.finish().expect("vec flush");
+                    stats.elapsed = begin.elapsed();
+                    (builder, stats)
+                })
+            })
+            .collect();
+
+        // Edge workers: serialize a block slice into one buffer per
+        // collector, routed by block hash.
+        for shard in universe.blocks.chunks(chunk) {
+            let txs = txs.clone();
+            let write_side = &write_side;
+            scope.spawn(move |_| {
+                let mut writers: Vec<FrameWriter<Vec<u8>>> =
+                    (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
+                for e in shard {
+                    let writer = &mut writers[shard_of(e.block, collectors)];
+                    emit_block_daily(universe, e, writer).expect("vec write");
                 }
-                let mut s = stats.lock();
-                s.bytes += buf.len() as u64;
-                tx.send(buf).expect("collector alive");
+                let mut written = 0u64;
+                let mut bytes = 0u64;
+                for (c, writer) in writers.into_iter().enumerate() {
+                    written += writer.frames_written();
+                    let buf = writer.finish().expect("vec flush");
+                    bytes += buf.len() as u64;
+                    txs[c].send(buf).expect("collector alive");
+                }
+                let mut s = write_side.lock();
+                s.records_written += written;
+                s.bytes += bytes;
             });
         }
-        drop(tx);
+        drop(txs);
 
-        // Collector: decode each shard stream, fold into one builder.
-        let mut builder = DailyDatasetBuilder::new(num_days);
-        for buf in rx.iter() {
-            let mut reader = FrameReader::new(&buf[..], ReadMode::Tolerant);
-            while let Some(record) = reader.read().expect("clean in-memory stream") {
-                let mut s = stats.lock();
-                s.records_read += 1;
-                drop(s);
-                match record {
-                    Record::Hits { day, addr, hits } => {
-                        builder.record_hits(day as usize, addr, hits)
-                    }
-                    Record::UaSample { day, addr, ua_hash } => {
-                        builder.record_ua(day as usize, addr, ua_hash)
-                    }
-                    Record::BlockDay(bd) => {
-                        for rec in bd.unpack() {
-                            if let Record::Hits { day, addr, hits } = rec {
-                                builder.record_hits(day as usize, addr, hits);
-                            }
-                        }
-                    }
-                    Record::DayStart { .. } | Record::Finish => {}
-                }
+        // Deterministic merge: partials combine in shard order (the
+        // builder merge is order-insensitive anyway — the determinism
+        // suite checks both directions).
+        let mut merged: Option<DailyDatasetBuilder> = None;
+        let mut per_collector = Vec::with_capacity(collectors);
+        for handle in handles {
+            let (builder, stats) = handle.join().expect("collector panicked");
+            per_collector.push(stats);
+            match &mut merged {
+                None => merged = Some(builder),
+                Some(acc) => acc.merge(builder),
             }
-            let mut s = stats.lock();
-            s.frames_skipped += reader.skipped();
         }
-        builder.finish()
+        (merged.expect("at least one collector").finish(), per_collector)
     })
     .expect("pipeline thread panicked");
 
-    (dataset, stats.into_inner())
+    let report =
+        assemble_report(write_side.into_inner(), per_collector, workers, start.elapsed());
+    (dataset, report)
+}
+
+/// Weekly counterpart of [`parallel_pipeline`]: same sharded topology,
+/// folding [`WeeklyDatasetBuilder`] partials into a [`WeeklyDataset`]
+/// equal to [`Universe::build_weekly`].
+pub fn parallel_pipeline_weekly(
+    universe: &Universe,
+    workers: usize,
+    collectors: usize,
+) -> (WeeklyDataset, PipelineReport) {
+    assert!(workers >= 1);
+    assert!(collectors >= 1);
+    let num_weeks = universe.config().weeks;
+    let start = Instant::now();
+    let write_side = Mutex::new(PipelineStats::default());
+
+    let channels: Vec<_> = (0..collectors)
+        .map(|_| crossbeam::channel::bounded::<Vec<u8>>(workers * 2))
+        .collect();
+    let (txs, rxs): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
+
+    let chunk = universe.blocks.len().div_ceil(workers).max(1);
+    let (dataset, per_collector) = crossbeam::scope(|scope| {
+        let handles: Vec<_> = rxs
+            .into_iter()
+            .map(|rx| {
+                scope.spawn(move |_| {
+                    let begin = Instant::now();
+                    let mut builder = WeeklyDatasetBuilder::new(num_weeks);
+                    let mut stats = CollectorStats::default();
+                    for buf in rx.iter() {
+                        drain_shard_buffer_weekly(&buf, &mut builder, &mut stats);
+                    }
+                    stats.elapsed = begin.elapsed();
+                    (builder, stats)
+                })
+            })
+            .collect();
+
+        for shard in universe.blocks.chunks(chunk) {
+            let txs = txs.clone();
+            let write_side = &write_side;
+            scope.spawn(move |_| {
+                let mut writers: Vec<FrameWriter<Vec<u8>>> =
+                    (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
+                for e in shard {
+                    let writer = &mut writers[shard_of(e.block, collectors)];
+                    emit_block_weekly(universe, e, writer).expect("vec write");
+                }
+                let mut written = 0u64;
+                let mut bytes = 0u64;
+                for (c, writer) in writers.into_iter().enumerate() {
+                    written += writer.frames_written();
+                    let buf = writer.finish().expect("vec flush");
+                    bytes += buf.len() as u64;
+                    txs[c].send(buf).expect("collector alive");
+                }
+                let mut s = write_side.lock();
+                s.records_written += written;
+                s.bytes += bytes;
+            });
+        }
+        drop(txs);
+
+        let mut merged: Option<WeeklyDatasetBuilder> = None;
+        let mut per_collector = Vec::with_capacity(collectors);
+        for handle in handles {
+            let (builder, stats) = handle.join().expect("collector panicked");
+            per_collector.push(stats);
+            match &mut merged {
+                None => merged = Some(builder),
+                Some(acc) => acc.merge(builder),
+            }
+        }
+        (merged.expect("at least one collector").finish(), per_collector)
+    })
+    .expect("pipeline thread panicked");
+
+    let report =
+        assemble_report(write_side.into_inner(), per_collector, workers, start.elapsed());
+    (dataset, report)
+}
+
+/// Serializes the universe's daily logs into `collectors` shard
+/// buffers, each holding exactly the blocks [`shard_of`] routes to
+/// that collector — the edge half of [`parallel_pipeline`] exposed
+/// for replay and fault-injection testing against
+/// [`collect_daily_sharded`].
+pub fn emit_daily_shards(universe: &Universe, collectors: usize) -> io::Result<Vec<Vec<u8>>> {
+    assert!(collectors >= 1);
+    let mut writers: Vec<FrameWriter<Vec<u8>>> =
+        (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
+    for e in &universe.blocks {
+        emit_block_daily(universe, e, &mut writers[shard_of(e.block, collectors)])?;
+    }
+    writers.into_iter().map(|w| w.finish()).collect()
+}
+
+/// Weekly counterpart of [`emit_daily_shards`].
+pub fn emit_weekly_shards(universe: &Universe, collectors: usize) -> io::Result<Vec<Vec<u8>>> {
+    assert!(collectors >= 1);
+    let mut writers: Vec<FrameWriter<Vec<u8>>> =
+        (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
+    for e in &universe.blocks {
+        emit_block_weekly(universe, e, &mut writers[shard_of(e.block, collectors)])?;
+    }
+    writers.into_iter().map(|w| w.finish()).collect()
+}
+
+/// Decodes pre-encoded per-shard daily streams concurrently — one
+/// collector per shard — and merges the partial builders. Total:
+/// damaged or truncated shards lose frames (counted per collector in
+/// the report) but never panic and never poison other shards.
+///
+/// This is the collector half of [`parallel_pipeline`] exposed for
+/// replay and fault-injection: the property suite feeds it corrupted
+/// shard buffers.
+pub fn collect_daily_sharded(shards: &[Vec<u8>], num_days: usize) -> (DailyDataset, PipelineReport) {
+    let start = Instant::now();
+    let (dataset, per_collector) = crossbeam::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|buf| {
+                scope.spawn(move |_| {
+                    let begin = Instant::now();
+                    let mut builder = DailyDatasetBuilder::new(num_days);
+                    let mut stats = CollectorStats::default();
+                    drain_shard_buffer(buf, &mut builder, &mut stats);
+                    stats.elapsed = begin.elapsed();
+                    (builder, stats)
+                })
+            })
+            .collect();
+        let mut merged = DailyDatasetBuilder::new(num_days);
+        let mut per_collector = Vec::with_capacity(shards.len());
+        for handle in handles {
+            let (builder, stats) = handle.join().expect("collector panicked");
+            per_collector.push(stats);
+            merged.merge(builder);
+        }
+        (merged.finish(), per_collector)
+    })
+    .expect("collector thread panicked");
+    let mut report = assemble_report(PipelineStats::default(), per_collector, 0, start.elapsed());
+    report.totals.bytes = shards.iter().map(|b| b.len() as u64).sum();
+    (dataset, report)
+}
+
+/// Weekly counterpart of [`collect_daily_sharded`].
+pub fn collect_weekly_sharded(
+    shards: &[Vec<u8>],
+    num_weeks: usize,
+) -> (WeeklyDataset, PipelineReport) {
+    let start = Instant::now();
+    let (dataset, per_collector) = crossbeam::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|buf| {
+                scope.spawn(move |_| {
+                    let begin = Instant::now();
+                    let mut builder = WeeklyDatasetBuilder::new(num_weeks);
+                    let mut stats = CollectorStats::default();
+                    drain_shard_buffer_weekly(buf, &mut builder, &mut stats);
+                    stats.elapsed = begin.elapsed();
+                    (builder, stats)
+                })
+            })
+            .collect();
+        let mut merged = WeeklyDatasetBuilder::new(num_weeks);
+        let mut per_collector = Vec::with_capacity(shards.len());
+        for handle in handles {
+            let (builder, stats) = handle.join().expect("collector panicked");
+            per_collector.push(stats);
+            merged.merge(builder);
+        }
+        (merged.finish(), per_collector)
+    })
+    .expect("collector thread panicked");
+    let mut report = assemble_report(PipelineStats::default(), per_collector, 0, start.elapsed());
+    report.totals.bytes = shards.iter().map(|b| b.len() as u64).sum();
+    (dataset, report)
 }
 
 #[cfg(test)]
@@ -385,11 +728,50 @@ mod tests {
     fn parallel_pipeline_equals_direct_build() {
         let u = universe();
         let direct = u.build_daily();
-        let (collected, stats) = parallel_pipeline(&u, 4);
+        let (collected, report) = parallel_pipeline(&u, 4, 2);
         assert_datasets_equal(&direct, &collected);
-        assert_eq!(stats.records_written, stats.records_read);
-        assert!(stats.bytes > 0);
-        assert_eq!(stats.frames_skipped, 0);
+        assert_eq!(report.totals.records_written, report.totals.records_read);
+        assert!(report.totals.bytes > 0);
+        assert_eq!(report.totals.frames_skipped, 0);
+        assert_eq!(report.collectors(), 2);
+        assert_eq!(report.workers, 4);
+    }
+
+    #[test]
+    fn per_collector_stats_sum_to_totals() {
+        let u = universe();
+        let (_, report) = parallel_pipeline(&u, 3, 4);
+        let read: u64 = report.per_collector.iter().map(|s| s.records_read).sum();
+        let bytes: u64 = report.per_collector.iter().map(|s| s.bytes).sum();
+        let buffers: u64 = report.per_collector.iter().map(|s| s.buffers).sum();
+        assert_eq!(read, report.totals.records_read);
+        assert_eq!(bytes, report.totals.bytes);
+        // Every worker sends one buffer to every collector.
+        assert_eq!(buffers, 3 * 4);
+        assert!(report.per_collector.iter().all(|s| s.decode_errors == 0));
+        assert!(report.records_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn parallel_pipeline_weekly_equals_direct_build() {
+        let u = universe();
+        let direct = u.build_weekly();
+        let (collected, report) = parallel_pipeline_weekly(&u, 4, 2);
+        assert_eq!(collected, direct);
+        assert_eq!(report.totals.records_written, report.totals.records_read);
+        assert_eq!(report.totals.frames_skipped, 0);
+    }
+
+    #[test]
+    fn sharded_collect_equals_unsharded() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let collectors = 3;
+        let shards = emit_daily_shards(&u, collectors).unwrap();
+        let (sharded, report) = collect_daily_sharded(&shards, num_days);
+        assert_datasets_equal(&u.build_daily(), &sharded);
+        assert_eq!(report.collectors(), collectors);
+        assert!(report.per_collector.iter().all(|s| s.frames_skipped == 0));
     }
 
     #[test]
@@ -435,16 +817,7 @@ mod tests {
         emit_weekly_logs(&u, &mut buf).unwrap();
         let (collected, stats) = collect_weekly(&buf[..], u.config().weeks).unwrap();
         assert_eq!(stats.frames_skipped, 0);
-        assert_eq!(collected.num_weeks, direct.num_weeks);
-        assert_eq!(collected.blocks, direct.blocks, "weekly activity bits differ");
-        // Per-week hit multisets match up to ordering.
-        for (a, b) in collected.week_hits.iter().zip(direct.week_hits.iter()) {
-            let mut a = a.clone();
-            let mut b = b.clone();
-            a.sort_unstable();
-            b.sort_unstable();
-            assert_eq!(a, b);
-        }
+        assert_eq!(collected, direct);
     }
 
     #[test]
@@ -462,5 +835,29 @@ mod tests {
         }
         // (A LostSync error is also acceptable — the point is no panic
         // and no silent wrong data.)
+    }
+
+    #[test]
+    fn sharded_collector_survives_corruption_in_one_shard() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let collectors = 3;
+        let mut shards = emit_daily_shards(&u, collectors).unwrap();
+        let (clean, _) = collect_daily_sharded(&shards, num_days);
+        // Trash shard 1 wholesale; shards 0 and 2 must decode intact.
+        let pos = shards[1].len() / 2;
+        shards[1].truncate(pos);
+        shards[1].extend_from_slice(&[0xFF; 64]);
+        let (damaged, report) = collect_daily_sharded(&shards, num_days);
+        assert_eq!(report.per_collector[0].frames_skipped, 0);
+        assert_eq!(report.per_collector[2].frames_skipped, 0);
+        // Only shard 1's blocks can differ; every other block matches
+        // the clean run exactly.
+        for rec in &damaged.blocks {
+            if shard_of(rec.block, collectors) != 1 {
+                let clean_rec = clean.block(rec.block).expect("clean shard block");
+                assert_eq!(rec, clean_rec);
+            }
+        }
     }
 }

@@ -669,6 +669,11 @@ impl Universe {
             }
         }
         blocks.sort_by_key(|(b, _)| *b);
+        // Canonical order, matching WeeklyDatasetBuilder::finish — so
+        // direct builds and collector outputs compare by `==`.
+        for week in &mut week_hits {
+            week.sort_unstable();
+        }
         WeeklyDataset { num_weeks: cfg.weeks, blocks, week_hits }
     }
 

@@ -24,7 +24,7 @@ pub struct IpTraffic {
 }
 
 /// Activity and traffic of one `/24` block over the daily window.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockRecord {
     /// The block.
     pub block: Block24,
@@ -77,7 +77,7 @@ impl BlockRecord {
 
 /// The daily dataset: one [`BlockRecord`] per active `/24`, sorted by
 /// block, over `num_days` observation days.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DailyDataset {
     /// Length of the observation window in days (112 in the paper).
     pub num_days: usize,
@@ -142,6 +142,40 @@ impl DailyDataset {
             .iter()
             .flat_map(|r| r.ip_traffic.iter().map(move |t| (r.block.addr(t.host), t)))
     }
+
+    /// Merges two *block-disjoint* partitions of one logical dataset
+    /// into their union — the finalize step of a sharded collector,
+    /// where each shard owns the `/24` blocks that hashed to it.
+    ///
+    /// The merge is commutative and associative: blocks are re-sorted
+    /// into canonical order, so the result is independent of shard
+    /// count and arrival order. Finished [`BlockRecord`]s no longer
+    /// carry the per-day values and UA hash sets needed to combine two
+    /// views of the *same* block (`median_daily_hits`, `ua_unique`),
+    /// so overlapping partitions cannot be merged losslessly —
+    /// callers with overlapping inputs must merge at the builder level
+    /// ([`DailyDatasetBuilder::merge`]) instead.
+    ///
+    /// # Panics
+    /// If window lengths differ or any block appears in both inputs.
+    pub fn merge(self, other: DailyDataset) -> DailyDataset {
+        assert_eq!(
+            self.num_days, other.num_days,
+            "cannot merge datasets over different windows"
+        );
+        let num_days = self.num_days;
+        let mut blocks = self.blocks;
+        blocks.extend(other.blocks);
+        blocks.sort_unstable_by_key(|r| r.block);
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].block != w[1].block,
+                "block {} present in both partitions; merge the builders instead",
+                w[0].block
+            );
+        }
+        DailyDataset { num_days, blocks }
+    }
 }
 
 /// Accumulator used by collectors to build a [`DailyDataset`] from a
@@ -167,6 +201,27 @@ struct IpAcc {
     /// `(day, hits)` per active day, in arrival order.
     daily: Vec<(u8, u32)>,
     total: u64,
+}
+
+impl IpAcc {
+    /// Combines another accumulator for the same address: days active
+    /// in both sum their hit counts, days active in one carry over.
+    fn merge(&mut self, other: IpAcc) {
+        for (day, hits) in other.daily {
+            if self.bits.get(day as usize) {
+                let slot = self
+                    .daily
+                    .iter_mut()
+                    .find(|(d, _)| *d == day)
+                    .expect("bit set implies a daily sample exists");
+                slot.1 = slot.1.saturating_add(hits);
+            } else {
+                self.bits.set(day as usize);
+                self.daily.push((day, hits));
+            }
+        }
+        self.total += other.total;
+    }
 }
 
 impl DailyDatasetBuilder {
@@ -209,6 +264,48 @@ impl DailyDatasetBuilder {
         acc.ua_hashes.insert(ua_hash);
     }
 
+    /// Folds another builder's accumulated records into this one, as
+    /// if every record fed to `other` had been fed here instead.
+    ///
+    /// Unlike [`DailyDataset::merge`] this is fully general — the
+    /// accumulators still hold per-day hit values and UA hash sets, so
+    /// overlapping blocks, addresses, and days combine exactly. The
+    /// operation is commutative and associative up to `finish()`
+    /// (which canonicalizes all ordering), which is what makes a
+    /// sharded collector's result independent of merge order.
+    ///
+    /// # Panics
+    /// If the builders cover different window lengths.
+    pub fn merge(&mut self, other: DailyDatasetBuilder) {
+        assert_eq!(
+            self.num_days, other.num_days,
+            "cannot merge builders over different windows"
+        );
+        for (block, acc) in other.blocks {
+            match self.blocks.entry(block) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(acc);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    mine.total_hits += acc.total_hits;
+                    mine.ua_samples += acc.ua_samples;
+                    mine.ua_hashes.extend(acc.ua_hashes);
+                    for (host, ip) in acc.ips {
+                        match mine.ips.entry(host) {
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                slot.insert(ip);
+                            }
+                            std::collections::hash_map::Entry::Occupied(mut slot) => {
+                                slot.get_mut().merge(ip);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Finalizes into an immutable dataset.
     pub fn finish(self) -> DailyDataset {
         let mut blocks: Vec<BlockRecord> = self
@@ -247,8 +344,9 @@ impl DailyDatasetBuilder {
 
 /// The weekly dataset: per-block week-bitsets over `num_weeks` weeks,
 /// plus per-week per-address hit totals (as a multiset — the traffic
-/// consolidation analysis needs values, not identities).
-#[derive(Debug, Clone)]
+/// consolidation analysis needs values, not identities; collectors
+/// keep each week's values sorted so datasets compare by `==`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct WeeklyDataset {
     /// Number of weeks (52 in the paper).
     pub num_weeks: usize,
@@ -331,6 +429,37 @@ impl WeeklyDataset {
             .map(|(_, rows)| rows.iter().filter(|&&b| b != 0).count())
             .sum()
     }
+
+    /// Merges two *block-disjoint* partitions of one logical weekly
+    /// dataset — the weekly counterpart of [`DailyDataset::merge`].
+    /// Blocks are re-sorted and each week's hit multiset re-sorted, so
+    /// the merge is commutative and associative.
+    ///
+    /// # Panics
+    /// If week counts differ or any block appears in both inputs.
+    pub fn merge(self, other: WeeklyDataset) -> WeeklyDataset {
+        assert_eq!(
+            self.num_weeks, other.num_weeks,
+            "cannot merge datasets over different week counts"
+        );
+        let num_weeks = self.num_weeks;
+        let mut blocks = self.blocks;
+        blocks.extend(other.blocks);
+        blocks.sort_unstable_by_key(|(b, _)| *b);
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].0 != w[1].0,
+                "block {} present in both partitions; merge the builders instead",
+                w[0].0
+            );
+        }
+        let mut week_hits = self.week_hits;
+        for (mine, theirs) in week_hits.iter_mut().zip(other.week_hits) {
+            mine.extend(theirs);
+            mine.sort_unstable();
+        }
+        WeeklyDataset { num_weeks, blocks, week_hits }
+    }
 }
 
 /// Accumulator for [`WeeklyDataset`].
@@ -367,11 +496,47 @@ impl WeeklyDatasetBuilder {
         self.week_hits[w].push(hits);
     }
 
-    /// Finalizes into an immutable dataset.
+    /// Folds another builder's accumulated records into this one —
+    /// exact for overlapping blocks and addresses (week bits union,
+    /// hit multisets concatenate), and order-insensitive up to
+    /// `finish()`'s canonicalization.
+    ///
+    /// # Panics
+    /// If the builders cover different week counts.
+    pub fn merge(&mut self, other: WeeklyDatasetBuilder) {
+        assert_eq!(
+            self.num_weeks, other.num_weeks,
+            "cannot merge builders over different week counts"
+        );
+        for (block, rows) in other.blocks {
+            match self.blocks.entry(block) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(rows);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    for (mine, theirs) in slot.get_mut().iter_mut().zip(rows.iter()) {
+                        *mine |= theirs;
+                    }
+                }
+            }
+        }
+        for (mine, theirs) in self.week_hits.iter_mut().zip(other.week_hits) {
+            mine.extend(theirs);
+        }
+    }
+
+    /// Finalizes into an immutable dataset. Blocks and each week's
+    /// hit multiset are sorted into canonical order, so any two
+    /// builders fed the same records (in any order, through any
+    /// merge tree) finish into `==` datasets.
     pub fn finish(self) -> WeeklyDataset {
         let mut blocks: Vec<(Block24, Box<[u64; 256]>)> = self.blocks.into_iter().collect();
         blocks.sort_unstable_by_key(|(b, _)| *b);
-        WeeklyDataset { num_weeks: self.num_weeks, blocks, week_hits: self.week_hits }
+        let mut week_hits = self.week_hits;
+        for week in &mut week_hits {
+            week.sort_unstable();
+        }
+        WeeklyDataset { num_weeks: self.num_weeks, blocks, week_hits }
     }
 }
 
@@ -522,5 +687,151 @@ mod tests {
         b.record_week(63, addr("10.0.0.1"), 1);
         let ds = b.finish();
         assert_eq!(ds.window_union(0..64).len(), 1);
+    }
+
+    /// The records behind `tiny_daily`, as a replayable list.
+    fn tiny_daily_records() -> Vec<(usize, Addr, u64)> {
+        let mut recs = vec![
+            (0, addr("10.0.0.1"), 10),
+            (1, addr("10.0.0.1"), 30),
+            (6, addr("10.0.0.1"), 20),
+            (3, addr("10.0.1.9"), 1),
+        ];
+        for d in 0..7 {
+            recs.push((d, addr("10.0.0.2"), 1000));
+        }
+        recs
+    }
+
+    #[test]
+    fn builder_merge_equals_single_builder_for_any_split() {
+        let records = tiny_daily_records();
+        let uas = [(0, "10.0.0.2", 111u64), (1, "10.0.0.2", 111), (2, "10.0.0.2", 222)];
+        let mut reference = DailyDatasetBuilder::new(7);
+        for &(d, a, h) in &records {
+            reference.record_hits(d, a, h);
+        }
+        for &(d, a, ua) in &uas {
+            reference.record_ua(d, addr(a), ua);
+        }
+        let expect = reference.finish();
+
+        // Split the records across 3 shards in several different ways;
+        // every merge order must reproduce the single-builder result.
+        for stride in 1..=3 {
+            let mut shards: Vec<DailyDatasetBuilder> =
+                (0..3).map(|_| DailyDatasetBuilder::new(7)).collect();
+            for (i, &(d, a, h)) in records.iter().enumerate() {
+                shards[(i / stride) % 3].record_hits(d, a, h);
+            }
+            for (i, &(d, a, ua)) in uas.iter().enumerate() {
+                shards[i % 3].record_ua(d, addr(a), ua);
+            }
+            // Merge right-to-left for odd strides, left-to-right
+            // otherwise — order must not matter.
+            let merged = if stride % 2 == 1 {
+                let mut it = shards.into_iter().rev();
+                let mut acc = it.next().unwrap();
+                for b in it {
+                    acc.merge(b);
+                }
+                acc
+            } else {
+                let mut it = shards.into_iter();
+                let mut acc = it.next().unwrap();
+                for b in it {
+                    acc.merge(b);
+                }
+                acc
+            };
+            assert_eq!(merged.finish(), expect, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn builder_merge_combines_same_day_same_addr() {
+        let mut a = DailyDatasetBuilder::new(3);
+        let mut b = DailyDatasetBuilder::new(3);
+        a.record_hits(1, addr("10.0.0.5"), 4);
+        b.record_hits(1, addr("10.0.0.5"), 6);
+        b.record_hits(2, addr("10.0.0.5"), 1);
+        a.merge(b);
+        let ds = a.finish();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        let t = &rec.ip_traffic[0];
+        assert_eq!(t.days_active, 2);
+        assert_eq!(t.total_hits, 11);
+        assert_eq!(t.median_daily_hits, 10); // sorted day totals [1, 10]
+    }
+
+    #[test]
+    fn dataset_merge_of_disjoint_partitions() {
+        let full = tiny_daily();
+        let mut a = DailyDatasetBuilder::new(7);
+        let mut b = DailyDatasetBuilder::new(7);
+        // Partition by block: 10.0.0.0/24 to a, 10.0.1.0/24 to b.
+        for (d, ad, h) in tiny_daily_records() {
+            if Block24::of(ad) == Block24::of(addr("10.0.0.0")) {
+                a.record_hits(d, ad, h);
+            } else {
+                b.record_hits(d, ad, h);
+            }
+        }
+        a.record_ua(0, addr("10.0.0.2"), 111);
+        a.record_ua(1, addr("10.0.0.2"), 111);
+        a.record_ua(2, addr("10.0.0.2"), 222);
+        let (pa, pb) = (a.finish(), b.finish());
+        // Either merge order produces the full dataset.
+        assert_eq!(pa.clone().merge(pb.clone()), full);
+        assert_eq!(pb.merge(pa), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "present in both partitions")]
+    fn dataset_merge_rejects_overlapping_blocks() {
+        let a = tiny_daily();
+        let b = tiny_daily();
+        let _ = a.merge(b);
+    }
+
+    #[test]
+    fn weekly_builder_merge_and_dataset_merge() {
+        let mut reference = WeeklyDatasetBuilder::new(8);
+        reference.record_week(0, addr("10.0.0.1"), 100);
+        reference.record_week(3, addr("10.0.0.1"), 50);
+        reference.record_week(3, addr("10.0.2.7"), 5);
+        reference.record_week(7, addr("10.0.2.7"), 9);
+        let expect = reference.finish();
+
+        // Builder-level merge with overlapping blocks.
+        let mut a = WeeklyDatasetBuilder::new(8);
+        let mut b = WeeklyDatasetBuilder::new(8);
+        a.record_week(0, addr("10.0.0.1"), 100);
+        b.record_week(3, addr("10.0.0.1"), 50);
+        b.record_week(3, addr("10.0.2.7"), 5);
+        a.record_week(7, addr("10.0.2.7"), 9);
+        a.merge(b);
+        assert_eq!(a.finish(), expect);
+
+        // Dataset-level merge of block-disjoint partitions.
+        let mut pa = WeeklyDatasetBuilder::new(8);
+        let mut pb = WeeklyDatasetBuilder::new(8);
+        pa.record_week(0, addr("10.0.0.1"), 100);
+        pa.record_week(3, addr("10.0.0.1"), 50);
+        pb.record_week(3, addr("10.0.2.7"), 5);
+        pb.record_week(7, addr("10.0.2.7"), 9);
+        let (da, db) = (pa.finish(), pb.finish());
+        assert_eq!(da.clone().merge(db.clone()), expect);
+        assert_eq!(db.merge(da), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "present in both partitions")]
+    fn weekly_dataset_merge_rejects_overlapping_blocks() {
+        let mut a = WeeklyDatasetBuilder::new(4);
+        a.record_week(0, addr("10.0.0.1"), 1);
+        let mut b = WeeklyDatasetBuilder::new(4);
+        b.record_week(1, addr("10.0.0.2"), 1);
+        let _ = a.finish().merge(b.finish());
     }
 }

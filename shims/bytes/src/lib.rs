@@ -1,0 +1,170 @@
+//! Vendored stand-in for the `bytes` crate.
+//!
+//! Provides only the [`Buf`] / [`BufMut`] trait subset the workspace's
+//! wire format uses: cursor-style reads over `&[u8]` and appends onto
+//! `Vec<u8>`. Semantics match the real crate for that subset (reads
+//! advance the slice; `get_*` panic when the buffer is short, which
+//! callers guard with [`Buf::has_remaining`] / [`Buf::remaining`]).
+
+#![forbid(unsafe_code)]
+
+/// Read side of a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes are left.
+    #[inline]
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte, advancing.
+    #[inline]
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 on empty buffer");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u16`, advancing.
+    #[inline]
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u32`, advancing.
+    #[inline]
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `u64`, advancing.
+    #[inline]
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Copies `dst.len()` bytes out, advancing.
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "copy_to_slice past end");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+impl<B: Buf + ?Sized> Buf for &mut B {
+    #[inline]
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+
+    #[inline]
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+
+    #[inline]
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Write side: append-only byte sink.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u16`.
+    #[inline]
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    #[inline]
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    #[inline]
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        (**self).put_u8(v)
+    }
+
+    #[inline]
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_slice_and_vec() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(7);
+        buf.put_u64_le(0xDEAD_BEEF_u64);
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.remaining(), 9);
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u64_le(), 0xDEAD_BEEF);
+        assert!(!cur.has_remaining());
+    }
+}

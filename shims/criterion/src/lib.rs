@@ -1,0 +1,153 @@
+//! Vendored stand-in for `criterion`.
+//!
+//! Keeps the API surface the bench targets use — `Criterion`,
+//! `bench_function`, `benchmark_group`/`finish`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!` — over a simple wall-clock
+//! harness: calibrate the iteration count until a batch is long
+//! enough to time, take a few samples, report the median ns/iter.
+//! No statistics machinery, no HTML reports. When invoked with
+//! `--test` (as `cargo test --benches` does) every benchmark runs a
+//! single iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch size the harness selected.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` invokes bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. Anything else is ignored.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside report as `group/name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+}
+
+/// Scoped collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, mut f: F) {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    // Warmup (and the entire run, in test mode).
+    f(&mut b);
+    if test_mode {
+        println!("bench {name}: ok (smoke, 1 iter)");
+        return;
+    }
+    // Calibrate: grow the batch until it is long enough to time
+    // reliably, capping total calibration effort.
+    let mut iters: u64 = 1;
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let samples: Vec<u128> = (0..5)
+        .map(|_| {
+            b.iters = iters;
+            f(&mut b);
+            b.elapsed.as_nanos() / iters as u128
+        })
+        .collect();
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    println!("bench {name}: {median} ns/iter (x{iters}, 5 samples)");
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_loop() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,273 @@
+//! Vendored stand-in for `crossbeam`.
+//!
+//! Supplies the two pieces this workspace uses:
+//!
+//! * [`scope`] — crossbeam-style scoped threads (`scope.spawn(|_| ..)`)
+//!   layered over `std::thread::scope`. One semantic difference: a
+//!   panicking child propagates on join instead of surfacing as `Err`,
+//!   so the customary `.expect(..)` on the result behaves the same.
+//! * [`channel::bounded`] — a blocking bounded MPMC queue
+//!   (`Mutex<VecDeque>` + condvars) with cloneable senders/receivers
+//!   and an iterator that drains until every sender hangs up.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Scoped-thread handle namespace, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result type of [`crate::scope`]: `Err` would carry a child
+    /// panic payload; this implementation propagates panics instead,
+    /// so callers only ever see `Ok`.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+}
+
+/// A scope in which child threads may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped child thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the child and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a child thread; the closure receives the scope again so
+    /// children can spawn grandchildren (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned child has
+/// finished. Child panics propagate when the scope joins.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error from sending on a channel with no receivers left; carries
+    /// the rejected value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error from receiving on an empty channel with no senders left.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Producer half; cloneable.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Consumer half; cloneable (MPMC — each value goes to one receiver).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded channel holding at most `cap` queued values
+    /// (a cap of 0 is rounded up to 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then enqueues `value`. Fails
+        /// only when every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < state.cap {
+                    state.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.inner.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().senders += 1;
+            Sender { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; fails once the channel is empty
+        /// and every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Blocking iterator over received values; ends when all
+        /// senders disconnect and the queue drains.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().unwrap().receivers += 1;
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn bounded_channel_drains_after_senders_drop() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        let got: Vec<u32> = scope(|s| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            rx.iter().collect()
+        })
+        .unwrap();
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn send_fails_with_no_receivers() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(9).is_err());
+    }
+}

@@ -1,0 +1,601 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use:
+//! `proptest! { #[test] fn f(x in strategy) { .. } }`, `prop_assert*`,
+//! `prop_oneof!`, `any::<T>()`, range and tuple strategies,
+//! `Strategy::prop_map`, `prop::collection::vec`, and simple
+//! `"[class]{m,n}"` string patterns. Failing cases are reported with
+//! their case number and seed; there is **no shrinking**.
+//!
+//! Determinism: every test derives its stream from a base seed — the
+//! `PROPTEST_SEED` env var when set (CI pins this), else a fixed
+//! default — mixed with the test's module path, so runs are
+//! reproducible by construction.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// A generator of test values. Unlike real proptest there is no
+    /// value tree and no shrinking: a strategy just samples.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, func: f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.func)(self.source.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.random_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Always produces clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.random::<f64>() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// String pattern strategy: `&'static str` of the form
+    /// `"[class]{m,n}"` (or any literal string without a class, taken
+    /// verbatim). Supports `a-z` ranges and `\n`/`\t`/`\\`/`\]`
+    /// escapes inside the class — the subset the tests use.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    fn parse_class(body: &str) -> Vec<char> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = match chars[i] {
+                '\\' if i + 1 < chars.len() => {
+                    i += 1;
+                    match chars[i] {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }
+                }
+                other => other,
+            };
+            // Range form `a-z` (a literal '-' at either end stands alone).
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                let hi = chars[i + 2];
+                for code in (c as u32)..=(hi as u32) {
+                    if let Some(ch) = char::from_u32(code) {
+                        set.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(c);
+                i += 1;
+            }
+        }
+        set
+    }
+
+    /// Generates a string for a `"[class]{m,n}"` pattern; any other
+    /// pattern shape is returned verbatim.
+    pub(crate) fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let parsed = pattern
+            .strip_prefix('[')
+            .and_then(|rest| rest.split_once(']'))
+            .and_then(|(class, quant)| {
+                let quant = quant.strip_prefix('{')?.strip_suffix('}')?;
+                let (lo, hi) = quant.split_once(',')?;
+                Some((parse_class(class), lo.parse::<usize>().ok()?, hi.parse::<usize>().ok()?))
+            });
+        match parsed {
+            Some((set, lo, hi)) if !set.is_empty() => {
+                let len = rng.random_range(lo..=hi);
+                (0..len).map(|_| set[rng.random_range(0..set.len())]).collect()
+            }
+            _ => pattern.to_string(),
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use core::marker::PhantomData;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.random()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Element-count bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for vectors of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-suite configuration (only `cases` is honored).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property, carrying its message.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    fn fnv1a(text: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Drives one `proptest!` test: derives a deterministic per-case
+    /// RNG from the base seed and the test's name.
+    pub struct TestRunner {
+        cases: u32,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Base seed when `PROPTEST_SEED` is unset.
+        pub const DEFAULT_SEED: u64 = 0x1BAC_71FE_5EED_2016;
+
+        /// Builds a runner for the named test. `PROPTEST_SEED`
+        /// overrides the base seed; `PROPTEST_CASES` the case count.
+        pub fn new(config: ProptestConfig, name: &str) -> Self {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(Self::DEFAULT_SEED);
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(config.cases);
+            TestRunner { cases, seed: base ^ fnv1a(name) }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// The base seed in effect (for failure reports).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        /// Deterministic RNG for one case index.
+        pub fn rng_for_case(&self, case: u32) -> StdRng {
+            StdRng::seed_from_u64(self.seed.wrapping_add(
+                (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+}
+
+/// Namespace alias so `prop::collection::vec(..)` works after a
+/// prelude glob import, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Fails the current property when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($arg)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property when the operands differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `left == right` ({})\n  left: {:?}\n right: {:?}",
+            format!($($arg)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current property when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..)` body
+/// runs for the configured number of deterministically seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..runner.cases() {
+                    let mut proptest_rng = runner.rng_for_case(case);
+                    $(let $pat = $crate::strategy::Strategy::generate(
+                        &($strat),
+                        &mut proptest_rng,
+                    );)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "proptest case {}/{} failed (seed {:#x}): {}",
+                            case + 1,
+                            runner.cases(),
+                            runner.seed(),
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_maps(x in 1u32..100, v in prop::collection::vec(0u8..10, 0..20)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn oneof_and_tuples(pair in prop_oneof![
+            (0u8..1, any::<u16>()).prop_map(|(_, v)| v as u32),
+            (1u32..10).prop_map(|v| v + 1000),
+        ]) {
+            prop_assert!(pair <= u16::MAX as u32 || (1001..1010).contains(&pair));
+        }
+
+        #[test]
+        fn string_patterns(s in "[ -~\n|]{0,50}") {
+            prop_assert!(s.len() <= 50);
+            prop_assert!(s.chars().all(|c| c == '\n' || c == '|' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        use crate::strategy::Strategy;
+        let runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::with_cases(4),
+            "fixed-name",
+        );
+        let a: Vec<u64> = (0..4)
+            .map(|c| crate::arbitrary::any::<u64>().generate(&mut runner.rng_for_case(c)))
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| crate::arbitrary::any::<u64>().generate(&mut runner.rng_for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

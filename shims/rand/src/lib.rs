@@ -1,0 +1,260 @@
+//! Vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the *minimal* subset of `rand`'s 0.10 API that it
+//! actually uses: `rngs::StdRng`, [`SeedableRng::seed_from_u64`],
+//! and [`RngExt`] with `random::<T>()` / `random_range(..)`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast,
+//! well-dispersed, and fully deterministic. It is NOT the same stream
+//! as upstream `rand`'s ChaCha12-based `StdRng`; nothing in this
+//! workspace depends on a specific stream, only on determinism
+//! (see `tests/determinism.rs` at the workspace root).
+
+#![forbid(unsafe_code)]
+
+pub mod rngs {
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix(z: &mut u64) -> u64 {
+    *z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut x = *z;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seedable generators (only the `u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed, expanding it through
+    /// SplitMix64 as the xoshiro authors recommend.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix(&mut z);
+        }
+        // All-zero state is the one forbidden xoshiro state.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+/// Raw 64-bit output.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain).
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types drawable uniformly from their "standard" distribution
+/// (integers over their full range, floats in `[0, 1)`).
+pub trait StandardUniform: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardUniform for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardUniform for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+/// Types uniformly drawable from a bounded interval — the element
+/// types `random_range` accepts.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`; caller guarantees `lo < hi`.
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// Uniform draw from `[lo, hi]`; caller guarantees `lo <= hi`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width u64 range.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_exclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample(rng) * (hi - lo)
+    }
+
+    #[inline]
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        Self::sample_exclusive(rng, lo, hi)
+    }
+}
+
+/// Ranges drawable uniformly (`lo..hi` and `lo..=hi`). The single
+/// blanket impl per range shape ties the element type to the range's
+/// item type, which is what lets integer-literal inference work.
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics on an empty range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// The ergonomic draw API (`rand` 0.10 naming).
+pub trait RngExt: RngCore {
+    /// A draw from the standard distribution of `T`.
+    #[inline]
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range`.
+    #[inline]
+    fn random_range<T, RANGE: SampleRange<T>>(&mut self, range: RANGE) -> T {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = rng.random_range(10u32..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0usize..=3);
+            assert!(y <= 3);
+            let f = rng.random_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.random_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket count {b}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace tags analysis types `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))]` but never actually
+//! serializes — so this shim supplies the trait *names* and, behind
+//! the `derive` feature, no-op derive macros (see `serde_derive`).
+//! Types annotated this way compile; real wire formats would need the
+//! real crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize` (no methods; the no-op
+/// derive generates no impls).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (lifetime mirrors the
+/// real trait so bounds written against it still parse).
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

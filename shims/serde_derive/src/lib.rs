@@ -1,0 +1,18 @@
+//! Vendored no-op stand-ins for serde's derive macros.
+//!
+//! The workspace only ever *names* `serde::Serialize` /
+//! `serde::Deserialize` in `cfg_attr` derives (no code serializes
+//! anything yet), so these derives expand to nothing: the annotated
+//! types compile unchanged and gain no impls.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -44,7 +44,10 @@
 /// `use ipactive::prelude::*;`.
 pub mod prelude {
     pub use ipactive_bgp::{Asn, BgpTimeline, RoutingTable};
-    pub use ipactive_cdnsim::{Universe, UniverseConfig};
+    pub use ipactive_cdnsim::{
+        parallel_pipeline, parallel_pipeline_weekly, CollectorStats, PipelineReport, Universe,
+        UniverseConfig,
+    };
     pub use ipactive_core::matrix::BlockMetrics;
     pub use ipactive_core::{DailyDataset, DailyDatasetBuilder, WeeklyDataset};
     pub use ipactive_net::{Addr, AddrSet, Block24, Prefix};

@@ -1,7 +1,10 @@
 //! Reproducibility guarantees: identical seeds yield byte-identical
 //! datasets and reports; different seeds yield different worlds.
 
-use ipactive::cdnsim::{collect_daily, emit_daily_logs, parallel_pipeline, Universe, UniverseConfig};
+use ipactive::cdnsim::{
+    collect_daily, collect_daily_sharded, emit_daily_logs, emit_daily_shards, parallel_pipeline,
+    parallel_pipeline_weekly, Universe, UniverseConfig,
+};
 use ipactive::core::churn;
 
 #[test]
@@ -56,13 +59,65 @@ fn pipeline_and_direct_build_agree_regardless_of_workers() {
     let u = Universe::generate(UniverseConfig::tiny(6));
     let direct = u.build_daily();
     for workers in [1usize, 2, 5] {
-        let (ds, _) = parallel_pipeline(&u, workers);
-        assert_eq!(ds.blocks.len(), direct.blocks.len(), "workers={workers}");
-        assert_eq!(ds.total_active(), direct.total_active(), "workers={workers}");
-        let sum = |d: &ipactive::core::DailyDataset| {
-            d.blocks.iter().map(|b| b.total_hits).sum::<u64>()
-        };
-        assert_eq!(sum(&ds), sum(&direct), "workers={workers}");
+        let (ds, _) = parallel_pipeline(&u, workers, 2);
+        assert_eq!(ds, direct, "workers={workers}");
+    }
+}
+
+#[test]
+fn sharded_pipeline_is_topology_invariant() {
+    // The merged dataset must not depend on how many threads ran on
+    // either side of the wire: every (workers, collectors) point
+    // yields the *identical* value.
+    let u = Universe::generate(UniverseConfig::tiny(6));
+    let (reference, _) = parallel_pipeline(&u, 1, 1);
+    for (workers, collectors) in [(1, 3), (2, 2), (3, 1), (5, 4)] {
+        let (ds, report) = parallel_pipeline(&u, workers, collectors);
+        assert_eq!(ds, reference, "workers={workers} collectors={collectors}");
+        assert_eq!(report.collectors(), collectors);
+        assert_eq!(report.totals.records_written, report.totals.records_read);
+    }
+    let (weekly_ref, _) = parallel_pipeline_weekly(&u, 1, 1);
+    for (workers, collectors) in [(2, 3), (4, 2)] {
+        let (ws, _) = parallel_pipeline_weekly(&u, workers, collectors);
+        assert_eq!(ws, weekly_ref, "weekly workers={workers} collectors={collectors}");
+    }
+}
+
+#[test]
+fn sharded_merge_is_order_insensitive() {
+    // Feeding the same shard buffers to the collector in any order —
+    // forward, reversed, rotated — merges to the identical dataset.
+    let u = Universe::generate(UniverseConfig::tiny(6));
+    let days = u.config().daily_days;
+    let shards = emit_daily_shards(&u, 4).unwrap();
+    let (forward, _) = collect_daily_sharded(&shards, days);
+
+    let mut reversed = shards.clone();
+    reversed.reverse();
+    let (rev, _) = collect_daily_sharded(&reversed, days);
+    assert_eq!(rev, forward);
+
+    let mut rotated = shards.clone();
+    rotated.rotate_left(2);
+    let (rot, _) = collect_daily_sharded(&rotated, days);
+    assert_eq!(rot, forward);
+}
+
+#[test]
+fn same_seed_same_pipeline_report_counters() {
+    // Reruns reproduce not just the dataset but the deterministic
+    // counters of the report (times naturally differ).
+    let u = Universe::generate(UniverseConfig::tiny(13));
+    let (d1, r1) = parallel_pipeline(&u, 3, 2);
+    let (d2, r2) = parallel_pipeline(&u, 3, 2);
+    assert_eq!(d1, d2);
+    assert_eq!(r1.totals, r2.totals);
+    for (a, b) in r1.per_collector.iter().zip(r2.per_collector.iter()) {
+        assert_eq!(a.records_read, b.records_read);
+        assert_eq!(a.frames_skipped, b.frames_skipped);
+        assert_eq!(a.bytes, b.bytes);
+        assert_eq!(a.buffers, b.buffers);
     }
 }
 

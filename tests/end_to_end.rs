@@ -3,7 +3,8 @@
 //! reports — who wins, roughly by what factor, where the knees are.
 
 use ipactive::bgp::RoutingTable;
-use ipactive::cdnsim::{Universe, UniverseConfig};
+use ipactive::cdnsim::{parallel_pipeline, parallel_pipeline_weekly, Universe, UniverseConfig};
+use ipactive::core::{DailyDataset, WeeklyDataset};
 use ipactive::core::{blocks, change, churn, demographics, events, hosts, traffic, visibility};
 use ipactive::dns::AssignmentHint;
 use ipactive::probe::{PortScanner, ScanCampaign, TracerouteCampaign};
@@ -211,6 +212,70 @@ fn icmp_only_space_is_substantially_infrastructure() {
         "infrastructure fraction {:.2}",
         c.infrastructure_fraction()
     );
+}
+
+/// Field-for-field daily equality with block-level context on failure
+/// — sharper diagnostics than a bare `assert_eq!` on the dataset.
+fn assert_datasets_equal(label: &str, a: &DailyDataset, b: &DailyDataset) {
+    assert_eq!(a.num_days, b.num_days, "{label}: day count");
+    assert_eq!(a.blocks.len(), b.blocks.len(), "{label}: block count");
+    for (x, y) in a.blocks.iter().zip(b.blocks.iter()) {
+        assert_eq!(x.block, y.block, "{label}: block order");
+        assert_eq!(x.rows, y.rows, "{label}: activity matrix of {}", x.block);
+        assert_eq!(x.total_hits, y.total_hits, "{label}: total_hits of {}", x.block);
+        assert_eq!(x.ua_samples, y.ua_samples, "{label}: ua_samples of {}", x.block);
+        assert_eq!(x.ua_unique, y.ua_unique, "{label}: ua_unique of {}", x.block);
+        assert_eq!(x.ip_traffic, y.ip_traffic, "{label}: ip_traffic of {}", x.block);
+    }
+}
+
+fn assert_weekly_equal(label: &str, a: &WeeklyDataset, b: &WeeklyDataset) {
+    assert_eq!(a.num_weeks, b.num_weeks, "{label}: week count");
+    assert_eq!(a.blocks, b.blocks, "{label}: block rows");
+    assert_eq!(a.week_hits, b.week_hits, "{label}: weekly hit lists");
+}
+
+#[test]
+fn sharded_pipeline_matches_direct_build_across_the_grid() {
+    // The differential grid: every (workers, collectors) combination
+    // must reproduce Universe::build_daily exactly — same blocks, same
+    // activity matrices, same traffic and UA statistics. Worker count
+    // changes slicing; collector count changes sharding and merge
+    // fan-in; neither may leak into the data.
+    let u = Universe::generate(UniverseConfig::tiny(0xD1FF));
+    let direct = u.build_daily();
+    for workers in [1usize, 2, 4, 7] {
+        for collectors in [1usize, 2, 4] {
+            let (ds, report) = parallel_pipeline(&u, workers, collectors);
+            let label = format!("daily w={workers} c={collectors}");
+            assert_datasets_equal(&label, &direct, &ds);
+            assert_eq!(report.totals.frames_skipped, 0, "{label}: clean run skipped frames");
+            assert_eq!(
+                report.totals.records_written, report.totals.records_read,
+                "{label}: record conservation"
+            );
+            assert_eq!(report.collectors(), collectors, "{label}: report fan-in");
+            assert_eq!(report.workers, workers, "{label}: report fan-out");
+        }
+    }
+}
+
+#[test]
+fn sharded_weekly_pipeline_matches_direct_build_across_the_grid() {
+    let u = Universe::generate(UniverseConfig::tiny(0xD1FF));
+    let direct = u.build_weekly();
+    for workers in [1usize, 2, 4, 7] {
+        for collectors in [1usize, 2, 4] {
+            let (ws, report) = parallel_pipeline_weekly(&u, workers, collectors);
+            let label = format!("weekly w={workers} c={collectors}");
+            assert_weekly_equal(&label, &direct, &ws);
+            assert_eq!(report.totals.frames_skipped, 0, "{label}: clean run skipped frames");
+            assert_eq!(
+                report.totals.records_written, report.totals.records_read,
+                "{label}: record conservation"
+            );
+        }
+    }
 }
 
 #[test]
