@@ -5,12 +5,15 @@
 //!
 //! ```text
 //! inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]
-//!         [--workers N] [--collectors M]
+//!         [--workers N] [--collectors M] [--faults K]
 //! ```
 //!
 //! `--workers`/`--collectors` build the datasets through the sharded
 //! log pipeline (identical output, printed throughput) instead of the
-//! direct builders.
+//! direct builders. `--faults K` uses the supervised pipeline with `K`
+//! deterministic injected faults and prints coverage, retry, and
+//! quarantine accounting — inspect a block of a degraded run to see
+//! exactly what a lost shard looks like downstream.
 //!
 //! `BLOCK` is a `/24` network like `101.0.64.0`; `top` picks the
 //! busiest block, `changed` the busiest block with a mid-window
@@ -27,6 +30,7 @@ fn main() {
     let mut truth = false;
     let mut workers: Option<usize> = None;
     let mut collectors: Option<usize> = None;
+    let mut faults: Option<usize> = None;
     let mut target: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +59,12 @@ fn main() {
                     usage();
                 }
             }
+            "--faults" => {
+                faults = args.next().and_then(|v| v.parse().ok());
+                if faults.is_none() {
+                    usage();
+                }
+            }
             "--help" | "-h" => usage(),
             other if target.is_none() => target = Some(other.to_string()),
             _ => usage(),
@@ -63,7 +73,19 @@ fn main() {
     let target = target.unwrap_or_else(|| "top".to_string());
 
     eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
-    let repro = if workers.is_some() || collectors.is_some() {
+    let repro = if let Some(k) = faults {
+        let (w, c) = (workers.unwrap_or(1), collectors.unwrap_or(2));
+        match Repro::new_supervised(seed, scale, w, c, k) {
+            Ok((repro, summary)) => {
+                eprint!("{}", summary.render());
+                repro
+            }
+            Err(e) => {
+                eprintln!("error: supervised pipeline failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if workers.is_some() || collectors.is_some() {
         let (w, c) = (workers.unwrap_or(1), collectors.unwrap_or(1));
         let (repro, summary) = Repro::new_via_pipeline(seed, scale, w, c);
         eprint!("{}", summary.render());
@@ -204,7 +226,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M]"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]"
     );
     std::process::exit(2);
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]
-//!       [--workers N] [--collectors M]
+//!       [--workers N] [--collectors M] [--faults K]
 //! repro list
 //! ```
 //!
@@ -15,6 +15,13 @@
 //! are identical (the differential suite proves it), so every
 //! experiment is unaffected; the flags exist to exercise and time the
 //! collection path at scale.
+//!
+//! `--faults K` runs the *supervised* pipeline with `K` deterministic
+//! injected faults (crashes, corruption, drops, stalls seeded from
+//! `--seed`): transient faults heal via checkpointed replay, permanent
+//! ones degrade gracefully, and the printed summary reports per-shard
+//! coverage, retries, and dead-lettered frames. `--faults 0` runs the
+//! supervised path fault-free.
 
 use ipactive_bench::{CheckOutcome, Repro, Scale, EXPERIMENTS};
 
@@ -24,6 +31,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut collectors: Option<usize> = None;
+    let mut faults: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +78,13 @@ fn main() {
                         .unwrap_or_else(|| usage("--collectors needs a positive integer")),
                 );
             }
+            "--faults" => {
+                faults = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--faults needs a non-negative integer")),
+                );
+            }
             "--help" | "-h" => {
                 usage("");
             }
@@ -83,7 +98,23 @@ fn main() {
 
     eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
     let start = std::time::Instant::now();
-    let repro = if workers.is_some() || collectors.is_some() {
+    let repro = if let Some(k) = faults {
+        let w = workers.unwrap_or(1);
+        let c = collectors.unwrap_or(2);
+        eprintln!(
+            "building datasets via supervised pipeline ({w} workers x {c} collectors, {k} injected faults) ..."
+        );
+        match Repro::new_supervised(seed, scale, w, c, k) {
+            Ok((repro, summary)) => {
+                eprint!("{}", summary.render());
+                repro
+            }
+            Err(e) => {
+                eprintln!("error: supervised pipeline failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if workers.is_some() || collectors.is_some() {
         let w = workers.unwrap_or(1);
         let c = collectors.unwrap_or(1);
         eprintln!("building datasets via sharded pipeline ({w} workers x {c} collectors) ...");
@@ -146,7 +177,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
-    eprintln!("             [--workers N] [--collectors M]");
+    eprintln!("             [--workers N] [--collectors M] [--faults K]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -9,8 +9,9 @@
 #![forbid(unsafe_code)]
 
 use ipactive_cdnsim::{
-    monthly_counts, parallel_pipeline, parallel_pipeline_weekly, GrowthModel, PipelineReport,
-    Universe, UniverseConfig,
+    emit_daily_shard_buffers, emit_weekly_shard_buffers, monthly_counts, parallel_pipeline,
+    parallel_pipeline_weekly, supervised_collect_daily, supervised_collect_weekly, FaultPlan,
+    GrowthModel, PipelineReport, RetryPolicy, SupervisedReport, Universe, UniverseConfig,
 };
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
@@ -86,13 +87,63 @@ impl PipelineRunSummary {
             for (i, s) in report.per_collector.iter().enumerate() {
                 let _ = writeln!(
                     out,
-                    "  collector {i}: {:>10} records, {:>8} buffers, {:>6.1} MiB, {} skipped ({:.0} records/s)",
+                    "  collector {i}: {:>10} records, {:>8} buffers, {:>6.1} MiB, {} skipped, {} resyncs ({:.0} records/s)",
                     s.records_read,
                     s.buffers,
                     s.bytes as f64 / (1024.0 * 1024.0),
                     s.frames_skipped,
+                    s.resyncs,
                     s.records_per_sec(),
                 );
+            }
+        }
+        out
+    }
+}
+
+/// Accounting for a supervised (fault-injected or self-healing)
+/// pipeline run: one [`SupervisedReport`] per dataset cadence.
+pub struct SupervisedRunSummary {
+    /// Supervised report of the daily-dataset run.
+    pub daily: SupervisedReport,
+    /// Supervised report of the weekly-dataset run.
+    pub weekly: SupervisedReport,
+    /// The fault plan the run was driven with.
+    pub plan: FaultPlan,
+}
+
+impl SupervisedRunSummary {
+    /// Renders both supervised reports — coverage, retries, and
+    /// quarantine — as an operator-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fault plan: {} faults (seed {:#x})", self.plan.faults().len(), self.plan.seed);
+        for (name, sup) in [("daily", &self.daily), ("weekly", &self.weekly)] {
+            let _ = writeln!(
+                out,
+                "{name}: {} records over {} collectors, {} retries, {} dead-lettered frames, {}",
+                sup.report.totals.records_read,
+                sup.report.collectors(),
+                sup.retries(),
+                sup.quarantine.len(),
+                sup.coverage.summary(),
+            );
+            for outcome in &sup.outcomes {
+                let recovered =
+                    outcome.buffers.iter().filter(|b| b.recovered()).count();
+                let lost =
+                    outcome.buffers.iter().filter(|b| !b.succeeded()).count();
+                if recovered > 0 || lost > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  shard {}: completeness {:.3}, {} retries, {} buffers recovered, {} degraded",
+                        outcome.shard,
+                        outcome.completeness(),
+                        outcome.retries(),
+                        recovered,
+                        lost,
+                    );
+                }
             }
         }
         out
@@ -148,6 +199,44 @@ impl Repro {
             routers: OnceLock::new(),
         };
         (repro, PipelineRunSummary { daily: daily_report, weekly: weekly_report })
+    }
+
+    /// Builds the session through the *supervised* pipeline with
+    /// `faults` deterministic injected faults (crashes, corruption,
+    /// drops, stalls — see [`FaultPlan::scatter`]). Transient faults
+    /// heal via checkpointed replay, so with few faults the datasets
+    /// usually equal [`Repro::new`]'s; permanent faults degrade the
+    /// run gracefully and the datasets carry a coverage grid saying
+    /// exactly which shards lost data. With `faults == 0` this is a
+    /// supervised-but-clean run (coverage 1.0).
+    pub fn new_supervised(
+        seed: u64,
+        scale: Scale,
+        workers: usize,
+        collectors: usize,
+        faults: usize,
+    ) -> std::io::Result<(Repro, SupervisedRunSummary)> {
+        let universe = Universe::generate(scale.config(seed));
+        let daily_buffers = emit_daily_shard_buffers(&universe, workers, collectors)?;
+        let weekly_buffers = emit_weekly_shard_buffers(&universe, workers, collectors)?;
+        let buffers_per_shard =
+            daily_buffers.iter().map(Vec::len).max().unwrap_or(0);
+        let plan = FaultPlan::scatter(seed, collectors, buffers_per_shard, faults);
+        let policy = RetryPolicy::default();
+        let (daily, daily_report) =
+            supervised_collect_daily(&daily_buffers, universe.config().daily_days, &policy, &plan)?;
+        let (weekly, weekly_report) =
+            supervised_collect_weekly(&weekly_buffers, universe.config().weeks, &policy, &plan)?;
+        let repro = Repro {
+            universe,
+            daily,
+            weekly,
+            seed,
+            icmp: OnceLock::new(),
+            servers: OnceLock::new(),
+            routers: OnceLock::new(),
+        };
+        Ok((repro, SupervisedRunSummary { daily: daily_report, weekly: weekly_report, plan }))
     }
 
     fn cdn_union(&self) -> AddrSet {

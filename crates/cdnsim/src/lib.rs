@@ -38,6 +38,7 @@ mod growth;
 mod pipeline;
 mod policy;
 pub mod requests;
+mod supervisor;
 pub mod ua;
 mod universe;
 
@@ -48,8 +49,13 @@ pub use pipeline::{
     collect_daily, collect_daily_sharded, collect_from_store, collect_weekly,
     collect_weekly_sharded, emit_daily_logs, emit_daily_logs_packed, emit_daily_shards,
     emit_weekly_logs, emit_weekly_shards,
-    parallel_pipeline, parallel_pipeline_weekly, persist_daily, shard_of, CollectorStats,
-    PipelineReport, PipelineStats,
+    parallel_pipeline, parallel_pipeline_weekly, persist_daily, shard_of, validate_topology,
+    CollectorStats, PipelineReport, PipelineStats,
+};
+pub use supervisor::{
+    emit_daily_shard_buffers, emit_weekly_shard_buffers, supervised_collect_daily,
+    supervised_collect_weekly, BufferOutcome, DeadLetter, Fault, FaultKind, FaultPlan,
+    RetryPolicy, ShardOutcome, SupervisedReport,
 };
 pub use policy::{AssignmentPolicy, DayEntry, HostPopulation, PolicySim};
 pub use universe::{AsEntry, BlockEntry, PopulationSummary, Universe};

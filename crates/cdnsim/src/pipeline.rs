@@ -40,6 +40,8 @@ pub struct PipelineStats {
     pub records_read: u64,
     /// Damaged frames skipped by the collector (tolerant mode).
     pub frames_skipped: u64,
+    /// Times a collector lost framing and scanned for a new sync byte.
+    pub resyncs: u64,
     /// Bytes moved over the "wire".
     pub bytes: u64,
 }
@@ -51,6 +53,10 @@ pub struct CollectorStats {
     pub records_read: u64,
     /// Damaged frames this collector skipped (tolerant mode).
     pub frames_skipped: u64,
+    /// Times this collector lost framing and had to scan for a new
+    /// sync byte (distinct from `frames_skipped`: a resync means the
+    /// stream position itself was in doubt).
+    pub resyncs: u64,
     /// Unrecoverable decode errors (stream abandoned mid-shard).
     pub decode_errors: u64,
     /// Shard buffers this collector received.
@@ -61,15 +67,21 @@ pub struct CollectorStats {
     pub elapsed: Duration,
 }
 
+/// Throughput in records per second, `0.0` when no time elapsed —
+/// the single definition shared by every report type.
+fn rate(records: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        records as f64 / secs
+    } else {
+        0.0
+    }
+}
+
 impl CollectorStats {
     /// Decode throughput of this collector, in records per second.
     pub fn records_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.records_read as f64 / secs
-        } else {
-            0.0
-        }
+        rate(self.records_read, self.elapsed)
     }
 }
 
@@ -95,12 +107,7 @@ impl PipelineReport {
 
     /// End-to-end throughput, in records accepted per second.
     pub fn records_per_sec(&self) -> f64 {
-        let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.totals.records_read as f64 / secs
-        } else {
-            0.0
-        }
+        rate(self.totals.records_read, self.elapsed)
     }
 }
 
@@ -108,8 +115,13 @@ impl PipelineReport {
 /// disperses the (often sequential) block ids so shards stay balanced
 /// for any universe layout; every edge worker uses the same function,
 /// which is what guarantees collectors see disjoint block sets.
+///
+/// # Panics
+/// If `collectors == 0` — there is no shard to map to. Pipeline entry
+/// points validate topology up front (see [`validate_topology`]) so
+/// this fires only on direct misuse.
 pub fn shard_of(block: Block24, collectors: usize) -> usize {
-    debug_assert!(collectors >= 1);
+    assert!(collectors >= 1, "shard_of: collectors must be >= 1");
     let mut x = block.id() as u64;
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -117,9 +129,29 @@ pub fn shard_of(block: Block24, collectors: usize) -> usize {
     (x % collectors as u64) as usize
 }
 
+/// Validates a pipeline topology, returning an `InvalidInput` error if
+/// either side is zero. Fallible entry points call this instead of
+/// asserting, so a mis-configured run fails with a proper error rather
+/// than a release-mode modulo-by-zero deep inside [`shard_of`].
+pub fn validate_topology(workers: usize, collectors: usize) -> io::Result<()> {
+    if workers == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pipeline topology requires at least one worker",
+        ));
+    }
+    if collectors == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "pipeline topology requires at least one collector",
+        ));
+    }
+    Ok(())
+}
+
 /// Folds one decoded record into a daily builder (ignoring cadence
 /// markers) — the single definition every collector path shares.
-fn fold_daily(record: Record, builder: &mut DailyDatasetBuilder) {
+pub(crate) fn fold_daily(record: Record, builder: &mut DailyDatasetBuilder) {
     match record {
         Record::Hits { day, addr, hits } => builder.record_hits(day as usize, addr, hits),
         Record::UaSample { day, addr, ua_hash } => builder.record_ua(day as usize, addr, ua_hash),
@@ -135,7 +167,7 @@ fn fold_daily(record: Record, builder: &mut DailyDatasetBuilder) {
 }
 
 /// Serializes one block's daily-window records into `writer`.
-fn emit_block_daily<W: Write>(
+pub(crate) fn emit_block_daily<W: Write>(
     universe: &Universe,
     e: &BlockEntry,
     writer: &mut FrameWriter<W>,
@@ -158,7 +190,7 @@ fn emit_block_daily<W: Write>(
 /// Serializes one block's weekly totals into `writer`: one
 /// [`Record::Hits`] per active `(address, week)` whose `day` field
 /// carries the week index.
-fn emit_block_weekly<W: Write>(
+pub(crate) fn emit_block_weekly<W: Write>(
     universe: &Universe,
     e: &BlockEntry,
     writer: &mut FrameWriter<W>,
@@ -326,6 +358,7 @@ pub fn collect_weekly<R: Read>(
         }
     }
     stats.frames_skipped = reader.skipped();
+    stats.resyncs = reader.resyncs();
     Ok((builder.finish(), stats))
 }
 
@@ -346,6 +379,7 @@ pub fn collect_daily<R: Read>(
         fold_daily(record, &mut builder);
     }
     stats.frames_skipped = reader.skipped();
+    stats.resyncs = reader.resyncs();
     Ok((builder.finish(), stats))
 }
 
@@ -369,6 +403,7 @@ fn drain_shard_buffer(buf: &[u8], builder: &mut DailyDatasetBuilder, stats: &mut
         }
     }
     stats.frames_skipped += reader.skipped();
+    stats.resyncs += reader.resyncs();
 }
 
 /// Weekly counterpart of [`drain_shard_buffer`].
@@ -396,11 +431,12 @@ fn drain_shard_buffer_weekly(
         }
     }
     stats.frames_skipped += reader.skipped();
+    stats.resyncs += reader.resyncs();
 }
 
 /// Assembles the final report from write-side totals and per-collector
 /// counters.
-fn assemble_report(
+pub(crate) fn assemble_report(
     write_side: PipelineStats,
     per_collector: Vec<CollectorStats>,
     workers: usize,
@@ -410,6 +446,7 @@ fn assemble_report(
     for s in &per_collector {
         totals.records_read += s.records_read;
         totals.frames_skipped += s.frames_skipped;
+        totals.resyncs += s.resyncs;
     }
     PipelineReport { totals, per_collector, workers, elapsed }
 }
@@ -428,8 +465,7 @@ pub fn parallel_pipeline(
     workers: usize,
     collectors: usize,
 ) -> (DailyDataset, PipelineReport) {
-    assert!(workers >= 1);
-    assert!(collectors >= 1);
+    validate_topology(workers, collectors).expect("invalid pipeline topology");
     let num_days = universe.config().daily_days;
     let start = Instant::now();
     let write_side = Mutex::new(PipelineStats::default());
@@ -516,8 +552,7 @@ pub fn parallel_pipeline_weekly(
     workers: usize,
     collectors: usize,
 ) -> (WeeklyDataset, PipelineReport) {
-    assert!(workers >= 1);
-    assert!(collectors >= 1);
+    validate_topology(workers, collectors).expect("invalid pipeline topology");
     let num_weeks = universe.config().weeks;
     let start = Instant::now();
     let write_side = Mutex::new(PipelineStats::default());
@@ -595,7 +630,7 @@ pub fn parallel_pipeline_weekly(
 /// for replay and fault-injection testing against
 /// [`collect_daily_sharded`].
 pub fn emit_daily_shards(universe: &Universe, collectors: usize) -> io::Result<Vec<Vec<u8>>> {
-    assert!(collectors >= 1);
+    validate_topology(1, collectors)?;
     let mut writers: Vec<FrameWriter<Vec<u8>>> =
         (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
     for e in &universe.blocks {
@@ -606,7 +641,7 @@ pub fn emit_daily_shards(universe: &Universe, collectors: usize) -> io::Result<V
 
 /// Weekly counterpart of [`emit_daily_shards`].
 pub fn emit_weekly_shards(universe: &Universe, collectors: usize) -> io::Result<Vec<Vec<u8>>> {
-    assert!(collectors >= 1);
+    validate_topology(1, collectors)?;
     let mut writers: Vec<FrameWriter<Vec<u8>>> =
         (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
     for e in &universe.blocks {
@@ -818,6 +853,40 @@ mod tests {
         let (collected, stats) = collect_weekly(&buf[..], u.config().weeks).unwrap();
         assert_eq!(stats.frames_skipped, 0);
         assert_eq!(collected, direct);
+    }
+
+    #[test]
+    fn zero_collectors_is_a_proper_error() {
+        let u = universe();
+        let err = emit_daily_shards(&u, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = emit_weekly_shards(&u, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(validate_topology(0, 1).is_err());
+        assert!(validate_topology(1, 0).is_err());
+        assert!(validate_topology(1, 1).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "collectors must be >= 1")]
+    fn shard_of_rejects_zero_collectors() {
+        let _ = shard_of(Block24::new(7), 0);
+    }
+
+    #[test]
+    fn resyncs_surface_in_report() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let mut shards = emit_daily_shards(&u, 2).unwrap();
+        // Garbage before shard 1's first frame forces a resync scan.
+        let mut dirty = vec![0x00, 0x13, 0x37];
+        dirty.extend_from_slice(&shards[1]);
+        shards[1] = dirty;
+        let (_, report) = collect_daily_sharded(&shards, num_days);
+        assert_eq!(report.per_collector[0].resyncs, 0);
+        assert!(report.per_collector[1].resyncs >= 1);
+        let summed: u64 = report.per_collector.iter().map(|s| s.resyncs).sum();
+        assert_eq!(report.totals.resyncs, summed);
     }
 
     #[test]

@@ -519,7 +519,7 @@ impl Universe {
         let records = parallel_map(&self.blocks, |e| self.block_daily(e));
         let mut blocks: Vec<BlockRecord> = records.into_iter().flatten().collect();
         blocks.sort_by_key(|r| r.block);
-        DailyDataset { num_days: cfg.daily_days, blocks }
+        DailyDataset { num_days: cfg.daily_days, blocks, coverage: None }
     }
 
     /// Prepares the (pre-restructure, post-restructure) simulators of
@@ -674,7 +674,7 @@ impl Universe {
         for week in &mut week_hits {
             week.sort_unstable();
         }
-        WeeklyDataset { num_weeks: cfg.weeks, blocks, week_hits }
+        WeeklyDataset { num_weeks: cfg.weeks, blocks, week_hits, coverage: None }
     }
 
     #[allow(clippy::type_complexity)]

@@ -7,6 +7,7 @@
 //! equivalents, organized per `/24` block so the spatio-temporal
 //! analyses of Section 5 read naturally off the activity matrices.
 
+use crate::coverage::Coverage;
 use ipactive_net::{Addr, AddrSet, Block24, DayBits};
 use std::collections::HashMap;
 
@@ -77,15 +78,37 @@ impl BlockRecord {
 
 /// The daily dataset: one [`BlockRecord`] per active `/24`, sorted by
 /// block, over `num_days` observation days.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *observed data* (`num_days` and `blocks`)
+/// only; [`DailyDataset::coverage`] is collection provenance, so a
+/// degraded run whose retries all succeeded compares equal to the
+/// fault-free run even though one carries a coverage annotation.
+#[derive(Debug, Clone)]
 pub struct DailyDataset {
     /// Length of the observation window in days (112 in the paper).
     pub num_days: usize,
     /// Per-block records, sorted by block id.
     pub blocks: Vec<BlockRecord>,
+    /// Data-completeness annotation from a supervised collection run;
+    /// `None` when the dataset came from a direct build or an
+    /// unsupervised pipeline (which either delivers everything or
+    /// reports damage out-of-band).
+    pub coverage: Option<Coverage>,
+}
+
+impl PartialEq for DailyDataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_days == other.num_days && self.blocks == other.blocks
+    }
 }
 
 impl DailyDataset {
+    /// Attaches a completeness annotation (builder style).
+    pub fn with_coverage(mut self, coverage: Coverage) -> DailyDataset {
+        self.coverage = Some(coverage);
+        self
+    }
+
     /// Looks up a block's record.
     pub fn block(&self, block: Block24) -> Option<&BlockRecord> {
         self.blocks
@@ -156,6 +179,10 @@ impl DailyDataset {
     /// callers with overlapping inputs must merge at the builder level
     /// ([`DailyDatasetBuilder::merge`]) instead.
     ///
+    /// Coverage merges alongside the blocks when *both* partitions
+    /// carry it (shard rows concatenate, `self` first); if either side
+    /// is unannotated the merged provenance is unknown and dropped.
+    ///
     /// # Panics
     /// If window lengths differ or any block appears in both inputs.
     pub fn merge(self, other: DailyDataset) -> DailyDataset {
@@ -164,6 +191,10 @@ impl DailyDataset {
             "cannot merge datasets over different windows"
         );
         let num_days = self.num_days;
+        let coverage = match (self.coverage, other.coverage) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            _ => None,
+        };
         let mut blocks = self.blocks;
         blocks.extend(other.blocks);
         blocks.sort_unstable_by_key(|r| r.block);
@@ -174,7 +205,7 @@ impl DailyDataset {
                 w[0].block
             );
         }
-        DailyDataset { num_days, blocks }
+        DailyDataset { num_days, blocks, coverage }
     }
 }
 
@@ -338,7 +369,7 @@ impl DailyDatasetBuilder {
             })
             .collect();
         blocks.sort_unstable_by_key(|r| r.block);
-        DailyDataset { num_days: self.num_days, blocks }
+        DailyDataset { num_days: self.num_days, blocks, coverage: None }
     }
 }
 
@@ -346,7 +377,10 @@ impl DailyDatasetBuilder {
 /// plus per-week per-address hit totals (as a multiset — the traffic
 /// consolidation analysis needs values, not identities; collectors
 /// keep each week's values sorted so datasets compare by `==`).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// As with [`DailyDataset`], equality compares the observed data only
+/// — the [`WeeklyDataset::coverage`] annotation is provenance.
+#[derive(Debug, Clone)]
 pub struct WeeklyDataset {
     /// Number of weeks (52 in the paper).
     pub num_weeks: usize,
@@ -355,9 +389,26 @@ pub struct WeeklyDataset {
     pub blocks: Vec<(Block24, Box<[u64; 256]>)>,
     /// `week_hits[w]` = per-active-address total hits in week `w`.
     pub week_hits: Vec<Vec<u64>>,
+    /// Data-completeness annotation from a supervised collection run
+    /// (slots are week indices); `None` outside supervised paths.
+    pub coverage: Option<Coverage>,
+}
+
+impl PartialEq for WeeklyDataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_weeks == other.num_weeks
+            && self.blocks == other.blocks
+            && self.week_hits == other.week_hits
+    }
 }
 
 impl WeeklyDataset {
+    /// Attaches a completeness annotation (builder style).
+    pub fn with_coverage(mut self, coverage: Coverage) -> WeeklyDataset {
+        self.coverage = Some(coverage);
+        self
+    }
+
     /// The set of addresses active in week `w`.
     pub fn week_set(&self, w: usize) -> AddrSet {
         assert!(w < self.num_weeks);
@@ -435,6 +486,9 @@ impl WeeklyDataset {
     /// Blocks are re-sorted and each week's hit multiset re-sorted, so
     /// the merge is commutative and associative.
     ///
+    /// Coverage merges alongside the blocks when both partitions carry
+    /// it, exactly as in [`DailyDataset::merge`].
+    ///
     /// # Panics
     /// If week counts differ or any block appears in both inputs.
     pub fn merge(self, other: WeeklyDataset) -> WeeklyDataset {
@@ -443,6 +497,10 @@ impl WeeklyDataset {
             "cannot merge datasets over different week counts"
         );
         let num_weeks = self.num_weeks;
+        let coverage = match (self.coverage, other.coverage) {
+            (Some(a), Some(b)) => Some(a.merge(b)),
+            _ => None,
+        };
         let mut blocks = self.blocks;
         blocks.extend(other.blocks);
         blocks.sort_unstable_by_key(|(b, _)| *b);
@@ -458,7 +516,7 @@ impl WeeklyDataset {
             mine.extend(theirs);
             mine.sort_unstable();
         }
-        WeeklyDataset { num_weeks, blocks, week_hits }
+        WeeklyDataset { num_weeks, blocks, week_hits, coverage }
     }
 }
 
@@ -536,7 +594,7 @@ impl WeeklyDatasetBuilder {
         for week in &mut week_hits {
             week.sort_unstable();
         }
-        WeeklyDataset { num_weeks: self.num_weeks, blocks, week_hits }
+        WeeklyDataset { num_weeks: self.num_weeks, blocks, week_hits, coverage: None }
     }
 }
 
@@ -823,6 +881,36 @@ mod tests {
         let (da, db) = (pa.finish(), pb.finish());
         assert_eq!(da.clone().merge(db.clone()), expect);
         assert_eq!(db.merge(da), expect);
+    }
+
+    #[test]
+    fn coverage_is_provenance_not_data() {
+        let clean = tiny_daily();
+        let mut annotated = clean.clone();
+        annotated.coverage = Some(Coverage::from_shard_fractions(&[0.5], 7));
+        // Equality must ignore provenance: same observations, same dataset.
+        assert_eq!(clean, annotated);
+        assert!(clean.coverage.is_none());
+        assert_eq!(annotated.coverage.as_ref().unwrap().shard(0), 0.5);
+    }
+
+    #[test]
+    fn dataset_merge_combines_coverage() {
+        let mut a = DailyDatasetBuilder::new(7);
+        a.record_hits(0, addr("10.0.0.1"), 1);
+        let mut b = DailyDatasetBuilder::new(7);
+        b.record_hits(0, addr("10.0.1.1"), 1);
+        let da = a.finish().with_coverage(Coverage::from_shard_fractions(&[1.0], 7));
+        let db = b.finish().with_coverage(Coverage::from_shard_fractions(&[0.25], 7));
+        let merged = da.merge(db);
+        let cov = merged.coverage.clone().expect("both sides annotated");
+        assert_eq!(cov.num_shards(), 2);
+        assert_eq!(cov.degraded_shards(), vec![1]);
+
+        // One unannotated side drops the provenance.
+        let mut c = DailyDatasetBuilder::new(7);
+        c.record_hits(0, addr("10.0.2.1"), 1);
+        assert!(merged.merge(c.finish()).coverage.is_none());
     }
 
     #[test]

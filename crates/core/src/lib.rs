@@ -38,6 +38,7 @@ pub mod blocks;
 pub mod census;
 pub mod change;
 pub mod churn;
+pub mod coverage;
 mod dataset;
 pub mod demographics;
 pub mod events;
@@ -52,6 +53,7 @@ pub mod timeline;
 pub mod traffic;
 pub mod visibility;
 
+pub use coverage::Coverage;
 pub use dataset::{
     BlockRecord, DailyDataset, DailyDatasetBuilder, IpTraffic, WeeklyDataset,
     WeeklyDatasetBuilder,

@@ -123,22 +123,80 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Maximum bytes of a damaged frame captured into its
+/// [`QuarantinedFrame`] — enough for post-mortem, bounded so a long
+/// garbage run cannot balloon the quarantine.
+pub const QUARANTINE_CAPTURE_CAP: usize = 256;
+
+/// Why a frame landed in the quarantine (tolerant mode only; strict
+/// mode surfaces the matching [`FrameError`] instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The payload length varint was malformed.
+    BadLength,
+    /// The declared payload length exceeded the frame size limit.
+    Oversized,
+    /// The payload failed its CRC-32 check.
+    BadChecksum,
+    /// The payload passed its CRC but did not decode as a record.
+    BadRecord,
+    /// The stream ended inside the frame.
+    Truncated,
+    /// A garbage run between frames (the reader scanned forward to the
+    /// next sync byte).
+    Desync,
+}
+
+/// One undecodable frame (or inter-frame garbage run) retained for
+/// post-mortem instead of being silently discarded: where in the
+/// stream it began, what kind of damage it showed, and up to
+/// [`QUARANTINE_CAPTURE_CAP`] bytes of the offending content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedFrame {
+    /// Byte offset in the stream where the damaged region began.
+    pub offset: u64,
+    /// Captured prefix of the offending payload or garbage run
+    /// (empty when the damage left nothing to capture, e.g. a
+    /// truncation inside the header).
+    pub captured: Vec<u8>,
+    /// The damage classification.
+    pub reason: QuarantineReason,
+}
+
 /// Streaming reader of framed [`Record`]s.
 ///
 /// `read()` returns `Ok(None)` when the stream ends cleanly: either at
 /// a [`Record::Finish`] marker or at EOF on a frame boundary.
+///
+/// In tolerant mode the reader can additionally *quarantine* what it
+/// skips: enable capture with [`FrameReader::capture_quarantine`] and
+/// every damaged frame is retained as a [`QuarantinedFrame`] with its
+/// stream offset — the raw material a dead-letter queue needs for
+/// post-mortem. Capture is off by default (zero overhead).
 pub struct FrameReader<R: Read> {
     inner: R,
     mode: ReadMode,
     skipped: u64,
     resyncs: u64,
     finished: bool,
+    pos: u64,
+    capture: bool,
+    quarantine: Vec<QuarantinedFrame>,
 }
 
 impl<R: Read> FrameReader<R> {
     /// Wraps a byte source.
     pub fn new(inner: R, mode: ReadMode) -> Self {
-        FrameReader { inner, mode, skipped: 0, resyncs: 0, finished: false }
+        FrameReader {
+            inner,
+            mode,
+            skipped: 0,
+            resyncs: 0,
+            finished: false,
+            pos: 0,
+            capture: false,
+            quarantine: Vec::new(),
+        }
     }
 
     /// Number of damaged frames skipped (tolerant mode).
@@ -152,12 +210,43 @@ impl<R: Read> FrameReader<R> {
         self.resyncs
     }
 
+    /// Current byte offset in the stream (bytes consumed so far).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Enables (or disables) quarantine capture of damaged frames.
+    pub fn capture_quarantine(mut self, enabled: bool) -> Self {
+        self.capture = enabled;
+        self
+    }
+
+    /// The frames quarantined so far (empty unless capture is on).
+    pub fn quarantine(&self) -> &[QuarantinedFrame] {
+        &self.quarantine
+    }
+
+    /// Drains the quarantine, transferring ownership to the caller.
+    pub fn take_quarantine(&mut self) -> Vec<QuarantinedFrame> {
+        std::mem::take(&mut self.quarantine)
+    }
+
+    fn quarantine_push(&mut self, offset: u64, reason: QuarantineReason, bytes: &[u8]) {
+        if self.capture {
+            let captured = bytes[..bytes.len().min(QUARANTINE_CAPTURE_CAP)].to_vec();
+            self.quarantine.push(QuarantinedFrame { offset, captured, reason });
+        }
+    }
+
     fn read_byte(&mut self) -> io::Result<Option<u8>> {
         let mut b = [0u8; 1];
         loop {
             match self.inner.read(&mut b) {
                 Ok(0) => return Ok(None),
-                Ok(_) => return Ok(Some(b[0])),
+                Ok(_) => {
+                    self.pos += 1;
+                    return Ok(Some(b[0]));
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
@@ -165,13 +254,14 @@ impl<R: Read> FrameReader<R> {
     }
 
     fn read_exact_or_trunc(&mut self, buf: &mut [u8]) -> Result<(), FrameError> {
-        self.inner.read_exact(buf).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                FrameError::TruncatedFrame
-            } else {
-                FrameError::Io(e)
+        match self.inner.read_exact(buf) {
+            Ok(()) => {
+                self.pos += buf.len() as u64;
+                Ok(())
             }
-        })
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(FrameError::TruncatedFrame),
+            Err(e) => Err(FrameError::Io(e)),
+        }
     }
 
     /// Reads the next record, `Ok(None)` at clean end of stream.
@@ -180,6 +270,8 @@ impl<R: Read> FrameReader<R> {
             if self.finished {
                 return Ok(None);
             }
+            // Offset of the frame (or garbage run) about to be read.
+            let frame_start = self.pos;
             // Sync byte, or EOF on a frame boundary.
             let sync = match self.read_byte()? {
                 None => return Ok(None),
@@ -193,18 +285,28 @@ impl<R: Read> FrameReader<R> {
                         // positive (0xA5 inside data) is harmless: its
                         // CRC will not verify and we scan again.
                         self.resyncs += 1;
-                        loop {
+                        let mut run = vec![sync];
+                        let ended = loop {
                             match self.read_byte()? {
-                                None => return Ok(None),
-                                Some(b) if b == SYNC => break,
-                                Some(_) => {}
+                                None => break true,
+                                Some(b) if b == SYNC => break false,
+                                Some(b) => {
+                                    if run.len() < QUARANTINE_CAPTURE_CAP {
+                                        run.push(b);
+                                    }
+                                }
                             }
+                        };
+                        self.quarantine_push(frame_start, QuarantineReason::Desync, &run);
+                        if ended {
+                            return Ok(None);
                         }
                     }
                 }
             }
             // Payload length (varint, byte-at-a-time off the reader).
-            let len = match self.read_len() {
+            let mut len_raw = Vec::with_capacity(4);
+            let len = match self.read_len(&mut len_raw) {
                 Ok(len) => len,
                 Err(e) => match self.mode {
                     ReadMode::Strict => return Err(e),
@@ -212,11 +314,21 @@ impl<R: Read> FrameReader<R> {
                         // Mid-stream garbage: drop the frame and rescan.
                         FrameError::BadLength(_) => {
                             self.skipped += 1;
+                            self.quarantine_push(
+                                frame_start,
+                                QuarantineReason::BadLength,
+                                &len_raw,
+                            );
                             continue;
                         }
                         // EOF inside the length field: stream over.
                         FrameError::TruncatedFrame => {
                             self.skipped += 1;
+                            self.quarantine_push(
+                                frame_start,
+                                QuarantineReason::Truncated,
+                                &len_raw,
+                            );
                             return Ok(None);
                         }
                         other => return Err(other),
@@ -228,6 +340,7 @@ impl<R: Read> FrameReader<R> {
                     ReadMode::Strict => return Err(FrameError::OversizedFrame(len)),
                     ReadMode::Tolerant => {
                         self.skipped += 1;
+                        self.quarantine_push(frame_start, QuarantineReason::Oversized, &len_raw);
                         continue; // rescan from here
                     }
                 }
@@ -237,6 +350,7 @@ impl<R: Read> FrameReader<R> {
                 match (self.mode, e) {
                     (ReadMode::Tolerant, FrameError::TruncatedFrame) => {
                         self.skipped += 1;
+                        self.quarantine_push(frame_start, QuarantineReason::Truncated, &[]);
                         return Ok(None);
                     }
                     (_, e) => return Err(e),
@@ -247,6 +361,7 @@ impl<R: Read> FrameReader<R> {
                 match (self.mode, e) {
                     (ReadMode::Tolerant, FrameError::TruncatedFrame) => {
                         self.skipped += 1;
+                        self.quarantine_push(frame_start, QuarantineReason::Truncated, &payload);
                         return Ok(None);
                     }
                     (_, e) => return Err(e),
@@ -258,6 +373,7 @@ impl<R: Read> FrameReader<R> {
                     ReadMode::Strict => return Err(FrameError::BadChecksum),
                     ReadMode::Tolerant => {
                         self.skipped += 1;
+                        self.quarantine_push(frame_start, QuarantineReason::BadChecksum, &payload);
                         continue;
                     }
                 }
@@ -272,6 +388,7 @@ impl<R: Read> FrameReader<R> {
                     ReadMode::Strict => return Err(FrameError::BadRecord(e)),
                     ReadMode::Tolerant => {
                         self.skipped += 1;
+                        self.quarantine_push(frame_start, QuarantineReason::BadRecord, &payload);
                         continue;
                     }
                 },
@@ -279,23 +396,24 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
-    fn read_len(&mut self) -> Result<u64, FrameError> {
+    fn read_len(&mut self, raw: &mut Vec<u8>) -> Result<u64, FrameError> {
         // Collect up to MAX varint bytes from the reader, then decode.
-        let mut bytes = Vec::with_capacity(4);
+        // `raw` receives every byte consumed, so callers can quarantine
+        // the malformed header on failure.
         loop {
             let b = match self.read_byte()? {
                 None => return Err(FrameError::TruncatedFrame),
                 Some(b) => b,
             };
-            bytes.push(b);
+            raw.push(b);
             if b & 0x80 == 0 {
                 break;
             }
-            if bytes.len() >= crate::varint::MAX_LEN {
+            if raw.len() >= crate::varint::MAX_LEN {
                 return Err(FrameError::BadLength(VarintError::Overflow));
             }
         }
-        let mut slice = &bytes[..];
+        let mut slice = &raw[..];
         decode_u64(&mut slice).map_err(FrameError::BadLength)
     }
 
@@ -453,6 +571,114 @@ mod tests {
         crate::varint::encode_u64(&mut buf, MAX_PAYLOAD + 1);
         let mut r = FrameReader::new(&buf[..], ReadMode::Strict);
         assert!(matches!(r.read(), Err(FrameError::OversizedFrame(_))));
+    }
+
+    #[test]
+    fn quarantine_off_by_default() {
+        let mut buf = encode_stream(&sample_records());
+        buf[3] ^= 0x10;
+        let mut r = FrameReader::new(&buf[..], ReadMode::Tolerant);
+        r.read_all().unwrap();
+        assert_eq!(r.skipped(), 1);
+        assert!(r.quarantine().is_empty());
+    }
+
+    #[test]
+    fn quarantine_captures_bad_checksum_with_offset() {
+        let records = sample_records();
+        let mut buf = encode_stream(&records);
+        buf[3] ^= 0x10; // corrupt payload of frame 0 (sync at 0, len at 1..2)
+        let mut r =
+            FrameReader::new(&buf[..], ReadMode::Tolerant).capture_quarantine(true);
+        let got = r.read_all().unwrap();
+        assert_eq!(got, records[1..].to_vec());
+        let q = r.quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].offset, 0, "frame 0 begins at stream offset 0");
+        assert_eq!(q[0].reason, QuarantineReason::BadChecksum);
+        // The captured bytes are the damaged payload as read off the wire.
+        assert_eq!(q[0].captured[1], buf[3]);
+    }
+
+    #[test]
+    fn quarantine_offset_points_at_damaged_frame_not_stream_start() {
+        let records = sample_records();
+        let mut buf = encode_stream(&records);
+        // Find the second frame's sync byte; corrupt its payload.
+        let second_sync = buf[1..].iter().position(|&b| b == SYNC).unwrap() + 1;
+        buf[second_sync + 2] ^= 0xFF;
+        let mut r =
+            FrameReader::new(&buf[..], ReadMode::Tolerant).capture_quarantine(true);
+        r.read_all().unwrap();
+        let q = r.quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].offset, second_sync as u64);
+    }
+
+    #[test]
+    fn quarantine_captures_desync_garbage_run() {
+        let records = sample_records();
+        let buf = encode_stream(&records);
+        let mut dirty = vec![0xDE, 0xAD, 0xBE]; // garbage before frame 0
+        dirty.extend_from_slice(&buf);
+        let mut r =
+            FrameReader::new(&dirty[..], ReadMode::Tolerant).capture_quarantine(true);
+        let got = r.read_all().unwrap();
+        assert_eq!(got, records);
+        let q = r.quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].reason, QuarantineReason::Desync);
+        assert_eq!(q[0].offset, 0);
+        assert_eq!(q[0].captured, vec![0xDE, 0xAD, 0xBE]);
+        assert_eq!(r.resyncs(), 1);
+    }
+
+    #[test]
+    fn quarantine_captures_truncated_final_frame() {
+        let buf = encode_stream(&sample_records());
+        let cut = buf.len() - 3; // inside the Finish frame
+        let mut r =
+            FrameReader::new(&buf[..cut], ReadMode::Tolerant).capture_quarantine(true);
+        let mut quarantined_offset = None;
+        loop {
+            match r.read() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => panic!("tolerant mode errored: {e}"),
+            }
+        }
+        if let Some(q) = r.quarantine().last() {
+            assert_eq!(q.reason, QuarantineReason::Truncated);
+            quarantined_offset = Some(q.offset);
+        }
+        let off = quarantined_offset.expect("truncated frame quarantined");
+        assert!(off < cut as u64);
+        assert_eq!(r.skipped(), 1);
+    }
+
+    #[test]
+    fn quarantine_capture_is_capped() {
+        let records = sample_records();
+        let buf = encode_stream(&records);
+        let mut dirty = vec![0x42u8; QUARANTINE_CAPTURE_CAP * 4];
+        dirty.extend_from_slice(&buf);
+        let mut r =
+            FrameReader::new(&dirty[..], ReadMode::Tolerant).capture_quarantine(true);
+        let got = r.read_all().unwrap();
+        assert_eq!(got, records, "reader must still resync past the cap");
+        let q = r.take_quarantine();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].captured.len(), QUARANTINE_CAPTURE_CAP);
+        assert!(r.quarantine().is_empty(), "take_quarantine drains");
+    }
+
+    #[test]
+    fn position_tracks_bytes_consumed() {
+        let buf = encode_stream(&sample_records());
+        let mut r = FrameReader::new(&buf[..], ReadMode::Strict);
+        assert_eq!(r.position(), 0);
+        r.read_all().unwrap();
+        assert_eq!(r.position(), buf.len() as u64);
     }
 
     #[test]

@@ -42,7 +42,10 @@ mod store;
 mod varint;
 
 pub use crc::crc32;
-pub use frame::{FrameError, FrameReader, FrameWriter, ReadMode};
+pub use frame::{
+    FrameError, FrameReader, FrameWriter, QuarantineReason, QuarantinedFrame, ReadMode,
+    QUARANTINE_CAPTURE_CAP,
+};
 pub use record::{BlockDay, DecodeError, Record};
 pub use store::{LogStore, StoreError};
 pub use varint::{decode_u64, encode_u64, VarintError};

@@ -225,6 +225,68 @@ mod tests {
     fn missing_day_is_an_io_error() {
         let store = LogStore::open(tmpdir("missing")).unwrap();
         assert!(matches!(store.read_day(42, ReadMode::Strict), Err(StoreError::Io(_))));
+        // Tolerant mode cannot paper over an absent file either.
+        assert!(matches!(store.read_day(42, ReadMode::Tolerant), Err(StoreError::Io(_))));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// Cuts `n` bytes off the end of a day file, landing mid-frame.
+    fn truncate_day(store: &LogStore, day: u16, n: usize) {
+        let path = store.dir().join(format!("day-{day:04}.iplog"));
+        let bytes = fs::read(&path).unwrap();
+        assert!(bytes.len() > n, "test file too small to truncate");
+        fs::write(&path, &bytes[..bytes.len() - n]).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_frame_strict_is_a_frame_error() {
+        let store = LogStore::open(tmpdir("trunc-strict")).unwrap();
+        store.write_day(2, &recs(2, 8)).unwrap();
+        truncate_day(&store, 2, 3);
+        match store.read_day(2, ReadMode::Strict) {
+            Err(StoreError::Frame(FrameError::TruncatedFrame)) => {}
+            other => panic!("expected TruncatedFrame, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncated_final_frame_tolerant_keeps_the_prefix() {
+        let store = LogStore::open(tmpdir("trunc-tolerant")).unwrap();
+        let written = recs(4, 8);
+        store.write_day(4, &written).unwrap();
+        truncate_day(&store, 4, 3);
+        let (survived, skipped) = store.read_day(4, ReadMode::Tolerant).unwrap();
+        // The damaged tail (the Finish marker here) is skipped, every
+        // intact frame before it survives in order, nothing is invented.
+        assert_eq!(skipped, 1);
+        assert_eq!(survived, written, "intact prefix must survive unchanged");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn truncation_inside_a_record_loses_only_that_record() {
+        let store = LogStore::open(tmpdir("trunc-mid")).unwrap();
+        // Measure the framing overhead so the cut lands mid-way
+        // through the final *data* frame, past the Finish marker.
+        let path = store.dir().join("day-0006.iplog");
+        store.write_day(6, &[]).unwrap();
+        let finish_len = fs::read(&path).unwrap().len();
+        store.write_day(6, &recs(6, 7)).unwrap();
+        let seven_len = fs::read(&path).unwrap().len();
+        let written = recs(6, 8);
+        store.write_day(6, &written).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        let last_frame = bytes.len() - seven_len;
+        let keep = seven_len - finish_len + last_frame / 2;
+        fs::write(&path, &bytes[..keep]).unwrap();
+        assert!(matches!(
+            store.read_day(6, ReadMode::Strict),
+            Err(StoreError::Frame(FrameError::TruncatedFrame))
+        ));
+        let (survived, skipped) = store.read_day(6, ReadMode::Tolerant).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(survived, written[..7], "first seven records must survive");
         let _ = fs::remove_dir_all(store.dir());
     }
 
