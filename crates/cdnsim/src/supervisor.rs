@@ -61,24 +61,27 @@ fn mix(shard: usize, buffer: usize) -> u64 {
     splitmix(((shard as u64) << 32) ^ buffer as u64)
 }
 
-/// Marker carried by the panics the Crash fault injects.
-const INJECTED_CRASH_MSG: &str = "injected collector crash";
+/// Payload type carried by the panics the Crash fault injects. Private
+/// to this module, so no other code in the process can produce it —
+/// which is what lets [`quiet_injected_panics`] suppress exactly these
+/// panics and nothing else.
+struct InjectedCrash;
 
 /// Installs (once, process-wide) a panic hook that swallows the panics
 /// the Crash fault injects: they are always contained by
 /// `catch_unwind` and reported through the supervisor's outcome
 /// accounting, so the default hook's stderr backtrace is pure noise.
-/// Every other panic forwards to the previously-installed hook.
+/// The suppression is scoped by payload *type*, not message text:
+/// only panics carrying the module-private [`InjectedCrash`] payload
+/// are silenced, so even though the hook stays installed, it can never
+/// hide a genuine panic from the host process. Everything else
+/// forwards to the previously-installed hook.
 fn quiet_injected_panics() {
     static ONCE: std::sync::Once = std::sync::Once::new();
     ONCE.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
-            let injected = info
-                .payload()
-                .downcast_ref::<String>()
-                .is_some_and(|m| m.contains(INJECTED_CRASH_MSG));
-            if !injected {
+            if info.payload().downcast_ref::<InjectedCrash>().is_none() {
                 previous(info);
             }
         }));
@@ -287,7 +290,10 @@ pub struct BufferOutcome {
     /// Fraction of the buffer's records that reached the dataset:
     /// `1.0` for a clean decode (possibly after retries), `0.0` for a
     /// buffer lost outright, in between for a salvage decode of a
-    /// permanently damaged stream.
+    /// permanently damaged stream. Skipped frames, decode errors, and
+    /// frames swallowed by resync scans (one charged per resync — a
+    /// lower bound, since a desync's true toll is unknowable) all
+    /// count against the fraction.
     pub completeness: f64,
     /// The injected fault, if the plan targeted this delivery.
     pub fault: Option<FaultKind>,
@@ -563,10 +569,10 @@ fn supervise_buffer<S: Sink>(
                         attempt_sink.fold(record);
                         folded += 1;
                         if folded > fuse {
-                            panic!("{INJECTED_CRASH_MSG} (shard {shard}, buffer {buffer})");
+                            std::panic::panic_any(InjectedCrash);
                         }
                     }
-                    panic!("{INJECTED_CRASH_MSG} (shard {shard}, buffer {buffer})");
+                    std::panic::panic_any(InjectedCrash);
                 }));
                 debug_assert!(crashed.is_err());
                 if final_attempt {
@@ -595,11 +601,14 @@ fn supervise_buffer<S: Sink>(
                     }
                     continue;
                 };
-                let clean = res.skipped == 0 && !res.decode_error;
+                // A resync means the reader lost framing and silently
+                // swallowed at least one frame while scanning for the
+                // next sync byte — `skipped` does not move, so a decode
+                // with resyncs is lossy even when nothing else fired.
+                let clean = res.skipped == 0 && res.resyncs == 0 && !res.decode_error;
                 if clean {
                     acc.merge(sink);
                     stats.records_read += res.records;
-                    stats.resyncs += res.resyncs;
                     return BufferOutcome {
                         shard,
                         buffer,
@@ -623,7 +632,11 @@ fn supervise_buffer<S: Sink>(
                     for frame in res.quarantine {
                         letters.push(DeadLetter { shard, buffer, frame });
                     }
-                    let failed = res.skipped + u64::from(res.decode_error);
+                    // Each resync is charged as (at least) one frame
+                    // lost to the desync scan; the true count is
+                    // unknowable, so this lower-bounds the loss rather
+                    // than ignoring it.
+                    let failed = res.skipped + res.resyncs + u64::from(res.decode_error);
                     let total = res.records + failed;
                     let completeness =
                         if total == 0 { 0.0 } else { res.records as f64 / total as f64 };

@@ -285,13 +285,16 @@ impl<R: Read> FrameReader<R> {
                         // positive (0xA5 inside data) is harmless: its
                         // CRC will not verify and we scan again.
                         self.resyncs += 1;
-                        let mut run = vec![sync];
+                        // Accumulate the garbage run only when capture
+                        // is on: `Vec::new()` never allocates, so the
+                        // capture-off path stays zero overhead.
+                        let mut run = if self.capture { vec![sync] } else { Vec::new() };
                         let ended = loop {
                             match self.read_byte()? {
                                 None => break true,
                                 Some(b) if b == SYNC => break false,
                                 Some(b) => {
-                                    if run.len() < QUARANTINE_CAPTURE_CAP {
+                                    if self.capture && run.len() < QUARANTINE_CAPTURE_CAP {
                                         run.push(b);
                                     }
                                 }

@@ -181,6 +181,41 @@ fault_matrix! {
 }
 
 #[test]
+fn real_sync_corruption_is_never_reported_complete() {
+    // A clobbered sync byte makes the tolerant reader silently swallow
+    // frames during its resync scan: `skipped` may stay 0 and only
+    // `resyncs` moves. The checkpoint predicate must treat that as a
+    // dirty decode — the run degrades with coverage < 1.0 instead of
+    // merging the lossy attempt as clean (which would break the
+    // "coverage 1.0 => bit-identical data" invariant).
+    let u = universe();
+    let days = u.config().daily_days;
+    let clean = baseline(2);
+    let mut buffers = emit_daily_shard_buffers(u, WORKERS, 2).unwrap();
+    buffers[0][0][0] = 0x00; // real corruption: frame 0's sync byte, shard 0
+    let (degraded, report) =
+        supervised_collect_daily(&buffers, days, &RetryPolicy::instant(2), &FaultPlan::none())
+            .unwrap();
+    assert!(
+        !report.coverage.is_complete(),
+        "desync-swallowed frames must not report full coverage"
+    );
+    assert_eq!(report.coverage.degraded_shards(), vec![0]);
+    assert_eq!(report.coverage.shard(1), 1.0);
+    let victim = &report.outcomes[0].buffers[0];
+    assert!(victim.completeness < 1.0);
+    assert_eq!(victim.attempts, 3, "the buffer itself is damaged, so every replay fails");
+    // The salvage pass dead-letters the garbage run with provenance.
+    assert!(report.quarantine.iter().any(|l| (l.shard, l.buffer) == (0, 0)));
+    // Untouched shard-1 blocks still match the clean run exactly.
+    for rec in &clean.blocks {
+        if shard_of(rec.block, 2) != 0 {
+            assert_eq!(degraded.block(rec.block), Some(rec));
+        }
+    }
+}
+
+#[test]
 fn weekly_supervised_transient_corrupt_recovers() {
     let u = universe();
     let weeks = u.config().weeks;
