@@ -3,6 +3,7 @@
 //! are comparable across changes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ipactive_bench::AnalysisCtx;
 use ipactive_cdnsim::{monthly_counts, GrowthModel, Universe, UniverseConfig};
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, timeline, traffic,
@@ -11,7 +12,7 @@ use ipactive_core::{
 use ipactive_probe::ScanCampaign;
 use ipactive_rir::YearMonth;
 use std::hint::black_box;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 struct Fixture {
     universe: Universe,
@@ -167,6 +168,31 @@ fn bench_fig10(c: &mut Criterion) {
     });
 }
 
+fn bench_engine(c: &mut Criterion) {
+    let f = fixture();
+    let window = (f.daily.num_days / 4).max(2);
+    c.bench_function("engine_event_sizes_uncached", |b| {
+        // Every iteration rescans the matrix: the pre-engine cost of
+        // one fig5b window pass.
+        b.iter(|| black_box(events::event_sizes(&f.daily, window, events::EventDirection::Up)))
+    });
+    c.bench_function("engine_event_sizes_cached", |b| {
+        // One shared AnalysisCtx across iterations: after the first,
+        // every window union is a cache hit — the run_all steady state.
+        let ctx =
+            AnalysisCtx::new(Arc::new(f.daily.clone()), Arc::new(f.weekly.clone()));
+        b.iter(|| black_box(events::event_sizes(&ctx, window, events::EventDirection::Up)))
+    });
+    c.bench_function("engine_all_active_uncached", |b| {
+        b.iter(|| black_box(f.daily.all_active()))
+    });
+    c.bench_function("engine_all_active_cached", |b| {
+        let ctx =
+            AnalysisCtx::new(Arc::new(f.daily.clone()), Arc::new(f.weekly.clone()));
+        b.iter(|| black_box(ctx.all_active()))
+    });
+}
+
 fn bench_fig11_12(c: &mut Criterion) {
     let f = fixture();
     c.bench_function("fig11_demographics_cube", |b| {
@@ -194,5 +220,6 @@ criterion_group!(
     bench_fig09,
     bench_fig10,
     bench_fig11_12,
+    bench_engine,
 );
 criterion_main!(benches);

@@ -94,6 +94,13 @@ fn main() {
         Repro::new(seed, scale)
     };
     let daily = &repro.daily;
+    // The engine's memoized union: the same set every figure shares.
+    let active = repro.engine.all_active();
+    eprintln!(
+        "activity: {} distinct active addresses over {} days",
+        active.len(),
+        daily.num_days
+    );
     let pop = repro.universe.population_summary();
     eprintln!(
         "population: {} blocks ({} static, {} dynamic, {} gateway, {} server, {} router)",

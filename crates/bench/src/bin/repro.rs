@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]
-//!       [--workers N] [--collectors M] [--faults K]
+//!       [--workers N] [--collectors M] [--faults K] [--jobs N] [--timings]
 //! repro list
 //! ```
 //!
 //! With no experiment arguments, runs all of them in paper order.
 //! Use a release build for `--scale full` (the default). `--out`
 //! writes the combined report to a file as well as stdout.
+//!
+//! `--jobs N` regenerates the full suite across `N` worker threads
+//! sharing the memoized activity-set cache; output is identical to the
+//! serial run, just faster. `--timings` additionally times a serial
+//! cache-bypassed baseline first and writes the comparison — per-figure
+//! milliseconds, total wall-clock, cache hit counts, speedup — to
+//! `BENCH_repro.json`. Both apply to the full suite only.
 //!
 //! `--workers`/`--collectors` route dataset construction through the
 //! sharded log pipeline instead of the direct builders — the datasets
@@ -32,6 +39,8 @@ fn main() {
     let mut workers: Option<usize> = None;
     let mut collectors: Option<usize> = None;
     let mut faults: Option<usize> = None;
+    let mut jobs: usize = 1;
+    let mut timings = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -85,12 +94,24 @@ fn main() {
                         .unwrap_or_else(|| usage("--faults needs a non-negative integer")),
                 );
             }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+            }
+            "--timings" => timings = true,
             "--help" | "-h" => {
                 usage("");
             }
             name if EXPERIMENTS.contains(&name) => wanted.push(name.to_string()),
             other => usage(&format!("unknown experiment or flag: {other}")),
         }
+    }
+    let full_suite = wanted.is_empty();
+    if (timings || jobs > 1) && !full_suite {
+        usage("--jobs/--timings regenerate the full suite; drop the experiment list");
     }
     if wanted.is_empty() {
         wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -155,14 +176,46 @@ fn main() {
         std::process::exit(if failed > 0 { 1 } else { 0 });
     }
 
-    let mut combined = String::new();
-    for name in wanted {
-        let t = std::time::Instant::now();
-        let report = repro.run(&name).expect("validated above");
-        println!("{report}");
-        combined.push_str(&report);
-        eprintln!("[{name} in {:.2}s]", t.elapsed().as_secs_f64());
-    }
+    let combined = if timings {
+        repro.prewarm_probes();
+        eprintln!("timing baseline (serial, cache bypassed) ...");
+        let baseline = repro.run_serial_uncached();
+        eprint!("{}", baseline.render_timings());
+        eprintln!("timing cached run ({jobs} jobs) ...");
+        let cached = repro.run_all(jobs);
+        eprint!("{}", cached.render_timings());
+        eprintln!(
+            "speedup vs serial uncached: {:.2}x",
+            baseline.total_ms / cached.total_ms.max(1e-9)
+        );
+        let json = cached.bench_json(&baseline, seed, scale);
+        if let Err(e) = std::fs::write("BENCH_repro.json", &json) {
+            eprintln!("error: failed to write BENCH_repro.json: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf record written to BENCH_repro.json");
+        for f in &cached.figures {
+            println!("{}", f.output);
+        }
+        cached.combined_output()
+    } else if jobs > 1 {
+        let report = repro.run_all(jobs);
+        for f in &report.figures {
+            println!("{}", f.output);
+        }
+        eprintln!("[full suite in {:.2}s across {jobs} jobs]", report.total_ms / 1e3);
+        report.combined_output()
+    } else {
+        let mut combined = String::new();
+        for name in wanted {
+            let t = std::time::Instant::now();
+            let report = repro.run(&name).expect("validated above");
+            println!("{report}");
+            combined.push_str(&report);
+            eprintln!("[{name} in {:.2}s]", t.elapsed().as_secs_f64());
+        }
+        combined
+    };
     if let Some(path) = out_path {
         if let Err(e) = std::fs::write(&path, combined) {
             eprintln!("error: failed to write {path}: {e}");
@@ -177,7 +230,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
-    eprintln!("             [--workers N] [--collectors M] [--faults K]");
+    eprintln!("             [--workers N] [--collectors M] [--faults K] [--jobs N] [--timings]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -1,0 +1,301 @@
+//! The analysis engine: one memoized activity-set cache shared by the
+//! entire figure suite.
+//!
+//! Every figure and table of the paper is a window query over the same
+//! two immutable activity matrices (Section 4.1's sliding windows), so
+//! [`AnalysisCtx`] memoizes the three query shapes — `day_set(d)`,
+//! `week_set(w)`, `window_union(range)` — as [`Arc<AddrSet>`] values
+//! keyed by their range. A set is computed at most once per session and
+//! then shared by reference across figures and across the worker
+//! threads of `Repro::run_all`.
+//!
+//! The cache needs no invalidation by construction: datasets never
+//! change after `finish()`, and the context holds them behind `Arc`, so
+//! a cached entry can never go stale. Correctness-neutrality (cached
+//! results byte-identical to fresh computation) is pinned by the
+//! differential tests in `tests/engine.rs`.
+
+use ipactive_core::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
+use ipactive_net::AddrSet;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hit/miss accounting for one [`AnalysisCtx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered by handing out an already-computed set.
+    pub hits: u64,
+    /// Queries that had to compute (and then cache) their set.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Memoized window-query context over one daily and one weekly
+/// dataset.
+///
+/// Single-slot queries (`day_set`, `week_set`) live in per-index
+/// [`OnceLock`] slots — lock-free after first computation. Multi-slot
+/// window unions are keyed by `(start, end)` in a mutex-guarded map;
+/// the mutex is released while a miss computes, so concurrent workers
+/// never serialize behind a scan (a lost race recomputes an identical
+/// set and keeps the first insertion).
+pub struct AnalysisCtx {
+    daily: Arc<DailyDataset>,
+    weekly: Arc<WeeklyDataset>,
+    day_sets: Vec<OnceLock<Arc<AddrSet>>>,
+    week_sets: Vec<OnceLock<Arc<AddrSet>>>,
+    day_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
+    week_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypass: AtomicBool,
+}
+
+impl AnalysisCtx {
+    /// Builds an empty cache over the two datasets.
+    pub fn new(daily: Arc<DailyDataset>, weekly: Arc<WeeklyDataset>) -> AnalysisCtx {
+        AnalysisCtx {
+            day_sets: (0..daily.num_days).map(|_| OnceLock::new()).collect(),
+            week_sets: (0..weekly.num_weeks).map(|_| OnceLock::new()).collect(),
+            daily,
+            weekly,
+            day_windows: Mutex::new(HashMap::new()),
+            week_windows: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypass: AtomicBool::new(false),
+        }
+    }
+
+    /// The daily dataset the context answers for.
+    pub fn daily(&self) -> &Arc<DailyDataset> {
+        &self.daily
+    }
+
+    /// The weekly dataset the context answers for.
+    pub fn weekly(&self) -> &Arc<WeeklyDataset> {
+        &self.weekly
+    }
+
+    /// Addresses active on day `d`, memoized.
+    pub fn day_set(&self, d: usize) -> Arc<AddrSet> {
+        if self.bypass() {
+            return Arc::new(self.daily.day_set(d));
+        }
+        let slot = &self.day_sets[d];
+        match slot.get() {
+            Some(set) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                set.clone()
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.get_or_init(|| Arc::new(self.daily.day_set(d))).clone()
+            }
+        }
+    }
+
+    /// Addresses active in week `w`, memoized.
+    pub fn week_set(&self, w: usize) -> Arc<AddrSet> {
+        if self.bypass() {
+            return Arc::new(self.weekly.week_set(w));
+        }
+        let slot = &self.week_sets[w];
+        match slot.get() {
+            Some(set) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                set.clone()
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                slot.get_or_init(|| Arc::new(self.weekly.week_set(w))).clone()
+            }
+        }
+    }
+
+    /// Union of the day window `days`, memoized.
+    pub fn day_window(&self, days: Range<usize>) -> Arc<AddrSet> {
+        if self.bypass() {
+            return Arc::new(self.daily.window_union(days));
+        }
+        if days.len() == 1 {
+            // A one-day window and day_set(d) are the same query; give
+            // them the same cache slot.
+            return self.day_set(days.start);
+        }
+        let key = (days.start, days.end);
+        if let Some(set) = self.day_windows.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return set.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let set = Arc::new(self.daily.window_union(days));
+        self.day_windows
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(set)
+            .clone()
+    }
+
+    /// Union of the week window `weeks`, memoized.
+    pub fn week_window(&self, weeks: Range<usize>) -> Arc<AddrSet> {
+        if self.bypass() {
+            return Arc::new(self.weekly.window_union(weeks));
+        }
+        if weeks.len() == 1 {
+            return self.week_set(weeks.start);
+        }
+        let key = (weeks.start, weeks.end);
+        if let Some(set) = self.week_windows.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return set.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let set = Arc::new(self.weekly.window_union(weeks));
+        self.week_windows
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(set)
+            .clone()
+    }
+
+    /// Union of all days — the figure suite's "CDN union".
+    pub fn all_active(&self) -> Arc<AddrSet> {
+        self.day_window(0..self.daily.num_days)
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss counters (cached sets are kept).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// When bypassing, every query computes a fresh set and neither
+    /// reads nor populates the cache — the uncached baseline the
+    /// `--timings` speedup is measured against.
+    pub fn set_bypass(&self, on: bool) {
+        self.bypass.store(on, Ordering::SeqCst);
+    }
+
+    fn bypass(&self) -> bool {
+        self.bypass.load(Ordering::SeqCst)
+    }
+}
+
+impl DailyWindows for AnalysisCtx {
+    fn num_days(&self) -> usize {
+        self.daily.num_days
+    }
+
+    fn union(&self, days: Range<usize>) -> Arc<AddrSet> {
+        self.day_window(days)
+    }
+}
+
+impl WeeklyWindows for AnalysisCtx {
+    fn num_weeks(&self) -> usize {
+        self.weekly.num_weeks
+    }
+
+    fn union(&self, weeks: Range<usize>) -> Arc<AddrSet> {
+        self.week_window(weeks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipactive_core::{DailyDatasetBuilder, WeeklyDatasetBuilder};
+    use ipactive_net::Addr;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn ctx() -> AnalysisCtx {
+        let mut d = DailyDatasetBuilder::new(5);
+        d.record_hits(0, a("10.0.0.1"), 3);
+        d.record_hits(2, a("10.0.0.2"), 1);
+        d.record_hits(4, a("10.0.1.7"), 9);
+        let mut w = WeeklyDatasetBuilder::new(4);
+        w.record_week(0, a("10.0.0.1"), 2);
+        w.record_week(3, a("10.0.2.8"), 5);
+        AnalysisCtx::new(Arc::new(d.finish()), Arc::new(w.finish()))
+    }
+
+    #[test]
+    fn memoizes_by_identity_and_counts_hits() {
+        let ctx = ctx();
+        let first = ctx.day_window(0..5);
+        let again = ctx.day_window(0..5);
+        assert!(Arc::ptr_eq(&first, &again), "second query must share the first set");
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(*first, ctx.daily().window_union(0..5));
+    }
+
+    #[test]
+    fn one_day_windows_share_the_day_set_slot() {
+        let ctx = ctx();
+        let via_window = ctx.day_window(2..3);
+        let via_day = ctx.day_set(2);
+        assert!(Arc::ptr_eq(&via_window, &via_day));
+        assert_eq!(ctx.stats().misses, 1);
+    }
+
+    #[test]
+    fn weekly_queries_match_fresh_computation() {
+        let ctx = ctx();
+        assert_eq!(*ctx.week_set(3), ctx.weekly().week_set(3));
+        assert_eq!(*ctx.week_window(0..4), ctx.weekly().window_union(0..4));
+        assert_eq!(*ctx.week_window(1..2), ctx.weekly().week_set(1));
+    }
+
+    #[test]
+    fn bypass_computes_fresh_and_leaves_the_cache_cold() {
+        let ctx = ctx();
+        ctx.set_bypass(true);
+        let x = ctx.day_window(0..5);
+        let y = ctx.day_window(0..5);
+        assert!(!Arc::ptr_eq(&x, &y), "bypass must not share results");
+        assert_eq!(x, y, "...but they are still equal");
+        assert_eq!(ctx.stats(), CacheStats::default());
+        ctx.set_bypass(false);
+        ctx.day_window(0..5);
+        assert_eq!(ctx.stats().misses, 1, "bypass must not have populated the cache");
+    }
+
+    #[test]
+    fn trait_paths_route_through_the_cache() {
+        let ctx = ctx();
+        let via_trait = DailyWindows::union(&ctx, 1..4);
+        let direct = ctx.day_window(1..4);
+        assert!(Arc::ptr_eq(&via_trait, &direct));
+        assert_eq!(DailyWindows::num_days(&ctx), 5);
+        assert_eq!(WeeklyWindows::num_weeks(&ctx), 4);
+        let wk = WeeklyWindows::union(&ctx, 0..2);
+        assert!(Arc::ptr_eq(&wk, &ctx.week_window(0..2)));
+    }
+}

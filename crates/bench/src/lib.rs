@@ -8,6 +8,10 @@
 
 #![forbid(unsafe_code)]
 
+mod engine;
+
+pub use engine::{AnalysisCtx, CacheStats};
+
 use ipactive_cdnsim::{
     emit_daily_shard_buffers, emit_weekly_shard_buffers, monthly_counts, parallel_pipeline,
     parallel_pipeline_weekly, supervised_collect_daily, supervised_collect_weekly, FaultPlan,
@@ -21,7 +25,9 @@ use ipactive_net::AddrSet;
 use ipactive_probe::{PortScanner, ScanCampaign, TracerouteCampaign};
 use ipactive_rir::{YearMonth, RIR_EXHAUSTION};
 use std::fmt::Write as _;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Universe scale for a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,17 +49,28 @@ impl Scale {
             Scale::Full => UniverseConfig::default_scale(seed),
         }
     }
+
+    /// The CLI spelling of the scale.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
 }
 
-/// A reproduction session: one universe plus its two datasets and
-/// lazily-run probing campaigns.
+/// A reproduction session: one universe plus its two datasets, the
+/// shared analysis engine, and lazily-run probing campaigns.
 pub struct Repro {
     /// The synthetic Internet.
     pub universe: Universe,
-    /// The daily dataset.
-    pub daily: DailyDataset,
-    /// The weekly dataset.
-    pub weekly: WeeklyDataset,
+    /// The daily dataset (shared with [`Repro::engine`]).
+    pub daily: Arc<DailyDataset>,
+    /// The weekly dataset (shared with [`Repro::engine`]).
+    pub weekly: Arc<WeeklyDataset>,
+    /// The memoized activity-set cache every figure queries through.
+    pub engine: AnalysisCtx,
     seed: u64,
     icmp: OnceLock<AddrSet>,
     servers: OnceLock<AddrSet>,
@@ -158,13 +175,12 @@ pub const EXPERIMENTS: [&str; 24] = [
 ];
 
 impl Repro {
-    /// Builds the session (generates the universe and both datasets).
-    pub fn new(seed: u64, scale: Scale) -> Repro {
-        let universe = Universe::generate(scale.config(seed));
-        let daily = universe.build_daily();
-        let weekly = universe.build_weekly();
+    fn assemble(universe: Universe, daily: DailyDataset, weekly: WeeklyDataset, seed: u64) -> Repro {
+        let daily = Arc::new(daily);
+        let weekly = Arc::new(weekly);
         Repro {
             universe,
+            engine: AnalysisCtx::new(daily.clone(), weekly.clone()),
             daily,
             weekly,
             seed,
@@ -172,6 +188,14 @@ impl Repro {
             servers: OnceLock::new(),
             routers: OnceLock::new(),
         }
+    }
+
+    /// Builds the session (generates the universe and both datasets).
+    pub fn new(seed: u64, scale: Scale) -> Repro {
+        let universe = Universe::generate(scale.config(seed));
+        let daily = universe.build_daily();
+        let weekly = universe.build_weekly();
+        Repro::assemble(universe, daily, weekly, seed)
     }
 
     /// Builds the session with both datasets produced by the sharded
@@ -189,15 +213,7 @@ impl Repro {
         let universe = Universe::generate(scale.config(seed));
         let (daily, daily_report) = parallel_pipeline(&universe, workers, collectors);
         let (weekly, weekly_report) = parallel_pipeline_weekly(&universe, workers, collectors);
-        let repro = Repro {
-            universe,
-            daily,
-            weekly,
-            seed,
-            icmp: OnceLock::new(),
-            servers: OnceLock::new(),
-            routers: OnceLock::new(),
-        };
+        let repro = Repro::assemble(universe, daily, weekly, seed);
         (repro, PipelineRunSummary { daily: daily_report, weekly: weekly_report })
     }
 
@@ -227,20 +243,12 @@ impl Repro {
             supervised_collect_daily(&daily_buffers, universe.config().daily_days, &policy, &plan)?;
         let (weekly, weekly_report) =
             supervised_collect_weekly(&weekly_buffers, universe.config().weeks, &policy, &plan)?;
-        let repro = Repro {
-            universe,
-            daily,
-            weekly,
-            seed,
-            icmp: OnceLock::new(),
-            servers: OnceLock::new(),
-            routers: OnceLock::new(),
-        };
+        let repro = Repro::assemble(universe, daily, weekly, seed);
         Ok((repro, SupervisedRunSummary { daily: daily_report, weekly: weekly_report, plan }))
     }
 
-    fn cdn_union(&self) -> AddrSet {
-        self.daily.all_active()
+    fn cdn_union(&self) -> Arc<AddrSet> {
+        self.engine.all_active()
     }
 
     fn icmp_union(&self) -> &AddrSet {
@@ -656,7 +664,7 @@ impl Repro {
             if self.daily.num_days / window < 2 {
                 continue;
             }
-            let h = events::event_sizes(&self.daily, window, events::EventDirection::Up);
+            let h = events::event_sizes(&self.engine, window, events::EventDirection::Up);
             let b = h.figure5b_buckets();
             let _ = writeln!(
                 out,
@@ -684,7 +692,7 @@ impl Repro {
             if self.daily.num_days / window < 2 {
                 continue;
             }
-            let c = events::bgp_correlation(&self.daily, window, self.universe.bgp(), offset);
+            let c = events::bgp_correlation(&self.engine, window, self.universe.bgp(), offset);
             let _ = writeln!(
                 out,
                 "  {:<8} {:>7.2}% {:>7.2}% {:>7.2}%",
@@ -702,7 +710,7 @@ impl Repro {
         let weeks = self.weekly.num_weeks;
         let span = (weeks / 6).max(2);
         let lt = churn::long_term(
-            &self.weekly,
+            &self.engine,
             0..span,
             weeks - span..weeks,
             self.universe.bgp(),
@@ -1165,6 +1173,91 @@ impl Repro {
         out
     }
 
+    /// Forces the lazy probing campaigns (ICMP, port scan, traceroute)
+    /// to run now. `--timings` calls this before either timed pass so
+    /// the serial-uncached baseline and the cached parallel run pay
+    /// identical probe costs — the measured speedup isolates the
+    /// engine cache and the thread pool.
+    pub fn prewarm_probes(&self) {
+        self.icmp_union();
+        self.server_set();
+        self.router_set();
+    }
+
+    /// Runs every experiment across `jobs` scoped worker threads.
+    ///
+    /// Workers pull figure indices from a shared counter, so scheduling
+    /// is dynamic, but the report is always assembled in
+    /// [`EXPERIMENTS`] order — output is deterministic and
+    /// byte-identical to running each figure serially (pinned by
+    /// `tests/engine.rs`). Per-figure wall-clock and the cache
+    /// counters accumulated during the run ride along for
+    /// `BENCH_repro.json`.
+    pub fn run_all(&self, jobs: usize) -> RunAllReport {
+        let jobs = jobs.max(1);
+        let before = self.engine.stats();
+        let started = Instant::now();
+        let mut slots: Vec<Option<FigureRun>> = Vec::new();
+        slots.resize_with(EXPERIMENTS.len(), || None);
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= EXPERIMENTS.len() {
+                                break;
+                            }
+                            let name = EXPERIMENTS[i];
+                            let t0 = Instant::now();
+                            let output = self.run(name).expect("EXPERIMENTS entries are runnable");
+                            let millis = t0.elapsed().as_secs_f64() * 1e3;
+                            done.push((i, FigureRun { name, output, millis }));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, run) in worker.join().expect("figure worker panicked") {
+                    slots[i] = Some(run);
+                }
+            }
+        });
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        let after = self.engine.stats();
+        RunAllReport {
+            jobs,
+            figures: slots.into_iter().map(|s| s.expect("every figure ran")).collect(),
+            total_ms,
+            cache: CacheStats {
+                hits: after.hits - before.hits,
+                misses: after.misses - before.misses,
+            },
+        }
+    }
+
+    /// Runs every experiment serially with the engine cache bypassed —
+    /// the pre-engine behaviour, and the baseline `BENCH_repro.json`
+    /// reports speedup against.
+    pub fn run_serial_uncached(&self) -> RunAllReport {
+        self.engine.set_bypass(true);
+        let started = Instant::now();
+        let figures = EXPERIMENTS
+            .iter()
+            .map(|&name| {
+                let t0 = Instant::now();
+                let output = self.run(name).expect("EXPERIMENTS entries are runnable");
+                FigureRun { name, output, millis: t0.elapsed().as_secs_f64() * 1e3 }
+            })
+            .collect();
+        let total_ms = started.elapsed().as_secs_f64() * 1e3;
+        self.engine.set_bypass(false);
+        RunAllReport { jobs: 1, figures, total_ms, cache: CacheStats::default() }
+    }
+
     fn month_days(&self) -> usize {
         // 28-day "months" as in the paper's 112-day window; smaller
         // presets fall back to quarters of the window.
@@ -1179,6 +1272,88 @@ impl Repro {
         // The paper filters ASes at 1000 IPs over a ~1B-address pool;
         // scale the filter with the universe.
         (self.daily.total_active() / 1000).clamp(10, 1000)
+    }
+}
+
+/// One figure's output and wall-clock inside a [`RunAllReport`].
+#[derive(Debug, Clone)]
+pub struct FigureRun {
+    /// The experiment identifier (an [`EXPERIMENTS`] entry).
+    pub name: &'static str,
+    /// The report text, exactly as [`Repro::run`] returned it.
+    pub output: String,
+    /// Wall-clock spent generating it, in milliseconds.
+    pub millis: f64,
+}
+
+/// Result of [`Repro::run_all`] / [`Repro::run_serial_uncached`]:
+/// every experiment in paper order, with timings and cache counters.
+#[derive(Debug, Clone)]
+pub struct RunAllReport {
+    /// Worker threads the suite ran across (1 for the serial baseline).
+    pub jobs: usize,
+    /// Per-figure outputs and timings, in [`EXPERIMENTS`] order.
+    pub figures: Vec<FigureRun>,
+    /// Total wall-clock for the whole suite, in milliseconds.
+    pub total_ms: f64,
+    /// Engine cache hits/misses accumulated during this run.
+    pub cache: CacheStats,
+}
+
+impl RunAllReport {
+    /// All figure outputs concatenated in paper order — byte-identical
+    /// to running and concatenating each figure serially.
+    pub fn combined_output(&self) -> String {
+        self.figures.iter().map(|f| f.output.as_str()).collect()
+    }
+
+    /// Per-figure timing table for stderr.
+    pub fn render_timings(&self) -> String {
+        let mut out = String::new();
+        for f in &self.figures {
+            let _ = writeln!(out, "  {:<8} {:>9.2} ms", f.name, f.millis);
+        }
+        let _ = writeln!(
+            out,
+            "  total {:.1} ms across {} jobs | cache: {} hits, {} misses ({:.0}% hit rate)",
+            self.total_ms,
+            self.jobs,
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+        );
+        out
+    }
+
+    /// Renders `BENCH_repro.json`: this (cached, possibly parallel) run
+    /// against the serial uncached `baseline`, per-figure and in total.
+    /// Hand-rolled JSON — every value is a number or a fixed
+    /// identifier, so no escaping is needed.
+    pub fn bench_json(&self, baseline: &RunAllReport, seed: u64, scale: Scale) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"repro_run_all\",");
+        let _ = writeln!(out, "  \"seed\": {seed},");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", scale.name());
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(out, "  \"total_ms\": {:.3},", self.total_ms);
+        let _ = writeln!(out, "  \"serial_uncached_total_ms\": {:.3},", baseline.total_ms);
+        let _ = writeln!(out, "  \"speedup\": {:.3},", baseline.total_ms / self.total_ms.max(1e-9));
+        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache.hits);
+        let _ = writeln!(out, "  \"cache_misses\": {},", self.cache.misses);
+        let _ = writeln!(out, "  \"figures\": [");
+        let n = self.figures.len();
+        for (i, (f, b)) in self.figures.iter().zip(&baseline.figures).enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"ms\": {:.3}, \"serial_uncached_ms\": {:.3}}}{comma}",
+                f.name, f.millis, b.millis,
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
     }
 }
 
@@ -1338,9 +1513,9 @@ impl Repro {
 
         // Figure 5(b): bulkiness grows with aggregation window.
         {
-            let h1 = events::event_sizes(&self.daily, 1, events::EventDirection::Up);
+            let h1 = events::event_sizes(&self.engine, 1, events::EventDirection::Up);
             let w = (self.daily.num_days / 4).max(2);
-            let hw = events::event_sizes(&self.daily, w, events::EventDirection::Up);
+            let hw = events::event_sizes(&self.engine, w, events::EventDirection::Up);
             if h1.total() < 100 || hw.total() < 100 {
                 push("fig5b", "long-window events are bulkier",
                      CheckOutcome::Skip("too few events".into()));
@@ -1365,7 +1540,7 @@ impl Repro {
         {
             let offset = self.universe.config().daily_offset as u16;
             let w = (self.daily.num_days / 4).max(2);
-            let c = events::bgp_correlation(&self.daily, w, self.universe.bgp(), offset);
+            let c = events::bgp_correlation(&self.engine, w, self.universe.bgp(), offset);
             push(
                 "fig5c",
                 "the vast majority of churn is invisible to BGP",
@@ -1377,7 +1552,7 @@ impl Repro {
         {
             let weeks = self.weekly.num_weeks;
             let span = (weeks / 6).max(2);
-            let lt = churn::long_term(&self.weekly, 0..span, weeks - span..weeks,
+            let lt = churn::long_term(&self.engine, 0..span, weeks - span..weeks,
                                       self.universe.bgp(), 7);
             push(
                 "table2",

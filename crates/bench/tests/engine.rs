@@ -1,0 +1,102 @@
+//! Differential suite for the analysis engine: the memoized cache and
+//! the parallel `run_all` must be invisible in the output — every
+//! figure byte-identical to a serial run with the cache bypassed.
+
+use ipactive_bench::{Repro, Scale, EXPERIMENTS};
+use std::sync::Arc;
+
+#[test]
+fn run_all_parallel_is_byte_identical_to_serial_uncached() {
+    let repro = Repro::new(0xCAFE, Scale::Tiny);
+    let baseline = repro.run_serial_uncached();
+    let cached = repro.run_all(4);
+
+    assert_eq!(baseline.figures.len(), EXPERIMENTS.len());
+    assert_eq!(cached.figures.len(), EXPERIMENTS.len());
+    for (b, c) in baseline.figures.iter().zip(&cached.figures) {
+        assert_eq!(b.name, c.name, "report order must follow EXPERIMENTS");
+        assert_eq!(b.output, c.output, "{} output diverged under the cache", b.name);
+    }
+    assert_eq!(baseline.combined_output(), cached.combined_output());
+    assert!(
+        cached.cache.hits > 0,
+        "the figure suite shares window queries, so a full run must hit the cache"
+    );
+}
+
+#[test]
+fn run_all_output_follows_experiments_order_regardless_of_jobs() {
+    let repro = Repro::new(0xBEEF, Scale::Tiny);
+    let one = repro.run_all(1);
+    let many = repro.run_all(7);
+    for ((f1, f7), name) in one.figures.iter().zip(&many.figures).zip(EXPERIMENTS) {
+        assert_eq!(f1.name, name);
+        assert_eq!(f7.name, name);
+        assert_eq!(f1.output, f7.output);
+    }
+    // The second pass answers every query from the first pass's cache.
+    assert_eq!(many.cache.misses, 0, "warm run must not miss");
+}
+
+#[test]
+fn run_all_matches_the_per_figure_run_api() {
+    let repro = Repro::new(0xCAFE, Scale::Tiny);
+    let report = repro.run_all(3);
+    for f in &report.figures {
+        assert_eq!(f.output, repro.run(f.name).unwrap(), "{} diverged from run()", f.name);
+    }
+}
+
+#[test]
+fn engine_queries_match_fresh_dataset_computation() {
+    let repro = Repro::new(0xCAFE, Scale::Tiny);
+    let days = repro.daily.num_days;
+    let weeks = repro.weekly.num_weeks;
+    assert_eq!(*repro.engine.all_active(), repro.daily.all_active());
+    for d in [0, days / 2, days - 1] {
+        assert_eq!(*repro.engine.day_set(d), repro.daily.day_set(d));
+    }
+    assert_eq!(*repro.engine.day_window(0..days / 2), repro.daily.window_union(0..days / 2));
+    for w in [0, weeks - 1] {
+        assert_eq!(*repro.engine.week_set(w), repro.weekly.week_set(w));
+    }
+    assert_eq!(*repro.engine.week_window(0..weeks), repro.weekly.window_union(0..weeks));
+    // Memoization is by identity: repeated queries share one set.
+    assert!(Arc::ptr_eq(&repro.engine.all_active(), &repro.engine.all_active()));
+}
+
+#[test]
+fn validate_still_passes_through_the_engine() {
+    use ipactive_bench::CheckOutcome;
+    let repro = Repro::new(0xCAFE, Scale::Tiny);
+    // Warm the cache with a full figure pass first, so validate()
+    // exercises cached sets rather than computing fresh ones.
+    let _ = repro.run_all(2);
+    let failures: Vec<_> = repro
+        .validate()
+        .into_iter()
+        .filter(|c| matches!(c.outcome, CheckOutcome::Fail(_)))
+        .collect();
+    assert!(failures.is_empty(), "failed checks: {failures:#?}");
+}
+
+#[test]
+fn bench_json_reports_both_runs() {
+    let repro = Repro::new(0xCAFE, Scale::Tiny);
+    repro.prewarm_probes();
+    let baseline = repro.run_serial_uncached();
+    let cached = repro.run_all(2);
+    let json = cached.bench_json(&baseline, 0xCAFE, Scale::Tiny);
+    for needle in [
+        "\"bench\": \"repro_run_all\"",
+        "\"scale\": \"tiny\"",
+        "\"jobs\": 2",
+        "\"serial_uncached_total_ms\"",
+        "\"speedup\"",
+        "\"cache_hits\"",
+        "\"name\": \"fig1\"",
+        "\"name\": \"fig12\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

@@ -828,6 +828,65 @@ mod tests {
     }
 
     #[test]
+    fn packed_and_flat_streams_fold_identically_through_fold_daily() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let mut flat = Vec::new();
+        let mut packed = Vec::new();
+        emit_daily_logs(&u, &mut flat).unwrap();
+        emit_daily_logs_packed(&u, &mut packed).unwrap();
+        let fold = |buf: &[u8]| {
+            let mut reader = FrameReader::new(buf, ReadMode::Strict);
+            let mut builder = DailyDatasetBuilder::new(num_days);
+            while let Some(rec) = reader.read().unwrap() {
+                fold_daily(rec, &mut builder);
+            }
+            builder.finish()
+        };
+        let a = fold(&flat);
+        let b = fold(&packed);
+        assert_eq!(a, b, "flat and packed encodings must fold to equal datasets");
+        assert_datasets_equal(&a, &b);
+        assert_datasets_equal(&a, &u.build_daily());
+    }
+
+    #[test]
+    fn quarantined_hits_frame_does_not_leave_a_phantom_block() {
+        use ipactive_net::Addr;
+        // The supervisor salvage scenario: corruption claims a block's
+        // only Hits frame while its UaSample frame survives. The
+        // salvaged dataset must not materialize an activity-free
+        // BlockRecord for that block.
+        let addr = Addr::new(0x0A000001);
+        let lost = Record::Hits { day: 0, addr, hits: 5 };
+        let mut first = Vec::new();
+        let mut w = FrameWriter::new(&mut first);
+        w.write(&lost).unwrap();
+        drop(w);
+        let hits_frame_len = first.len();
+
+        let mut buf = Vec::new();
+        let mut w = FrameWriter::new(&mut buf);
+        w.write(&lost).unwrap();
+        w.write(&Record::UaSample { day: 0, addr, ua_hash: 99 }).unwrap();
+        w.finish().unwrap();
+        // Flip one checksum byte of the Hits frame: tolerant decode
+        // quarantines exactly that frame, the UaSample lives on.
+        buf[hits_frame_len - 1] ^= 0xFF;
+
+        let (salvaged, stats) = collect_daily(&buf[..], 3).unwrap();
+        assert_eq!(stats.frames_skipped, 1);
+        assert!(
+            salvaged.blocks.is_empty(),
+            "phantom block emitted for a UA-only /24: {:?}",
+            salvaged.blocks.first().map(|r| r.block)
+        );
+        // The salvaged dataset agrees with a clean run that never saw
+        // the block at all — block censuses and equality line up.
+        assert_eq!(salvaged, DailyDatasetBuilder::new(3).finish());
+    }
+
+    #[test]
     fn log_store_roundtrip_equals_direct_build() {
         let u = universe();
         let dir = std::env::temp_dir().join(format!(

@@ -12,7 +12,7 @@
 //! * [`long_term`] — Table 2: appear/disappear between two two-month
 //!   unions, block-level bulkiness, and BGP attribution.
 
-use crate::dataset::{DailyDataset, WeeklyDataset};
+use crate::dataset::{DailyDataset, WeeklyDataset, WeeklyWindows};
 use crate::stats::{Ecdf, MinMedMax};
 use ipactive_bgp::{Asn, BgpTimeline};
 use ipactive_net::{AddrSet, Block24};
@@ -441,15 +441,18 @@ fn full_block_fraction(events: &AddrSet, other_period: &AddrSet) -> f64 {
 /// `early`/`late` are week ranges (paper: weeks 0..9 ≈ Jan/Feb and
 /// 43..52 ≈ Nov/Dec); `days_per_week` maps week indices onto the BGP
 /// timeline's day axis.
+///
+/// Accepts any [`WeeklyWindows`] source, so the bench layer can pass
+/// a memoizing cache in place of the raw dataset.
 pub fn long_term(
-    ws: &WeeklyDataset,
+    ws: &impl WeeklyWindows,
     early: core::ops::Range<usize>,
     late: core::ops::Range<usize>,
     bgp: &BgpTimeline,
     days_per_week: u16,
 ) -> LongTermChurn {
-    let early_set = ws.window_union(early.clone());
-    let late_set = ws.window_union(late.clone());
+    let early_set = ws.union(early.clone());
+    let late_set = ws.union(late.clone());
     let appear = late_set.difference(&early_set);
     let disappear = early_set.difference(&late_set);
     let early_days = early.start as u16 * days_per_week..early.end as u16 * days_per_week;

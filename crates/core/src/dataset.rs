@@ -10,6 +10,52 @@
 use crate::coverage::Coverage;
 use ipactive_net::{Addr, AddrSet, Block24, DayBits};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Source of window-union activity sets over a daily dataset.
+///
+/// Every figure and table of the paper is, at its core, a set query
+/// over the same activity matrix (Section 4.1's sliding windows). The
+/// analyses that consume whole-window unions ([`crate::events`],
+/// [`crate::churn::long_term`]) are generic over this trait so a
+/// caller can substitute a *memoized* provider — computing each
+/// distinct window once and sharing the `Arc` across figures —
+/// without the analysis code knowing about caching. [`DailyDataset`]
+/// implements it by computing fresh (the uncached baseline).
+pub trait DailyWindows {
+    /// Length of the observation window in days.
+    fn num_days(&self) -> usize;
+    /// Union of active addresses over a day range.
+    fn union(&self, days: core::ops::Range<usize>) -> Arc<AddrSet>;
+}
+
+/// Weekly counterpart of [`DailyWindows`].
+pub trait WeeklyWindows {
+    /// Number of weeks in the dataset.
+    fn num_weeks(&self) -> usize;
+    /// Union of addresses active in a week range.
+    fn union(&self, weeks: core::ops::Range<usize>) -> Arc<AddrSet>;
+}
+
+impl DailyWindows for DailyDataset {
+    fn num_days(&self) -> usize {
+        self.num_days
+    }
+
+    fn union(&self, days: core::ops::Range<usize>) -> Arc<AddrSet> {
+        Arc::new(self.window_union(days))
+    }
+}
+
+impl WeeklyWindows for WeeklyDataset {
+    fn num_weeks(&self) -> usize {
+        self.num_weeks
+    }
+
+    fn union(&self, weeks: core::ops::Range<usize>) -> Arc<AddrSet> {
+        Arc::new(self.window_union(weeks))
+    }
+}
 
 /// Per-address traffic summary over the daily window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,7 +166,14 @@ impl DailyDataset {
     /// The set of addresses active on day `d`.
     pub fn day_set(&self, d: usize) -> AddrSet {
         assert!(d < self.num_days, "day {d} outside window");
-        let mut out = Vec::new();
+        // Counting pass first: one exact allocation instead of growing
+        // a Vec through the doubling ladder on every query.
+        let n: usize = self
+            .blocks
+            .iter()
+            .map(|rec| rec.rows.iter().filter(|bits| bits.get(d)).count())
+            .sum();
+        let mut out = Vec::with_capacity(n);
         for rec in &self.blocks {
             for (i, bits) in rec.rows.iter().enumerate() {
                 if bits.get(d) {
@@ -135,7 +188,14 @@ impl DailyDataset {
     /// Section 4.1 sense).
     pub fn window_union(&self, days: core::ops::Range<usize>) -> AddrSet {
         assert!(days.end <= self.num_days, "window outside dataset");
-        let mut out = Vec::new();
+        let n: usize = self
+            .blocks
+            .iter()
+            .map(|rec| {
+                rec.rows.iter().filter(|bits| bits.any_in_range(days.start, days.end)).count()
+            })
+            .sum();
+        let mut out = Vec::with_capacity(n);
         for rec in &self.blocks {
             for (i, bits) in rec.rows.iter().enumerate() {
                 if bits.any_in_range(days.start, days.end) {
@@ -338,10 +398,20 @@ impl DailyDatasetBuilder {
     }
 
     /// Finalizes into an immutable dataset.
+    ///
+    /// Blocks that never recorded a hit are dropped, even if they
+    /// accumulated UA samples: activity is defined by successful
+    /// requests, and a hits-free `BlockRecord` would be a phantom —
+    /// all-empty rows that shift block censuses and dataset equality.
+    /// The salvage path makes this reachable: corruption can
+    /// quarantine a block's `Hits` frame while its `UaSample` frame
+    /// survives, and the salvaged dataset must still agree with the
+    /// clean one wherever activity agrees.
     pub fn finish(self) -> DailyDataset {
         let mut blocks: Vec<BlockRecord> = self
             .blocks
             .into_iter()
+            .filter(|(_, acc)| !acc.ips.is_empty())
             .map(|(block, acc)| {
                 let mut rows: Box<[DayBits; 256]> = Box::new([DayBits::new(); 256]);
                 let mut ip_traffic = Vec::with_capacity(acc.ips.len());
@@ -412,10 +482,16 @@ impl WeeklyDataset {
     /// The set of addresses active in week `w`.
     pub fn week_set(&self, w: usize) -> AddrSet {
         assert!(w < self.num_weeks);
-        let mut out = Vec::new();
+        let mask = 1u64 << w;
+        let n: usize = self
+            .blocks
+            .iter()
+            .map(|(_, rows)| rows.iter().filter(|&&bits| bits & mask != 0).count())
+            .sum();
+        let mut out = Vec::with_capacity(n);
         for (block, rows) in &self.blocks {
-            for (i, bits) in rows.iter().enumerate() {
-                if bits & (1u64 << w) != 0 {
+            for (i, &bits) in rows.iter().enumerate() {
+                if bits & mask != 0 {
                     out.push(block.addr(i as u8));
                 }
             }
@@ -431,9 +507,14 @@ impl WeeklyDataset {
         } else {
             ((1u64 << weeks.len()) - 1) << weeks.start
         };
-        let mut out = Vec::new();
+        let n: usize = self
+            .blocks
+            .iter()
+            .map(|(_, rows)| rows.iter().filter(|&&bits| bits & mask != 0).count())
+            .sum();
+        let mut out = Vec::with_capacity(n);
         for (block, rows) in &self.blocks {
-            for (i, bits) in rows.iter().enumerate() {
+            for (i, &bits) in rows.iter().enumerate() {
                 if bits & mask != 0 {
                     out.push(block.addr(i as u8));
                 }
@@ -586,9 +667,14 @@ impl WeeklyDatasetBuilder {
     /// Finalizes into an immutable dataset. Blocks and each week's
     /// hit multiset are sorted into canonical order, so any two
     /// builders fed the same records (in any order, through any
-    /// merge tree) finish into `==` datasets.
+    /// merge tree) finish into `==` datasets. Activity-free blocks
+    /// (all-zero rows) are dropped, mirroring the daily builder.
     pub fn finish(self) -> WeeklyDataset {
-        let mut blocks: Vec<(Block24, Box<[u64; 256]>)> = self.blocks.into_iter().collect();
+        let mut blocks: Vec<(Block24, Box<[u64; 256]>)> = self
+            .blocks
+            .into_iter()
+            .filter(|(_, rows)| rows.iter().any(|&b| b != 0))
+            .collect();
         blocks.sort_unstable_by_key(|(b, _)| *b);
         let mut week_hits = self.week_hits;
         for week in &mut week_hits {
@@ -702,6 +788,58 @@ mod tests {
         b.record_hits(0, addr("10.0.0.5"), 0);
         let ds = b.finish();
         assert_eq!(ds.total_active(), 0);
+    }
+
+    #[test]
+    fn ua_only_blocks_are_not_phantom_block_records() {
+        // A block whose Hits records were all lost (e.g. quarantined
+        // by the salvage path) but whose UaSample records survived
+        // must not materialize as an all-empty BlockRecord.
+        let mut b = DailyDatasetBuilder::new(3);
+        b.record_ua(0, addr("10.0.0.5"), 42);
+        b.record_ua(1, addr("10.0.0.6"), 43);
+        let ds = b.finish();
+        assert!(ds.blocks.is_empty(), "phantom block: {:?}", ds.blocks.first().map(|r| r.block));
+
+        // A dataset that lost one block's hits compares equal to a
+        // clean dataset without that block — block counts agree.
+        let mut clean = DailyDatasetBuilder::new(3);
+        clean.record_hits(0, addr("10.0.1.1"), 7);
+        let mut salvaged = DailyDatasetBuilder::new(3);
+        salvaged.record_hits(0, addr("10.0.1.1"), 7);
+        salvaged.record_ua(0, addr("10.0.0.5"), 42); // hits frame lost
+        assert_eq!(clean.finish(), salvaged.finish());
+    }
+
+    #[test]
+    fn ua_samples_still_count_when_the_block_has_activity() {
+        // The fix drops hits-free blocks only; UA aggregation on a
+        // live block is untouched (even merged in from a shard that
+        // saw only the UA records).
+        let mut a = DailyDatasetBuilder::new(3);
+        a.record_hits(0, addr("10.0.0.5"), 1);
+        let mut b = DailyDatasetBuilder::new(3);
+        b.record_ua(0, addr("10.0.0.6"), 99);
+        a.merge(b);
+        let ds = a.finish();
+        let rec = ds.block(Block24::of(addr("10.0.0.0"))).unwrap();
+        assert_eq!(rec.ua_samples, 1);
+        assert_eq!(rec.ua_unique, 1);
+    }
+
+    #[test]
+    fn uncached_windows_traits_match_inherent_queries() {
+        let ds = tiny_daily();
+        assert_eq!(DailyWindows::num_days(&ds), 7);
+        let via_trait = DailyWindows::union(&ds, 2..5);
+        assert_eq!(*via_trait, ds.window_union(2..5));
+
+        let mut b = WeeklyDatasetBuilder::new(8);
+        b.record_week(1, addr("10.0.0.1"), 3);
+        b.record_week(6, addr("10.0.2.9"), 1);
+        let ws = b.finish();
+        assert_eq!(WeeklyWindows::num_weeks(&ws), 8);
+        assert_eq!(*WeeklyWindows::union(&ws, 0..7), ws.window_union(0..7));
     }
 
     #[test]

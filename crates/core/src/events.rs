@@ -1,6 +1,6 @@
 //! Event sizing and BGP correlation (Section 4.2, Figures 5(b), 5(c)).
 
-use crate::dataset::DailyDataset;
+use crate::dataset::DailyWindows;
 use ipactive_bgp::BgpTimeline;
 use ipactive_net::{AddrSet, EventSizeHistogram};
 
@@ -19,19 +19,22 @@ pub enum EventDirection {
 /// For each per-address event, the smallest covering prefix mask is
 /// computed (see [`ipactive_net::covering_mask`]); the histogram
 /// fractions over the display buckets reproduce the figure's bars.
+///
+/// Accepts any [`DailyWindows`] source, so the bench layer can pass a
+/// memoizing cache in place of the raw dataset.
 pub fn event_sizes(
-    ds: &DailyDataset,
+    ds: &impl DailyWindows,
     window_days: usize,
     direction: EventDirection,
 ) -> EventSizeHistogram {
-    let n_windows = ds.num_days / window_days;
+    let n_windows = ds.num_days() / window_days;
     let mut hist = EventSizeHistogram::new();
     if n_windows < 2 {
         return hist;
     }
-    let mut prev = ds.window_union(0..window_days);
+    let mut prev = ds.union(0..window_days);
     for i in 1..n_windows {
-        let cur = ds.window_union(i * window_days..(i + 1) * window_days);
+        let cur = ds.union(i * window_days..(i + 1) * window_days);
         let (events, exclusion) = match direction {
             EventDirection::Up => (cur.difference(&prev), &prev),
             EventDirection::Down => (prev.difference(&cur), &cur),
@@ -66,19 +69,19 @@ pub struct BgpCorrelation {
 /// (the paper's daily window starts mid-August; BGP days count from
 /// the start of the year).
 pub fn bgp_correlation(
-    ds: &DailyDataset,
+    ds: &impl DailyWindows,
     window_days: usize,
     bgp: &BgpTimeline,
     day_offset: u16,
 ) -> BgpCorrelation {
-    let n_windows = ds.num_days / window_days;
+    let n_windows = ds.num_days() / window_days;
     assert!(n_windows >= 2, "need at least two windows");
     let (mut up_hit, mut up_all) = (0u64, 0u64);
     let (mut down_hit, mut down_all) = (0u64, 0u64);
     let (mut steady_hit, mut steady_all) = (0u64, 0u64);
-    let mut prev = ds.window_union(0..window_days);
+    let mut prev = ds.union(0..window_days);
     for i in 1..n_windows {
-        let cur = ds.window_union(i * window_days..(i + 1) * window_days);
+        let cur = ds.union(i * window_days..(i + 1) * window_days);
         let span_start = day_offset + ((i - 1) * window_days) as u16;
         let span_end = day_offset + ((i + 1) * window_days) as u16;
         let changes = bgp.changes_in(span_start..span_end);

@@ -55,6 +55,6 @@ pub mod visibility;
 
 pub use coverage::Coverage;
 pub use dataset::{
-    BlockRecord, DailyDataset, DailyDatasetBuilder, IpTraffic, WeeklyDataset,
-    WeeklyDatasetBuilder,
+    BlockRecord, DailyDataset, DailyDatasetBuilder, DailyWindows, IpTraffic,
+    WeeklyDataset, WeeklyDatasetBuilder, WeeklyWindows,
 };

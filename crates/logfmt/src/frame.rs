@@ -42,23 +42,32 @@ pub enum ReadMode {
 pub struct FrameWriter<W: Write> {
     inner: W,
     scratch: Vec<u8>,
+    // Persistent header scratch (sync byte + varint length, ≤ 11
+    // bytes): `write` is the hottest path in the pipeline, and a
+    // fresh Vec per record was a measurable allocator tax.
+    header: Vec<u8>,
     written: u64,
 }
 
 impl<W: Write> FrameWriter<W> {
     /// Wraps a byte sink.
     pub fn new(inner: W) -> Self {
-        FrameWriter { inner, scratch: Vec::with_capacity(64), written: 0 }
+        FrameWriter {
+            inner,
+            scratch: Vec::with_capacity(64),
+            header: Vec::with_capacity(11),
+            written: 0,
+        }
     }
 
     /// Writes one record as a frame.
     pub fn write(&mut self, rec: &Record) -> io::Result<()> {
         self.scratch.clear();
         rec.encode(&mut self.scratch);
-        let mut header = Vec::with_capacity(11);
-        header.push(SYNC);
-        encode_u64(&mut header, self.scratch.len() as u64);
-        self.inner.write_all(&header)?;
+        self.header.clear();
+        self.header.push(SYNC);
+        encode_u64(&mut self.header, self.scratch.len() as u64);
+        self.inner.write_all(&self.header)?;
         self.inner.write_all(&self.scratch)?;
         self.inner.write_all(&crc32(&self.scratch).to_le_bytes())?;
         self.written += 1;

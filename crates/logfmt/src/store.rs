@@ -10,6 +10,12 @@ use crate::{FrameError, FrameReader, FrameWriter, ReadMode, Record};
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers within one process; combined with
+/// the pid it makes every tmp file name unique, so two writers racing
+/// on the same day never interleave into one tmp file.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// A directory of per-day framed log files.
 #[derive(Debug, Clone)]
@@ -50,10 +56,23 @@ impl From<FrameError> for StoreError {
 }
 
 impl LogStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) a store rooted at `dir`, sweeping
+    /// any stale `.day-*.tmp` files a crashed writer left behind — a
+    /// tmp file is only meaningful to the `write_day` call that
+    /// created it, so on open every survivor is garbage.
     pub fn open(dir: impl Into<PathBuf>) -> Result<LogStore, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".day-") && name.ends_with(".tmp") {
+                // Best effort: a sweep that loses a race with a live
+                // writer's cleanup must not fail the open.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
         Ok(LogStore { dir })
     }
 
@@ -67,19 +86,50 @@ impl LogStore {
     }
 
     /// Writes one day's records, replacing any existing file for that
-    /// day. The write goes to a temporary file first and is renamed
-    /// into place, so readers never observe a half-written day.
+    /// day. The write goes to a uniquely named temporary file first
+    /// (pid + counter, so concurrent writers for the same day cannot
+    /// interleave), is fsynced, renamed into place, and the directory
+    /// is fsynced after the rename — without that last step a crash
+    /// can lose the rename itself and silently drop a "durably
+    /// written" day. A failed write removes its tmp file.
     pub fn write_day(&self, day: u16, records: &[Record]) -> Result<(), StoreError> {
-        let tmp = self.dir.join(format!(".day-{day:04}.tmp"));
-        {
-            let mut writer = FrameWriter::new(BufWriter::new(File::create(&tmp)?));
-            for rec in records {
-                writer.write(rec)?;
-            }
-            writer.finish()?.into_inner().map_err(|e| StoreError::Io(e.into_error()))?
-                .sync_all()?;
+        let tmp = self.dir.join(format!(
+            ".day-{day:04}.{}-{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let result = self.write_day_at(&tmp, day, records);
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
         }
-        fs::rename(&tmp, self.day_path(day))?;
+        result
+    }
+
+    fn write_day_at(&self, tmp: &Path, day: u16, records: &[Record]) -> Result<(), StoreError> {
+        let mut writer = FrameWriter::new(BufWriter::new(File::create(tmp)?));
+        for rec in records {
+            writer.write(rec)?;
+        }
+        writer
+            .finish()?
+            .into_inner()
+            .map_err(|e| StoreError::Io(e.into_error()))?
+            .sync_all()?;
+        fs::rename(tmp, self.day_path(day))?;
+        self.sync_dir()
+    }
+
+    /// Makes the rename itself durable. Directory fsync is a
+    /// unix-filesystem notion; elsewhere the rename is already as
+    /// durable as the platform allows.
+    #[cfg(unix)]
+    fn sync_dir(&self) -> Result<(), StoreError> {
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self) -> Result<(), StoreError> {
         Ok(())
     }
 
@@ -287,6 +337,66 @@ mod tests {
         let (survived, skipped) = store.read_day(6, ReadMode::Tolerant).unwrap();
         assert_eq!(skipped, 1);
         assert_eq!(survived, written[..7], "first seven records must survive");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn open_sweeps_stale_tmp_files_but_keeps_days() {
+        let dir = tmpdir("sweep");
+        {
+            let store = LogStore::open(&dir).unwrap();
+            store.write_day(1, &recs(1, 4)).unwrap();
+        }
+        // Simulate two crashed writers (old fixed-name and new unique
+        // scheme) plus an unrelated dotfile that must survive.
+        fs::write(dir.join(".day-0001.tmp"), b"half-written").unwrap();
+        fs::write(dir.join(".day-0002.999-7.tmp"), b"half-written").unwrap();
+        fs::write(dir.join(".keepme"), b"not ours").unwrap();
+        let store = LogStore::open(&dir).unwrap();
+        assert!(!dir.join(".day-0001.tmp").exists(), "stale tmp survived open");
+        assert!(!dir.join(".day-0002.999-7.tmp").exists(), "stale tmp survived open");
+        assert!(dir.join(".keepme").exists(), "sweep must only touch .day-*.tmp");
+        assert_eq!(store.days().unwrap(), vec![1]);
+        assert_eq!(store.read_day(1, ReadMode::Strict).unwrap().0, recs(1, 4));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn successful_writes_leave_no_tmp_files() {
+        let store = LogStore::open(tmpdir("no-tmp")).unwrap();
+        for day in 0..5u16 {
+            store.write_day(day, &recs(day, 3)).unwrap();
+        }
+        let leftovers: Vec<_> = fs::read_dir(store.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked tmp files: {leftovers:?}");
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn concurrent_writers_for_the_same_day_never_interleave() {
+        let store = LogStore::open(tmpdir("concurrent")).unwrap();
+        let a = recs(9, 50);
+        let b: Vec<Record> = (0..50u32)
+            .map(|i| Record::UaSample { day: 9, addr: Addr::new(0x14000000 + i), ua_hash: i as u64 })
+            .collect();
+        std::thread::scope(|s| {
+            for records in [&a, &b] {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        store.write_day(9, records).unwrap();
+                    }
+                });
+            }
+        });
+        // Whichever writer's rename landed last, the file must be one
+        // complete, strictly readable day — not a byte interleaving.
+        let (got, skipped) = store.read_day(9, ReadMode::Strict).unwrap();
+        assert_eq!(skipped, 0);
+        assert!(got == a || got == b, "day file mixes both writers");
         let _ = fs::remove_dir_all(store.dir());
     }
 
