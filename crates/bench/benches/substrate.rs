@@ -74,12 +74,60 @@ fn bench_sharded_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The log store's real-filesystem fast path. `LogStore` is generic
+/// over its I/O plane; this group pins the cost of a store round-trip
+/// on `RealFs` so a regression from the `Fs` indirection (which should
+/// be zero-cost — the generic is monomorphized, the trait has no
+/// dynamic dispatch) shows up as a diff against pre-refactor numbers.
+fn bench_store(c: &mut Criterion) {
+    use ipactive_cdnsim::{collect_from_store, persist_daily, persist_daily_atomic};
+    use ipactive_logfmt::LogStore;
+
+    let u = universe();
+    let num_days = u.config().daily_days;
+    let dir = std::env::temp_dir().join(format!("ipactive-bench-store-{}", std::process::id()));
+    let mut group = c.benchmark_group("log_store");
+    group.bench_function("persist_daily_realfs", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = LogStore::open(&dir).unwrap();
+            persist_daily(u, &store).unwrap();
+            black_box(store.days().unwrap().len())
+        })
+    });
+    group.bench_function("persist_daily_atomic_realfs", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = LogStore::open(&dir).unwrap();
+            black_box(persist_daily_atomic(u, &mut store).unwrap())
+        })
+    });
+    {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = LogStore::open(&dir).unwrap();
+        persist_daily(u, &store).unwrap();
+        group.bench_function("collect_from_store_realfs", |b| {
+            b.iter(|| black_box(collect_from_store(&store, num_days).unwrap().1))
+        });
+        group.bench_function("fsck_dry_run_realfs", |b| {
+            b.iter(|| {
+                let report =
+                    ipactive_logfmt::fsck(store.fs(), store.dir(), false).unwrap();
+                black_box(report.is_healthy())
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 criterion_group!(
     benches,
     bench_generate,
     bench_builds,
     bench_probing,
     bench_pipeline,
-    bench_sharded_pipeline
+    bench_sharded_pipeline,
+    bench_store
 );
 criterion_main!(benches);

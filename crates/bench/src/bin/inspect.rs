@@ -18,6 +18,22 @@
 //! `BLOCK` is a `/24` network like `101.0.64.0`; `top` picks the
 //! busiest block, `changed` the busiest block with a mid-window
 //! restructure.
+//!
+//! Two store-maintenance subcommands ride along:
+//!
+//! ```text
+//! inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]
+//! inspect fsck <DIR> [--repair]
+//! ```
+//!
+//! `mkstore` persists a deterministic universe into a log-store
+//! directory (`--atomic` uses the manifest-journaled batch commit;
+//! `--corrupt` then applies a fixed damage pattern, for fixtures).
+//! `fsck` verifies the store — manifests, footers, frames — printing
+//! the deterministic report to stdout; with `--repair` it quarantines
+//! damaged files (with provenance sidecars), salvages what survives,
+//! and reconciles orphans. Exit status: 0 when healthy, 1 when the
+//! pass found (or repaired) damage.
 
 use ipactive_bench::{Repro, Scale};
 use ipactive_core::{matrix, outages, persistence};
@@ -25,6 +41,14 @@ use ipactive_dns::classify_block;
 use ipactive_net::{Addr, Block24};
 
 fn main() {
+    {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.first().map(String::as_str) {
+            Some("fsck") => run_fsck(&args[1..]),
+            Some("mkstore") => run_mkstore(&args[1..]),
+            _ => {}
+        }
+    }
     let mut seed: u64 = 2015;
     let mut scale = Scale::Small;
     let mut truth = false;
@@ -233,7 +257,116 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]"
     );
     std::process::exit(2);
+}
+
+/// `inspect fsck <DIR> [--repair]` — verify (and optionally repair) a
+/// log-store directory, printing the deterministic report to stdout.
+fn run_fsck(args: &[String]) -> ! {
+    let mut dir: Option<&str> = None;
+    let mut repair = false;
+    for arg in args {
+        match arg.as_str() {
+            "--repair" => repair = true,
+            "--help" | "-h" => usage(),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    match ipactive_logfmt::fsck(&ipactive_logfmt::RealFs, std::path::Path::new(dir), repair) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.is_healthy() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("error: fsck failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `inspect mkstore <DIR> [--seed N] [--scale ...] [--atomic]
+/// [--corrupt]` — persist a deterministic universe into a store
+/// directory; `--corrupt` then applies a fixed damage pattern so CI
+/// can exercise `fsck --repair` against a golden report.
+fn run_mkstore(args: &[String]) -> ! {
+    let mut dir: Option<String> = None;
+    let mut seed: u64 = 2015;
+    let mut scale = Scale::Tiny;
+    let mut atomic = false;
+    let mut corrupt = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => usage(),
+            },
+            "--scale" => {
+                scale = match it.next().map(String::as_str) {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("full") => Scale::Full,
+                    _ => usage(),
+                };
+            }
+            "--atomic" => atomic = true,
+            "--corrupt" => corrupt = true,
+            "--help" | "-h" => usage(),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let universe = ipactive_cdnsim::Universe::generate(scale.config(seed));
+    let num_days = universe.config().daily_days;
+    let mut store = match ipactive_logfmt::LogStore::open(&dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: cannot open store at {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let written = if atomic {
+        ipactive_cdnsim::persist_daily_atomic(&universe, &mut store).map(|gen| {
+            eprintln!("committed {num_days} days atomically (manifest generation {gen})");
+        })
+    } else {
+        ipactive_cdnsim::persist_daily(&universe, &store).map(|()| {
+            eprintln!("wrote {num_days} days incrementally");
+        })
+    };
+    if let Err(e) = written {
+        eprintln!("error: persist failed: {e}");
+        std::process::exit(2);
+    }
+    if corrupt {
+        // A fixed damage pattern (independent of seed/scale knobs so
+        // the golden fsck report stays stable): cut the tail off day
+        // 1, flip a mid-file byte of day 0, plant a stale tmp file.
+        let damage = |day: u16, f: &dyn Fn(&mut Vec<u8>)| {
+            let path = store.resolved_day_path(day);
+            let mut bytes = std::fs::read(&path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            f(&mut bytes);
+            std::fs::write(&path, bytes).expect("rewrite damaged day");
+        };
+        damage(1, &|bytes| bytes.truncate(bytes.len() - bytes.len() / 4 - 1));
+        damage(0, &|bytes| {
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x55;
+        });
+        std::fs::write(
+            std::path::Path::new(&dir).join(".day-0042.1-1.tmp"),
+            b"crashed writer residue",
+        )
+        .expect("plant tmp file");
+        eprintln!("applied fixture damage: day 1 truncated, day 0 corrupted, stale tmp planted");
+    }
+    std::process::exit(0);
 }

@@ -1,0 +1,99 @@
+//! Golden-file test for the `inspect fsck` pipeline.
+//!
+//! Drives the real binary end to end: build a deterministic corrupted
+//! store fixture (`inspect mkstore --corrupt`), repair it
+//! (`inspect fsck --repair`), and diff the repair report byte-for-byte
+//! against the committed golden file. A final verify pass must come
+//! back healthy — repair converges in one step.
+//!
+//! If an intentional change to the store format or the report layout
+//! moves the output, regenerate the golden with:
+//!
+//! ```text
+//! rm -rf /tmp/fsck-smoke
+//! target/debug/inspect mkstore /tmp/fsck-smoke --seed 7 --scale tiny --atomic --corrupt
+//! target/debug/inspect fsck /tmp/fsck-smoke --repair \
+//!     > crates/bench/tests/golden/fsck_repair_report.txt
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/fsck_repair_report.txt");
+
+fn inspect() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_inspect"))
+}
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ipactive-fsck-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fsck_repair_report_matches_golden() {
+    let dir = fixture_dir("repair");
+    let built = inspect()
+        .args(["mkstore", dir.to_str().unwrap(), "--seed", "7", "--scale", "tiny", "--atomic", "--corrupt"])
+        .output()
+        .expect("run inspect mkstore");
+    assert!(built.status.success(), "mkstore failed: {}", String::from_utf8_lossy(&built.stderr));
+
+    let repair = inspect()
+        .args(["fsck", dir.to_str().unwrap(), "--repair"])
+        .output()
+        .expect("run inspect fsck --repair");
+    let report = String::from_utf8(repair.stdout).expect("report is utf-8");
+    assert_eq!(
+        repair.status.code(),
+        Some(1),
+        "repair of a damaged store must exit 1; stderr: {}",
+        String::from_utf8_lossy(&repair.stderr)
+    );
+    assert_eq!(
+        report, GOLDEN,
+        "fsck repair report drifted from the committed golden \
+         (see the module docs for how to regenerate it)"
+    );
+
+    // The repaired store verifies healthy, with full coverage.
+    let verify = inspect()
+        .args(["fsck", dir.to_str().unwrap()])
+        .output()
+        .expect("run inspect fsck");
+    assert_eq!(verify.status.code(), Some(0), "repair did not converge");
+    let verified = String::from_utf8(verify.stdout).unwrap();
+    assert!(
+        verified.ends_with("coverage 1.0000\n"),
+        "repaired store is not fully covered:\n{verified}"
+    );
+
+    // Quarantine provenance sidecars exist for both damaged days.
+    for name in ["day-0000.g000001.iplog", "day-0001.g000001.iplog"] {
+        let quarantined = dir.join("quarantine").join(name);
+        assert!(quarantined.exists(), "missing quarantined file {name}");
+        let why = std::fs::read_to_string(dir.join("quarantine").join(format!("{name}.why")))
+            .expect("provenance sidecar");
+        assert!(why.contains("salvaged"), "sidecar lacks provenance: {why}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fsck_on_a_healthy_store_exits_zero() {
+    let dir = fixture_dir("healthy");
+    let built = inspect()
+        .args(["mkstore", dir.to_str().unwrap(), "--seed", "7", "--scale", "tiny", "--atomic"])
+        .output()
+        .expect("run inspect mkstore");
+    assert!(built.status.success(), "mkstore failed: {}", String::from_utf8_lossy(&built.stderr));
+    let verify = inspect()
+        .args(["fsck", dir.to_str().unwrap()])
+        .output()
+        .expect("run inspect fsck");
+    assert_eq!(verify.status.code(), Some(0));
+    let report = String::from_utf8(verify.stdout).unwrap();
+    assert!(report.contains("28 clean"), "unexpected report:\n{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

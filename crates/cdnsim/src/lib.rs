@@ -46,16 +46,16 @@ pub use behavior::SeedMixer;
 pub use config::{AsKind, CountryProfile, UniverseConfig, COUNTRY_PROFILES};
 pub use growth::{monthly_counts, GrowthModel};
 pub use pipeline::{
-    collect_daily, collect_daily_sharded, collect_from_store, collect_weekly,
-    collect_weekly_sharded, emit_daily_logs, emit_daily_logs_packed, emit_daily_shards,
-    emit_weekly_logs, emit_weekly_shards,
-    parallel_pipeline, parallel_pipeline_weekly, persist_daily, shard_of, validate_topology,
-    CollectorStats, PipelineReport, PipelineStats,
+    collect_daily, collect_daily_sharded, collect_from_store, collect_from_store_checked,
+    collect_weekly, collect_weekly_sharded, emit_daily_logs, emit_daily_logs_packed,
+    emit_daily_shards, emit_weekly_logs, emit_weekly_shards,
+    parallel_pipeline, parallel_pipeline_weekly, persist_daily, persist_daily_atomic, shard_of,
+    validate_topology, CollectorStats, PipelineReport, PipelineStats,
 };
 pub use supervisor::{
-    emit_daily_shard_buffers, emit_weekly_shard_buffers, supervised_collect_daily,
-    supervised_collect_weekly, BufferOutcome, DeadLetter, Fault, FaultKind, FaultPlan,
-    RetryPolicy, ShardOutcome, SupervisedReport,
+    emit_daily_shard_buffers, emit_weekly_shard_buffers, recover_daily_from_store,
+    supervised_collect_daily, supervised_collect_weekly, BufferOutcome, DeadLetter, Fault,
+    FaultKind, FaultPlan, RetryPolicy, ShardOutcome, SupervisedReport,
 };
 pub use policy::{AssignmentPolicy, DayEntry, HostPopulation, PolicySim};
 pub use universe::{AsEntry, BlockEntry, PopulationSummary, Universe};

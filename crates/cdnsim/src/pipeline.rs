@@ -272,50 +272,72 @@ pub fn emit_daily_logs_packed<W: Write>(universe: &Universe, out: W) -> io::Resu
     Ok(written)
 }
 
-/// Persists the universe's daily logs into a [`ipactive_logfmt::LogStore`] directory,
-/// one packed file per observation day — the durable variant of
-/// [`emit_daily_logs_packed`].
-pub fn persist_daily(
-    universe: &Universe,
-    store: &ipactive_logfmt::LogStore,
-) -> Result<(), ipactive_logfmt::StoreError> {
+/// Builds the record stream for one observation day of the universe —
+/// the unit both store persist paths write.
+fn daily_records(universe: &Universe, d: usize) -> Vec<Record> {
     use ipactive_logfmt::BlockDay;
     let cfg = universe.config();
-    for d in 0..cfg.daily_days {
-        let t = cfg.daily_offset + d;
-        let mut records = Vec::new();
-        for e in &universe.blocks {
-            let sims = universe.block_sims(e);
-            let mut entries: Vec<(u8, u64)> = Vec::new();
-            for entry in universe.entries_on(e, &sims, t) {
-                entries.push((entry.host, entry.hits as u64));
-                for ua in universe.ua_samples_for(e, t, &entry) {
-                    records.push(Record::UaSample {
-                        day: d as u16,
-                        addr: e.block.addr(entry.host),
-                        ua_hash: ua,
-                    });
-                }
-            }
-            if !entries.is_empty() {
-                entries.sort_unstable_by_key(|&(h, _)| h);
-                records.push(Record::BlockDay(Box::new(BlockDay::new(
-                    d as u16,
-                    e.block,
-                    entries,
-                ))));
+    let t = cfg.daily_offset + d;
+    let mut records = Vec::new();
+    for e in &universe.blocks {
+        let sims = universe.block_sims(e);
+        let mut entries: Vec<(u8, u64)> = Vec::new();
+        for entry in universe.entries_on(e, &sims, t) {
+            entries.push((entry.host, entry.hits as u64));
+            for ua in universe.ua_samples_for(e, t, &entry) {
+                records.push(Record::UaSample {
+                    day: d as u16,
+                    addr: e.block.addr(entry.host),
+                    ua_hash: ua,
+                });
             }
         }
-        store.write_day(d as u16, &records)?;
+        if !entries.is_empty() {
+            entries.sort_unstable_by_key(|&(h, _)| h);
+            records.push(Record::BlockDay(Box::new(BlockDay::new(
+                d as u16,
+                e.block,
+                entries,
+            ))));
+        }
+    }
+    records
+}
+
+/// Persists the universe's daily logs into a [`ipactive_logfmt::LogStore`] directory,
+/// one packed file per observation day — the durable variant of
+/// [`emit_daily_logs_packed`]. Each day commits independently; a crash
+/// can leave a prefix of the days written.
+pub fn persist_daily<F: ipactive_logfmt::Fs>(
+    universe: &Universe,
+    store: &ipactive_logfmt::LogStore<F>,
+) -> Result<(), ipactive_logfmt::StoreError> {
+    let cfg = universe.config();
+    for d in 0..cfg.daily_days {
+        store.write_day(d as u16, &daily_records(universe, d))?;
     }
     Ok(())
+}
+
+/// Persists the universe's daily logs as one manifest-journaled batch
+/// commit: after a crash at any point, a reader sees either *all* of
+/// the run's days or none of them — never a prefix. Returns the
+/// manifest generation that published the batch.
+pub fn persist_daily_atomic<F: ipactive_logfmt::Fs>(
+    universe: &Universe,
+    store: &mut ipactive_logfmt::LogStore<F>,
+) -> Result<u64, ipactive_logfmt::StoreError> {
+    let cfg = universe.config();
+    let batch: Vec<(u16, Vec<Record>)> =
+        (0..cfg.daily_days).map(|d| (d as u16, daily_records(universe, d))).collect();
+    store.commit_days(&batch)
 }
 
 /// Rebuilds a [`DailyDataset`] from a [`ipactive_logfmt::LogStore`] directory,
 /// tolerating damaged days (lost frames are counted, never decoded
 /// wrongly).
-pub fn collect_from_store(
-    store: &ipactive_logfmt::LogStore,
+pub fn collect_from_store<F: ipactive_logfmt::Fs>(
+    store: &ipactive_logfmt::LogStore<F>,
     num_days: usize,
 ) -> Result<(DailyDataset, PipelineStats), ipactive_logfmt::StoreError> {
     let mut builder = DailyDatasetBuilder::new(num_days);
@@ -327,6 +349,33 @@ pub fn collect_from_store(
         }
     })?;
     Ok((builder.finish(), stats))
+}
+
+/// Like [`collect_from_store`], but verifies the store first with an
+/// [`ipactive_logfmt::fsck`] dry run and attaches the resulting
+/// per-day completeness grid to the dataset as a
+/// [`Coverage`](ipactive_core::Coverage) — the store-granular analogue
+/// of what the supervised collector reports per shard. A day the fsck
+/// pass found damaged contributes its surviving-record fraction; a day
+/// missing entirely (never written, or lost with its manifest entry)
+/// contributes `0.0`.
+///
+/// Returns the dataset, the stats, and the fsck report it consumed.
+pub fn collect_from_store_checked<F: ipactive_logfmt::Fs>(
+    store: &ipactive_logfmt::LogStore<F>,
+    num_days: usize,
+) -> Result<(DailyDataset, PipelineStats, ipactive_logfmt::FsckReport), ipactive_logfmt::StoreError>
+{
+    let report = ipactive_logfmt::fsck(store.fs(), store.dir(), false)?;
+    let mut fractions = vec![0.0f64; num_days];
+    for (day, fraction) in report.day_fractions() {
+        if let Some(slot) = fractions.get_mut(usize::from(day)) {
+            *slot = fraction;
+        }
+    }
+    let coverage = ipactive_core::Coverage::from_slot_fractions(&fractions);
+    let (dataset, stats) = collect_from_store(store, num_days)?;
+    Ok((dataset.with_coverage(coverage), stats, report))
 }
 
 /// Serializes the universe's *weekly* view into `out` (the framing
@@ -901,6 +950,59 @@ mod tests {
         assert_eq!(stats.frames_skipped, 0);
         assert_datasets_equal(&u.build_daily(), &ds);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_persist_equals_incremental_persist() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let fs = ipactive_logfmt::SimFs::new();
+        let incr = ipactive_logfmt::LogStore::open_on(fs.clone(), "/incr").unwrap();
+        persist_daily(&u, &incr).unwrap();
+        let mut atomic = ipactive_logfmt::LogStore::open_on(fs.clone(), "/atomic").unwrap();
+        let gen = persist_daily_atomic(&u, &mut atomic).unwrap();
+        assert_eq!(gen, 1);
+        assert_eq!(atomic.committed_days().len(), num_days);
+        let (from_incr, _) = collect_from_store(&incr, num_days).unwrap();
+        let (from_atomic, _) = collect_from_store(&atomic, num_days).unwrap();
+        assert_datasets_equal(&from_incr, &from_atomic);
+        assert_datasets_equal(&u.build_daily(), &from_atomic);
+    }
+
+    #[test]
+    fn checked_collect_attaches_full_coverage_when_clean() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let fs = ipactive_logfmt::SimFs::new();
+        let mut store = ipactive_logfmt::LogStore::open_on(fs.clone(), "/store").unwrap();
+        persist_daily_atomic(&u, &mut store).unwrap();
+        let (ds, stats, report) = collect_from_store_checked(&store, num_days).unwrap();
+        assert!(report.is_healthy(), "clean store flagged:\n{}", report.render());
+        assert_eq!(stats.frames_skipped, 0);
+        let coverage = ds.coverage.as_ref().expect("checked collect must annotate coverage");
+        assert!(coverage.is_complete());
+        assert_eq!(coverage.num_slots(), num_days);
+        assert_datasets_equal(&u.build_daily(), &ds);
+    }
+
+    #[test]
+    fn checked_collect_degrades_coverage_for_a_damaged_day() {
+        let u = universe();
+        let num_days = u.config().daily_days;
+        assert!(num_days >= 2, "need at least two days to damage one");
+        let fs = ipactive_logfmt::SimFs::new();
+        let store = ipactive_logfmt::LogStore::open_on(fs.clone(), "/store").unwrap();
+        persist_daily(&u, &store).unwrap();
+        // Cut the tail off day 1's file, mid-frame.
+        let path = std::path::Path::new("/store").join("day-0001.iplog");
+        let bytes = fs.visible(&path).unwrap();
+        fs.put_file(&path, &bytes[..bytes.len() - bytes.len() / 4 - 1]);
+        let (ds, _, report) = collect_from_store_checked(&store, num_days).unwrap();
+        assert!(!report.is_healthy());
+        let coverage = ds.coverage.as_ref().unwrap();
+        assert!(coverage.slot(1) < 1.0, "damaged day kept full coverage");
+        assert_eq!(coverage.slot(0), 1.0, "undamaged day lost coverage");
+        assert!(!coverage.is_complete());
     }
 
     #[test]

@@ -48,6 +48,18 @@ impl Coverage {
         }
     }
 
+    /// Builds a single-shard grid from one completeness fraction per
+    /// slot — the shape a *store*-granular check reports, where each
+    /// day file is verified independently (an `fsck` pass over a log
+    /// store produces exactly this: per-day survival fractions with
+    /// no shard dimension).
+    pub fn from_slot_fractions(fractions: &[f64]) -> Coverage {
+        Coverage {
+            num_slots: fractions.len(),
+            grid: vec![fractions.iter().map(|f| f.clamp(0.0, 1.0)).collect()],
+        }
+    }
+
     /// Number of collector shards covered.
     pub fn num_shards(&self) -> usize {
         self.grid.len()

@@ -187,6 +187,7 @@ pub struct FrameReader<R: Read> {
     mode: ReadMode,
     skipped: u64,
     resyncs: u64,
+    truncated: bool,
     finished: bool,
     pos: u64,
     capture: bool,
@@ -201,6 +202,7 @@ impl<R: Read> FrameReader<R> {
             mode,
             skipped: 0,
             resyncs: 0,
+            truncated: false,
             finished: false,
             pos: 0,
             capture: false,
@@ -217,6 +219,16 @@ impl<R: Read> FrameReader<R> {
     /// after losing framing (tolerant mode).
     pub fn resyncs(&self) -> u64 {
         self.resyncs
+    }
+
+    /// Whether the stream ended *inside* a frame (tolerant mode) —
+    /// the signature of a file cut short at EOF, as opposed to frames
+    /// lost mid-stream, which move [`FrameReader::skipped`] without
+    /// setting this flag. A truncated tail also counts as one skipped
+    /// frame, so `skipped() - truncated_tail() as u64` is the
+    /// mid-stream loss alone.
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated
     }
 
     /// Current byte offset in the stream (bytes consumed so far).
@@ -336,6 +348,7 @@ impl<R: Read> FrameReader<R> {
                         // EOF inside the length field: stream over.
                         FrameError::TruncatedFrame => {
                             self.skipped += 1;
+                            self.truncated = true;
                             self.quarantine_push(
                                 frame_start,
                                 QuarantineReason::Truncated,
@@ -362,6 +375,7 @@ impl<R: Read> FrameReader<R> {
                 match (self.mode, e) {
                     (ReadMode::Tolerant, FrameError::TruncatedFrame) => {
                         self.skipped += 1;
+                        self.truncated = true;
                         self.quarantine_push(frame_start, QuarantineReason::Truncated, &[]);
                         return Ok(None);
                     }
@@ -373,6 +387,7 @@ impl<R: Read> FrameReader<R> {
                 match (self.mode, e) {
                     (ReadMode::Tolerant, FrameError::TruncatedFrame) => {
                         self.skipped += 1;
+                        self.truncated = true;
                         self.quarantine_push(frame_start, QuarantineReason::Truncated, &payload);
                         return Ok(None);
                     }

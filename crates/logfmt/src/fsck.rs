@@ -1,0 +1,759 @@
+//! Store verification and repair (`fsck`).
+//!
+//! [`fsck`] walks a store directory *below* [`LogStore::open`] — it
+//! does its own manifest resolution, so it can examine (and repair) a
+//! store whose sole manifest is torn, which `open` rightly refuses to
+//! load. It verifies three layers:
+//!
+//! 1. **Manifests** — every generation file decodes; the newest valid
+//!    one is authoritative; corrupt ones are quarantined, stale older
+//!    ones removed.
+//! 2. **Footers** — every committed day's file matches its manifest
+//!    entry (byte length, whole-file CRC, record count). This catches
+//!    the truncation-on-a-frame-boundary case the frame layer reads
+//!    as a clean stream.
+//! 3. **Frames** — every day file (committed or legacy) is scanned
+//!    tolerantly, counting surviving records, mid-file skips, resyncs
+//!    and trailing truncation.
+//!
+//! With `repair`, damaged files are moved into a `quarantine/`
+//! subdirectory with a `.why` provenance sidecar, salvageable records
+//! are rewritten in their place (committed days get a fresh manifest
+//! generation with corrected footers), orphaned generation files are
+//! reconciled, and stale tmp files swept. Without `repair`, fsck is
+//! strictly read-only and reports what it *would* do.
+//!
+//! The [`FsckReport`] is deterministic — same directory state, same
+//! report, with file *names* only (never absolute paths) so golden
+//! files diff cleanly across machines — and exposes
+//! [`FsckReport::day_fractions`], the per-day completeness grid the
+//! supervisor folds into a `Coverage`.
+//!
+//! [`LogStore::open`]: crate::LogStore::open
+
+use crate::crc::crc32;
+use crate::manifest::{
+    gen_day_file_name, parse_gen_day_file_name, DayMeta, Manifest, ManifestError,
+};
+use crate::store::{DayDamage, StoreError};
+use crate::vfs::{Fs, FsFile};
+use crate::{FrameReader, FrameWriter, ReadMode, Record};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Name of the quarantine subdirectory repairs move damaged files to.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Health verdict for one day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DayVerdict {
+    /// Every check passed.
+    Clean,
+    /// The file exists but lost frames, failed its footer, or both.
+    Damaged,
+    /// The manifest commits the day but its file is gone.
+    Missing,
+    /// An uncommitted generation file adopted because no valid
+    /// manifest survived and it was the only copy of the day.
+    RecoveredOrphan,
+}
+
+impl DayVerdict {
+    fn label(self) -> &'static str {
+        match self {
+            DayVerdict::Clean => "clean",
+            DayVerdict::Damaged => "damaged",
+            DayVerdict::Missing => "MISSING",
+            DayVerdict::RecoveredOrphan => "recovered-orphan",
+        }
+    }
+}
+
+/// Everything fsck established about one day.
+#[derive(Debug, Clone)]
+pub struct DayCheck {
+    /// File name the day resolved to (its pre-repair name).
+    pub file: String,
+    /// Whether the current manifest commits this day.
+    pub committed: bool,
+    /// Records that survive a tolerant read.
+    pub records: u64,
+    /// Records the manifest promised, for committed days.
+    pub expected: Option<u64>,
+    /// Frame-level damage observed.
+    pub damage: DayDamage,
+    /// Whether the manifest footer (length / whole-file CRC) matched.
+    pub footer_ok: bool,
+    /// Overall verdict.
+    pub verdict: DayVerdict,
+}
+
+impl DayCheck {
+    /// Completeness in `[0, 1]`: the fraction of this day's records
+    /// that are present and intact. Committed days measure against
+    /// the manifest's promise; legacy days against survivors + losses
+    /// (the best estimate available without a footer).
+    pub fn fraction(&self) -> f64 {
+        match self.verdict {
+            DayVerdict::Missing => 0.0,
+            _ => match self.expected {
+                Some(0) | None => {
+                    let lost = self.damage.lost_frames();
+                    if lost == 0 {
+                        1.0
+                    } else {
+                        self.records as f64 / (self.records + lost) as f64
+                    }
+                }
+                Some(expected) => (self.records as f64 / expected as f64).min(1.0),
+            },
+        }
+    }
+}
+
+/// One file moved to quarantine (or that a dry run would move).
+#[derive(Debug, Clone)]
+pub struct Quarantined {
+    /// Original file name.
+    pub file: String,
+    /// The day it held, when it was a day file.
+    pub day: Option<u16>,
+    /// Why it was quarantined — written verbatim to the `.why`
+    /// provenance sidecar.
+    pub reason: String,
+}
+
+/// The deterministic result of an fsck pass.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Generation of the authoritative manifest, if one verified.
+    pub generation: Option<u64>,
+    /// Per-day findings, keyed by day number.
+    pub days: BTreeMap<u16, DayCheck>,
+    /// Damaged or corrupt files quarantined (applied when `repaired`,
+    /// planned otherwise).
+    pub quarantined: Vec<Quarantined>,
+    /// Orphaned generation day files removed as superseded.
+    pub orphans_removed: Vec<String>,
+    /// Stale (older valid) manifest generations removed.
+    pub stale_manifests: Vec<String>,
+    /// Stale tmp files swept.
+    pub tmp_swept: Vec<String>,
+    /// Whether repairs were applied (`false` = read-only dry run).
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the store needs no attention at all.
+    pub fn is_healthy(&self) -> bool {
+        self.days.values().all(|d| d.verdict == DayVerdict::Clean)
+            && self.quarantined.is_empty()
+            && self.orphans_removed.is_empty()
+            && self.stale_manifests.is_empty()
+            && self.tmp_swept.is_empty()
+    }
+
+    /// Per-day completeness fractions, ascending by day — the grid a
+    /// supervisor folds into its `Coverage` accounting.
+    pub fn day_fractions(&self) -> Vec<(u16, f64)> {
+        self.days.iter().map(|(&day, check)| (day, check.fraction())).collect()
+    }
+
+    /// Renders the report as deterministic, path-free text: the same
+    /// directory state always produces byte-identical output, so CI
+    /// can diff it against a committed golden file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, line: String| {
+            out.push_str(&line);
+            out.push('\n');
+        };
+        match self.generation {
+            Some(gen) => push(
+                &mut out,
+                format!("manifest: generation {gen} ({} committed days)", {
+                    self.days.values().filter(|d| d.committed).count()
+                }),
+            ),
+            None => push(&mut out, "manifest: none".to_string()),
+        }
+        for (day, check) in &self.days {
+            let kind = if check.committed { "committed" } else { "legacy" };
+            let mut line = format!(
+                "day {day:04}: {} {kind} ({}",
+                check.verdict.label(),
+                match check.expected {
+                    Some(expected) => format!("{}/{expected} records", check.records),
+                    None => format!("{} records", check.records),
+                }
+            );
+            if check.damage.skipped > 0 {
+                line.push_str(&format!(", {} mid-file skips", check.damage.skipped));
+            }
+            if check.damage.resyncs > 0 {
+                line.push_str(&format!(", {} resyncs", check.damage.resyncs));
+            }
+            if check.damage.truncated_tail {
+                line.push_str(", truncated tail");
+            }
+            if !check.footer_ok {
+                line.push_str(", footer mismatch");
+            }
+            line.push(')');
+            if check.verdict != DayVerdict::Missing {
+                line.push_str(&format!(" [{}]", check.file));
+            }
+            push(&mut out, line);
+        }
+        let action = if self.repaired { "" } else { " (dry run)" };
+        for q in &self.quarantined {
+            push(&mut out, format!("quarantine{action}: {} — {}", q.file, q.reason));
+        }
+        for name in &self.orphans_removed {
+            push(&mut out, format!("orphan removed{action}: {name}"));
+        }
+        for name in &self.stale_manifests {
+            push(&mut out, format!("stale manifest removed{action}: {name}"));
+        }
+        for name in &self.tmp_swept {
+            push(&mut out, format!("tmp swept{action}: {name}"));
+        }
+        let healthy = self.days.values().filter(|d| d.verdict == DayVerdict::Clean).count();
+        let total: f64 = self.days.values().map(DayCheck::fraction).sum();
+        let coverage = if self.days.is_empty() { 1.0 } else { total / self.days.len() as f64 };
+        push(
+            &mut out,
+            format!(
+                "summary: {} days, {healthy} clean; coverage {coverage:.4}",
+                self.days.len()
+            ),
+        );
+        out
+    }
+}
+
+/// A tolerant scan of one day file's bytes.
+struct Scan {
+    records: Vec<Record>,
+    damage: DayDamage,
+}
+
+fn scan_bytes(bytes: &[u8]) -> Scan {
+    let mut reader = FrameReader::new(bytes, ReadMode::Tolerant);
+    // Tolerant read_all cannot fail.
+    let records = reader.read_all().expect("tolerant read");
+    let truncated_tail = reader.truncated_tail();
+    Scan {
+        damage: DayDamage {
+            skipped: reader.skipped() - u64::from(truncated_tail),
+            truncated_tail,
+            resyncs: reader.resyncs(),
+            lost_committed: 0,
+        },
+        records,
+    }
+}
+
+fn read_file<F: Fs>(fs: &F, path: &Path) -> std::io::Result<Vec<u8>> {
+    let mut bytes = Vec::new();
+    fs.open_read(path).and_then(|mut f| f.read_to_end(&mut bytes))?;
+    Ok(bytes)
+}
+
+/// Writes `bytes` durably at `dest` via tmp + fsync + rename. The
+/// caller is responsible for the directory fsync.
+fn write_durable<F: Fs>(fs: &F, dir: &Path, dest_name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!(".{dest_name}.fsck.tmp"));
+    let result = (|| {
+        let mut file = fs.create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs.rename(&tmp, &dir.join(dest_name))
+    })();
+    if result.is_err() {
+        let _ = fs.remove_file(&tmp);
+    }
+    result
+}
+
+/// Moves `name` into the quarantine subdirectory and writes a `.why`
+/// provenance sidecar next to it.
+fn quarantine_file<F: Fs>(fs: &F, dir: &Path, name: &str, reason: &str) -> std::io::Result<()> {
+    let qdir = dir.join(QUARANTINE_DIR);
+    fs.create_dir_all(&qdir)?;
+    fs.rename(&dir.join(name), &qdir.join(name))?;
+    let mut why = fs.create(&qdir.join(format!("{name}.why")))?;
+    why.write_all(reason.as_bytes())?;
+    why.write_all(b"\n")?;
+    why.sync_all()
+}
+
+/// Verifies (and with `repair`, fixes) the store rooted at `dir` on
+/// the filesystem `fs`. See the module docs for the full contract.
+///
+/// Errors are reserved for I/O failures that make the directory
+/// itself unreadable; damage *inside* the store is never an error —
+/// it is the report's subject matter.
+pub fn fsck<F: Fs>(fs: &F, dir: &Path, repair: bool) -> Result<FsckReport, StoreError> {
+    let io = |path: &Path, e: std::io::Error| StoreError::Io {
+        day: None,
+        path: path.to_path_buf(),
+        source: e,
+    };
+    fs.create_dir_all(dir).map_err(|e| io(dir, e))?;
+    let mut names = fs.read_dir_names(dir).map_err(|e| io(dir, e))?;
+    names.sort();
+
+    let mut report = FsckReport { repaired: repair, ..FsckReport::default() };
+
+    // Pass 1: classify the directory.
+    let mut manifest_gens: Vec<u64> = Vec::new();
+    let mut legacy_days: Vec<(u16, String)> = Vec::new();
+    let mut gen_days: Vec<(u16, u64, String)> = Vec::new();
+    for name in &names {
+        if name == QUARANTINE_DIR {
+            continue;
+        }
+        if name.starts_with('.') && name.ends_with(".tmp") {
+            report.tmp_swept.push(name.clone());
+            if repair {
+                let _ = fs.remove_file(&dir.join(name));
+            }
+            continue;
+        }
+        if let Some(gen) = Manifest::parse_file_name(name) {
+            manifest_gens.push(gen);
+        } else if let Some((day, gen)) = parse_gen_day_file_name(name) {
+            gen_days.push((day, gen, name.clone()));
+        } else if let Some(day) =
+            name.strip_prefix("day-").and_then(|r| r.strip_suffix(".iplog")).and_then(|d| d.parse().ok())
+        {
+            legacy_days.push((day, name.clone()));
+        }
+    }
+
+    // Pass 2: resolve the authoritative manifest; everything else is
+    // stale (older valid) or corrupt (quarantined).
+    manifest_gens.sort_unstable();
+    let mut manifest: Option<Manifest> = None;
+    for &gen in manifest_gens.iter().rev() {
+        let name = Manifest::file_name(gen);
+        let decoded = read_file(fs, &dir.join(&name))
+            .map_err(|_| ManifestError::Truncated)
+            .and_then(|bytes| Manifest::decode(&bytes));
+        match decoded {
+            Ok(m) if m.generation == gen && manifest.is_none() => manifest = Some(m),
+            Ok(_) => {
+                report.stale_manifests.push(name.clone());
+                if repair {
+                    let _ = fs.remove_file(&dir.join(&name));
+                }
+            }
+            Err(e) => {
+                let reason = format!("corrupt manifest generation {gen}: {e}");
+                report.quarantined.push(Quarantined { file: name.clone(), day: None, reason: reason.clone() });
+                if repair {
+                    let _ = quarantine_file(fs, dir, &name, &reason);
+                }
+            }
+        }
+    }
+    report.generation = manifest.as_ref().map(|m| m.generation);
+
+    // Pass 3: verify committed days against their manifest footers
+    // and a tolerant frame scan.
+    let committed: BTreeMap<u16, DayMeta> =
+        manifest.as_ref().map(|m| m.days.clone()).unwrap_or_default();
+    // Salvaged committed days to re-commit under a repair generation:
+    // (day, surviving records).
+    let mut recommit: Vec<(u16, Vec<Record>)> = Vec::new();
+    let mut drop_days: Vec<u16> = Vec::new();
+    for (&day, meta) in &committed {
+        let name = gen_day_file_name(day, meta.generation);
+        let bytes = match read_file(fs, &dir.join(&name)) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                report.days.insert(
+                    day,
+                    DayCheck {
+                        file: name,
+                        committed: true,
+                        records: 0,
+                        expected: Some(meta.records),
+                        damage: DayDamage::default(),
+                        footer_ok: false,
+                        verdict: DayVerdict::Missing,
+                    },
+                );
+                drop_days.push(day);
+                continue;
+            }
+        };
+        let footer_ok = bytes.len() as u64 == meta.file_len && crc32(&bytes) == meta.file_crc;
+        let mut scan = scan_bytes(&bytes);
+        scan.damage.lost_committed = meta.records.saturating_sub(scan.records.len() as u64);
+        let clean = footer_ok && scan.damage.is_clean() && scan.records.len() as u64 == meta.records;
+        if !clean {
+            let reason = format!(
+                "committed day {day}: {} of {} records salvaged (footer {})",
+                scan.records.len(),
+                meta.records,
+                if footer_ok { "ok" } else { "mismatch" },
+            );
+            report.quarantined.push(Quarantined { file: name.clone(), day: Some(day), reason: reason.clone() });
+            if repair {
+                let _ = quarantine_file(fs, dir, &name, &reason);
+                if scan.records.is_empty() {
+                    drop_days.push(day);
+                } else {
+                    recommit.push((day, scan.records.clone()));
+                }
+            }
+        }
+        report.days.insert(
+            day,
+            DayCheck {
+                file: name,
+                committed: true,
+                records: scan.records.len() as u64,
+                expected: Some(meta.records),
+                damage: scan.damage,
+                footer_ok,
+                verdict: if clean { DayVerdict::Clean } else { DayVerdict::Damaged },
+            },
+        );
+    }
+
+    // Pass 4: legacy day files. Shadowed ones (their day is committed)
+    // are superseded garbage; live ones are scanned.
+    for (day, name) in &legacy_days {
+        if committed.contains_key(day) {
+            report.orphans_removed.push(name.clone());
+            if repair {
+                let _ = fs.remove_file(&dir.join(name));
+            }
+            continue;
+        }
+        let Ok(bytes) = read_file(fs, &dir.join(name)) else {
+            continue; // raced away between listing and read
+        };
+        let scan = scan_bytes(&bytes);
+        let clean = scan.damage.is_clean();
+        if !clean {
+            let reason = format!(
+                "legacy day {day}: {} records salvaged, {} frames lost",
+                scan.records.len(),
+                scan.damage.lost_frames(),
+            );
+            report.quarantined.push(Quarantined { file: name.clone(), day: Some(*day), reason: reason.clone() });
+            if repair {
+                let _ = quarantine_file(fs, dir, name, &reason);
+                if !scan.records.is_empty() {
+                    let mut w = FrameWriter::new(Vec::new());
+                    for r in &scan.records {
+                        w.write(r).expect("in-memory frame write");
+                    }
+                    let fixed = w.finish().expect("in-memory frame finish");
+                    let _ = write_durable(fs, dir, name, &fixed);
+                }
+            }
+        }
+        report.days.insert(
+            *day,
+            DayCheck {
+                file: name.clone(),
+                committed: false,
+                records: scan.records.len() as u64,
+                expected: None,
+                damage: scan.damage,
+                footer_ok: true,
+                verdict: if clean { DayVerdict::Clean } else { DayVerdict::Damaged },
+            },
+        );
+    }
+
+    // Pass 5: reconcile orphaned generation files. With a valid
+    // manifest, anything it doesn't reference is superseded or a
+    // crashed batch's unpublished write — removed, because adopting
+    // it would resurrect uncommitted data. With *no* valid manifest
+    // (all generations corrupt), orphans are the only surviving copy:
+    // the newest generation of each day is adopted as a legacy file,
+    // recorded as a recovered orphan.
+    gen_days.sort();
+    if manifest.is_some() {
+        for (day, gen, name) in &gen_days {
+            if committed.get(day).is_some_and(|meta| meta.generation == *gen) {
+                continue;
+            }
+            report.orphans_removed.push(name.clone());
+            if repair {
+                let _ = fs.remove_file(&dir.join(name));
+            }
+        }
+    } else {
+        let mut newest: BTreeMap<u16, (u64, String)> = BTreeMap::new();
+        for (day, gen, name) in &gen_days {
+            let entry = newest.entry(*day).or_insert((*gen, name.clone()));
+            if *gen >= entry.0 {
+                *entry = (*gen, name.clone());
+            }
+        }
+        for (day, gen, name) in &gen_days {
+            if newest.get(day).is_some_and(|(g, _)| g == gen) {
+                continue;
+            }
+            report.orphans_removed.push(name.clone());
+            if repair {
+                let _ = fs.remove_file(&dir.join(name));
+            }
+        }
+        for (day, (_, name)) in &newest {
+            if report.days.contains_key(day) {
+                // A legacy file already covers this day; the orphan
+                // is a duplicate from a crashed batch.
+                report.orphans_removed.push(name.clone());
+                if repair {
+                    let _ = fs.remove_file(&dir.join(name));
+                }
+                continue;
+            }
+            let Ok(bytes) = read_file(fs, &dir.join(name)) else {
+                continue;
+            };
+            let scan = scan_bytes(&bytes);
+            if repair {
+                let legacy_name = format!("day-{day:04}.iplog");
+                let _ = fs.rename(&dir.join(name), &dir.join(&legacy_name));
+            }
+            report.days.insert(
+                *day,
+                DayCheck {
+                    file: name.clone(),
+                    committed: false,
+                    records: scan.records.len() as u64,
+                    expected: None,
+                    damage: scan.damage,
+                    footer_ok: true,
+                    verdict: DayVerdict::RecoveredOrphan,
+                },
+            );
+        }
+    }
+
+    // Pass 6 (repair only): if committed days were salvaged or lost,
+    // publish a corrected manifest generation so readers resolve the
+    // repaired state.
+    if repair && (!recommit.is_empty() || !drop_days.is_empty()) {
+        if let Some(current) = manifest {
+            let gen = current.generation + 1;
+            let mut next = Manifest { generation: gen, days: current.days };
+            for day in &drop_days {
+                next.days.remove(day);
+            }
+            for (day, records) in &recommit {
+                let mut w = FrameWriter::new(Vec::new());
+                for r in records {
+                    w.write(r).expect("in-memory frame write");
+                }
+                let bytes = w.finish().expect("in-memory frame finish");
+                let name = gen_day_file_name(*day, gen);
+                write_durable(fs, dir, &name, &bytes).map_err(|e| io(&dir.join(&name), e))?;
+                next.days.insert(
+                    *day,
+                    DayMeta {
+                        generation: gen,
+                        records: records.len() as u64,
+                        file_len: bytes.len() as u64,
+                        file_crc: crc32(&bytes),
+                    },
+                );
+            }
+            fs.sync_dir(dir).map_err(|e| io(dir, e))?;
+            write_durable(fs, dir, &Manifest::file_name(gen), &next.encode())
+                .map_err(|e| io(dir, e))?;
+            fs.sync_dir(dir).map_err(|e| io(dir, e))?;
+            let _ = fs.remove_file(&Manifest::path(dir, gen - 1));
+            report.generation = Some(gen);
+        }
+    }
+
+    // The quarantine plan accumulates across passes in pass order;
+    // sort it so the report is independent of traversal details.
+    report.quarantined.sort_by(|a, b| a.file.cmp(&b.file));
+    report.orphans_removed.sort();
+    report.orphans_removed.dedup();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::SimFs;
+    use crate::LogStore;
+    use ipactive_net::Addr;
+    use std::path::PathBuf;
+
+    fn recs(day: u16, n: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::Hits { day, addr: Addr::new(0x0B000000 + i), hits: u64::from(i) + 1 })
+            .collect()
+    }
+
+    fn dir() -> PathBuf {
+        PathBuf::from("/store")
+    }
+
+    #[test]
+    fn healthy_store_reports_clean() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.write_day(0, &recs(0, 5)).unwrap();
+        store.commit_days(&[(1, recs(1, 7))]).unwrap();
+        let report = fsck(&fs, &dir(), false).unwrap();
+        assert!(report.is_healthy(), "unexpected findings:\n{}", report.render());
+        assert_eq!(report.generation, Some(1));
+        assert_eq!(report.day_fractions(), vec![(0, 1.0), (1, 1.0)]);
+        assert_eq!(report.days[&1].expected, Some(7));
+    }
+
+    #[test]
+    fn dry_run_is_read_only() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 6))]).unwrap();
+        // Corrupt the committed day's file mid-way.
+        let path = dir().join(gen_day_file_name(0, 1));
+        let mut bytes = fs.visible(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        fs.put_file(&path, &bytes);
+        let before = fs.read_dir_names(&dir()).unwrap();
+        let report = fsck(&fs, &dir(), false).unwrap();
+        assert!(!report.is_healthy());
+        assert_eq!(report.days[&0].verdict, DayVerdict::Damaged);
+        assert!(!report.days[&0].footer_ok);
+        assert_eq!(
+            fs.read_dir_names(&dir()).unwrap(),
+            before,
+            "dry run must not touch the directory"
+        );
+    }
+
+    #[test]
+    fn repair_quarantines_and_recommits_salvage() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 6)), (1, recs(1, 4))]).unwrap();
+        let path = dir().join(gen_day_file_name(0, 1));
+        let mut bytes = fs.visible(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        fs.put_file(&path, &bytes);
+
+        let report = fsck(&fs, &dir(), true).unwrap();
+        assert_eq!(report.days[&0].verdict, DayVerdict::Damaged);
+        assert_eq!(report.generation, Some(2), "repair must publish a corrected generation");
+        assert!(fs.exists(&dir().join(QUARANTINE_DIR).join(gen_day_file_name(0, 1))));
+        assert!(fs
+            .exists(&dir().join(QUARANTINE_DIR).join(format!("{}.why", gen_day_file_name(0, 1)))));
+
+        // The repaired store opens cleanly: day 0 holds the salvage
+        // with a footer that now matches, day 1 is untouched.
+        let repaired = LogStore::open_on(fs.clone(), dir()).unwrap();
+        assert_eq!(repaired.manifest().unwrap().generation, 2);
+        let (salvaged, damage) = repaired.read_day(0, ReadMode::Strict).unwrap();
+        assert!(damage.is_clean());
+        assert!(salvaged.len() < 6, "salvage should have lost the damaged frame(s)");
+        assert_eq!(repaired.read_day(1, ReadMode::Strict).unwrap().0, recs(1, 4));
+        // A second pass finds nothing left to do.
+        let again = fsck(&fs, &dir(), false).unwrap();
+        assert!(again.is_healthy(), "repair did not converge:\n{}", again.render());
+    }
+
+    #[test]
+    fn repair_drops_missing_committed_day_from_manifest() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 3)), (1, recs(1, 3))]).unwrap();
+        fs.remove_file(&dir().join(gen_day_file_name(0, 1))).unwrap();
+        let report = fsck(&fs, &dir(), true).unwrap();
+        assert_eq!(report.days[&0].verdict, DayVerdict::Missing);
+        assert_eq!(report.day_fractions()[0], (0, 0.0));
+        let repaired = LogStore::open_on(fs.clone(), dir()).unwrap();
+        assert_eq!(repaired.committed_days(), vec![1], "lost day must leave the manifest");
+    }
+
+    #[test]
+    fn all_manifests_corrupt_recovers_orphans() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 5))]).unwrap();
+        store.commit_days(&[(1, recs(1, 2))]).unwrap();
+        // Tear the sole manifest (gen 1 was GC'd by the second commit).
+        let mpath = Manifest::path(&dir(), 2);
+        let bytes = fs.visible(&mpath).unwrap();
+        fs.put_file(&mpath, &bytes[..bytes.len() - 2]);
+        assert!(LogStore::open_on(fs.clone(), dir()).is_err(), "open must refuse this store");
+
+        let report = fsck(&fs, &dir(), true).unwrap();
+        assert_eq!(report.generation, None);
+        assert_eq!(report.days[&0].verdict, DayVerdict::RecoveredOrphan);
+        assert_eq!(report.days[&1].verdict, DayVerdict::RecoveredOrphan);
+        // After repair the store opens manifest-less with both days
+        // adopted as legacy files.
+        let recovered = LogStore::open_on(fs.clone(), dir()).unwrap();
+        assert!(recovered.manifest().is_none());
+        assert_eq!(recovered.days().unwrap(), vec![0, 1]);
+        assert_eq!(recovered.read_day(0, ReadMode::Strict).unwrap().0, recs(0, 5));
+        assert_eq!(recovered.read_day(1, ReadMode::Strict).unwrap().0, recs(1, 2));
+    }
+
+    #[test]
+    fn orphans_under_a_valid_manifest_are_removed_not_adopted() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 5))]).unwrap();
+        // Plant a crashed batch's unpublished day file.
+        let orphan = dir().join(gen_day_file_name(9, 2));
+        fs.put_file(&orphan, b"whatever");
+        let report = fsck(&fs, &dir(), true).unwrap();
+        assert!(report.orphans_removed.contains(&gen_day_file_name(9, 2)));
+        assert!(!fs.exists(&orphan), "uncommitted orphan must not survive repair");
+        assert!(!report.days.contains_key(&9), "uncommitted data must not be resurrected");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_path_free() {
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.write_day(2, &recs(2, 3)).unwrap();
+        store.commit_days(&[(0, recs(0, 4))]).unwrap();
+        let a = fsck(&fs, &dir(), false).unwrap().render();
+        let b = fsck(&fs, &dir(), false).unwrap().render();
+        assert_eq!(a, b);
+        assert!(!a.contains("/store"), "report must not leak paths:\n{a}");
+        assert!(a.contains("manifest: generation 1"));
+        assert!(a.contains("day 0000: clean committed (4/4 records)"));
+        assert!(a.contains("day 0002: clean legacy (3 records)"));
+        assert!(a.contains("summary: 2 days, 2 clean; coverage 1.0000"));
+    }
+
+    #[test]
+    fn damaged_legacy_day_fraction_counts_survivors() {
+        let fs = SimFs::new();
+        let store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.write_day(0, &recs(0, 9)).unwrap();
+        // Truncate mid-frame: the Finish marker (and maybe a record)
+        // is cut, leaving a truncated tail.
+        let path = dir().join("day-0000.iplog");
+        let bytes = fs.visible(&path).unwrap();
+        fs.put_file(&path, &bytes[..bytes.len() - 3]);
+        let report = fsck(&fs, &dir(), false).unwrap();
+        let check = &report.days[&0];
+        assert_eq!(check.verdict, DayVerdict::Damaged);
+        assert!(check.damage.truncated_tail);
+        let (_, frac) = report.day_fractions()[0];
+        assert!(frac > 0.8 && frac < 1.0, "fraction {frac} out of range");
+    }
+}

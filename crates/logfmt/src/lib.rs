@@ -37,15 +37,21 @@
 
 mod crc;
 mod frame;
+pub mod fsck;
+pub mod manifest;
 mod record;
 mod store;
 mod varint;
+pub mod vfs;
 
 pub use crc::crc32;
 pub use frame::{
     FrameError, FrameReader, FrameWriter, QuarantineReason, QuarantinedFrame, ReadMode,
     QUARANTINE_CAPTURE_CAP,
 };
+pub use fsck::{fsck, DayCheck, DayVerdict, FsckReport, Quarantined};
+pub use manifest::{DayMeta, Manifest, ManifestError};
 pub use record::{BlockDay, DecodeError, Record};
-pub use store::{LogStore, StoreError};
+pub use store::{DayDamage, LogStore, StoreError};
 pub use varint::{decode_u64, encode_u64, VarintError};
+pub use vfs::{CrashStyle, Fs, FsFile, Inject, OpLabel, RealFs, SimFs};
