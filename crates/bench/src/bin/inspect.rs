@@ -19,11 +19,13 @@
 //! busiest block, `changed` the busiest block with a mid-window
 //! restructure.
 //!
-//! Two store-maintenance subcommands ride along:
+//! Store-maintenance and observability subcommands ride along:
 //!
 //! ```text
 //! inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]
 //! inspect fsck <DIR> [--repair]
+//! inspect metrics <DIR>
+//! inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>
 //! ```
 //!
 //! `mkstore` persists a deterministic universe into a log-store
@@ -34,6 +36,15 @@
 //! damaged files (with provenance sidecars), salvages what survives,
 //! and reconciles orphans. Exit status: 0 when healthy, 1 when the
 //! pass found (or repaired) damage.
+//!
+//! `metrics` opens a store with an observability registry attached,
+//! tolerantly reads every day, runs a dry (non-repairing) fsck pass,
+//! and prints the resulting deterministic metrics snapshot as JSON —
+//! store counters, damage events, and fsck verdicts all in one
+//! document, guaranteed to agree with `inspect fsck`'s report because
+//! both derive from the same pass. `metrics-check` validates a
+//! snapshot JSON document against a JSON-schema file (the CI
+//! `metrics-golden` job drives it).
 
 use ipactive_bench::{Repro, Scale};
 use ipactive_core::{matrix, outages, persistence};
@@ -46,6 +57,8 @@ fn main() {
         match args.first().map(String::as_str) {
             Some("fsck") => run_fsck(&args[1..]),
             Some("mkstore") => run_mkstore(&args[1..]),
+            Some("metrics") => run_metrics(&args[1..]),
+            Some("metrics-check") => run_metrics_check(&args[1..]),
             _ => {}
         }
     }
@@ -257,9 +270,91 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]\n       inspect metrics <DIR>\n       inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>"
     );
     std::process::exit(2);
+}
+
+/// `inspect metrics <DIR>` — read a store through an observability
+/// registry (tolerant day reads plus a dry fsck pass) and print the
+/// deterministic metrics snapshot. The fsck counters and events in
+/// the snapshot derive from the same [`ipactive_logfmt::FsckReport`]
+/// that `inspect fsck` renders, so the two commands agree on counts
+/// by construction.
+fn run_metrics(args: &[String]) -> ! {
+    let mut dir: Option<&str> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--help" | "-h" => usage(),
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    let registry = ipactive_obs::Registry::new();
+    let store = match ipactive_logfmt::LogStore::open_obs(dir, &registry) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: cannot open store at {dir}: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = store.for_each_day(|_, _| {}) {
+        eprintln!("error: reading store days failed: {e}");
+        std::process::exit(2);
+    }
+    let healthy = match ipactive_logfmt::fsck_obs(
+        store.fs(),
+        std::path::Path::new(dir),
+        false,
+        &registry,
+    ) {
+        Ok(report) => report.is_healthy(),
+        Err(e) => {
+            eprintln!("error: fsck pass failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!(
+        "{}",
+        registry.snapshot(ipactive_obs::SnapshotMode::Deterministic).to_json()
+    );
+    std::process::exit(if healthy { 0 } else { 1 });
+}
+
+/// `inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>` — parse a
+/// metrics snapshot and validate it against a JSON-schema-subset
+/// document. Exit status: 0 valid, 1 invalid, 2 unreadable.
+fn run_metrics_check(args: &[String]) -> ! {
+    let (Some(snapshot_path), Some(schema_path), None) =
+        (args.first(), args.get(1), args.get(2))
+    else {
+        usage()
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str, text: &str| {
+        ipactive_obs::json::parse(text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let snapshot = parse(snapshot_path, &read(snapshot_path));
+    let schema = parse(schema_path, &read(schema_path));
+    match ipactive_obs::json::check_schema(&snapshot, &schema) {
+        Ok(()) => {
+            println!("{snapshot_path}: valid against {schema_path}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("error: {snapshot_path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `inspect fsck <DIR> [--repair]` — verify (and optionally repair) a

@@ -29,8 +29,17 @@
 //! ones degrade gracefully, and the printed summary reports per-shard
 //! coverage, retries, and dead-lettered frames. `--faults 0` runs the
 //! supervised path fault-free.
+//!
+//! Observability: `--metrics-out FILE` writes the session's metrics
+//! snapshot (counters, gauges, histograms, event journal, span
+//! timings) as JSON when the run finishes; add
+//! `--metrics-deterministic` to strip timings so the document is
+//! byte-stable run-to-run — the form the CI golden job diffs.
+//! `--profile` prints the span timing tree (wall time per stage) to
+//! stderr at exit.
 
 use ipactive_bench::{CheckOutcome, Repro, Scale, EXPERIMENTS};
+use ipactive_obs::SnapshotMode;
 
 fn main() {
     let mut seed: u64 = 2015;
@@ -41,6 +50,9 @@ fn main() {
     let mut faults: Option<usize> = None;
     let mut jobs: usize = 1;
     let mut timings = false;
+    let mut metrics_out: Option<String> = None;
+    let mut metrics_deterministic = false;
+    let mut profile = false;
     let mut wanted: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +114,12 @@ fn main() {
                     .unwrap_or_else(|| usage("--jobs needs a positive integer"));
             }
             "--timings" => timings = true,
+            "--metrics-out" => {
+                metrics_out =
+                    Some(args.next().unwrap_or_else(|| usage("--metrics-out needs a path")));
+            }
+            "--metrics-deterministic" => metrics_deterministic = true,
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 usage("");
             }
@@ -153,6 +171,25 @@ fn main() {
         repro.daily.total_active(),
     );
 
+    let finish_obs = |repro: &Repro| {
+        if profile {
+            eprint!("{}", repro.registry().snapshot(SnapshotMode::Timed).render_profile());
+        }
+        if let Some(path) = &metrics_out {
+            let mode = if metrics_deterministic {
+                SnapshotMode::Deterministic
+            } else {
+                SnapshotMode::Timed
+            };
+            let json = repro.registry().snapshot(mode).to_json();
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("metrics snapshot ({}) written to {path}", mode.as_str());
+        }
+    };
+
     if wanted.iter().any(|w| w == "__validate__") {
         let checks = repro.validate();
         let mut failed = 0;
@@ -173,6 +210,7 @@ fn main() {
             checks.iter().filter(|c| c.outcome == CheckOutcome::Pass).count(),
             checks.iter().filter(|c| matches!(c.outcome, CheckOutcome::Skip(_))).count(),
         );
+        finish_obs(&repro);
         std::process::exit(if failed > 0 { 1 } else { 0 });
     }
 
@@ -223,6 +261,7 @@ fn main() {
         }
         eprintln!("report written to {path}");
     }
+    finish_obs(&repro);
 }
 
 fn usage(err: &str) -> ! {
@@ -231,6 +270,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
     eprintln!("             [--workers N] [--collectors M] [--faults K] [--jobs N] [--timings]");
+    eprintln!("             [--metrics-out FILE] [--metrics-deterministic] [--profile]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });

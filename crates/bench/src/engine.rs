@@ -17,6 +17,8 @@
 
 use ipactive_core::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
 use ipactive_net::AddrSet;
+use ipactive_obs::{Counter, Event, EventKind, Registry};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,14 +61,37 @@ pub struct AnalysisCtx {
     week_sets: Vec<OnceLock<Arc<AddrSet>>>,
     day_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
     week_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    registry: Registry,
+    /// Hit/miss accounting lives in the observability registry
+    /// (`engine.cache.hit` / `engine.cache.miss`); the `*_base`
+    /// offsets make [`AnalysisCtx::reset_stats`] a view-level reset
+    /// that never rewinds the run-wide counters.
+    hits: Counter,
+    misses: Counter,
+    hits_base: AtomicU64,
+    misses_base: AtomicU64,
     bypass: AtomicBool,
 }
 
 impl AnalysisCtx {
-    /// Builds an empty cache over the two datasets.
+    /// Builds an empty cache over the two datasets, metering into a
+    /// private registry.
     pub fn new(daily: Arc<DailyDataset>, weekly: Arc<WeeklyDataset>) -> AnalysisCtx {
+        AnalysisCtx::new_with_obs(daily, weekly, &Registry::new())
+    }
+
+    /// [`AnalysisCtx::new`] with an explicit observability registry:
+    /// cache traffic is published as `engine.cache.hit` /
+    /// `engine.cache.miss`, the dataset extents as `engine.days` /
+    /// `engine.weeks` gauges, and bypass toggles as
+    /// [`EventKind::CacheBypass`] journal events.
+    pub fn new_with_obs(
+        daily: Arc<DailyDataset>,
+        weekly: Arc<WeeklyDataset>,
+        registry: &Registry,
+    ) -> AnalysisCtx {
+        registry.gauge("engine.days").set(daily.num_days as i64);
+        registry.gauge("engine.weeks").set(weekly.num_weeks as i64);
         AnalysisCtx {
             day_sets: (0..daily.num_days).map(|_| OnceLock::new()).collect(),
             week_sets: (0..weekly.num_weeks).map(|_| OnceLock::new()).collect(),
@@ -74,8 +99,11 @@ impl AnalysisCtx {
             weekly,
             day_windows: Mutex::new(HashMap::new()),
             week_windows: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            registry: registry.clone(),
+            hits: registry.counter("engine.cache.hit"),
+            misses: registry.counter("engine.cache.miss"),
+            hits_base: AtomicU64::new(0),
+            misses_base: AtomicU64::new(0),
             bypass: AtomicBool::new(false),
         }
     }
@@ -95,17 +123,23 @@ impl AnalysisCtx {
         if self.bypass() {
             return Arc::new(self.daily.day_set(d));
         }
-        let slot = &self.day_sets[d];
-        match slot.get() {
-            Some(set) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                set.clone()
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                slot.get_or_init(|| Arc::new(self.daily.day_set(d))).clone()
-            }
+        // Count the miss inside the once-init closure: racing readers
+        // then agree on exactly one miss per slot, so hit/miss totals
+        // are a pure function of the query set, not the interleaving.
+        let mut computed = false;
+        let set = self
+            .day_sets[d]
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(self.daily.day_set(d))
+            })
+            .clone();
+        if computed {
+            self.misses.inc();
+        } else {
+            self.hits.inc();
         }
+        set
     }
 
     /// Addresses active in week `w`, memoized.
@@ -113,17 +147,20 @@ impl AnalysisCtx {
         if self.bypass() {
             return Arc::new(self.weekly.week_set(w));
         }
-        let slot = &self.week_sets[w];
-        match slot.get() {
-            Some(set) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                set.clone()
-            }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                slot.get_or_init(|| Arc::new(self.weekly.week_set(w))).clone()
-            }
+        let mut computed = false;
+        let set = self
+            .week_sets[w]
+            .get_or_init(|| {
+                computed = true;
+                Arc::new(self.weekly.week_set(w))
+            })
+            .clone();
+        if computed {
+            self.misses.inc();
+        } else {
+            self.hits.inc();
         }
+        set
     }
 
     /// Union of the day window `days`, memoized.
@@ -138,17 +175,23 @@ impl AnalysisCtx {
         }
         let key = (days.start, days.end);
         if let Some(set) = self.day_windows.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return set.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let set = Arc::new(self.daily.window_union(days));
-        self.day_windows
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(set)
-            .clone()
+        // Count by what the map says under the lock: a racing loser
+        // records a hit (someone else owns the miss), keeping counts
+        // independent of thread interleaving.
+        match self.day_windows.lock().unwrap().entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.inc();
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                self.misses.inc();
+                v.insert(set).clone()
+            }
+        }
     }
 
     /// Union of the week window `weeks`, memoized.
@@ -161,17 +204,20 @@ impl AnalysisCtx {
         }
         let key = (weeks.start, weeks.end);
         if let Some(set) = self.week_windows.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return set.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let set = Arc::new(self.weekly.window_union(weeks));
-        self.week_windows
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_insert(set)
-            .clone()
+        match self.week_windows.lock().unwrap().entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.inc();
+                e.get().clone()
+            }
+            Entry::Vacant(v) => {
+                self.misses.inc();
+                v.insert(set).clone()
+            }
+        }
     }
 
     /// Union of all days — the figure suite's "CDN union".
@@ -179,25 +225,36 @@ impl AnalysisCtx {
         self.day_window(0..self.daily.num_days)
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss counters (since construction or the last
+    /// [`AnalysisCtx::reset_stats`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get().saturating_sub(self.hits_base.load(Ordering::Relaxed)),
+            misses: self.misses.get().saturating_sub(self.misses_base.load(Ordering::Relaxed)),
         }
     }
 
-    /// Zeroes the hit/miss counters (cached sets are kept).
+    /// Zeroes the hit/miss view (cached sets are kept). The run-wide
+    /// `engine.cache.*` registry counters are monotonic and unaffected
+    /// — only this context's [`AnalysisCtx::stats`] baseline moves.
     pub fn reset_stats(&self) {
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        self.hits_base.store(self.hits.get(), Ordering::Relaxed);
+        self.misses_base.store(self.misses.get(), Ordering::Relaxed);
     }
 
     /// When bypassing, every query computes a fresh set and neither
     /// reads nor populates the cache — the uncached baseline the
-    /// `--timings` speedup is measured against.
+    /// `--timings` speedup is measured against. Toggles are journaled
+    /// as [`EventKind::CacheBypass`] events.
     pub fn set_bypass(&self, on: bool) {
-        self.bypass.store(on, Ordering::SeqCst);
+        let was = self.bypass.swap(on, Ordering::SeqCst);
+        if was != on {
+            self.registry.emit(Event::new(EventKind::CacheBypass).detail(if on {
+                "cache bypass enabled"
+            } else {
+                "cache bypass disabled"
+            }));
+        }
     }
 
     fn bypass(&self) -> bool {
@@ -285,6 +342,41 @@ mod tests {
         ctx.set_bypass(false);
         ctx.day_window(0..5);
         assert_eq!(ctx.stats().misses, 1, "bypass must not have populated the cache");
+    }
+
+    #[test]
+    fn registry_counters_mirror_stats_and_survive_reset() {
+        use ipactive_obs::SnapshotMode;
+        let reg = Registry::new();
+        let mut d = DailyDatasetBuilder::new(5);
+        d.record_hits(0, a("10.0.0.1"), 3);
+        let mut w = WeeklyDatasetBuilder::new(4);
+        w.record_week(0, a("10.0.0.1"), 2);
+        let ctx = AnalysisCtx::new_with_obs(Arc::new(d.finish()), Arc::new(w.finish()), &reg);
+        ctx.day_window(0..5);
+        ctx.day_window(0..5);
+        ctx.week_set(1);
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 2 });
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("engine.cache.hit"), 1);
+        assert_eq!(snap.counter("engine.cache.miss"), 2);
+        assert_eq!(snap.gauge("engine.days"), 5);
+        assert_eq!(snap.gauge("engine.weeks"), 4);
+
+        // reset_stats rewinds the view, never the run-wide counters.
+        ctx.reset_stats();
+        assert_eq!(ctx.stats(), CacheStats::default());
+        ctx.day_window(0..5);
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 0 });
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("engine.cache.hit"), 2, "registry counter stays monotonic");
+
+        // Bypass transitions (not repeats) are journaled.
+        ctx.set_bypass(true);
+        ctx.set_bypass(true);
+        ctx.set_bypass(false);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.events_of(EventKind::CacheBypass).count(), 2);
     }
 
     #[test]

@@ -13,10 +13,12 @@ mod engine;
 pub use engine::{AnalysisCtx, CacheStats};
 
 use ipactive_cdnsim::{
-    emit_daily_shard_buffers, emit_weekly_shard_buffers, monthly_counts, parallel_pipeline,
-    parallel_pipeline_weekly, supervised_collect_daily, supervised_collect_weekly, FaultPlan,
-    GrowthModel, PipelineReport, RetryPolicy, SupervisedReport, Universe, UniverseConfig,
+    emit_daily_shard_buffers, emit_weekly_shard_buffers, monthly_counts, parallel_pipeline_obs,
+    parallel_pipeline_weekly_obs, supervised_collect_daily_obs, supervised_collect_weekly_obs,
+    FaultPlan, GrowthModel, PipelineReport, RetryPolicy, SupervisedReport, Universe,
+    UniverseConfig,
 };
+use ipactive_obs::{Registry, SnapshotMode, SpanSnapshot};
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
     traffic, visibility, DailyDataset, WeeklyDataset,
@@ -71,6 +73,7 @@ pub struct Repro {
     pub weekly: Arc<WeeklyDataset>,
     /// The memoized activity-set cache every figure queries through.
     pub engine: AnalysisCtx,
+    registry: Registry,
     seed: u64,
     icmp: OnceLock<AddrSet>,
     servers: OnceLock<AddrSet>,
@@ -175,14 +178,21 @@ pub const EXPERIMENTS: [&str; 24] = [
 ];
 
 impl Repro {
-    fn assemble(universe: Universe, daily: DailyDataset, weekly: WeeklyDataset, seed: u64) -> Repro {
+    fn assemble(
+        universe: Universe,
+        daily: DailyDataset,
+        weekly: WeeklyDataset,
+        seed: u64,
+        registry: Registry,
+    ) -> Repro {
         let daily = Arc::new(daily);
         let weekly = Arc::new(weekly);
         Repro {
             universe,
-            engine: AnalysisCtx::new(daily.clone(), weekly.clone()),
+            engine: AnalysisCtx::new_with_obs(daily.clone(), weekly.clone(), &registry),
             daily,
             weekly,
+            registry,
             seed,
             icmp: OnceLock::new(),
             servers: OnceLock::new(),
@@ -190,12 +200,23 @@ impl Repro {
         }
     }
 
+    /// The session-wide metrics registry. Every stage that built this
+    /// session — pipeline collectors, the supervisor, the analysis
+    /// engine's cache — accumulates into this one registry, so a
+    /// single snapshot describes the whole run.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Builds the session (generates the universe and both datasets).
     pub fn new(seed: u64, scale: Scale) -> Repro {
+        let registry = Registry::new();
         let universe = Universe::generate(scale.config(seed));
-        let daily = universe.build_daily();
-        let weekly = universe.build_weekly();
-        Repro::assemble(universe, daily, weekly, seed)
+        let (daily, weekly) = {
+            let _span = registry.span("repro.build");
+            (universe.build_daily(), universe.build_weekly())
+        };
+        Repro::assemble(universe, daily, weekly, seed, registry)
     }
 
     /// Builds the session with both datasets produced by the sharded
@@ -210,10 +231,17 @@ impl Repro {
         workers: usize,
         collectors: usize,
     ) -> (Repro, PipelineRunSummary) {
+        let registry = Registry::new();
         let universe = Universe::generate(scale.config(seed));
-        let (daily, daily_report) = parallel_pipeline(&universe, workers, collectors);
-        let (weekly, weekly_report) = parallel_pipeline_weekly(&universe, workers, collectors);
-        let repro = Repro::assemble(universe, daily, weekly, seed);
+        let (daily, daily_report) = {
+            let _span = registry.span("repro.pipeline.daily");
+            parallel_pipeline_obs(&universe, workers, collectors, &registry)
+        };
+        let (weekly, weekly_report) = {
+            let _span = registry.span("repro.pipeline.weekly");
+            parallel_pipeline_weekly_obs(&universe, workers, collectors, &registry)
+        };
+        let repro = Repro::assemble(universe, daily, weekly, seed, registry);
         (repro, PipelineRunSummary { daily: daily_report, weekly: weekly_report })
     }
 
@@ -232,6 +260,7 @@ impl Repro {
         collectors: usize,
         faults: usize,
     ) -> std::io::Result<(Repro, SupervisedRunSummary)> {
+        let registry = Registry::new();
         let universe = Universe::generate(scale.config(seed));
         let daily_buffers = emit_daily_shard_buffers(&universe, workers, collectors)?;
         let weekly_buffers = emit_weekly_shard_buffers(&universe, workers, collectors)?;
@@ -239,11 +268,27 @@ impl Repro {
             daily_buffers.iter().map(Vec::len).max().unwrap_or(0);
         let plan = FaultPlan::scatter(seed, collectors, buffers_per_shard, faults);
         let policy = RetryPolicy::default();
-        let (daily, daily_report) =
-            supervised_collect_daily(&daily_buffers, universe.config().daily_days, &policy, &plan)?;
-        let (weekly, weekly_report) =
-            supervised_collect_weekly(&weekly_buffers, universe.config().weeks, &policy, &plan)?;
-        let repro = Repro::assemble(universe, daily, weekly, seed);
+        let (daily, daily_report) = {
+            let _span = registry.span("repro.supervised.daily");
+            supervised_collect_daily_obs(
+                &daily_buffers,
+                universe.config().daily_days,
+                &policy,
+                &plan,
+                &registry,
+            )?
+        };
+        let (weekly, weekly_report) = {
+            let _span = registry.span("repro.supervised.weekly");
+            supervised_collect_weekly_obs(
+                &weekly_buffers,
+                universe.config().weeks,
+                &policy,
+                &plan,
+                &registry,
+            )?
+        };
+        let repro = Repro::assemble(universe, daily, weekly, seed, registry);
         Ok((repro, SupervisedRunSummary { daily: daily_report, weekly: weekly_report, plan }))
     }
 
@@ -1200,6 +1245,7 @@ impl Repro {
         let mut slots: Vec<Option<FigureRun>> = Vec::new();
         slots.resize_with(EXPERIMENTS.len(), || None);
         let next = AtomicUsize::new(0);
+        let suite_span = self.registry.span("repro.run_all");
         std::thread::scope(|scope| {
             let workers: Vec<_> = (0..jobs)
                 .map(|_| {
@@ -1211,6 +1257,7 @@ impl Repro {
                                 break;
                             }
                             let name = EXPERIMENTS[i];
+                            let _span = self.registry.span(format!("figure.{name}"));
                             let t0 = Instant::now();
                             let output = self.run(name).expect("EXPERIMENTS entries are runnable");
                             let millis = t0.elapsed().as_secs_f64() * 1e3;
@@ -1226,6 +1273,7 @@ impl Repro {
                 }
             }
         });
+        drop(suite_span);
         let total_ms = started.elapsed().as_secs_f64() * 1e3;
         let after = self.engine.stats();
         RunAllReport {
@@ -1236,6 +1284,7 @@ impl Repro {
                 hits: after.hits - before.hits,
                 misses: after.misses - before.misses,
             },
+            spans: self.registry.snapshot(SnapshotMode::Timed).spans,
         }
     }
 
@@ -1245,17 +1294,26 @@ impl Repro {
     pub fn run_serial_uncached(&self) -> RunAllReport {
         self.engine.set_bypass(true);
         let started = Instant::now();
-        let figures = EXPERIMENTS
-            .iter()
-            .map(|&name| {
-                let t0 = Instant::now();
-                let output = self.run(name).expect("EXPERIMENTS entries are runnable");
-                FigureRun { name, output, millis: t0.elapsed().as_secs_f64() * 1e3 }
-            })
-            .collect();
+        let figures = {
+            let _span = self.registry.span("repro.serial_uncached");
+            EXPERIMENTS
+                .iter()
+                .map(|&name| {
+                    let t0 = Instant::now();
+                    let output = self.run(name).expect("EXPERIMENTS entries are runnable");
+                    FigureRun { name, output, millis: t0.elapsed().as_secs_f64() * 1e3 }
+                })
+                .collect()
+        };
         let total_ms = started.elapsed().as_secs_f64() * 1e3;
         self.engine.set_bypass(false);
-        RunAllReport { jobs: 1, figures, total_ms, cache: CacheStats::default() }
+        RunAllReport {
+            jobs: 1,
+            figures,
+            total_ms,
+            cache: CacheStats::default(),
+            spans: self.registry.snapshot(SnapshotMode::Timed).spans,
+        }
     }
 
     fn month_days(&self) -> usize {
@@ -1298,6 +1356,9 @@ pub struct RunAllReport {
     pub total_ms: f64,
     /// Engine cache hits/misses accumulated during this run.
     pub cache: CacheStats,
+    /// Timed span profile of the session registry at capture time —
+    /// per-stage wall clock embedded into `BENCH_repro.json`.
+    pub spans: Vec<SpanSnapshot>,
 }
 
 impl RunAllReport {
@@ -1349,6 +1410,21 @@ impl RunAllReport {
                 out,
                 "    {{\"name\": \"{}\", \"ms\": {:.3}, \"serial_uncached_ms\": {:.3}}}{comma}",
                 f.name, f.millis, b.millis,
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"spans\": [");
+        let n = self.spans.len();
+        for (i, s) in self.spans.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {:.3}, \"min_ms\": {:.3}, \"max_ms\": {:.3}}}{comma}",
+                s.path,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.min_ns as f64 / 1e6,
+                s.max_ns as f64 / 1e6,
             );
         }
         let _ = writeln!(out, "  ]");

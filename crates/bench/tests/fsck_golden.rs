@@ -80,6 +80,80 @@ fn fsck_repair_report_matches_golden() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `inspect metrics` and `inspect fsck` must agree on every verdict
+/// count: both derive from the same [`ipactive_logfmt::FsckReport`],
+/// and the snapshot's journal carries one `fsck_quarantine` event per
+/// quarantine line in the rendered report.
+#[test]
+fn inspect_metrics_agrees_with_inspect_fsck() {
+    let dir = fixture_dir("metrics");
+    let built = inspect()
+        .args(["mkstore", dir.to_str().unwrap(), "--seed", "7", "--scale", "tiny", "--atomic", "--corrupt"])
+        .output()
+        .expect("run inspect mkstore");
+    assert!(built.status.success(), "mkstore failed: {}", String::from_utf8_lossy(&built.stderr));
+
+    let fsck = inspect()
+        .args(["fsck", dir.to_str().unwrap()])
+        .output()
+        .expect("run inspect fsck");
+    assert_eq!(fsck.status.code(), Some(1), "dry fsck of a damaged store must exit 1");
+    let report = String::from_utf8(fsck.stdout).expect("report is utf-8");
+
+    let metrics = inspect()
+        .args(["metrics", dir.to_str().unwrap()])
+        .output()
+        .expect("run inspect metrics");
+    assert_eq!(
+        metrics.status.code(),
+        Some(1),
+        "inspect metrics of a damaged store must exit 1; stderr: {}",
+        String::from_utf8_lossy(&metrics.stderr)
+    );
+    let snapshot = ipactive_obs::json::parse(
+        std::str::from_utf8(&metrics.stdout).expect("snapshot is utf-8"),
+    )
+    .expect("snapshot parses as JSON");
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("snapshot lacks counter {name}")) as u64
+    };
+
+    let quarantine_lines =
+        report.lines().filter(|l| l.starts_with("quarantine")).count() as u64;
+    assert!(quarantine_lines > 0, "fixture damage produced no quarantine verdicts:\n{report}");
+    assert_eq!(counter("fsck.quarantined"), quarantine_lines);
+
+    let damaged_days = report.lines().filter(|l| l.contains(": damaged ")).count() as u64;
+    assert_eq!(counter("fsck.days_damaged"), damaged_days);
+
+    let summary = report.lines().find(|l| l.starts_with("summary: ")).expect("summary line");
+    // "summary: 28 days, 26 clean; coverage 0.9..."
+    let clean: u64 = summary
+        .split(", ")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .and_then(|n| n.parse().ok())
+        .expect("clean count in summary");
+    assert_eq!(counter("fsck.days_clean"), clean);
+
+    let quarantine_events = snapshot
+        .get("events")
+        .and_then(|e| e.as_array())
+        .expect("events array")
+        .iter()
+        .filter(|e| e.get("kind").and_then(|k| k.as_str()) == Some("fsck_quarantine"))
+        .count() as u64;
+    assert_eq!(
+        quarantine_events, quarantine_lines,
+        "journal events disagree with the rendered report"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fsck_on_a_healthy_store_exits_zero() {
     let dir = fixture_dir("healthy");

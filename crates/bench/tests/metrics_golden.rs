@@ -1,0 +1,75 @@
+//! Golden-file test for the observability plane's metrics snapshot.
+//!
+//! Drives the real `repro` binary with a pinned seed, topology, and
+//! fault count, then diffs the deterministic metrics snapshot
+//! byte-for-byte against the committed golden file and validates it
+//! against the checked-in schema — the same contract the CI
+//! `metrics-golden` job enforces.
+//!
+//! If an intentional change to the metric namespace or the snapshot
+//! format moves the output, regenerate the golden with:
+//!
+//! ```text
+//! target/debug/repro fig2a --scale tiny --seed 2015 --workers 2 --collectors 2 \
+//!     --faults 3 --metrics-deterministic \
+//!     --metrics-out crates/bench/tests/golden/metrics_snapshot.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/metrics_snapshot.json");
+const SCHEMA: &str = include_str!("golden/metrics_schema.json");
+
+/// The pinned run the golden file was generated from.
+const PINNED: &[&str] = &[
+    "fig2a", "--scale", "tiny", "--seed", "2015", "--workers", "2", "--collectors", "2",
+    "--faults", "3",
+];
+
+fn snapshot_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ipactive-metrics-{tag}-{}.json", std::process::id()))
+}
+
+fn run_repro(extra: &[&str]) -> String {
+    let path = snapshot_path(extra.first().unwrap_or(&"t"));
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(PINNED)
+        .args(extra)
+        .args(["--metrics-out", path.to_str().unwrap()])
+        .output()
+        .expect("run repro");
+    assert!(out.status.success(), "repro failed: {}", String::from_utf8_lossy(&out.stderr));
+    let snapshot = std::fs::read_to_string(&path).expect("snapshot file written");
+    let _ = std::fs::remove_file(&path);
+    snapshot
+}
+
+#[test]
+fn deterministic_snapshot_matches_golden_and_schema() {
+    let snapshot = run_repro(&["--metrics-deterministic"]);
+    assert_eq!(
+        snapshot, GOLDEN,
+        "deterministic metrics snapshot drifted from the committed golden \
+         (see the module docs for how to regenerate it)"
+    );
+    let value = ipactive_obs::json::parse(&snapshot).expect("snapshot parses");
+    let schema = ipactive_obs::json::parse(SCHEMA).expect("schema parses");
+    ipactive_obs::json::check_schema(&value, &schema).expect("snapshot validates against schema");
+}
+
+#[test]
+fn timed_snapshot_validates_against_the_same_schema() {
+    let snapshot = run_repro(&[]);
+    let value = ipactive_obs::json::parse(&snapshot).expect("snapshot parses");
+    let schema = ipactive_obs::json::parse(SCHEMA).expect("schema parses");
+    ipactive_obs::json::check_schema(&value, &schema).expect("timed snapshot validates");
+    assert_eq!(value.get("mode").and_then(|m| m.as_str()), Some("timed"));
+    let spans = value.get("spans").and_then(|s| s.as_array()).expect("timed snapshot has spans");
+    assert!(
+        spans.iter().any(|s| {
+            s.get("path").and_then(|p| p.as_str()) == Some("repro.supervised.daily")
+        }),
+        "span profile lacks the supervised build stage"
+    );
+}

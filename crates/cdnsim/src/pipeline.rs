@@ -27,7 +27,7 @@ use crate::universe::{BlockEntry, Universe};
 use ipactive_core::{DailyDataset, DailyDatasetBuilder, WeeklyDataset, WeeklyDatasetBuilder};
 use ipactive_logfmt::{FrameReader, FrameWriter, ReadMode, Record};
 use ipactive_net::Block24;
-use parking_lot::Mutex;
+use ipactive_obs::{self as obs, Event, EventKind, Registry};
 use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
@@ -68,20 +68,157 @@ pub struct CollectorStats {
 }
 
 /// Throughput in records per second, `0.0` when no time elapsed —
-/// the single definition shared by every report type.
-fn rate(records: u64, elapsed: Duration) -> f64 {
-    let secs = elapsed.as_secs_f64();
-    if secs > 0.0 {
-        records as f64 / secs
-    } else {
-        0.0
-    }
+/// the single definition shared by every report type, delegated to
+/// [`ipactive_obs::rate`] so the observability plane and the pipeline
+/// reports can never disagree on the degenerate cases.
+pub(crate) fn rate(records: u64, elapsed: Duration) -> f64 {
+    obs::rate(records, elapsed)
 }
 
 impl CollectorStats {
     /// Decode throughput of this collector, in records per second.
     pub fn records_per_sec(&self) -> f64 {
         rate(self.records_read, self.elapsed)
+    }
+
+    /// Rebuilds one collector's view from a registry snapshot — the
+    /// report structs are *views* over the metrics plane, not a second
+    /// accounting path. `prefix` is the run's metric prefix (for
+    /// example `pipeline.daily`); `shard` selects the
+    /// `<prefix>.shard.<shard>.*` counter family and the
+    /// `<prefix>.shard.<shard>` span.
+    pub fn from_snapshot(snap: &obs::Snapshot, prefix: &str, shard: usize) -> CollectorStats {
+        CollectorStats {
+            records_read: snap.counter(&shard_metric(prefix, shard, "records")),
+            frames_skipped: snap.counter(&shard_metric(prefix, shard, "frames_skipped")),
+            resyncs: snap.counter(&shard_metric(prefix, shard, "resyncs")),
+            decode_errors: snap.counter(&shard_metric(prefix, shard, "decode_errors")),
+            buffers: snap.counter(&shard_metric(prefix, shard, "buffers")),
+            bytes: snap.counter(&shard_metric(prefix, shard, "bytes")),
+            elapsed: Duration::from_nanos(snap.span_total_ns(&collector_span_path(prefix, shard))),
+        }
+    }
+}
+
+/// Metric prefix for daily-cadence pipeline runs. One registry can
+/// carry one daily and one weekly run side by side without the counter
+/// families colliding; reports read cumulative counters under their
+/// prefix, so reuse a fresh registry (or a fresh prefix) per run.
+pub const DAILY_PREFIX: &str = "pipeline.daily";
+
+/// Metric prefix for weekly-cadence pipeline runs.
+pub const WEEKLY_PREFIX: &str = "pipeline.weekly";
+
+/// Metric name for one per-shard counter: `<prefix>.shard.<i>.<field>`.
+fn shard_metric(prefix: &str, shard: usize, field: &str) -> String {
+    format!("{prefix}.shard.{shard}.{field}")
+}
+
+/// Span path a collector thread records under. Collector threads are
+/// spawned fresh, so the span roots at top level regardless of what
+/// the caller has open.
+pub(crate) fn collector_span_path(prefix: &str, shard: usize) -> String {
+    format!("{prefix}.shard.{shard}")
+}
+
+/// Pre-fetched counter handles for one collector shard. Handles are
+/// resolved once per shard (registry lock taken at setup, not in the
+/// decode loop); the drain paths accumulate into locals and flush once
+/// per buffer, so the hot loop costs exactly what the old `+=` fields
+/// did.
+pub(crate) struct ShardMeters {
+    registry: Registry,
+    shard: u32,
+    records: obs::Counter,
+    frames_skipped: obs::Counter,
+    resyncs: obs::Counter,
+    decode_errors: obs::Counter,
+    buffers: obs::Counter,
+    bytes: obs::Counter,
+}
+
+impl ShardMeters {
+    pub(crate) fn new(registry: &Registry, prefix: &str, shard: usize) -> ShardMeters {
+        ShardMeters {
+            registry: registry.clone(),
+            shard: shard as u32,
+            records: registry.counter(shard_metric(prefix, shard, "records")),
+            frames_skipped: registry.counter(shard_metric(prefix, shard, "frames_skipped")),
+            resyncs: registry.counter(shard_metric(prefix, shard, "resyncs")),
+            decode_errors: registry.counter(shard_metric(prefix, shard, "decode_errors")),
+            buffers: registry.counter(shard_metric(prefix, shard, "buffers")),
+            bytes: registry.counter(shard_metric(prefix, shard, "bytes")),
+        }
+    }
+
+    /// Flushes one drained buffer's tallies into the registry, emitting
+    /// journal events for the noteworthy conditions (resyncs mean the
+    /// stream position itself was in doubt; a decode error means the
+    /// rest of the buffer was abandoned).
+    pub(crate) fn flush_buffer(
+        &self,
+        buf_len: usize,
+        records: u64,
+        skipped: u64,
+        resyncs: u64,
+        decode_error: bool,
+    ) {
+        self.buffers.inc();
+        self.bytes.add(buf_len as u64);
+        self.records.add(records);
+        if skipped > 0 {
+            self.frames_skipped.add(skipped);
+        }
+        if resyncs > 0 {
+            self.resyncs.add(resyncs);
+            self.registry.emit(
+                Event::new(EventKind::Resync)
+                    .shard(self.shard)
+                    .detail(format!("{resyncs} resync scans in one shard buffer")),
+            );
+        }
+        if decode_error {
+            self.decode_errors.inc();
+        }
+    }
+
+    /// Counts one buffer's arrival (delivery and payload size) without
+    /// touching decode outcomes — the supervisor charges arrival and
+    /// decode separately because a buffer may take several attempts.
+    pub(crate) fn count_buffer(&self, buf_len: usize) {
+        self.buffers.inc();
+        self.bytes.add(buf_len as u64);
+    }
+
+    /// Credits a fully clean decode's records.
+    pub(crate) fn add_clean_records(&self, records: u64) {
+        self.records.add(records);
+    }
+
+    /// Credits a terminal salvage decode: surviving records plus the
+    /// damage tallies, with the same resync journal event the pipeline
+    /// drain emits.
+    pub(crate) fn add_salvage(&self, records: u64, skipped: u64, resyncs: u64, decode_error: bool) {
+        self.records.add(records);
+        if skipped > 0 {
+            self.frames_skipped.add(skipped);
+        }
+        if resyncs > 0 {
+            self.resyncs.add(resyncs);
+            self.registry.emit(
+                Event::new(EventKind::Resync)
+                    .shard(self.shard)
+                    .detail(format!("{resyncs} resync scans in one shard buffer")),
+            );
+        }
+        if decode_error {
+            self.decode_errors.inc();
+        }
+    }
+
+    /// The registry these meters write into.
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
     }
 }
 
@@ -352,7 +489,7 @@ pub fn collect_from_store<F: ipactive_logfmt::Fs>(
 }
 
 /// Like [`collect_from_store`], but verifies the store first with an
-/// [`ipactive_logfmt::fsck`] dry run and attaches the resulting
+/// [`ipactive_logfmt::fsck()`] dry run and attaches the resulting
 /// per-day completeness grid to the dataset as a
 /// [`Coverage`](ipactive_core::Coverage) — the store-granular analogue
 /// of what the supervised collector reports per shard. A day the fsck
@@ -434,68 +571,75 @@ pub fn collect_daily<R: Read>(
 
 /// Decodes one shard buffer into `builder`, never failing: damaged
 /// frames are skipped, unrecoverable streams abandoned and counted.
-fn drain_shard_buffer(buf: &[u8], builder: &mut DailyDatasetBuilder, stats: &mut CollectorStats) {
-    stats.buffers += 1;
-    stats.bytes += buf.len() as u64;
+/// Tallies accumulate in locals and flush into `meters` once at the
+/// end, so the decode loop stays registry-free.
+fn drain_shard_buffer(buf: &[u8], builder: &mut DailyDatasetBuilder, meters: &ShardMeters) {
+    let mut records = 0u64;
+    let mut decode_error = false;
     let mut reader = FrameReader::new(buf, ReadMode::Tolerant);
     loop {
         match reader.read() {
             Ok(Some(record)) => {
-                stats.records_read += 1;
+                records += 1;
                 fold_daily(record, builder);
             }
             Ok(None) => break,
             Err(_) => {
-                stats.decode_errors += 1;
+                decode_error = true;
                 break;
             }
         }
     }
-    stats.frames_skipped += reader.skipped();
-    stats.resyncs += reader.resyncs();
+    meters.flush_buffer(buf.len(), records, reader.skipped(), reader.resyncs(), decode_error);
 }
 
 /// Weekly counterpart of [`drain_shard_buffer`].
-fn drain_shard_buffer_weekly(
-    buf: &[u8],
-    builder: &mut WeeklyDatasetBuilder,
-    stats: &mut CollectorStats,
-) {
-    stats.buffers += 1;
-    stats.bytes += buf.len() as u64;
+fn drain_shard_buffer_weekly(buf: &[u8], builder: &mut WeeklyDatasetBuilder, meters: &ShardMeters) {
+    let mut records = 0u64;
+    let mut decode_error = false;
     let mut reader = FrameReader::new(buf, ReadMode::Tolerant);
     loop {
         match reader.read() {
             Ok(Some(record)) => {
-                stats.records_read += 1;
+                records += 1;
                 if let Record::Hits { day, addr, hits } = record {
                     builder.record_week(day as usize, addr, hits);
                 }
             }
             Ok(None) => break,
             Err(_) => {
-                stats.decode_errors += 1;
+                decode_error = true;
                 break;
             }
         }
     }
-    stats.frames_skipped += reader.skipped();
-    stats.resyncs += reader.resyncs();
+    meters.flush_buffer(buf.len(), records, reader.skipped(), reader.resyncs(), decode_error);
 }
 
-/// Assembles the final report from write-side totals and per-collector
-/// counters.
+/// Assembles the final report as a *view over a registry snapshot*:
+/// per-collector stats come from the `<prefix>.shard.<i>.*` counter
+/// families and the collector spans; totals are sums over those plus
+/// the write-side `<prefix>.records_written` counter. There is no
+/// second accounting path — whatever the metrics say *is* the report.
 pub(crate) fn assemble_report(
-    write_side: PipelineStats,
-    per_collector: Vec<CollectorStats>,
+    registry: &Registry,
+    prefix: &str,
+    collectors: usize,
     workers: usize,
     elapsed: Duration,
 ) -> PipelineReport {
-    let mut totals = write_side;
+    let snap = registry.snapshot(obs::SnapshotMode::Timed);
+    let per_collector: Vec<CollectorStats> =
+        (0..collectors).map(|i| CollectorStats::from_snapshot(&snap, prefix, i)).collect();
+    let mut totals = PipelineStats {
+        records_written: snap.counter(&format!("{prefix}.records_written")),
+        ..PipelineStats::default()
+    };
     for s in &per_collector {
         totals.records_read += s.records_read;
         totals.frames_skipped += s.frames_skipped;
         totals.resyncs += s.resyncs;
+        totals.bytes += s.bytes;
     }
     PipelineReport { totals, per_collector, workers, elapsed }
 }
@@ -514,10 +658,25 @@ pub fn parallel_pipeline(
     workers: usize,
     collectors: usize,
 ) -> (DailyDataset, PipelineReport) {
+    parallel_pipeline_obs(universe, workers, collectors, &Registry::new())
+}
+
+/// [`parallel_pipeline`] with an explicit [`Registry`]: counters land
+/// under `pipeline.daily.*`, collector timings under the
+/// `pipeline.daily.shard.<i>` spans, and noteworthy decode conditions
+/// in the journal. The plain entry point delegates here with a
+/// throwaway registry.
+pub fn parallel_pipeline_obs(
+    universe: &Universe,
+    workers: usize,
+    collectors: usize,
+    registry: &Registry,
+) -> (DailyDataset, PipelineReport) {
     validate_topology(workers, collectors).expect("invalid pipeline topology");
+    let prefix = DAILY_PREFIX;
     let num_days = universe.config().daily_days;
     let start = Instant::now();
-    let write_side = Mutex::new(PipelineStats::default());
+    let written = registry.counter(format!("{prefix}.records_written"));
 
     let channels: Vec<_> = (0..collectors)
         .map(|_| crossbeam::channel::bounded::<Vec<u8>>(workers * 2))
@@ -525,21 +684,22 @@ pub fn parallel_pipeline(
     let (txs, rxs): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
 
     let chunk = universe.blocks.len().div_ceil(workers).max(1);
-    let (dataset, per_collector) = crossbeam::scope(|scope| {
+    let dataset = crossbeam::scope(|scope| {
         // Collectors: each folds its shard's frames into a partial
         // builder, decoding tolerantly.
         let handles: Vec<_> = rxs
             .into_iter()
-            .map(|rx| {
+            .enumerate()
+            .map(|(shard, rx)| {
+                let meters = ShardMeters::new(registry, prefix, shard);
+                let registry = registry.clone();
                 scope.spawn(move |_| {
-                    let begin = Instant::now();
+                    let _span = registry.span(collector_span_path(prefix, shard));
                     let mut builder = DailyDatasetBuilder::new(num_days);
-                    let mut stats = CollectorStats::default();
                     for buf in rx.iter() {
-                        drain_shard_buffer(&buf, &mut builder, &mut stats);
+                        drain_shard_buffer(&buf, &mut builder, &meters);
                     }
-                    stats.elapsed = begin.elapsed();
-                    (builder, stats)
+                    builder
                 })
             })
             .collect();
@@ -548,25 +708,23 @@ pub fn parallel_pipeline(
         // collector, routed by block hash.
         for shard in universe.blocks.chunks(chunk) {
             let txs = txs.clone();
-            let write_side = &write_side;
+            let written = written.clone();
+            let registry = registry.clone();
             scope.spawn(move |_| {
+                let _span = registry.span(format!("{prefix}.edge"));
                 let mut writers: Vec<FrameWriter<Vec<u8>>> =
                     (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
                 for e in shard {
                     let writer = &mut writers[shard_of(e.block, collectors)];
                     emit_block_daily(universe, e, writer).expect("vec write");
                 }
-                let mut written = 0u64;
-                let mut bytes = 0u64;
+                let mut frames = 0u64;
                 for (c, writer) in writers.into_iter().enumerate() {
-                    written += writer.frames_written();
+                    frames += writer.frames_written();
                     let buf = writer.finish().expect("vec flush");
-                    bytes += buf.len() as u64;
                     txs[c].send(buf).expect("collector alive");
                 }
-                let mut s = write_side.lock();
-                s.records_written += written;
-                s.bytes += bytes;
+                written.add(frames);
             });
         }
         drop(txs);
@@ -575,21 +733,18 @@ pub fn parallel_pipeline(
         // builder merge is order-insensitive anyway — the determinism
         // suite checks both directions).
         let mut merged: Option<DailyDatasetBuilder> = None;
-        let mut per_collector = Vec::with_capacity(collectors);
         for handle in handles {
-            let (builder, stats) = handle.join().expect("collector panicked");
-            per_collector.push(stats);
+            let builder = handle.join().expect("collector panicked");
             match &mut merged {
                 None => merged = Some(builder),
                 Some(acc) => acc.merge(builder),
             }
         }
-        (merged.expect("at least one collector").finish(), per_collector)
+        merged.expect("at least one collector").finish()
     })
     .expect("pipeline thread panicked");
 
-    let report =
-        assemble_report(write_side.into_inner(), per_collector, workers, start.elapsed());
+    let report = assemble_report(registry, prefix, collectors, workers, start.elapsed());
     (dataset, report)
 }
 
@@ -601,10 +756,22 @@ pub fn parallel_pipeline_weekly(
     workers: usize,
     collectors: usize,
 ) -> (WeeklyDataset, PipelineReport) {
+    parallel_pipeline_weekly_obs(universe, workers, collectors, &Registry::new())
+}
+
+/// [`parallel_pipeline_weekly`] with an explicit [`Registry`]; metrics
+/// land under `pipeline.weekly.*`.
+pub fn parallel_pipeline_weekly_obs(
+    universe: &Universe,
+    workers: usize,
+    collectors: usize,
+    registry: &Registry,
+) -> (WeeklyDataset, PipelineReport) {
     validate_topology(workers, collectors).expect("invalid pipeline topology");
+    let prefix = WEEKLY_PREFIX;
     let num_weeks = universe.config().weeks;
     let start = Instant::now();
-    let write_side = Mutex::new(PipelineStats::default());
+    let written = registry.counter(format!("{prefix}.records_written"));
 
     let channels: Vec<_> = (0..collectors)
         .map(|_| crossbeam::channel::bounded::<Vec<u8>>(workers * 2))
@@ -612,64 +779,60 @@ pub fn parallel_pipeline_weekly(
     let (txs, rxs): (Vec<_>, Vec<_>) = channels.into_iter().unzip();
 
     let chunk = universe.blocks.len().div_ceil(workers).max(1);
-    let (dataset, per_collector) = crossbeam::scope(|scope| {
+    let dataset = crossbeam::scope(|scope| {
         let handles: Vec<_> = rxs
             .into_iter()
-            .map(|rx| {
+            .enumerate()
+            .map(|(shard, rx)| {
+                let meters = ShardMeters::new(registry, prefix, shard);
+                let registry = registry.clone();
                 scope.spawn(move |_| {
-                    let begin = Instant::now();
+                    let _span = registry.span(collector_span_path(prefix, shard));
                     let mut builder = WeeklyDatasetBuilder::new(num_weeks);
-                    let mut stats = CollectorStats::default();
                     for buf in rx.iter() {
-                        drain_shard_buffer_weekly(&buf, &mut builder, &mut stats);
+                        drain_shard_buffer_weekly(&buf, &mut builder, &meters);
                     }
-                    stats.elapsed = begin.elapsed();
-                    (builder, stats)
+                    builder
                 })
             })
             .collect();
 
         for shard in universe.blocks.chunks(chunk) {
             let txs = txs.clone();
-            let write_side = &write_side;
+            let written = written.clone();
+            let registry = registry.clone();
             scope.spawn(move |_| {
+                let _span = registry.span(format!("{prefix}.edge"));
                 let mut writers: Vec<FrameWriter<Vec<u8>>> =
                     (0..collectors).map(|_| FrameWriter::new(Vec::new())).collect();
                 for e in shard {
                     let writer = &mut writers[shard_of(e.block, collectors)];
                     emit_block_weekly(universe, e, writer).expect("vec write");
                 }
-                let mut written = 0u64;
-                let mut bytes = 0u64;
+                let mut frames = 0u64;
                 for (c, writer) in writers.into_iter().enumerate() {
-                    written += writer.frames_written();
+                    frames += writer.frames_written();
                     let buf = writer.finish().expect("vec flush");
-                    bytes += buf.len() as u64;
                     txs[c].send(buf).expect("collector alive");
                 }
-                let mut s = write_side.lock();
-                s.records_written += written;
-                s.bytes += bytes;
+                written.add(frames);
             });
         }
         drop(txs);
 
         let mut merged: Option<WeeklyDatasetBuilder> = None;
-        let mut per_collector = Vec::with_capacity(collectors);
         for handle in handles {
-            let (builder, stats) = handle.join().expect("collector panicked");
-            per_collector.push(stats);
+            let builder = handle.join().expect("collector panicked");
             match &mut merged {
                 None => merged = Some(builder),
                 Some(acc) => acc.merge(builder),
             }
         }
-        (merged.expect("at least one collector").finish(), per_collector)
+        merged.expect("at least one collector").finish()
     })
     .expect("pipeline thread panicked");
 
-    let report =
-        assemble_report(write_side.into_inner(), per_collector, workers, start.elapsed());
+    let report = assemble_report(registry, prefix, collectors, workers, start.elapsed());
     (dataset, report)
 }
 
@@ -708,33 +871,42 @@ pub fn emit_weekly_shards(universe: &Universe, collectors: usize) -> io::Result<
 /// replay and fault-injection: the property suite feeds it corrupted
 /// shard buffers.
 pub fn collect_daily_sharded(shards: &[Vec<u8>], num_days: usize) -> (DailyDataset, PipelineReport) {
+    collect_daily_sharded_obs(shards, num_days, &Registry::new())
+}
+
+/// [`collect_daily_sharded`] with an explicit [`Registry`]; metrics
+/// land under `pipeline.daily.*`, one counter family and span per
+/// shard.
+pub fn collect_daily_sharded_obs(
+    shards: &[Vec<u8>],
+    num_days: usize,
+    registry: &Registry,
+) -> (DailyDataset, PipelineReport) {
+    let prefix = DAILY_PREFIX;
     let start = Instant::now();
-    let (dataset, per_collector) = crossbeam::scope(|scope| {
+    let dataset = crossbeam::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|buf| {
+            .enumerate()
+            .map(|(shard, buf)| {
+                let meters = ShardMeters::new(registry, prefix, shard);
+                let registry = registry.clone();
                 scope.spawn(move |_| {
-                    let begin = Instant::now();
+                    let _span = registry.span(collector_span_path(prefix, shard));
                     let mut builder = DailyDatasetBuilder::new(num_days);
-                    let mut stats = CollectorStats::default();
-                    drain_shard_buffer(buf, &mut builder, &mut stats);
-                    stats.elapsed = begin.elapsed();
-                    (builder, stats)
+                    drain_shard_buffer(buf, &mut builder, &meters);
+                    builder
                 })
             })
             .collect();
         let mut merged = DailyDatasetBuilder::new(num_days);
-        let mut per_collector = Vec::with_capacity(shards.len());
         for handle in handles {
-            let (builder, stats) = handle.join().expect("collector panicked");
-            per_collector.push(stats);
-            merged.merge(builder);
+            merged.merge(handle.join().expect("collector panicked"));
         }
-        (merged.finish(), per_collector)
+        merged.finish()
     })
     .expect("collector thread panicked");
-    let mut report = assemble_report(PipelineStats::default(), per_collector, 0, start.elapsed());
-    report.totals.bytes = shards.iter().map(|b| b.len() as u64).sum();
+    let report = assemble_report(registry, prefix, shards.len(), 0, start.elapsed());
     (dataset, report)
 }
 
@@ -743,33 +915,41 @@ pub fn collect_weekly_sharded(
     shards: &[Vec<u8>],
     num_weeks: usize,
 ) -> (WeeklyDataset, PipelineReport) {
+    collect_weekly_sharded_obs(shards, num_weeks, &Registry::new())
+}
+
+/// [`collect_weekly_sharded`] with an explicit [`Registry`]; metrics
+/// land under `pipeline.weekly.*`.
+pub fn collect_weekly_sharded_obs(
+    shards: &[Vec<u8>],
+    num_weeks: usize,
+    registry: &Registry,
+) -> (WeeklyDataset, PipelineReport) {
+    let prefix = WEEKLY_PREFIX;
     let start = Instant::now();
-    let (dataset, per_collector) = crossbeam::scope(|scope| {
+    let dataset = crossbeam::scope(|scope| {
         let handles: Vec<_> = shards
             .iter()
-            .map(|buf| {
+            .enumerate()
+            .map(|(shard, buf)| {
+                let meters = ShardMeters::new(registry, prefix, shard);
+                let registry = registry.clone();
                 scope.spawn(move |_| {
-                    let begin = Instant::now();
+                    let _span = registry.span(collector_span_path(prefix, shard));
                     let mut builder = WeeklyDatasetBuilder::new(num_weeks);
-                    let mut stats = CollectorStats::default();
-                    drain_shard_buffer_weekly(buf, &mut builder, &mut stats);
-                    stats.elapsed = begin.elapsed();
-                    (builder, stats)
+                    drain_shard_buffer_weekly(buf, &mut builder, &meters);
+                    builder
                 })
             })
             .collect();
         let mut merged = WeeklyDatasetBuilder::new(num_weeks);
-        let mut per_collector = Vec::with_capacity(shards.len());
         for handle in handles {
-            let (builder, stats) = handle.join().expect("collector panicked");
-            per_collector.push(stats);
-            merged.merge(builder);
+            merged.merge(handle.join().expect("collector panicked"));
         }
-        (merged.finish(), per_collector)
+        merged.finish()
     })
     .expect("collector thread panicked");
-    let mut report = assemble_report(PipelineStats::default(), per_collector, 0, start.elapsed());
-    report.totals.bytes = shards.iter().map(|b| b.len() as u64).sum();
+    let report = assemble_report(registry, prefix, shards.len(), 0, start.elapsed());
     (dataset, report)
 }
 
@@ -1032,6 +1212,60 @@ mod tests {
     #[should_panic(expected = "collectors must be >= 1")]
     fn shard_of_rejects_zero_collectors() {
         let _ = shard_of(Block24::new(7), 0);
+    }
+
+    #[test]
+    fn rate_is_zero_when_no_time_elapsed() {
+        // The degenerate cases must render as 0.0, never inf/NaN —
+        // shared with the obs snapshot renderer via ipactive_obs::rate.
+        assert_eq!(rate(1_000_000, Duration::ZERO), 0.0);
+        assert_eq!(rate(0, Duration::ZERO), 0.0);
+        assert!(rate(u64::MAX, Duration::from_nanos(1)).is_finite());
+        let r = rate(500, Duration::from_secs(2));
+        assert!((r - 250.0).abs() < 1e-9);
+        // Stats with zero elapsed flow through the same guard.
+        let stats = CollectorStats { records_read: 42, ..CollectorStats::default() };
+        assert_eq!(stats.records_per_sec(), 0.0);
+        let report = PipelineReport {
+            totals: PipelineStats { records_read: 42, ..PipelineStats::default() },
+            ..PipelineReport::default()
+        };
+        assert_eq!(report.records_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn report_is_a_view_over_the_registry_snapshot() {
+        let u = universe();
+        let reg = Registry::new();
+        let (_, report) = parallel_pipeline_obs(&u, 2, 3, &reg);
+        let snap = reg.snapshot(obs::SnapshotMode::Timed);
+        // Totals in the report are exactly the registry counters —
+        // there is no second accounting path to drift.
+        assert_eq!(
+            report.totals.records_written,
+            snap.counter("pipeline.daily.records_written")
+        );
+        for (i, s) in report.per_collector.iter().enumerate() {
+            assert_eq!(s, &CollectorStats::from_snapshot(&snap, DAILY_PREFIX, i));
+            assert_eq!(
+                s.records_read,
+                snap.counter(&format!("pipeline.daily.shard.{i}.records"))
+            );
+        }
+        // counter_sum over one shard's family folds all six fields.
+        let s0 = &report.per_collector[0];
+        assert_eq!(
+            snap.counter_sum("pipeline.daily.shard.0."),
+            s0.records_read
+                + s0.frames_skipped
+                + s0.resyncs
+                + s0.decode_errors
+                + s0.buffers
+                + s0.bytes
+        );
+        // Collector wall time comes from the span tree.
+        assert!(snap.spans.iter().any(|sp| sp.path == "pipeline.daily.shard.0"));
+        assert!(snap.spans.iter().any(|sp| sp.path == "pipeline.daily.edge"));
     }
 
     #[test]

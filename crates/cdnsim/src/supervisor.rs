@@ -34,17 +34,24 @@
 //!   completeness < 1.0 for exactly the shards that lost data.
 
 use crate::pipeline::{
-    assemble_report, emit_block_daily, emit_block_weekly, fold_daily, shard_of,
-    validate_topology, CollectorStats, PipelineReport, PipelineStats,
+    assemble_report, collector_span_path, emit_block_daily, emit_block_weekly, fold_daily,
+    shard_of, validate_topology, PipelineReport, ShardMeters,
 };
 use crate::universe::Universe;
 use ipactive_core::{
     Coverage, DailyDataset, DailyDatasetBuilder, WeeklyDataset, WeeklyDatasetBuilder,
 };
 use ipactive_logfmt::{FrameReader, FrameWriter, QuarantinedFrame, ReadMode, Record};
+use ipactive_obs::{Event, EventKind, Registry};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Metric prefix for supervised daily-cadence runs.
+pub const SUPERVISOR_DAILY_PREFIX: &str = "supervisor.daily";
+
+/// Metric prefix for supervised weekly-cadence runs.
+pub const SUPERVISOR_WEEKLY_PREFIX: &str = "supervisor.weekly";
 
 /// SplitMix64 step — the same finalizer the pipeline's [`shard_of`]
 /// uses, reused here so every supervised decision (jitter, corruption
@@ -502,9 +509,23 @@ fn drain_attempt<S: Sink>(buf: &[u8], slots: usize, capture: bool) -> (S, Attemp
     (sink, res)
 }
 
+/// The stable lowercase token a fault kind carries in journal event
+/// details (`None` decodes that still came up dirty say "dirty").
+fn fault_detail(kind: Option<FaultKind>) -> &'static str {
+    match kind {
+        Some(FaultKind::Crash) => "crash",
+        Some(FaultKind::Corrupt) => "corrupt",
+        Some(FaultKind::Drop) => "drop",
+        Some(FaultKind::Stall) => "stall",
+        None => "dirty",
+    }
+}
+
 /// Supervises one buffer delivery: bounded attempts, checkpointed
 /// merge (only a fully clean decode — or the terminal salvage — ever
-/// touches `acc`), dead-lettering on exhaustion.
+/// touches `acc`), dead-lettering on exhaustion. Every retry and every
+/// dead-lettered frame is also recorded in the registry journal with
+/// shard/buffer/offset provenance.
 #[allow(clippy::too_many_arguments)]
 fn supervise_buffer<S: Sink>(
     shard: usize,
@@ -513,26 +534,46 @@ fn supervise_buffer<S: Sink>(
     slots: usize,
     policy: &RetryPolicy,
     plan: &FaultPlan,
+    prefix: &str,
     acc: &mut S,
-    stats: &mut CollectorStats,
+    meters: &ShardMeters,
     letters: &mut Vec<DeadLetter>,
 ) -> BufferOutcome {
+    let registry = meters.registry().clone();
     let fault = plan.fault_for(shard, buffer).copied();
     let fault_kind = fault.map(|f| f.kind);
     let max_attempts = policy.max_retries.saturating_add(1);
     let mut backoff = Duration::ZERO;
-    let lost = |attempts: u32, backoff: Duration| BufferOutcome {
-        shard,
-        buffer,
-        attempts,
-        backoff,
-        completeness: 0.0,
-        fault: fault_kind,
+    let lost = |attempts: u32, backoff: Duration| {
+        registry.counter(format!("{prefix}.lost_buffers")).inc();
+        registry.emit(
+            Event::new(EventKind::Quarantine)
+                .shard(shard as u32)
+                .offset(buffer as u64)
+                .attempt(attempts.saturating_sub(1))
+                .detail(format!("buffer lost: {}", fault_detail(fault_kind))),
+        );
+        BufferOutcome {
+            shard,
+            buffer,
+            attempts,
+            backoff,
+            completeness: 0.0,
+            fault: fault_kind,
+        }
     };
     for attempt in 0..max_attempts {
         if attempt > 0 {
             let delay = policy.backoff(shard, buffer, attempt);
             backoff += delay;
+            registry.counter(format!("{prefix}.retries")).inc();
+            registry.emit(
+                Event::new(EventKind::Retry)
+                    .shard(shard as u32)
+                    .offset(buffer as u64)
+                    .attempt(attempt)
+                    .detail(fault_detail(fault_kind)),
+            );
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
@@ -608,7 +649,7 @@ fn supervise_buffer<S: Sink>(
                 let clean = res.skipped == 0 && res.resyncs == 0 && !res.decode_error;
                 if clean {
                     acc.merge(sink);
-                    stats.records_read += res.records;
+                    meters.add_clean_records(res.records);
                     return BufferOutcome {
                         shard,
                         buffer,
@@ -623,13 +664,17 @@ fn supervise_buffer<S: Sink>(
                     // record that survived CRC and dead-letter the
                     // frames that did not.
                     acc.merge(sink);
-                    stats.records_read += res.records;
-                    stats.frames_skipped += res.skipped;
-                    stats.resyncs += res.resyncs;
-                    if res.decode_error {
-                        stats.decode_errors += 1;
-                    }
+                    meters.add_salvage(res.records, res.skipped, res.resyncs, res.decode_error);
+                    let quarantined = registry.counter(format!("{prefix}.quarantined_frames"));
                     for frame in res.quarantine {
+                        quarantined.inc();
+                        registry.emit(
+                            Event::new(EventKind::Quarantine)
+                                .shard(shard as u32)
+                                .offset(frame.offset)
+                                .attempt(attempt)
+                                .detail(format!("{:?}", frame.reason)),
+                        );
                         letters.push(DeadLetter { shard, buffer, frame });
                     }
                     // Each resync is charged as (at least) one frame
@@ -659,27 +704,29 @@ fn supervise_buffer<S: Sink>(
 
 /// Supervises one shard: buffers are processed in delivery order, each
 /// through the bounded-retry machinery, into one shard accumulator.
+/// All accounting goes through the shard's registry meters; the
+/// collector span carries the shard's wall time.
 fn supervise_shard<S: Sink>(
     shard: usize,
     buffers: &[Vec<u8>],
     slots: usize,
     policy: &RetryPolicy,
     plan: &FaultPlan,
-) -> (S, CollectorStats, ShardOutcome, Vec<DeadLetter>) {
-    let begin = Instant::now();
+    registry: &Registry,
+    prefix: &str,
+) -> (S, ShardOutcome, Vec<DeadLetter>) {
+    let _span = registry.span(collector_span_path(prefix, shard));
+    let meters = ShardMeters::new(registry, prefix, shard);
     let mut acc = S::new(slots);
-    let mut stats = CollectorStats::default();
     let mut letters = Vec::new();
     let mut outcomes = Vec::with_capacity(buffers.len());
     for (buffer, buf) in buffers.iter().enumerate() {
-        stats.buffers += 1;
-        stats.bytes += buf.len() as u64;
+        meters.count_buffer(buf.len());
         outcomes.push(supervise_buffer(
-            shard, buffer, buf, slots, policy, plan, &mut acc, &mut stats, &mut letters,
+            shard, buffer, buf, slots, policy, plan, prefix, &mut acc, &meters, &mut letters,
         ));
     }
-    stats.elapsed = begin.elapsed();
-    (acc, stats, ShardOutcome { shard, buffers: outcomes }, letters)
+    (acc, ShardOutcome { shard, buffers: outcomes }, letters)
 }
 
 /// The generic supervised collector: one thread per shard, each
@@ -692,6 +739,8 @@ fn supervised_collect<S: Sink>(
     slots: usize,
     policy: &RetryPolicy,
     plan: &FaultPlan,
+    registry: &Registry,
+    prefix: &str,
 ) -> io::Result<(S::Out, SupervisedReport)> {
     validate_topology(1, shard_buffers.len())?;
     let start = Instant::now();
@@ -700,7 +749,9 @@ fn supervised_collect<S: Sink>(
             .iter()
             .enumerate()
             .map(|(shard, buffers)| {
-                scope.spawn(move |_| supervise_shard::<S>(shard, buffers, slots, policy, plan))
+                scope.spawn(move |_| {
+                    supervise_shard::<S>(shard, buffers, slots, policy, plan, registry, prefix)
+                })
             })
             .collect();
         handles
@@ -711,12 +762,10 @@ fn supervised_collect<S: Sink>(
     .expect("supervisor scope panicked");
 
     let mut merged: Option<S> = None;
-    let mut per_collector = Vec::with_capacity(results.len());
     let mut outcomes = Vec::with_capacity(results.len());
     let mut quarantine = Vec::new();
     let mut fractions = Vec::with_capacity(results.len());
-    for (sink, stats, outcome, letters) in results {
-        per_collector.push(stats);
+    for (sink, outcome, letters) in results {
         fractions.push(outcome.completeness());
         outcomes.push(outcome);
         quarantine.extend(letters);
@@ -726,10 +775,7 @@ fn supervised_collect<S: Sink>(
         }
     }
     let coverage = Coverage::from_shard_fractions(&fractions, slots);
-    let mut report =
-        assemble_report(PipelineStats::default(), per_collector, 0, start.elapsed());
-    report.totals.bytes =
-        shard_buffers.iter().flatten().map(|b| b.len() as u64).sum();
+    let report = assemble_report(registry, prefix, shard_buffers.len(), 0, start.elapsed());
     let dataset = merged
         .expect("validate_topology guarantees at least one shard")
         .finish(coverage.clone());
@@ -752,7 +798,28 @@ pub fn supervised_collect_daily(
     policy: &RetryPolicy,
     plan: &FaultPlan,
 ) -> io::Result<(DailyDataset, SupervisedReport)> {
-    supervised_collect::<DailySink>(shard_buffers, num_days, policy, plan)
+    supervised_collect_daily_obs(shard_buffers, num_days, policy, plan, &Registry::new())
+}
+
+/// [`supervised_collect_daily`] with an explicit [`Registry`]:
+/// counters land under `supervisor.daily.*`, every retry and
+/// dead-letter is journaled with shard/buffer/offset provenance, and
+/// the returned report is a view over the registry snapshot.
+pub fn supervised_collect_daily_obs(
+    shard_buffers: &[Vec<Vec<u8>>],
+    num_days: usize,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    registry: &Registry,
+) -> io::Result<(DailyDataset, SupervisedReport)> {
+    supervised_collect::<DailySink>(
+        shard_buffers,
+        num_days,
+        policy,
+        plan,
+        registry,
+        SUPERVISOR_DAILY_PREFIX,
+    )
 }
 
 /// Recovers a [`DailyDataset`] from a (possibly crash-damaged) log
@@ -783,7 +850,26 @@ pub fn supervised_collect_weekly(
     policy: &RetryPolicy,
     plan: &FaultPlan,
 ) -> io::Result<(WeeklyDataset, SupervisedReport)> {
-    supervised_collect::<WeeklySink>(shard_buffers, num_weeks, policy, plan)
+    supervised_collect_weekly_obs(shard_buffers, num_weeks, policy, plan, &Registry::new())
+}
+
+/// [`supervised_collect_weekly`] with an explicit [`Registry`];
+/// metrics land under `supervisor.weekly.*`.
+pub fn supervised_collect_weekly_obs(
+    shard_buffers: &[Vec<Vec<u8>>],
+    num_weeks: usize,
+    policy: &RetryPolicy,
+    plan: &FaultPlan,
+    registry: &Registry,
+) -> io::Result<(WeeklyDataset, SupervisedReport)> {
+    supervised_collect::<WeeklySink>(
+        shard_buffers,
+        num_weeks,
+        policy,
+        plan,
+        registry,
+        SUPERVISOR_WEEKLY_PREFIX,
+    )
 }
 
 #[cfg(test)]
@@ -895,6 +981,46 @@ mod tests {
         assert!(a.faults().iter().all(|f| f.shard < 4 && f.buffer < 3));
         let c = FaultPlan::scatter(43, 4, 3, 8);
         assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn journal_events_agree_with_the_report() {
+        use ipactive_obs::SnapshotMode;
+        let u = universe();
+        let num_days = u.config().daily_days;
+        let buffers = emit_daily_shard_buffers(&u, 2, 3).unwrap();
+        let plan = FaultPlan::scatter(0xBEEF, 3, 2, 6);
+        let reg = Registry::new();
+        let (_, report) = supervised_collect_daily_obs(
+            &buffers,
+            num_days,
+            &RetryPolicy::instant(2),
+            &plan,
+            &reg,
+        )
+        .unwrap();
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        // Retry accounting: outcome math, the counter, and the journal
+        // all describe the same run.
+        assert_eq!(report.retries(), snap.counter("supervisor.daily.retries"));
+        assert_eq!(report.retries(), snap.events_of(EventKind::Retry).count() as u64);
+        // Every dead letter has a matching quarantine event (lost
+        // buffers add their own quarantine events on top).
+        assert_eq!(
+            report.quarantine.len() as u64,
+            snap.counter("supervisor.daily.quarantined_frames")
+        );
+        assert!(
+            snap.events_of(EventKind::Quarantine).count() as u64
+                >= report.quarantine.len() as u64
+        );
+        // The report's per-collector stats are exactly the registry's.
+        for (i, s) in report.report.per_collector.iter().enumerate() {
+            assert_eq!(
+                s.records_read,
+                snap.counter(&format!("supervisor.daily.shard.{i}.records"))
+            );
+        }
     }
 
     #[test]

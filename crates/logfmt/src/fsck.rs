@@ -38,6 +38,7 @@ use crate::manifest::{
 use crate::store::{DayDamage, StoreError};
 use crate::vfs::{Fs, FsFile};
 use crate::{FrameReader, FrameWriter, ReadMode, Record};
+use ipactive_obs::{Event, EventKind, Registry};
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -586,6 +587,90 @@ pub fn fsck<F: Fs>(fs: &F, dir: &Path, repair: bool) -> Result<FsckReport, Store
     Ok(report)
 }
 
+/// [`fsck`] with an observability registry: every verdict in the
+/// returned [`FsckReport`] is also published as `fsck.*` counters and
+/// journal events ([`EventKind::FsckQuarantine`] /
+/// [`EventKind::FsckAdopt`] / [`EventKind::FsckSalvage`] /
+/// [`EventKind::FsckRepair`]).
+///
+/// The events are derived from the report itself — not from a second
+/// scan — so a metrics view and a rendered report of the same pass
+/// agree on counts by construction.
+pub fn fsck_obs<F: Fs>(
+    fs: &F,
+    dir: &Path,
+    repair: bool,
+    registry: &Registry,
+) -> Result<FsckReport, StoreError> {
+    let report = fsck(fs, dir, repair)?;
+    record_fsck(registry, &report);
+    Ok(report)
+}
+
+/// Publishes an [`FsckReport`] into `registry`. Factored out of
+/// [`fsck_obs`] so a caller that already holds a report (e.g. one
+/// produced through plain [`fsck`]) can account for it later.
+pub fn record_fsck(registry: &Registry, report: &FsckReport) {
+    for q in &report.quarantined {
+        let mut ev = Event::new(EventKind::FsckQuarantine).detail(q.reason.clone());
+        if let Some(day) = q.day {
+            ev = ev.day(day);
+        }
+        registry.emit(ev);
+    }
+    registry.counter("fsck.quarantined").add(report.quarantined.len() as u64);
+
+    let mut clean = 0u64;
+    let mut damaged = 0u64;
+    let mut missing = 0u64;
+    let mut adopted = 0u64;
+    let mut salvaged = 0u64;
+    for (&day, check) in &report.days {
+        match check.verdict {
+            DayVerdict::Clean => clean += 1,
+            DayVerdict::Damaged => {
+                damaged += 1;
+                if check.records > 0 {
+                    salvaged += check.records;
+                    registry.emit(
+                        Event::new(EventKind::FsckSalvage)
+                            .day(day)
+                            .detail(format!("{} records salvaged from damaged day", check.records)),
+                    );
+                }
+            }
+            DayVerdict::Missing => missing += 1,
+            DayVerdict::RecoveredOrphan => {
+                adopted += 1;
+                registry.emit(
+                    Event::new(EventKind::FsckAdopt)
+                        .day(day)
+                        .detail(format!("orphan generation adopted ({} records)", check.records)),
+                );
+            }
+        }
+    }
+    registry.counter("fsck.days_clean").add(clean);
+    registry.counter("fsck.days_damaged").add(damaged);
+    registry.counter("fsck.days_missing").add(missing);
+    registry.counter("fsck.adopted_orphans").add(adopted);
+    registry.counter("fsck.salvaged_records").add(salvaged);
+    registry.counter("fsck.orphans_removed").add(report.orphans_removed.len() as u64);
+    registry.counter("fsck.stale_manifests").add(report.stale_manifests.len() as u64);
+    registry.counter("fsck.tmp_swept").add(report.tmp_swept.len() as u64);
+
+    if report.repaired && !report.is_healthy() {
+        // Path-free fixed detail: tmp and quarantine names can embed
+        // pids, which a deterministic snapshot must not.
+        registry.emit(Event::new(EventKind::FsckRepair).detail(format!(
+            "repair pass: {} quarantined, {} orphans removed, {} tmp swept",
+            report.quarantined.len(),
+            report.orphans_removed.len(),
+            report.tmp_swept.len(),
+        )));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +822,74 @@ mod tests {
         assert!(a.contains("day 0000: clean committed (4/4 records)"));
         assert!(a.contains("day 0002: clean legacy (3 records)"));
         assert!(a.contains("summary: 2 days, 2 clean; coverage 1.0000"));
+    }
+
+    #[test]
+    fn fsck_obs_events_agree_with_the_report() {
+        use ipactive_obs::{Registry, SnapshotMode};
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 6)), (1, recs(1, 4))]).unwrap();
+        store.write_day(2, &recs(2, 5)).unwrap();
+        // Damage the committed day 0 and the legacy day 2.
+        for path in [dir().join(gen_day_file_name(0, 1)), dir().join("day-0002.iplog")] {
+            let mut bytes = fs.visible(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x55;
+            fs.put_file(&path, &bytes);
+        }
+        let reg = Registry::new();
+        let report = fsck_obs(&fs, &dir(), true, &reg).unwrap();
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(
+            snap.counter("fsck.quarantined"),
+            report.quarantined.len() as u64,
+            "metrics and report disagree on quarantine count"
+        );
+        assert_eq!(
+            snap.events_of(EventKind::FsckQuarantine).count(),
+            report.quarantined.len()
+        );
+        let damaged = report.days.values().filter(|d| d.verdict == DayVerdict::Damaged).count();
+        assert_eq!(snap.counter("fsck.days_damaged"), damaged as u64);
+        let salvaged: u64 = report
+            .days
+            .values()
+            .filter(|d| d.verdict == DayVerdict::Damaged)
+            .map(|d| d.records)
+            .sum();
+        assert_eq!(snap.counter("fsck.salvaged_records"), salvaged);
+        assert_eq!(snap.events_of(EventKind::FsckSalvage).count(), 2);
+        assert_eq!(snap.events_of(EventKind::FsckRepair).count(), 1, "repair pass is journaled");
+
+        // A second pass over the repaired store publishes all-clean
+        // numbers into a fresh registry.
+        let reg2 = Registry::new();
+        let again = fsck_obs(&fs, &dir(), false, &reg2).unwrap();
+        assert!(again.is_healthy());
+        let snap2 = reg2.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap2.counter("fsck.quarantined"), 0);
+        assert_eq!(snap2.counter("fsck.days_clean"), again.days.len() as u64);
+        assert_eq!(snap2.events.len(), 0, "healthy pass journals nothing");
+    }
+
+    #[test]
+    fn adopted_orphans_are_journaled_as_fsck_adopt() {
+        use ipactive_obs::{Registry, SnapshotMode};
+        let fs = SimFs::new();
+        let mut store = LogStore::open_on(fs.clone(), dir()).unwrap();
+        store.commit_days(&[(0, recs(0, 5))]).unwrap();
+        let mpath = Manifest::path(&dir(), 1);
+        let bytes = fs.visible(&mpath).unwrap();
+        fs.put_file(&mpath, &bytes[..bytes.len() - 2]);
+        let reg = Registry::new();
+        let report = fsck_obs(&fs, &dir(), true, &reg).unwrap();
+        assert_eq!(report.days[&0].verdict, DayVerdict::RecoveredOrphan);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("fsck.adopted_orphans"), 1);
+        let adopt: Vec<_> = snap.events_of(EventKind::FsckAdopt).collect();
+        assert_eq!(adopt.len(), 1);
+        assert_eq!(adopt[0].day, Some(0));
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::crc::crc32;
 use crate::manifest::{gen_day_file_name, Manifest, ManifestError};
 use crate::vfs::{Fs, FsFile, RealFs};
 use crate::{FrameError, FrameReader, FrameWriter, ReadMode, Record};
+use ipactive_obs::{metrics::DECADE_BOUNDS, Counter, Event, EventKind, Histogram, Registry};
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +44,88 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// on the same day never interleave into one tmp file.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Pre-fetched handles into the store's observability registry — one
+/// lookup at attach time, raw atomic increments on the I/O paths, so
+/// instrumentation never adds an `Fs` operation (which would renumber
+/// the crash-point grid) and never takes a lock mid-write.
+#[derive(Debug, Clone)]
+struct StoreObs {
+    registry: Registry,
+    /// `store.fsync` — every file or directory sync the store issues.
+    fsync: Counter,
+    /// `store.bytes_written` — payload bytes of generation day files
+    /// and manifests (the in-memory-encoded paths, where the byte
+    /// count is known without extra I/O).
+    bytes_written: Counter,
+    /// `store.day_writes` — day files written (either path).
+    day_writes: Counter,
+    /// `store.records_written` / `store.records_read`.
+    records_written: Counter,
+    records_read: Counter,
+    /// `store.day_reads` — day reads served.
+    day_reads: Counter,
+    /// Damage tallies from tolerant reads.
+    frames_skipped: Counter,
+    resyncs: Counter,
+    lost_committed: Counter,
+    /// `store.commits` — successful manifest commits.
+    commits: Counter,
+    /// `store.write.records` — records-per-day-write distribution.
+    write_records: Histogram,
+}
+
+impl StoreObs {
+    fn new(registry: &Registry) -> StoreObs {
+        StoreObs {
+            registry: registry.clone(),
+            fsync: registry.counter("store.fsync"),
+            bytes_written: registry.counter("store.bytes_written"),
+            day_writes: registry.counter("store.day_writes"),
+            records_written: registry.counter("store.records_written"),
+            records_read: registry.counter("store.records_read"),
+            day_reads: registry.counter("store.day_reads"),
+            frames_skipped: registry.counter("store.frames_skipped"),
+            resyncs: registry.counter("store.resyncs"),
+            lost_committed: registry.counter("store.lost_committed"),
+            commits: registry.counter("store.commits"),
+            write_records: registry.histogram("store.write.records", DECADE_BOUNDS),
+        }
+    }
+
+    /// Journals what a tolerant day read lost. Truncated tails and
+    /// committed-record shortfalls are crash evidence; resyncs are
+    /// framing damage.
+    fn record_damage(&self, day: u16, damage: &DayDamage) {
+        if damage.skipped > 0 {
+            self.frames_skipped.add(damage.skipped);
+        }
+        if damage.resyncs > 0 {
+            self.resyncs.add(damage.resyncs);
+            self.registry.emit(
+                Event::new(EventKind::Resync)
+                    .day(day)
+                    .detail(format!("{} resync scans reading day file", damage.resyncs)),
+            );
+        }
+        if damage.truncated_tail {
+            self.frames_skipped.inc();
+            self.registry.emit(
+                Event::new(EventKind::CrashRecovery)
+                    .day(day)
+                    .detail("day file ends inside a frame (truncated tail)"),
+            );
+        }
+        if damage.lost_committed > 0 {
+            self.lost_committed.add(damage.lost_committed);
+            self.registry.emit(
+                Event::new(EventKind::CrashRecovery)
+                    .day(day)
+                    .detail(format!("{} committed records missing", damage.lost_committed)),
+            );
+        }
+    }
+}
+
 /// A directory of per-day framed log files (optionally manifested),
 /// generic over the [`Fs`] it performs I/O through.
 #[derive(Debug, Clone)]
@@ -50,6 +133,7 @@ pub struct LogStore<F: Fs = RealFs> {
     dir: PathBuf,
     fs: F,
     manifest: Option<Manifest>,
+    obs: StoreObs,
 }
 
 /// Error from store operations, carrying the offending day and path
@@ -191,6 +275,20 @@ impl<F: Fs> LogStore<F> {
     /// survivor is garbage. Loads the newest manifest generation that
     /// verifies; errors if manifests exist but none does.
     pub fn open_on(fs: F, dir: impl Into<PathBuf>) -> Result<LogStore<F>, StoreError> {
+        Self::open_on_obs(fs, dir, &Registry::new())
+    }
+
+    /// [`LogStore::open_on`] with an explicit observability registry:
+    /// the store records I/O counters (`store.fsync`,
+    /// `store.bytes_written`, …) and journals recovery evidence
+    /// (swept tmp files, truncated tails, committed-record loss) into
+    /// `registry` for the life of this handle and its clones.
+    pub fn open_on_obs(
+        fs: F,
+        dir: impl Into<PathBuf>,
+        registry: &Registry,
+    ) -> Result<LogStore<F>, StoreError> {
+        let obs = StoreObs::new(registry);
         let dir = dir.into();
         fs.create_dir_all(&dir).map_err(|e| StoreError::io(None, &dir, e))?;
         let names = fs.read_dir_names(&dir).map_err(|e| StoreError::io(None, &dir, e))?;
@@ -201,10 +299,22 @@ impl<F: Fs> LogStore<F> {
                 // Best effort: a sweep that loses a race with a live
                 // writer's cleanup must not fail the open.
                 let _ = fs.remove_file(&dir.join(name));
+                // Fixed, path-free detail: tmp names embed a pid, and
+                // deterministic snapshots must not.
+                obs.registry.emit(
+                    Event::new(EventKind::CrashRecovery)
+                        .detail("swept stale tmp file left by a crashed writer"),
+                );
             }
         }
         let manifest = Self::load_manifest(&fs, &dir, &names)?;
-        Ok(LogStore { dir, fs, manifest })
+        Ok(LogStore { dir, fs, manifest, obs })
+    }
+
+    /// Re-points this handle's observability at `registry`. Useful
+    /// when a store is opened before the run's registry exists.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.obs = StoreObs::new(registry);
     }
 
     /// Scans manifest generations newest-first and returns the first
@@ -313,14 +423,21 @@ impl<F: Fs> LogStore<F> {
             .map_err(|e| StoreError::io(d, tmp, e.into_error()))?
             .sync_all()
             .map_err(|e| StoreError::io(d, tmp, e))?;
+        self.obs.fsync.inc();
         let dest = self.day_path(day);
         self.fs.rename(tmp, &dest).map_err(|e| StoreError::io(d, &dest, e))?;
-        self.sync_dir(d)
+        self.sync_dir(d)?;
+        self.obs.day_writes.inc();
+        self.obs.records_written.add(records.len() as u64);
+        self.obs.write_records.observe(records.len() as u64);
+        Ok(())
     }
 
     /// Makes renames durable by fsyncing the store directory.
     fn sync_dir(&self, day: Option<u16>) -> Result<(), StoreError> {
-        self.fs.sync_dir(&self.dir).map_err(|e| StoreError::io(day, &self.dir, e))
+        self.fs.sync_dir(&self.dir).map_err(|e| StoreError::io(day, &self.dir, e))?;
+        self.obs.fsync.inc();
+        Ok(())
     }
 
     /// Atomically commits a batch of days: every day file is written
@@ -372,15 +489,18 @@ impl<F: Fs> LogStore<F> {
             let mut file = self.fs.create(&tmp).map_err(|e| StoreError::io(None, &tmp, e))?;
             file.write_all(&encoded).map_err(|e| StoreError::io(None, &tmp, e))?;
             file.sync_all().map_err(|e| StoreError::io(None, &tmp, e))?;
+            self.obs.fsync.inc();
+            self.obs.bytes_written.add(encoded.len() as u64);
             self.fs
                 .rename(&tmp, &manifest_path)
                 .map_err(|e| StoreError::io(None, &manifest_path, e))?;
             self.sync_dir(None)
         })();
-        if write.is_err() {
+        if let Err(e) = write {
             let _ = self.fs.remove_file(&tmp);
-            return Err(write.unwrap_err());
+            return Err(e);
         }
+        self.obs.commits.inc();
 
         // Post-commit sweep, best effort: old manifests and day files
         // this batch superseded.
@@ -427,12 +547,17 @@ impl<F: Fs> LogStore<F> {
             let mut file = self.fs.create(&tmp).map_err(|e| StoreError::io(d, &tmp, e))?;
             file.write_all(&bytes).map_err(|e| StoreError::io(d, &tmp, e))?;
             file.sync_all().map_err(|e| StoreError::io(d, &tmp, e))?;
+            self.obs.fsync.inc();
             self.fs.rename(&tmp, &dest).map_err(|e| StoreError::io(d, &dest, e))
         })();
-        if write.is_err() {
+        if let Err(e) = write {
             let _ = self.fs.remove_file(&tmp);
-            return Err(write.unwrap_err());
+            return Err(e);
         }
+        self.obs.bytes_written.add(bytes.len() as u64);
+        self.obs.day_writes.inc();
+        self.obs.records_written.add(records.len() as u64);
+        self.obs.write_records.observe(records.len() as u64);
         Ok(meta)
     }
 
@@ -504,6 +629,9 @@ impl<F: Fs> LogStore<F> {
             resyncs: reader.resyncs(),
             lost_committed: 0,
         };
+        self.obs.day_reads.inc();
+        self.obs.records_read.add(records.len() as u64);
+        self.obs.record_damage(day, &damage);
         Ok((records, damage))
     }
 
@@ -551,6 +679,9 @@ impl<F: Fs> LogStore<F> {
             resyncs: reader.resyncs(),
             lost_committed: meta.records.saturating_sub(records.len() as u64),
         };
+        self.obs.day_reads.inc();
+        self.obs.records_read.add(records.len() as u64);
+        self.obs.record_damage(day, &damage);
         Ok((records, damage))
     }
 
@@ -576,6 +707,15 @@ impl LogStore<RealFs> {
     /// filesystem. See [`LogStore::open_on`].
     pub fn open(dir: impl Into<PathBuf>) -> Result<LogStore<RealFs>, StoreError> {
         LogStore::open_on(RealFs, dir)
+    }
+
+    /// [`LogStore::open`] with an explicit observability registry.
+    /// See [`LogStore::open_on_obs`].
+    pub fn open_obs(
+        dir: impl Into<PathBuf>,
+        registry: &Registry,
+    ) -> Result<LogStore<RealFs>, StoreError> {
+        LogStore::open_on_obs(RealFs, dir, registry)
     }
 }
 
@@ -956,6 +1096,59 @@ mod tests {
             Err(StoreError::Manifest { .. }) => {}
             other => panic!("corrupt sole manifest must fail open, got {other:?}"),
         }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_counters_account_for_writes_reads_and_damage() {
+        use ipactive_obs::{EventKind, Registry, SnapshotMode};
+        let reg = Registry::new();
+        let dir = tmpdir("obs");
+        let mut store = LogStore::open_obs(&dir, &reg).unwrap();
+
+        // Single-day path: tmp fsync + dir fsync = 2 syncs, 10 records.
+        store.write_day(0, &recs(0, 10)).unwrap();
+        // Batch path: 1 day file sync + batch dir sync + manifest
+        // sync + post-rename dir sync = 4 syncs.
+        store.commit_days(&[(1, recs(1, 6))]).unwrap();
+
+        let (got, _) = store.read_day(0, ReadMode::Tolerant).unwrap();
+        assert_eq!(got.len(), 10);
+        // Damage a legacy day mid-file and read it back tolerantly.
+        let path = dir.join("day-0000.iplog");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        fs::write(&path, bytes).unwrap();
+        let (survived, damage) = store.read_day(0, ReadMode::Tolerant).unwrap();
+        assert!(!damage.is_clean());
+
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("store.fsync"), 6);
+        assert_eq!(snap.counter("store.day_writes"), 2);
+        assert_eq!(snap.counter("store.records_written"), 16);
+        assert_eq!(snap.counter("store.commits"), 1);
+        assert_eq!(snap.counter("store.day_reads"), 2);
+        assert_eq!(snap.counter("store.records_read"), 10 + survived.len() as u64);
+        assert_eq!(
+            snap.counter("store.frames_skipped") + snap.counter("store.resyncs"),
+            damage.skipped + damage.resyncs,
+            "damage tallies must mirror the DayDamage account"
+        );
+        assert!(
+            damage.resyncs == 0 || snap.events_of(EventKind::Resync).count() > 0,
+            "resync damage must be journaled"
+        );
+        // Bytes are counted for the in-memory-encoded paths (gen day
+        // file + manifest), and a committed batch wrote both.
+        assert!(snap.counter("store.bytes_written") > 0);
+
+        // A crashed writer's tmp swept on open is journaled.
+        fs::write(dir.join(".day-0007.999-1.tmp"), b"half").unwrap();
+        let reg2 = Registry::new();
+        let _reopened = LogStore::open_obs(&dir, &reg2).unwrap();
+        let snap2 = reg2.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap2.events_of(EventKind::CrashRecovery).count(), 1);
         let _ = fs::remove_dir_all(dir);
     }
 

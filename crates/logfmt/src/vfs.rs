@@ -22,6 +22,7 @@
 //! machine dying), and [`SimFs::crash`] then collapses visible state
 //! into the bytes a reboot would find, under a chosen [`CrashStyle`].
 
+use ipactive_obs::{Counter, Registry};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
@@ -138,6 +139,136 @@ impl Fs for RealFs {
     }
 }
 
+/// An [`Fs`] decorator that meters every operation into an
+/// observability [`Registry`] — `vfs.ops.create`, `vfs.ops.write`,
+/// `vfs.ops.sync_file`, `vfs.ops.rename`, `vfs.ops.remove`,
+/// `vfs.ops.sync_dir`, `vfs.ops.open_read`, plus
+/// `vfs.bytes_written`.
+///
+/// It is a pure passthrough: it performs no filesystem operations of
+/// its own (so wrapping a [`SimFs`] does **not** renumber its crash
+/// points) and never alters results. Operations are counted when
+/// attempted; bytes only on successful writes.
+#[derive(Debug, Clone)]
+pub struct ObsFs<F: Fs> {
+    inner: F,
+    meters: FsMeters,
+}
+
+#[derive(Debug, Clone)]
+struct FsMeters {
+    create: Counter,
+    write: Counter,
+    bytes_written: Counter,
+    sync_file: Counter,
+    rename: Counter,
+    remove: Counter,
+    sync_dir: Counter,
+    open_read: Counter,
+}
+
+impl FsMeters {
+    fn new(registry: &Registry) -> FsMeters {
+        FsMeters {
+            create: registry.counter("vfs.ops.create"),
+            write: registry.counter("vfs.ops.write"),
+            bytes_written: registry.counter("vfs.bytes_written"),
+            sync_file: registry.counter("vfs.ops.sync_file"),
+            rename: registry.counter("vfs.ops.rename"),
+            remove: registry.counter("vfs.ops.remove"),
+            sync_dir: registry.counter("vfs.ops.sync_dir"),
+            open_read: registry.counter("vfs.ops.open_read"),
+        }
+    }
+}
+
+impl<F: Fs> ObsFs<F> {
+    /// Wraps `inner`, metering into `registry`.
+    pub fn new(inner: F, registry: &Registry) -> ObsFs<F> {
+        ObsFs { inner, meters: FsMeters::new(registry) }
+    }
+
+    /// The wrapped filesystem.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+/// Writable handle produced by an [`ObsFs`]; counts writes, written
+/// bytes, and file syncs on the shared meters.
+#[derive(Debug)]
+pub struct ObsFile<T: FsFile> {
+    inner: T,
+    meters: FsMeters,
+}
+
+impl<T: FsFile> Write for ObsFile<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.meters.write.inc();
+        let n = self.inner.write(buf)?;
+        self.meters.bytes_written.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl<T: FsFile> FsFile for ObsFile<T> {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.meters.sync_file.inc();
+        self.inner.sync_all()
+    }
+}
+
+impl<F: Fs> Fs for ObsFs<F> {
+    type File = ObsFile<F::File>;
+    type ReadFile = F::ReadFile;
+
+    fn create(&self, path: &Path) -> io::Result<Self::File> {
+        self.meters.create.inc();
+        let inner = self.inner.create(path)?;
+        Ok(ObsFile { inner, meters: self.meters.clone() })
+    }
+
+    fn open_read(&self, path: &Path) -> io::Result<Self::ReadFile> {
+        self.meters.open_read.inc();
+        self.inner.open_read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.meters.rename.inc();
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.meters.remove.inc();
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(path)
+    }
+
+    fn read_dir_names(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir_names(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.meters.sync_dir.inc();
+        self.inner.sync_dir(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        self.inner.file_len(path)
+    }
+}
+
 /// What kind of fault to inject at a numbered operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Inject {
@@ -225,7 +356,9 @@ impl SimState {
     }
 
     fn enospc() -> io::Error {
-        io::Error::new(io::ErrorKind::StorageFull, "simulated ENOSPC")
+        // `ErrorKind::StorageFull` stabilized in 1.83, past our MSRV;
+        // the message carries the ENOSPC meaning instead.
+        io::Error::other("simulated ENOSPC")
     }
 
     /// Charges one operation: logs it, advances the counter, and
@@ -611,7 +744,7 @@ mod tests {
         let fs = SimFs::new().with_fault(1, Inject::ShortWrite);
         let mut f = fs.create(&p("/s/f")).unwrap();
         let err = f.write_all(b"abcdef").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(err.to_string(), "simulated ENOSPC");
         assert_eq!(fs.visible(&p("/s/f")).unwrap(), b"abc");
     }
 
@@ -644,6 +777,43 @@ mod tests {
         assert!(matches!(log[4], OpLabel::SyncDir(_)));
         assert!(matches!(log[5], OpLabel::Remove(_)));
         assert_eq!(fs.ops(), 6);
+    }
+
+    #[test]
+    fn obsfs_meters_match_the_oplog_without_renumbering_it() {
+        use ipactive_obs::{Registry, SnapshotMode};
+        let reg = Registry::new();
+        let sim = SimFs::new();
+        let fs = ObsFs::new(sim.clone(), &reg);
+        let mut f = fs.create(&p("/s/a")).unwrap();
+        f.write_all(b"payload").unwrap();
+        f.sync_all().unwrap();
+        fs.rename(&p("/s/a"), &p("/s/b")).unwrap();
+        fs.sync_dir(&p("/s")).unwrap();
+        fs.remove_file(&p("/s/b")).unwrap();
+        // Passthrough: the wrapped SimFs numbered exactly the same six
+        // operations it would have seen unwrapped.
+        assert_eq!(sim.ops(), 6);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("vfs.ops.create"), 1);
+        assert_eq!(snap.counter("vfs.ops.write"), 1);
+        assert_eq!(snap.counter("vfs.bytes_written"), 7);
+        assert_eq!(snap.counter("vfs.ops.sync_file"), 1);
+        assert_eq!(snap.counter("vfs.ops.rename"), 1);
+        assert_eq!(snap.counter("vfs.ops.sync_dir"), 1);
+        assert_eq!(snap.counter("vfs.ops.remove"), 1);
+    }
+
+    #[test]
+    fn obsfs_counts_failed_attempts_but_not_their_bytes() {
+        use ipactive_obs::{Registry, SnapshotMode};
+        let reg = Registry::new();
+        let fs = ObsFs::new(SimFs::new().with_fault(1, Inject::Enospc), &reg);
+        let mut f = fs.create(&p("/s/a")).unwrap();
+        assert!(f.write_all(b"doomed").is_err());
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("vfs.ops.write"), 1, "the attempt is counted");
+        assert_eq!(snap.counter("vfs.bytes_written"), 0, "failed bytes are not");
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! The run event journal: a bounded lock-free ring of structured
+//! events with shard/day/offset provenance.
+//!
+//! Emission is one `fetch_add` plus one slot publication — no locks on
+//! the hot path, no allocation beyond the event itself. The ring is
+//! bounded at construction; events past capacity are counted, never
+//! silently lost, so a snapshot can always say "and N more". Draining
+//! sorts by provenance (kind, shard, day, offset, attempt, detail)
+//! rather than arrival order, because arrival order is thread-timing
+//! dependent and the journal participates in the deterministic
+//! snapshot contract.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// What happened. Ordered so sorted journals group by event class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A supervised shard buffer decode was retried after a fault.
+    Retry,
+    /// A frame (or buffer) was quarantined after retries exhausted.
+    Quarantine,
+    /// A frame decoder lost sync and scanned forward to recover.
+    Resync,
+    /// A store or pipeline recovered state after a crash (stale tmp
+    /// sweep, manifest rollback, replay from store).
+    CrashRecovery,
+    /// The analysis cache was switched to bypass (uncached baseline).
+    CacheBypass,
+    /// `fsck` moved a damaged file into quarantine.
+    FsckQuarantine,
+    /// `fsck` adopted an orphaned generation file into the manifest.
+    FsckAdopt,
+    /// `fsck` salvaged surviving frames out of a damaged day.
+    FsckSalvage,
+    /// `fsck` applied a repair (rewrote a day, swept a stale file).
+    FsckRepair,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in JSON snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Retry => "retry",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Resync => "resync",
+            EventKind::CrashRecovery => "crash_recovery",
+            EventKind::CacheBypass => "cache_bypass",
+            EventKind::FsckQuarantine => "fsck_quarantine",
+            EventKind::FsckAdopt => "fsck_adopt",
+            EventKind::FsckSalvage => "fsck_salvage",
+            EventKind::FsckRepair => "fsck_repair",
+        }
+    }
+}
+
+/// One structured journal entry. Provenance fields are optional
+/// because not every event has a shard (fsck) or a day (engine), but
+/// whatever is known travels with the event into the final report.
+///
+/// Determinism contract: every field must be a function of input data
+/// and seeds — no wall-clock timestamps, no thread ids, no absolute
+/// paths.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    /// Event class.
+    pub kind: EventKind,
+    /// Originating shard, when the event has one.
+    pub shard: Option<u32>,
+    /// Day index the event concerns, when known.
+    pub day: Option<u16>,
+    /// Buffer index or byte offset provenance, when known.
+    pub offset: Option<u64>,
+    /// Attempt number for retry-class events (1-based).
+    pub attempt: Option<u32>,
+    /// Free-form deterministic detail (reason, counts).
+    pub detail: String,
+}
+
+impl Event {
+    /// A new event of `kind` with no provenance and empty detail.
+    pub fn new(kind: EventKind) -> Event {
+        Event { kind, shard: None, day: None, offset: None, attempt: None, detail: String::new() }
+    }
+
+    /// Attaches shard provenance.
+    pub fn shard(mut self, shard: u32) -> Event {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Attaches day provenance.
+    pub fn day(mut self, day: u16) -> Event {
+        self.day = Some(day);
+        self
+    }
+
+    /// Attaches buffer-index / byte-offset provenance.
+    pub fn offset(mut self, offset: u64) -> Event {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Attaches the attempt number (1-based).
+    pub fn attempt(mut self, attempt: u32) -> Event {
+        self.attempt = Some(attempt);
+        self
+    }
+
+    /// Attaches a deterministic detail string.
+    pub fn detail(mut self, detail: impl Into<String>) -> Event {
+        self.detail = detail.into();
+        self
+    }
+}
+
+/// Bounded lock-free event ring. See the module docs.
+pub struct Journal {
+    slots: Box<[OnceLock<Event>]>,
+    next: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            next: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends `event`; past capacity the event is dropped and
+    /// counted.
+    pub fn emit(&self, event: Event) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        match self.slots.get(i) {
+            // Each index is claimed by exactly one emitter, so the
+            // slot is always vacant.
+            Some(slot) => {
+                let _ = slot.set(event);
+            }
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Events emitted so far (capped at capacity).
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.next.load(Ordering::Relaxed) == 0
+    }
+
+    /// Events dropped past capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Copies out all recorded events sorted by provenance, plus the
+    /// dropped count. An emitter that claimed a slot but has not yet
+    /// published into it is skipped (drain is meant for after the
+    /// writers quiesce).
+    pub fn drain_sorted(&self) -> (Vec<Event>, u64) {
+        let mut events: Vec<Event> =
+            self.slots[..self.len()].iter().filter_map(|s| s.get().cloned()).collect();
+        events.sort();
+        (events, self.dropped())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drain_sorts_by_provenance_not_arrival() {
+        let j = Journal::with_capacity(16);
+        j.emit(Event::new(EventKind::Quarantine).shard(2).offset(9));
+        j.emit(Event::new(EventKind::Retry).shard(3).attempt(1));
+        j.emit(Event::new(EventKind::Retry).shard(0).attempt(2));
+        let (events, dropped) = j.drain_sorted();
+        assert_eq!(dropped, 0);
+        let kinds: Vec<(EventKind, Option<u32>)> =
+            events.iter().map(|e| (e.kind, e.shard)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (EventKind::Retry, Some(0)),
+                (EventKind::Retry, Some(3)),
+                (EventKind::Quarantine, Some(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn bounded_journal_counts_drops() {
+        let j = Journal::with_capacity(2);
+        for i in 0..5 {
+            j.emit(Event::new(EventKind::Resync).offset(i));
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        let (events, dropped) = j.drain_sorted();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 3);
+    }
+
+    #[test]
+    fn concurrent_emission_loses_nothing_under_capacity() {
+        let j = Journal::with_capacity(1024);
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let j = &j;
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        j.emit(Event::new(EventKind::Retry).shard(t).offset(i));
+                    }
+                });
+            }
+        });
+        let (events, dropped) = j.drain_sorted();
+        assert_eq!(events.len(), 800);
+        assert_eq!(dropped, 0);
+        // Sorted drain is deterministic regardless of interleaving.
+        let mut expect = Vec::new();
+        for t in 0..8u32 {
+            for i in 0..100u64 {
+                expect.push(Event::new(EventKind::Retry).shard(t).offset(i));
+            }
+        }
+        expect.sort();
+        assert_eq!(events, expect);
+    }
+}

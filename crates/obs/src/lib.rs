@@ -1,0 +1,327 @@
+//! Unified observability plane for the ipactive workspace.
+//!
+//! Every subsystem of the reproduction — the sharded pipeline, the
+//! self-healing supervisor, the crash-consistent log store, and the
+//! memoized analysis engine — answers the same three operator
+//! questions through this crate:
+//!
+//! 1. **What did the run do?** — the [`Registry`] holds sharded-atomic
+//!    [`Counter`]s, [`Gauge`]s, and fixed-bucket [`Histogram`]s under
+//!    hierarchical dotted names (`pipeline.shard.3.records`,
+//!    `store.fsync`, `engine.cache.hit`).
+//! 2. **Where did the time go?** — RAII scoped spans
+//!    ([`Registry::span`], or the [`span!`] macro) aggregate wall time
+//!    per stage into a parent/child tree with call counts and
+//!    min/max/total, rendered as an indented profile.
+//! 3. **What got dropped?** — a bounded lock-free [`Journal`] of
+//!    structured [`Event`]s (retry, quarantine, resync,
+//!    crash-recovery, cache-bypass, fsck verdicts) with
+//!    shard/day/offset provenance.
+//!
+//! All three drain into one [`Snapshot`], renderable as a sorted JSON
+//! document. The **determinism contract**: a
+//! [`SnapshotMode::Deterministic`] snapshot contains only quantities
+//! that are functions of the input data and seeds — never of thread
+//! scheduling or wall time — so its JSON is byte-identical run-to-run
+//! and across worker counts. Wall time lives exclusively in the span
+//! tree, which a deterministic snapshot strips.
+//!
+//! The crate is dependency-free so even `logfmt` at the bottom of the
+//! workspace stack can instrument itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+pub mod span;
+
+pub use journal::{Event, EventKind, Journal};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotMode, SpanSnapshot};
+pub use span::{Span, SpanStat};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Records per second, guarding the zero-elapsed case.
+///
+/// The single shared rate helper for every renderer in the workspace
+/// (pipeline reports, supervised summaries, snapshot rendering): a
+/// zero or sub-resolution elapsed time yields `0.0`, never `inf` or
+/// `NaN`.
+pub fn rate(count: u64, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// One observability domain: a namespace of metrics, a span tree, and
+/// an event journal that snapshot together.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share state, so a
+/// registry can be handed across threads and layers freely. Handles
+/// returned by [`counter`](Registry::counter) /
+/// [`gauge`](Registry::gauge) / [`histogram`](Registry::histogram)
+/// are themselves cheap clones that bypass the name lookup — fetch
+/// them once outside a hot loop.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    journal: Journal,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("counters", &self.inner.counters.lock().unwrap().len())
+            .field("events", &self.inner.journal.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Registry {
+    /// A fresh registry with the default journal capacity (65 536
+    /// events).
+    pub fn new() -> Registry {
+        Registry::with_journal_capacity(1 << 16)
+    }
+
+    /// A fresh registry whose journal holds at most `capacity` events;
+    /// later events are counted as dropped, never reallocated.
+    pub fn with_journal_capacity(capacity: usize) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(BTreeMap::new()),
+                journal: Journal::with_capacity(capacity),
+            }),
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: impl Into<String>) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        map.entry(name.into()).or_default().clone()
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: impl Into<String>) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.into()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, creating it with the
+    /// given inclusive upper bucket bounds on first use (an implicit
+    /// overflow bucket catches everything beyond the last bound).
+    /// Bounds passed for an already-registered name are ignored.
+    pub fn histogram(&self, name: impl Into<String>, bounds: &[u64]) -> Histogram {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.into()).or_insert_with(|| Histogram::new(bounds)).clone()
+    }
+
+    /// Appends `event` to the run journal (drop-counted past
+    /// capacity).
+    pub fn emit(&self, event: Event) {
+        self.inner.journal.emit(event);
+    }
+
+    /// The registry's event journal.
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// Opens an RAII timing span named `name`, nested under any span
+    /// already open on this thread. Dropping the guard records one
+    /// observation into the span tree.
+    pub fn span(&self, name: impl Into<String>) -> Span {
+        Span::open(self.clone(), name.into())
+    }
+
+    pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64) {
+        let mut spans = self.inner.spans.lock().unwrap();
+        spans.entry(path.to_string()).or_default().record(elapsed_ns);
+    }
+
+    /// Drains the registry into an immutable [`Snapshot`].
+    ///
+    /// [`SnapshotMode::Deterministic`] strips the span tree (the only
+    /// wall-time-bearing section) so the rendered JSON is byte-stable
+    /// across runs and worker counts; [`SnapshotMode::Timed`] keeps
+    /// it. Snapshotting does not reset anything — it is a read.
+    pub fn snapshot(&self, mode: SnapshotMode) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        let spans = match mode {
+            SnapshotMode::Deterministic => Vec::new(),
+            SnapshotMode::Timed => self
+                .inner
+                .spans
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(path, stat)| SpanSnapshot {
+                    path: path.clone(),
+                    count: stat.count,
+                    total_ns: stat.total_ns,
+                    min_ns: stat.min_ns,
+                    max_ns: stat.max_ns,
+                })
+                .collect(),
+        };
+        let (events, events_dropped) = self.inner.journal.drain_sorted();
+        Snapshot { mode, counters, gauges, histograms, events, events_dropped, spans }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide default registry, for call sites with no handle
+/// of their own (and the one-argument form of [`span!`]). Layers that
+/// need isolation — differential tests, one-registry-per-run CLIs —
+/// should carry an explicit [`Registry`] instead.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Opens an RAII timing span: `span!("decode_shard")` on the global
+/// registry, `span!(reg, "decode_shard")` on an explicit one. Bind
+/// the guard (`let _span = ...`) so it lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+    ($reg:expr, $name:expr) => {
+        ($reg).span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn rate_guards_zero_elapsed() {
+        assert_eq!(rate(1000, Duration::ZERO), 0.0);
+        assert!(rate(0, Duration::ZERO) == 0.0);
+        let r = rate(100, Duration::from_secs(2));
+        assert!((r - 50.0).abs() < 1e-9);
+        assert!(rate(u64::MAX, Duration::from_nanos(1)).is_finite());
+    }
+
+    #[test]
+    fn handles_share_state_with_the_registry() {
+        let reg = Registry::new();
+        let c = reg.counter("pipeline.shard.0.records");
+        c.add(41);
+        reg.counter("pipeline.shard.0.records").inc();
+        assert_eq!(c.get(), 42);
+        let g = reg.gauge("engine.days");
+        g.set(28);
+        assert_eq!(reg.gauge("engine.days").get(), 28);
+    }
+
+    #[test]
+    fn snapshot_orders_names_lexicographically() {
+        let reg = Registry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.counter("m.middle").inc();
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn deterministic_snapshot_is_byte_identical_across_thread_counts() {
+        let run = |threads: usize| -> String {
+            let reg = Registry::new();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let reg = reg.clone();
+                    scope.spawn(move || {
+                        let c = reg.counter("work.items");
+                        // Each thread count splits the same 1200 total
+                        // increments differently.
+                        for _ in 0..(1200 / threads) {
+                            c.inc();
+                        }
+                        let _guard = reg.span("work");
+                        reg.emit(
+                            Event::new(EventKind::Retry).shard(t as u32).detail("transient"),
+                        );
+                    });
+                }
+            });
+            // Same four events regardless of which threads existed.
+            for t in threads..4 {
+                reg.emit(Event::new(EventKind::Retry).shard(t as u32).detail("transient"));
+            }
+            reg.snapshot(SnapshotMode::Deterministic).to_json()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(4));
+        assert!(!one.contains("\"spans\": ["), "deterministic mode must strip spans");
+    }
+
+    #[test]
+    fn global_registry_and_macro_forms_agree() {
+        {
+            let _a = span!("macro_global");
+        }
+        let reg = Registry::new();
+        {
+            let _b = span!(&reg, "macro_explicit");
+        }
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].path, "macro_explicit");
+        let gsnap = global().snapshot(SnapshotMode::Timed);
+        assert!(gsnap.spans.iter().any(|s| s.path == "macro_global"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Metric primitives: sharded-atomic counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! All three are cheap-clone handles over shared atomics, safe to
+//! pre-fetch from a [`Registry`](crate::Registry) and increment from
+//! any thread. Counters stripe across cache-line-padded atomics so
+//! concurrent writers on different cores do not bounce one line.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const STRIPES: usize = 8;
+
+/// One cache line per stripe so concurrent increments from different
+/// cores never contend on the same line.
+#[repr(align(64))]
+#[derive(Default)]
+struct Stripe(AtomicU64);
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+fn stripe_index() -> usize {
+    thread_local! {
+        static IDX: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.with(|i| *i) % STRIPES
+}
+
+/// A monotonically increasing sharded-atomic counter.
+///
+/// Each thread increments its own cache-padded stripe; `get()` sums
+/// the stripes. Reads are therefore not a single linearization point,
+/// but counters are only read at snapshot time, after the writers
+/// have quiesced.
+#[derive(Clone, Default)]
+pub struct Counter {
+    stripes: Arc<[Stripe; STRIPES]>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The sum across all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A last-write-wins signed gauge (dataset sizes, generation numbers,
+/// queue depths).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Buckets are inclusive upper bounds in ascending order, with an
+/// implicit overflow bucket past the last bound. Bounds are fixed at
+/// registration, which keeps `observe` a bounded scan plus one atomic
+/// add — no allocation, no locking.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+struct HistogramInner {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Doubling bounds from 1 to ~1M, a serviceable default for counts
+/// and sizes spanning a few orders of magnitude.
+pub const DECADE_BOUNDS: &[u64] =
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536, 262144, 1048576];
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds. Unsorted or
+    /// duplicate bounds are normalized.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        let mut bounds = bounds.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self) -> crate::snapshot::HistogramSnapshot {
+        crate::snapshot::HistogramSnapshot {
+            bounds: self.inner.bounds.clone(),
+            buckets: self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Counter::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                    c.add(500);
+                });
+            }
+        });
+        assert_eq!(c.get(), 8 * 1500);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0);
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_routes_to_inclusive_upper_bounds() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [0, 10, 11, 100, 500, 1000, 1001, 9999] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        // <=10: {0, 10}; <=100: {11, 100}; <=1000: {500, 1000};
+        // overflow: {1001, 9999}.
+        assert_eq!(snap.buckets, vec![2, 2, 2, 2]);
+        assert_eq!(snap.count, 8);
+        assert_eq!(snap.sum, 10 + 11 + 100 + 500 + 1000 + 1001 + 9999);
+    }
+
+    #[test]
+    fn histogram_normalizes_bounds() {
+        let h = Histogram::new(&[100, 10, 100, 1]);
+        h.observe(5);
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds, vec![1, 10, 100]);
+        assert_eq!(snap.buckets, vec![0, 1, 0, 0]);
+    }
+}

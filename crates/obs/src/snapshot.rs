@@ -1,0 +1,370 @@
+//! Immutable snapshots of a [`Registry`](crate::Registry), their JSON
+//! rendering, and the indented span-tree profile.
+//!
+//! JSON output is fully deterministic in layout: metric names sort
+//! lexicographically, events sort by provenance, every number prints
+//! in a canonical form, and the key order inside objects is fixed. A
+//! [`SnapshotMode::Deterministic`] snapshot additionally contains no
+//! wall-time quantity at all, so two runs over the same inputs and
+//! seeds render byte-identical documents whatever the thread count.
+
+use crate::journal::Event;
+use std::collections::BTreeMap;
+
+/// What a snapshot may contain. See the crate docs for the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotMode {
+    /// Counters, gauges, histograms, journal — no wall time. Byte-
+    /// stable across runs and thread counts; golden-testable.
+    Deterministic,
+    /// Everything, including the span timing tree.
+    Timed,
+}
+
+impl SnapshotMode {
+    /// Stable lowercase name used in JSON snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SnapshotMode::Deterministic => "deterministic",
+            SnapshotMode::Timed => "timed",
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// Frozen aggregate for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// `/`-joined nesting path.
+    pub path: String,
+    /// Times entered.
+    pub count: u64,
+    /// Total nanoseconds.
+    pub total_ns: u64,
+    /// Fastest entry, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A frozen copy of a registry: the single artifact that report
+/// structs (`PipelineReport`, `SupervisedRunSummary`, cache stats)
+/// are views over.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Which contract this snapshot satisfies.
+    pub mode: SnapshotMode,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Journal events, sorted by provenance.
+    pub events: Vec<Event>,
+    /// Events lost past the journal's capacity.
+    pub events_dropped: u64,
+    /// Span aggregates by path (empty in deterministic mode).
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, `0` when never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The value of gauge `name`, `0` when never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Events of the given kind.
+    pub fn events_of(&self, kind: crate::EventKind) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Total nanoseconds recorded under span `path` (`0` if absent).
+    pub fn span_total_ns(&self, path: &str) -> u64 {
+        self.spans.iter().find(|s| s.path == path).map(|s| s.total_ns).unwrap_or(0)
+    }
+
+    /// Renders the snapshot as a deterministic JSON document (sorted
+    /// names, fixed key order, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode.as_str()));
+
+        out.push_str("  \"counters\": {");
+        let mut first = true;
+        for (name, value) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {value}", json_string(name)));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        let mut first = true;
+        for (name, value) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {value}", json_string(name)));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"bounds\": {}, \"buckets\": {}}}",
+                json_string(name),
+                h.count,
+                h.sum,
+                json_u64_array(&h.bounds),
+                json_u64_array(&h.buckets),
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str(&format!("  \"events_dropped\": {},\n", self.events_dropped));
+        out.push_str("  \"events\": [");
+        let mut first = true;
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"shard\": {}, \"day\": {}, \"offset\": {}, \
+                 \"attempt\": {}, \"detail\": {}}}",
+                e.kind.as_str(),
+                json_opt(e.shard.map(u64::from)),
+                json_opt(e.day.map(u64::from)),
+                json_opt(e.offset),
+                json_opt(e.attempt.map(u64::from)),
+                json_string(&e.detail),
+            ));
+        }
+        out.push_str(if first { "]" } else { "\n  ]" });
+
+        if self.mode == SnapshotMode::Timed {
+            out.push_str(",\n  \"spans\": [");
+            let mut first = true;
+            for s in &self.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n    {{\"path\": {}, \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \
+                     \"max_ns\": {}}}",
+                    json_string(&s.path),
+                    s.count,
+                    s.total_ns,
+                    s.min_ns,
+                    s.max_ns,
+                ));
+            }
+            out.push_str(if first { "]" } else { "\n  ]" });
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the span tree as an indented profile, children under
+    /// parents, slowest sibling first. Empty string when no spans
+    /// were recorded (e.g. a deterministic snapshot).
+    pub fn render_profile(&self) -> String {
+        if self.spans.is_empty() {
+            return String::new();
+        }
+        // Group children under parents, then order siblings by total
+        // time descending (ties broken by path for stability).
+        let totals = spans_map(&self.spans);
+        let mut spans: Vec<&SpanSnapshot> = self.spans.iter().collect();
+        spans.sort_by_cached_key(|s| {
+            let parts: Vec<&str> = s.path.split('/').collect();
+            sort_key(&totals, &parts)
+        });
+        let mut out = String::new();
+        out.push_str("span tree (wall time per stage)\n");
+        for s in spans {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            out.push_str(&format!(
+                "{:indent$}{name}: {:.1} ms  (calls {}, min {:.2} ms, max {:.2} ms)\n",
+                "",
+                s.total_ns as f64 / 1e6,
+                s.count,
+                s.min_ns as f64 / 1e6,
+                s.max_ns as f64 / 1e6,
+                indent = depth * 2,
+            ));
+        }
+        out
+    }
+}
+
+fn spans_map(spans: &[SpanSnapshot]) -> BTreeMap<&str, u64> {
+    spans.iter().map(|s| (s.path.as_str(), s.total_ns)).collect()
+}
+
+/// Sort key placing each span after its ancestors and ordering
+/// sibling subtrees by total time descending: for every path prefix,
+/// (negated total of that prefix, prefix name).
+fn sort_key(totals: &BTreeMap<&str, u64>, parts: &[&str]) -> Vec<(i128, String)> {
+    let mut key = Vec::with_capacity(parts.len());
+    let mut prefix = String::new();
+    for part in parts {
+        if !prefix.is_empty() {
+            prefix.push('/');
+        }
+        prefix.push_str(part);
+        let total = totals.get(prefix.as_str()).copied().unwrap_or(0);
+        key.push((-(total as i128), part.to_string()));
+    }
+    key
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    match v {
+        Some(v) => v.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn json_u64_array(values: &[u64]) -> String {
+    let inner: Vec<String> = values.iter().map(u64::to_string).collect();
+    format!("[{}]", inner.join(", "))
+}
+
+/// Escapes a string for JSON embedding.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventKind, Registry};
+
+    #[test]
+    fn json_is_parseable_and_ordered() {
+        let reg = Registry::new();
+        reg.counter("store.fsync").add(4);
+        reg.counter("engine.cache.hit").add(9);
+        reg.gauge("engine.days").set(28);
+        reg.histogram("store.write.bytes", &[1024, 65536]).observe(2000);
+        reg.emit(Event::new(EventKind::Resync).shard(1).offset(77).detail("2 frames"));
+        {
+            let _s = reg.span("run");
+        }
+        let det = reg.snapshot(SnapshotMode::Deterministic);
+        let json = det.to_json();
+        let value = crate::json::parse(&json).expect("snapshot JSON parses");
+        let obj = value.as_object().unwrap();
+        assert_eq!(obj.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), vec![
+            "mode",
+            "counters",
+            "gauges",
+            "histograms",
+            "events_dropped",
+            "events"
+        ]);
+        assert!(
+            json.find("engine.cache.hit").unwrap() < json.find("store.fsync").unwrap(),
+            "counters must sort by name"
+        );
+
+        let timed = reg.snapshot(SnapshotMode::Timed).to_json();
+        assert!(timed.contains("\"spans\""));
+        crate::json::parse(&timed).expect("timed JSON parses");
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let reg = Registry::new();
+        reg.counter("pipeline.shard.0.records").add(5);
+        reg.counter("pipeline.shard.1.records").add(7);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("pipeline.shard.0.records"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("missing"), 0);
+        assert_eq!(snap.counter_sum("pipeline.shard."), 12);
+        assert_eq!(snap.counter_sum("pipeline.shard.1"), 7);
+        assert_eq!(snap.span_total_ns("nowhere"), 0);
+    }
+
+    #[test]
+    fn profile_indents_children_under_parents() {
+        let reg = Registry::new();
+        {
+            let _a = reg.span("suite");
+            {
+                let _b = reg.span("fig1");
+            }
+            {
+                let _c = reg.span("fig2");
+            }
+        }
+        let profile = reg.snapshot(SnapshotMode::Timed).render_profile();
+        let lines: Vec<&str> = profile.lines().collect();
+        assert_eq!(lines[0], "span tree (wall time per stage)");
+        assert!(lines[1].starts_with("suite: "));
+        assert!(lines[2].starts_with("  fig"), "children indent under the parent: {profile}");
+        assert!(lines[3].starts_with("  fig"));
+        let det = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(det.render_profile(), "");
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let s = json_string("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+}

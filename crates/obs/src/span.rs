@@ -1,0 +1,141 @@
+//! RAII scoped timing spans aggregated into a parent/child tree.
+//!
+//! A span opened while another span is open *on the same thread*
+//! nests under it: the tree key is the `/`-joined path of open span
+//! names (`repro/fig4a/pipeline`). Each distinct path aggregates call
+//! count, total, min, and max wall time — a profile, not a trace, so
+//! memory stays bounded no matter how hot the loop.
+//!
+//! Spans measure wall time and therefore live only in
+//! [`SnapshotMode::Timed`](crate::SnapshotMode::Timed) snapshots; the
+//! deterministic mode strips them (see the crate docs for the
+//! contract).
+
+use crate::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times this path was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries.
+    pub total_ns: u64,
+    /// Fastest single entry, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Default for SpanStat {
+    fn default() -> SpanStat {
+        SpanStat { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+}
+
+impl SpanStat {
+    pub(crate) fn record(&mut self, elapsed_ns: u64) {
+        self.count += 1;
+        self.total_ns += elapsed_ns;
+        self.min_ns = self.min_ns.min(elapsed_ns);
+        self.max_ns = self.max_ns.max(elapsed_ns);
+    }
+}
+
+/// An open timing span; dropping it records one observation under its
+/// path. Created by [`Registry::span`] or the
+/// [`span!`](crate::span!) macro. Guards must drop in LIFO order
+/// (which scoped `let` bindings guarantee).
+pub struct Span {
+    registry: Registry,
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn open(registry: Registry, name: String) -> Span {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent_path) => format!("{parent_path}/{name}"),
+                None => name,
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span { registry, path, start: Instant::now() }
+    }
+
+    /// The `/`-joined path this span records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        self.registry.record_span(&self.path, elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SnapshotMode;
+
+    #[test]
+    fn spans_nest_by_thread_stack() {
+        let reg = Registry::new();
+        {
+            let _outer = reg.span("suite");
+            {
+                let _inner = reg.span("fig1");
+                let _leaf = reg.span("pipeline");
+            }
+            let _inner2 = reg.span("fig2");
+        }
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["suite", "suite/fig1", "suite/fig1/pipeline", "suite/fig2"]);
+    }
+
+    #[test]
+    fn repeated_entries_aggregate() {
+        let reg = Registry::new();
+        for _ in 0..10 {
+            let _s = reg.span("hot");
+        }
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        assert_eq!(snap.spans.len(), 1);
+        let s = &snap.spans[0];
+        assert_eq!(s.count, 10);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.total_ns >= s.max_ns);
+    }
+
+    #[test]
+    fn sibling_threads_root_their_own_stacks() {
+        let reg = Registry::new();
+        let _outer = reg.span("main");
+        std::thread::scope(|scope| {
+            let reg = reg.clone();
+            scope.spawn(move || {
+                let _worker = reg.span("worker");
+            });
+        });
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        assert!(
+            snap.spans.iter().any(|s| s.path == "worker"),
+            "a span on a fresh thread roots at top level, not under main"
+        );
+    }
+}
