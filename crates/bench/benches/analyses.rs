@@ -179,7 +179,7 @@ fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine_event_sizes_cached", |b| {
         // One shared AnalysisCtx across iterations: after the first,
         // every window union is a cache hit — the run_all steady state.
-        let ctx =
+        let ctx: AnalysisCtx =
             AnalysisCtx::new(Arc::new(f.daily.clone()), Arc::new(f.weekly.clone()));
         b.iter(|| black_box(events::event_sizes(&ctx, window, events::EventDirection::Up)))
     });
@@ -187,7 +187,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| black_box(f.daily.all_active()))
     });
     c.bench_function("engine_all_active_cached", |b| {
-        let ctx =
+        let ctx: AnalysisCtx =
             AnalysisCtx::new(Arc::new(f.daily.clone()), Arc::new(f.weekly.clone()));
         b.iter(|| black_box(ctx.all_active()))
     });

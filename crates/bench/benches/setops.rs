@@ -1,0 +1,271 @@
+//! `setops` — the tiered compressed set vs the sorted-Vec reference.
+//!
+//! Two passes share one synthetic workload (three densities chosen so
+//! each chunk representation tier dominates one scenario):
+//!
+//! 1. A Criterion group `setops` timing union / intersect / difference
+//!    / prefix counting for both backends at every density — the
+//!    interactive `cargo bench` view.
+//! 2. A recording pass that re-times the same operations (median of
+//!    five), cross-checks the two backends element-for-element, builds
+//!    the full-scale universe activity set on both backends, and
+//!    writes the whole comparison — per-tier chunk census, resident
+//!    bytes, wall milliseconds — to `BENCH_setops.json` (the artifact
+//!    CI uploads next to `BENCH_repro.json`).
+//!
+//! `--test` (what `cargo test --benches` passes) switches to a
+//! single-iteration smoke run at tiny scale with no file output.
+//! `--scale tiny|small|full` overrides the recording-pass universe,
+//! `--out FILE` the artifact path.
+
+use criterion::Criterion;
+use ipactive_bench::Scale;
+use ipactive_net::{ActiveSet, Addr, Prefix, PrefixDensity, RefSet, TieredSet};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One density scenario: every /24 chunk carries the same host
+/// pattern, so the tiered set sits squarely in one representation
+/// tier and the census in the JSON record names it.
+struct Scenario {
+    name: &'static str,
+    /// Which tier the chunks of set `a` should all land in.
+    expect_tier: &'static str,
+    a: Vec<Addr>,
+    b: Vec<Addr>,
+}
+
+/// Hosts per /24 for each density (sorted, deduplicated).
+fn hosts(density: &str) -> Vec<u8> {
+    match density {
+        // <= 16 per chunk: the explicit sparse array tier.
+        "small" => vec![3, 50, 97, 144, 191, 238],
+        // Every other host: 128 addresses in 128 runs — dense bitmap.
+        "medium" => (0..=254).step_by(2).collect(),
+        // Fully lit: 256 addresses in one run — the run-list tier.
+        "full" => (0..=255).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn addrs(first_block: u32, num_blocks: u32, hosts: &[u8]) -> Vec<Addr> {
+    let mut out = Vec::with_capacity(num_blocks as usize * hosts.len());
+    for blk in 0..num_blocks {
+        let base = (0x0A_0000 + first_block + blk) << 8;
+        for &h in hosts {
+            out.push(Addr::new(base | h as u32));
+        }
+    }
+    out
+}
+
+fn scenarios(num_blocks: u32) -> Vec<Scenario> {
+    [("small", "sparse"), ("medium", "dense"), ("full", "runs")]
+        .into_iter()
+        .map(|(name, expect_tier)| Scenario {
+            name,
+            expect_tier,
+            a: addrs(0, num_blocks, &hosts(name)),
+            // Half the blocks overlap `a`, so union/intersect/difference
+            // all have matching and non-matching chunks to merge.
+            b: addrs(num_blocks / 2, num_blocks, &hosts(name)),
+        })
+        .collect()
+}
+
+/// The /16 and /24 probes the counting benchmarks sweep.
+fn probe_prefixes(num_blocks: u32) -> Vec<Prefix> {
+    let mut out = Vec::new();
+    for blk in (0..num_blocks * 3 / 2).step_by(7) {
+        let base = Addr::new((0x0A_0000 + blk) << 8);
+        out.push(Prefix::new(base, 24));
+        out.push(Prefix::new(base, 16));
+    }
+    out
+}
+
+/// Median wall-clock milliseconds of `f` over `reps` runs.
+fn time_ms<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|x, y| x.total_cmp(y));
+    samples[samples.len() / 2]
+}
+
+fn backend_row<S: ActiveSet>(a: &S, b: &S, probes: &[Prefix], reps: usize) -> String {
+    let union_ms = time_ms(reps, || a.union(b).len());
+    let intersect_ms = time_ms(reps, || a.intersect(b).len());
+    let difference_ms = time_ms(reps, || a.difference(b).len());
+    let count_in_ms =
+        time_ms(reps, || probes.iter().map(|&p| a.count_in(p)).sum::<usize>());
+    format!(
+        "{{\"memory_bytes\": {}, \"union_ms\": {:.4}, \"intersect_ms\": {:.4}, \
+         \"difference_ms\": {:.4}, \"count_in_ms\": {:.4}}}",
+        a.memory_bytes(),
+        union_ms,
+        intersect_ms,
+        difference_ms,
+        count_in_ms,
+    )
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut test_mode = false;
+    let mut scale: Option<Scale> = None;
+    let mut out_path = "BENCH_setops.json".to_string();
+    let mut seed: u64 = 2015;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--test" => test_mode = true,
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("tiny") => Some(Scale::Tiny),
+                    Some("small") => Some(Scale::Small),
+                    Some("full") => Some(Scale::Full),
+                    _ => {
+                        eprintln!("--scale needs tiny|small|full");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => out_path = args.next().unwrap_or(out_path),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            // `cargo bench`/`cargo test` pass-throughs (`--bench`, filters).
+            _ => {}
+        }
+    }
+    let scale = scale.unwrap_or(if test_mode { Scale::Tiny } else { Scale::Full });
+    let num_blocks: u32 = if test_mode { 64 } else { 2048 };
+    let reps = if test_mode { 1 } else { 5 };
+
+    let scns = scenarios(num_blocks);
+    let probes = probe_prefixes(num_blocks);
+
+    // Pass 1: the interactive Criterion group.
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("setops");
+    for scn in &scns {
+        let ta = TieredSet::from_sorted(scn.a.clone());
+        let tb = TieredSet::from_sorted(scn.b.clone());
+        let ra = RefSet::from_sorted_vec(scn.a.clone());
+        let rb = RefSet::from_sorted_vec(scn.b.clone());
+        g.bench_function(format!("union_tiered_{}", scn.name), |bch| {
+            bch.iter(|| ta.union(&tb).len())
+        });
+        g.bench_function(format!("union_ref_{}", scn.name), |bch| {
+            bch.iter(|| ra.union(&rb).len())
+        });
+        g.bench_function(format!("intersect_tiered_{}", scn.name), |bch| {
+            bch.iter(|| ta.intersect(&tb).len())
+        });
+        g.bench_function(format!("intersect_ref_{}", scn.name), |bch| {
+            bch.iter(|| ra.intersect(&rb).len())
+        });
+        g.bench_function(format!("count_in_tiered_{}", scn.name), |bch| {
+            bch.iter(|| probes.iter().map(|&p| ta.count_in(p)).sum::<usize>())
+        });
+        g.bench_function(format!("count_in_ref_{}", scn.name), |bch| {
+            bch.iter(|| probes.iter().map(|&p| ra.count_in(p)).sum::<usize>())
+        });
+        let density = ta.prefix_density();
+        g.bench_function(format!("prefix_density_query_{}", scn.name), |bch| {
+            bch.iter(|| probes.iter().map(|&p| density.count(p)).sum::<u64>())
+        });
+    }
+    g.finish();
+
+    // Pass 2: the JSON record (and a differential cross-check — the
+    // bench refuses to record numbers for divergent backends).
+    let mut rows = Vec::new();
+    for scn in &scns {
+        let ta = TieredSet::from_sorted(scn.a.clone());
+        let tb = TieredSet::from_sorted(scn.b.clone());
+        let ra = RefSet::from_sorted_vec(scn.a.clone());
+        let rb = RefSet::from_sorted_vec(scn.b.clone());
+        assert!(ta.union(&tb).iter().eq(ra.union(&rb).iter()), "{}: union diverged", scn.name);
+        assert!(
+            ta.intersect(&tb).iter().eq(ra.intersect(&rb).iter()),
+            "{}: intersect diverged",
+            scn.name
+        );
+        assert!(
+            ta.difference(&tb).iter().eq(ra.difference(&rb).iter()),
+            "{}: difference diverged",
+            scn.name
+        );
+        for &p in &probes {
+            assert_eq!(ta.count_in(p), ra.count_in(p), "{}: count_in({p}) diverged", scn.name);
+        }
+        let census = ta.repr_census();
+        let density = PrefixDensity::from_set(&ta);
+        let density_ms =
+            time_ms(reps, || probes.iter().map(|&p| density.count(p)).sum::<u64>());
+        rows.push(format!(
+            "    {{\n      \"scenario\": \"{}\", \"dominant_tier\": \"{}\", \"addrs\": {},\n      \
+             \"census\": {{\"sparse\": {}, \"runs\": {}, \"dense\": {}}},\n      \
+             \"tiered\": {},\n      \"reference\": {},\n      \
+             \"prefix_density_query_ms\": {:.4}, \"memory_ratio\": {:.4}\n    }}",
+            scn.name,
+            scn.expect_tier,
+            ta.len(),
+            census.sparse,
+            census.runs,
+            census.dense,
+            backend_row(&ta, &tb, &probes, reps),
+            backend_row(&ra, &rb, &probes, reps),
+            density_ms,
+            ta.memory_bytes() as f64 / ra.memory_bytes() as f64,
+        ));
+    }
+
+    // Full-scale section: the exact activity set `repro --scale full`
+    // memoizes, materialized on both backends.
+    eprintln!("building {} universe for the resident-memory record ...", scale.name());
+    let universe = ipactive_cdnsim::Universe::generate(scale.config(seed));
+    let daily = universe.build_daily();
+    let t = Instant::now();
+    let tiered: TieredSet = daily.all_active_as();
+    let tiered_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let reference: RefSet = daily.all_active_as();
+    let ref_build_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(tiered.iter().eq(reference.iter()), "full-scale activity set diverged");
+    let census = tiered.repr_census();
+    let universe_row = format!(
+        "  \"universe\": {{\n    \"scale\": \"{}\", \"seed\": {}, \"addrs\": {},\n    \
+         \"census\": {{\"sparse\": {}, \"runs\": {}, \"dense\": {}}},\n    \
+         \"tiered_memory_bytes\": {}, \"reference_memory_bytes\": {}, \"memory_ratio\": {:.4},\n    \
+         \"tiered_build_ms\": {:.2}, \"reference_build_ms\": {:.2}\n  }}",
+        scale.name(),
+        seed,
+        tiered.len(),
+        census.sparse,
+        census.runs,
+        census.dense,
+        tiered.memory_bytes(),
+        reference.memory_bytes(),
+        tiered.memory_bytes() as f64 / reference.memory_bytes() as f64,
+        tiered_build_ms,
+        ref_build_ms,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"setops\",\n  \"blocks_per_scenario\": {num_blocks},\n  \
+         \"scenarios\": [\n{}\n  ],\n{}\n}}\n",
+        rows.join(",\n"),
+        universe_row,
+    );
+    if test_mode {
+        eprintln!("smoke mode: skipping {out_path}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write BENCH_setops.json");
+        eprintln!("set-ops record written to {out_path}");
+    }
+    println!("{json}");
+}

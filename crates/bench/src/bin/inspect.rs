@@ -49,7 +49,7 @@
 use ipactive_bench::{Repro, Scale};
 use ipactive_core::{matrix, outages, persistence};
 use ipactive_dns::classify_block;
-use ipactive_net::{Addr, Block24};
+use ipactive_net::{ActiveSet, Addr, Block24};
 
 fn main() {
     {

@@ -4,8 +4,8 @@
 //! Every figure and table of the paper is a window query over the same
 //! two immutable activity matrices (Section 4.1's sliding windows), so
 //! [`AnalysisCtx`] memoizes the three query shapes — `day_set(d)`,
-//! `week_set(w)`, `window_union(range)` — as [`Arc<AddrSet>`] values
-//! keyed by their range. A set is computed at most once per session and
+//! `week_set(w)`, `window_union(range)` — as `Arc`-shared
+//! [`ActiveSet`] values keyed by their range. A set is computed at most once per session and
 //! then shared by reference across figures and across the worker
 //! threads of `Repro::run_all`.
 //!
@@ -16,7 +16,7 @@
 //! differential tests in `tests/engine.rs`.
 
 use ipactive_core::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
-use ipactive_net::AddrSet;
+use ipactive_net::{ActiveSet, TieredSet};
 use ipactive_obs::{Counter, Event, EventKind, Registry};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -54,13 +54,18 @@ impl CacheStats {
 /// the mutex is released while a miss computes, so concurrent workers
 /// never serialize behind a scan (a lost race recomputes an identical
 /// set and keeps the first insertion).
-pub struct AnalysisCtx {
+///
+/// Generic over the [`ActiveSet`] backend the cache materializes;
+/// defaults to the tiered compressed representation. The cache logic
+/// (slot layout, hit/miss accounting, bypass) is backend-independent,
+/// which is what the differential suite in `tests/engine.rs` pins.
+pub struct AnalysisCtx<S: ActiveSet = TieredSet> {
     daily: Arc<DailyDataset>,
     weekly: Arc<WeeklyDataset>,
-    day_sets: Vec<OnceLock<Arc<AddrSet>>>,
-    week_sets: Vec<OnceLock<Arc<AddrSet>>>,
-    day_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
-    week_windows: Mutex<HashMap<(usize, usize), Arc<AddrSet>>>,
+    day_sets: Vec<OnceLock<Arc<S>>>,
+    week_sets: Vec<OnceLock<Arc<S>>>,
+    day_windows: Mutex<HashMap<(usize, usize), Arc<S>>>,
+    week_windows: Mutex<HashMap<(usize, usize), Arc<S>>>,
     registry: Registry,
     /// Hit/miss accounting lives in the observability registry
     /// (`engine.cache.hit` / `engine.cache.miss`); the `*_base`
@@ -73,10 +78,10 @@ pub struct AnalysisCtx {
     bypass: AtomicBool,
 }
 
-impl AnalysisCtx {
+impl<S: ActiveSet> AnalysisCtx<S> {
     /// Builds an empty cache over the two datasets, metering into a
     /// private registry.
-    pub fn new(daily: Arc<DailyDataset>, weekly: Arc<WeeklyDataset>) -> AnalysisCtx {
+    pub fn new(daily: Arc<DailyDataset>, weekly: Arc<WeeklyDataset>) -> Self {
         AnalysisCtx::new_with_obs(daily, weekly, &Registry::new())
     }
 
@@ -89,7 +94,7 @@ impl AnalysisCtx {
         daily: Arc<DailyDataset>,
         weekly: Arc<WeeklyDataset>,
         registry: &Registry,
-    ) -> AnalysisCtx {
+    ) -> Self {
         registry.gauge("engine.days").set(daily.num_days as i64);
         registry.gauge("engine.weeks").set(weekly.num_weeks as i64);
         AnalysisCtx {
@@ -119,9 +124,9 @@ impl AnalysisCtx {
     }
 
     /// Addresses active on day `d`, memoized.
-    pub fn day_set(&self, d: usize) -> Arc<AddrSet> {
+    pub fn day_set(&self, d: usize) -> Arc<S> {
         if self.bypass() {
-            return Arc::new(self.daily.day_set(d));
+            return Arc::new(self.daily.day_set_as(d));
         }
         // Count the miss inside the once-init closure: racing readers
         // then agree on exactly one miss per slot, so hit/miss totals
@@ -131,7 +136,7 @@ impl AnalysisCtx {
             .day_sets[d]
             .get_or_init(|| {
                 computed = true;
-                Arc::new(self.daily.day_set(d))
+                Arc::new(self.daily.day_set_as(d))
             })
             .clone();
         if computed {
@@ -143,16 +148,16 @@ impl AnalysisCtx {
     }
 
     /// Addresses active in week `w`, memoized.
-    pub fn week_set(&self, w: usize) -> Arc<AddrSet> {
+    pub fn week_set(&self, w: usize) -> Arc<S> {
         if self.bypass() {
-            return Arc::new(self.weekly.week_set(w));
+            return Arc::new(self.weekly.week_set_as(w));
         }
         let mut computed = false;
         let set = self
             .week_sets[w]
             .get_or_init(|| {
                 computed = true;
-                Arc::new(self.weekly.week_set(w))
+                Arc::new(self.weekly.week_set_as(w))
             })
             .clone();
         if computed {
@@ -164,9 +169,9 @@ impl AnalysisCtx {
     }
 
     /// Union of the day window `days`, memoized.
-    pub fn day_window(&self, days: Range<usize>) -> Arc<AddrSet> {
+    pub fn day_window(&self, days: Range<usize>) -> Arc<S> {
         if self.bypass() {
-            return Arc::new(self.daily.window_union(days));
+            return Arc::new(self.daily.window_union_as(days));
         }
         if days.len() == 1 {
             // A one-day window and day_set(d) are the same query; give
@@ -178,7 +183,7 @@ impl AnalysisCtx {
             self.hits.inc();
             return set.clone();
         }
-        let set = Arc::new(self.daily.window_union(days));
+        let set = Arc::new(self.daily.window_union_as(days));
         // Count by what the map says under the lock: a racing loser
         // records a hit (someone else owns the miss), keeping counts
         // independent of thread interleaving.
@@ -195,9 +200,9 @@ impl AnalysisCtx {
     }
 
     /// Union of the week window `weeks`, memoized.
-    pub fn week_window(&self, weeks: Range<usize>) -> Arc<AddrSet> {
+    pub fn week_window(&self, weeks: Range<usize>) -> Arc<S> {
         if self.bypass() {
-            return Arc::new(self.weekly.window_union(weeks));
+            return Arc::new(self.weekly.window_union_as(weeks));
         }
         if weeks.len() == 1 {
             return self.week_set(weeks.start);
@@ -207,7 +212,7 @@ impl AnalysisCtx {
             self.hits.inc();
             return set.clone();
         }
-        let set = Arc::new(self.weekly.window_union(weeks));
+        let set = Arc::new(self.weekly.window_union_as(weeks));
         match self.week_windows.lock().unwrap().entry(key) {
             Entry::Occupied(e) => {
                 self.hits.inc();
@@ -221,7 +226,7 @@ impl AnalysisCtx {
     }
 
     /// Union of all days — the figure suite's "CDN union".
-    pub fn all_active(&self) -> Arc<AddrSet> {
+    pub fn all_active(&self) -> Arc<S> {
         self.day_window(0..self.daily.num_days)
     }
 
@@ -262,22 +267,26 @@ impl AnalysisCtx {
     }
 }
 
-impl DailyWindows for AnalysisCtx {
+impl<S: ActiveSet> DailyWindows for AnalysisCtx<S> {
+    type Set = S;
+
     fn num_days(&self) -> usize {
         self.daily.num_days
     }
 
-    fn union(&self, days: Range<usize>) -> Arc<AddrSet> {
+    fn union(&self, days: Range<usize>) -> Arc<S> {
         self.day_window(days)
     }
 }
 
-impl WeeklyWindows for AnalysisCtx {
+impl<S: ActiveSet> WeeklyWindows for AnalysisCtx<S> {
+    type Set = S;
+
     fn num_weeks(&self) -> usize {
         self.weekly.num_weeks
     }
 
-    fn union(&self, weeks: Range<usize>) -> Arc<AddrSet> {
+    fn union(&self, weeks: Range<usize>) -> Arc<S> {
         self.week_window(weeks)
     }
 }
@@ -310,7 +319,7 @@ mod tests {
         let again = ctx.day_window(0..5);
         assert!(Arc::ptr_eq(&first, &again), "second query must share the first set");
         assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1 });
-        assert_eq!(*first, ctx.daily().window_union(0..5));
+        assert_eq!(*first, ctx.daily().window_union_as(0..5));
     }
 
     #[test]
@@ -325,9 +334,9 @@ mod tests {
     #[test]
     fn weekly_queries_match_fresh_computation() {
         let ctx = ctx();
-        assert_eq!(*ctx.week_set(3), ctx.weekly().week_set(3));
-        assert_eq!(*ctx.week_window(0..4), ctx.weekly().window_union(0..4));
-        assert_eq!(*ctx.week_window(1..2), ctx.weekly().week_set(1));
+        assert_eq!(*ctx.week_set(3), ctx.weekly().week_set_as(3));
+        assert_eq!(*ctx.week_window(0..4), ctx.weekly().window_union_as(0..4));
+        assert_eq!(*ctx.week_window(1..2), ctx.weekly().week_set_as(1));
     }
 
     #[test]
@@ -352,7 +361,7 @@ mod tests {
         d.record_hits(0, a("10.0.0.1"), 3);
         let mut w = WeeklyDatasetBuilder::new(4);
         w.record_week(0, a("10.0.0.1"), 2);
-        let ctx = AnalysisCtx::new_with_obs(Arc::new(d.finish()), Arc::new(w.finish()), &reg);
+        let ctx: AnalysisCtx = AnalysisCtx::new_with_obs(Arc::new(d.finish()), Arc::new(w.finish()), &reg);
         ctx.day_window(0..5);
         ctx.day_window(0..5);
         ctx.week_set(1);

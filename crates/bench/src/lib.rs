@@ -23,7 +23,7 @@ use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
     traffic, visibility, DailyDataset, WeeklyDataset,
 };
-use ipactive_net::AddrSet;
+use ipactive_net::{ActiveSet, TieredSet};
 use ipactive_probe::{PortScanner, ScanCampaign, TracerouteCampaign};
 use ipactive_rir::{YearMonth, RIR_EXHAUSTION};
 use std::fmt::Write as _;
@@ -64,7 +64,14 @@ impl Scale {
 
 /// A reproduction session: one universe plus its two datasets, the
 /// shared analysis engine, and lazily-run probing campaigns.
-pub struct Repro {
+///
+/// Generic over the [`ActiveSet`] backend every activity set
+/// materializes into; defaults to the tiered compressed
+/// representation. `Repro::<ipactive_net::RefSet>` runs the identical
+/// suite on the sorted-`Vec` oracle — the figure-differential test in
+/// `tests/engine.rs` pins that both backends produce byte-identical
+/// output.
+pub struct Repro<S: ActiveSet = TieredSet> {
     /// The synthetic Internet.
     pub universe: Universe,
     /// The daily dataset (shared with [`Repro::engine`]).
@@ -72,12 +79,12 @@ pub struct Repro {
     /// The weekly dataset (shared with [`Repro::engine`]).
     pub weekly: Arc<WeeklyDataset>,
     /// The memoized activity-set cache every figure queries through.
-    pub engine: AnalysisCtx,
+    pub engine: AnalysisCtx<S>,
     registry: Registry,
     seed: u64,
-    icmp: OnceLock<AddrSet>,
-    servers: OnceLock<AddrSet>,
-    routers: OnceLock<AddrSet>,
+    icmp: OnceLock<S>,
+    servers: OnceLock<S>,
+    routers: OnceLock<S>,
 }
 
 /// Throughput accounting for a pipeline-built [`Repro`] session: one
@@ -177,14 +184,14 @@ pub const EXPERIMENTS: [&str; 24] = [
     "fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12",
 ];
 
-impl Repro {
+impl<S: ActiveSet> Repro<S> {
     fn assemble(
         universe: Universe,
         daily: DailyDataset,
         weekly: WeeklyDataset,
         seed: u64,
         registry: Registry,
-    ) -> Repro {
+    ) -> Self {
         let daily = Arc::new(daily);
         let weekly = Arc::new(weekly);
         Repro {
@@ -208,8 +215,10 @@ impl Repro {
         &self.registry
     }
 
-    /// Builds the session (generates the universe and both datasets).
-    pub fn new(seed: u64, scale: Scale) -> Repro {
+    /// Builds the session over an explicit set backend (generates the
+    /// universe and both datasets). `Repro::new` is the default-backend
+    /// spelling; the differential suite calls this with both backends.
+    pub fn with_backend(seed: u64, scale: Scale) -> Self {
         let registry = Registry::new();
         let universe = Universe::generate(scale.config(seed));
         let (daily, weekly) = {
@@ -217,6 +226,17 @@ impl Repro {
             (universe.build_daily(), universe.build_weekly())
         };
         Repro::assemble(universe, daily, weekly, seed, registry)
+    }
+}
+
+/// Constructors on the default (tiered) backend. Like
+/// `HashMap::new`'s relationship to its hasher parameter, these live
+/// on the defaulted type so plain `Repro::new(...)` needs no
+/// annotation; `Repro::<S>::with_backend` is the generic spelling.
+impl Repro {
+    /// Builds the session (generates the universe and both datasets).
+    pub fn new(seed: u64, scale: Scale) -> Repro {
+        Repro::with_backend(seed, scale)
     }
 
     /// Builds the session with both datasets produced by the sharded
@@ -291,23 +311,34 @@ impl Repro {
         let repro = Repro::assemble(universe, daily, weekly, seed, registry);
         Ok((repro, SupervisedRunSummary { daily: daily_report, weekly: weekly_report, plan }))
     }
+}
 
-    fn cdn_union(&self) -> Arc<AddrSet> {
+impl<S: ActiveSet> Repro<S> {
+    fn cdn_union(&self) -> Arc<S> {
         self.engine.all_active()
     }
 
-    fn icmp_union(&self) -> &AddrSet {
-        self.icmp
-            .get_or_init(|| ScanCampaign::new(self.seed ^ 0x1C0F, 8).run_union(&self.universe))
+    // The probe campaigns hand back reference sets; re-materialize
+    // into the session backend once (the campaign output is sorted, so
+    // the conversion is a straight streaming build).
+    fn icmp_union(&self) -> &S {
+        self.icmp.get_or_init(|| {
+            let scan = ScanCampaign::new(self.seed ^ 0x1C0F, 8).run_union(&self.universe);
+            S::from_sorted_vec(scan.iter().collect())
+        })
     }
 
-    fn server_set(&self) -> &AddrSet {
-        self.servers.get_or_init(|| PortScanner::new().scan_any(&self.universe))
+    fn server_set(&self) -> &S {
+        self.servers.get_or_init(|| {
+            S::from_sorted_vec(PortScanner::new().scan_any(&self.universe).iter().collect())
+        })
     }
 
-    fn router_set(&self) -> &AddrSet {
-        self.routers
-            .get_or_init(|| TracerouteCampaign::new(self.seed ^ 0x712CE, 0.7).run(&self.universe))
+    fn router_set(&self) -> &S {
+        self.routers.get_or_init(|| {
+            let run = TracerouteCampaign::new(self.seed ^ 0x712CE, 0.7).run(&self.universe);
+            S::from_sorted_vec(run.iter().collect())
+        })
     }
 
     /// Runs one experiment by name, returning its report text.
@@ -410,10 +441,10 @@ impl Repro {
         let icmp = self.icmp_union();
         let table = self.universe.bgp().base();
         let rows = [
-            ("IPs", visibility::split_addrs(&cdn, icmp)),
-            ("/24s", visibility::split_blocks(&cdn, icmp)),
-            ("prefixes", visibility::split_prefixes(&cdn, icmp, table)),
-            ("ASes", visibility::split_ases(&cdn, icmp, table)),
+            ("IPs", visibility::split_addrs(&*cdn, icmp)),
+            ("/24s", visibility::split_blocks(&*cdn, icmp)),
+            ("prefixes", visibility::split_prefixes(&*cdn, icmp, table)),
+            ("ASes", visibility::split_ases(&*cdn, icmp, table)),
         ];
         let mut out = header(
             "Figure 2(a) — CDN vs ICMP visibility by granularity",
@@ -435,7 +466,7 @@ impl Repro {
                 100.0 * s.icmp_only_fraction(),
             );
         }
-        if let Some(est) = visibility::estimate_population(&cdn, icmp) {
+        if let Some(est) = visibility::estimate_population(&*cdn, icmp) {
             let union = cdn.union(icmp).len();
             let _ = writeln!(
                 out,
@@ -483,7 +514,7 @@ impl Repro {
     /// Figure 3(a): visibility by RIR.
     pub fn fig3a(&self) -> String {
         let cdn = self.cdn_union();
-        let grouped = geo::by_rir(&cdn, self.icmp_union(), self.universe.delegations());
+        let grouped = geo::by_rir(&*cdn, self.icmp_union(), self.universe.delegations());
         let mut out = header(
             "Figure 3(a) — IPv4 address visibility grouped by RIR",
             "paper: CDN adds substantial visibility everywhere, most strongly in AFRINIC",
@@ -512,7 +543,7 @@ impl Repro {
     /// Figure 3(b): top countries, annotated with ITU ranks.
     pub fn fig3b(&self) -> String {
         let cdn = self.cdn_union();
-        let rows = geo::top_countries(&cdn, self.icmp_union(), self.universe.delegations(), 11);
+        let rows = geo::top_countries(&*cdn, self.icmp_union(), self.universe.delegations(), 11);
         let mut out = header(
             "Figure 3(b) — top countries with broadband/cellular subscriber ranks",
             "paper: CDN coverage tracks broadband rank; ICMP response ~80% CN vs ~25% JP",
@@ -1455,7 +1486,7 @@ pub struct Check {
     pub outcome: CheckOutcome,
 }
 
-impl Repro {
+impl<S: ActiveSet> Repro<S> {
     /// Verifies the paper's qualitative findings against this
     /// session's measurements — the executable form of EXPERIMENTS.md.
     /// Returns one [`Check`] per claim; `repro validate` drives this
@@ -1501,8 +1532,8 @@ impl Repro {
         {
             let cdn = self.cdn_union();
             let icmp = self.icmp_union();
-            let ip = visibility::split_addrs(&cdn, icmp);
-            let blocks = visibility::split_blocks(&cdn, icmp);
+            let ip = visibility::split_addrs(&*cdn, icmp);
+            let blocks = visibility::split_blocks(&*cdn, icmp);
             push(
                 "fig2a",
                 "CDN-only share is large at IP level",
@@ -1535,7 +1566,7 @@ impl Repro {
         // Figure 3(b): CN responds to ICMP far more than JP.
         {
             let cdn = self.cdn_union();
-            let rows = geo::top_countries(&cdn, self.icmp_union(), self.universe.delegations(), 16);
+            let rows = geo::top_countries(&*cdn, self.icmp_union(), self.universe.delegations(), 16);
             // The per-country spread needs a decent sample before it
             // stabilizes; small universes may only hold a handful of
             // blocks per country.

@@ -49,18 +49,34 @@ fn run_all_matches_the_per_figure_run_api() {
 
 #[test]
 fn engine_queries_match_fresh_dataset_computation() {
+    use ipactive_net::{ActiveSet, TieredSet};
     let repro = Repro::new(0xCAFE, Scale::Tiny);
     let days = repro.daily.num_days;
     let weeks = repro.weekly.num_weeks;
-    assert_eq!(*repro.engine.all_active(), repro.daily.all_active());
+    assert_eq!(*repro.engine.all_active(), repro.daily.all_active_as::<TieredSet>());
     for d in [0, days / 2, days - 1] {
-        assert_eq!(*repro.engine.day_set(d), repro.daily.day_set(d));
+        assert_eq!(*repro.engine.day_set(d), repro.daily.day_set_as::<TieredSet>(d));
+        // The tiered set must hold exactly the addresses of the Vec oracle.
+        assert!(repro.engine.day_set(d).iter().eq(repro.daily.day_set(d).iter()));
     }
-    assert_eq!(*repro.engine.day_window(0..days / 2), repro.daily.window_union(0..days / 2));
+    assert_eq!(
+        *repro.engine.day_window(0..days / 2),
+        repro.daily.window_union_as::<TieredSet>(0..days / 2)
+    );
+    assert!(repro
+        .engine
+        .day_window(0..days / 2)
+        .iter()
+        .eq(repro.daily.window_union(0..days / 2).iter()));
     for w in [0, weeks - 1] {
-        assert_eq!(*repro.engine.week_set(w), repro.weekly.week_set(w));
+        assert_eq!(*repro.engine.week_set(w), repro.weekly.week_set_as::<TieredSet>(w));
+        assert!(repro.engine.week_set(w).iter().eq(repro.weekly.week_set(w).iter()));
     }
-    assert_eq!(*repro.engine.week_window(0..weeks), repro.weekly.window_union(0..weeks));
+    assert_eq!(
+        *repro.engine.week_window(0..weeks),
+        repro.weekly.window_union_as::<TieredSet>(0..weeks)
+    );
+    assert!(repro.engine.week_window(0..weeks).iter().eq(repro.weekly.window_union(0..weeks).iter()));
     // Memoization is by identity: repeated queries share one set.
     assert!(Arc::ptr_eq(&repro.engine.all_active(), &repro.engine.all_active()));
 }
@@ -78,6 +94,27 @@ fn validate_still_passes_through_the_engine() {
         .filter(|c| matches!(c.outcome, CheckOutcome::Fail(_)))
         .collect();
     assert!(failures.is_empty(), "failed checks: {failures:#?}");
+}
+
+#[test]
+fn tiered_and_reference_backends_are_byte_identical() {
+    use ipactive_net::{RefSet, TieredSet};
+    // The set representation must be invisible end-to-end: a full
+    // figure pass on the tiered backend and on the sorted-Vec oracle
+    // must render byte-identical output AND take the same cache path
+    // (identical hit/miss counts — same queries, same memoization).
+    let tiered = Repro::<TieredSet>::with_backend(0xCAFE, Scale::Tiny);
+    let reference = Repro::<RefSet>::with_backend(0xCAFE, Scale::Tiny);
+    let rt = tiered.run_all(2);
+    let rr = reference.run_all(2);
+    assert_eq!(rt.figures.len(), rr.figures.len());
+    for (t, r) in rt.figures.iter().zip(&rr.figures) {
+        assert_eq!(t.name, r.name, "figure order diverged across backends");
+        assert_eq!(t.output, r.output, "{} diverged across backends", t.name);
+    }
+    assert_eq!(rt.combined_output(), rr.combined_output());
+    assert_eq!(rt.cache, rr.cache, "cache hit/miss counters diverged across backends");
+    assert_eq!(tiered.engine.stats(), reference.engine.stats());
 }
 
 #[test]

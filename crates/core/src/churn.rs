@@ -15,7 +15,7 @@
 use crate::dataset::{DailyDataset, WeeklyDataset, WeeklyWindows};
 use crate::stats::{Ecdf, MinMedMax};
 use ipactive_bgp::{Asn, BgpTimeline};
-use ipactive_net::{AddrSet, Block24};
+use ipactive_net::{ActiveSet, AddrSet, Block24};
 use std::collections::HashMap;
 
 /// One day of Figure 4(a): active count plus events versus the
@@ -369,12 +369,16 @@ pub struct BgpBreakdown {
 }
 
 /// Table 2: long-term appear/disappear between two multi-week unions.
+///
+/// Generic over the [`ActiveSet`] backend the weekly source produces;
+/// defaults to the reference [`AddrSet`] so existing callers that name
+/// the type stay valid.
 #[derive(Debug, Clone)]
-pub struct LongTermChurn {
+pub struct LongTermChurn<S: ActiveSet = AddrSet> {
     /// Addresses active late but not early.
-    pub appear: AddrSet,
+    pub appear: S,
     /// Addresses active early but not late.
-    pub disappear: AddrSet,
+    pub disappear: S,
     /// Fraction of appearing addresses whose entire containing `/24`
     /// appeared (no address of the block active early).
     pub appear_full_block_frac: f64,
@@ -386,8 +390,8 @@ pub struct LongTermChurn {
     pub disappear_bgp: BgpBreakdown,
 }
 
-fn bgp_breakdown(
-    addrs: &AddrSet,
+fn bgp_breakdown<S: ActiveSet>(
+    addrs: &S,
     bgp: &BgpTimeline,
     early_days: core::ops::Range<u16>,
     late_days: core::ops::Range<u16>,
@@ -422,7 +426,7 @@ fn bgp_breakdown(
     }
 }
 
-fn full_block_fraction(events: &AddrSet, other_period: &AddrSet) -> f64 {
+fn full_block_fraction<S: ActiveSet>(events: &S, other_period: &S) -> f64 {
     if events.is_empty() {
         return 0.0;
     }
@@ -444,13 +448,13 @@ fn full_block_fraction(events: &AddrSet, other_period: &AddrSet) -> f64 {
 ///
 /// Accepts any [`WeeklyWindows`] source, so the bench layer can pass
 /// a memoizing cache in place of the raw dataset.
-pub fn long_term(
-    ws: &impl WeeklyWindows,
+pub fn long_term<W: WeeklyWindows>(
+    ws: &W,
     early: core::ops::Range<usize>,
     late: core::ops::Range<usize>,
     bgp: &BgpTimeline,
     days_per_week: u16,
-) -> LongTermChurn {
+) -> LongTermChurn<W::Set> {
     let early_set = ws.union(early.clone());
     let late_set = ws.union(late.clone());
     let appear = late_set.difference(&early_set);
@@ -458,8 +462,8 @@ pub fn long_term(
     let early_days = early.start as u16 * days_per_week..early.end as u16 * days_per_week;
     let late_days = late.start as u16 * days_per_week..late.end as u16 * days_per_week;
     LongTermChurn {
-        appear_full_block_frac: full_block_fraction(&appear, &early_set),
-        disappear_full_block_frac: full_block_fraction(&disappear, &late_set),
+        appear_full_block_frac: full_block_fraction(&appear, &*early_set),
+        disappear_full_block_frac: full_block_fraction(&disappear, &*late_set),
         appear_bgp: bgp_breakdown(&appear, bgp, early_days.clone(), late_days.clone()),
         disappear_bgp: bgp_breakdown(&disappear, bgp, early_days, late_days),
         appear,

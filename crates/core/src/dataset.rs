@@ -8,7 +8,7 @@
 //! analyses of Section 5 read naturally off the activity matrices.
 
 use crate::coverage::Coverage;
-use ipactive_net::{Addr, AddrSet, Block24, DayBits};
+use ipactive_net::{ActiveSet, Addr, AddrBits256, AddrSet, Block24, DayBits, SetBuilder};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -23,21 +23,27 @@ use std::sync::Arc;
 /// without the analysis code knowing about caching. [`DailyDataset`]
 /// implements it by computing fresh (the uncached baseline).
 pub trait DailyWindows {
+    /// The set backend window unions materialize into.
+    type Set: ActiveSet;
     /// Length of the observation window in days.
     fn num_days(&self) -> usize;
     /// Union of active addresses over a day range.
-    fn union(&self, days: core::ops::Range<usize>) -> Arc<AddrSet>;
+    fn union(&self, days: core::ops::Range<usize>) -> Arc<Self::Set>;
 }
 
 /// Weekly counterpart of [`DailyWindows`].
 pub trait WeeklyWindows {
+    /// The set backend window unions materialize into.
+    type Set: ActiveSet;
     /// Number of weeks in the dataset.
     fn num_weeks(&self) -> usize;
     /// Union of addresses active in a week range.
-    fn union(&self, weeks: core::ops::Range<usize>) -> Arc<AddrSet>;
+    fn union(&self, weeks: core::ops::Range<usize>) -> Arc<Self::Set>;
 }
 
 impl DailyWindows for DailyDataset {
+    type Set = AddrSet;
+
     fn num_days(&self) -> usize {
         self.num_days
     }
@@ -48,6 +54,8 @@ impl DailyWindows for DailyDataset {
 }
 
 impl WeeklyWindows for WeeklyDataset {
+    type Set = AddrSet;
+
     fn num_weeks(&self) -> usize {
         self.num_weeks
     }
@@ -165,50 +173,61 @@ impl DailyDataset {
 
     /// The set of addresses active on day `d`.
     pub fn day_set(&self, d: usize) -> AddrSet {
+        self.day_set_as(d)
+    }
+
+    /// [`Self::day_set`] materialized into any [`ActiveSet`] backend.
+    ///
+    /// Streams each block's activity bitmap into the backend's
+    /// [`SetBuilder`], so there is no counting pre-pass and nothing is
+    /// allocated for inactive blocks — an empty day yields a genuinely
+    /// empty set, and a single-address day costs one sparse chunk.
+    pub fn day_set_as<S: ActiveSet>(&self, d: usize) -> S {
         assert!(d < self.num_days, "day {d} outside window");
-        // Counting pass first: one exact allocation instead of growing
-        // a Vec through the doubling ladder on every query.
-        let n: usize = self
-            .blocks
-            .iter()
-            .map(|rec| rec.rows.iter().filter(|bits| bits.get(d)).count())
-            .sum();
-        let mut out = Vec::with_capacity(n);
+        let mut b = <S::Builder>::new();
         for rec in &self.blocks {
-            for (i, bits) in rec.rows.iter().enumerate() {
-                if bits.get(d) {
-                    out.push(rec.block.addr(i as u8));
+            let mut bits = AddrBits256::new();
+            for (i, row) in rec.rows.iter().enumerate() {
+                if row.get(d) {
+                    bits.set(i as u8);
                 }
             }
+            b.push_block(rec.block, &bits);
         }
-        AddrSet::from_sorted(out)
+        b.finish()
     }
 
     /// Union of active addresses over a day range (a "window" in the
     /// Section 4.1 sense).
     pub fn window_union(&self, days: core::ops::Range<usize>) -> AddrSet {
+        self.window_union_as(days)
+    }
+
+    /// [`Self::window_union`] materialized into any backend (see
+    /// [`Self::day_set_as`] for the construction strategy).
+    pub fn window_union_as<S: ActiveSet>(&self, days: core::ops::Range<usize>) -> S {
         assert!(days.end <= self.num_days, "window outside dataset");
-        let n: usize = self
-            .blocks
-            .iter()
-            .map(|rec| {
-                rec.rows.iter().filter(|bits| bits.any_in_range(days.start, days.end)).count()
-            })
-            .sum();
-        let mut out = Vec::with_capacity(n);
+        let mut b = <S::Builder>::new();
         for rec in &self.blocks {
-            for (i, bits) in rec.rows.iter().enumerate() {
-                if bits.any_in_range(days.start, days.end) {
-                    out.push(rec.block.addr(i as u8));
+            let mut bits = AddrBits256::new();
+            for (i, row) in rec.rows.iter().enumerate() {
+                if row.any_in_range(days.start, days.end) {
+                    bits.set(i as u8);
                 }
             }
+            b.push_block(rec.block, &bits);
         }
-        AddrSet::from_sorted(out)
+        b.finish()
     }
 
     /// All addresses active at least once in the window.
     pub fn all_active(&self) -> AddrSet {
         self.window_union(0..self.num_days)
+    }
+
+    /// [`Self::all_active`] materialized into any backend.
+    pub fn all_active_as<S: ActiveSet>(&self) -> S {
+        self.window_union_as(0..self.num_days)
     }
 
     /// Total number of distinct active addresses.
@@ -481,51 +500,56 @@ impl WeeklyDataset {
 
     /// The set of addresses active in week `w`.
     pub fn week_set(&self, w: usize) -> AddrSet {
+        self.week_set_as(w)
+    }
+
+    /// [`Self::week_set`] materialized into any [`ActiveSet`] backend
+    /// (see [`DailyDataset::day_set_as`] for the construction strategy).
+    pub fn week_set_as<S: ActiveSet>(&self, w: usize) -> S {
         assert!(w < self.num_weeks);
-        let mask = 1u64 << w;
-        let n: usize = self
-            .blocks
-            .iter()
-            .map(|(_, rows)| rows.iter().filter(|&&bits| bits & mask != 0).count())
-            .sum();
-        let mut out = Vec::with_capacity(n);
-        for (block, rows) in &self.blocks {
-            for (i, &bits) in rows.iter().enumerate() {
-                if bits & mask != 0 {
-                    out.push(block.addr(i as u8));
-                }
-            }
-        }
-        AddrSet::from_sorted(out)
+        self.masked_union(1u64 << w)
     }
 
     /// Union of addresses active in a week range.
     pub fn window_union(&self, weeks: core::ops::Range<usize>) -> AddrSet {
+        self.window_union_as(weeks)
+    }
+
+    /// [`Self::window_union`] materialized into any backend.
+    pub fn window_union_as<S: ActiveSet>(&self, weeks: core::ops::Range<usize>) -> S {
         assert!(weeks.end <= self.num_weeks);
         let mask: u64 = if weeks.len() >= 64 {
             u64::MAX
         } else {
             ((1u64 << weeks.len()) - 1) << weeks.start
         };
-        let n: usize = self
-            .blocks
-            .iter()
-            .map(|(_, rows)| rows.iter().filter(|&&bits| bits & mask != 0).count())
-            .sum();
-        let mut out = Vec::with_capacity(n);
+        self.masked_union(mask)
+    }
+
+    /// Streams every address whose week-bits intersect `mask` into the
+    /// backend's builder, block-wise.
+    fn masked_union<S: ActiveSet>(&self, mask: u64) -> S {
+        let mut b = <S::Builder>::new();
         for (block, rows) in &self.blocks {
-            for (i, &bits) in rows.iter().enumerate() {
-                if bits & mask != 0 {
-                    out.push(block.addr(i as u8));
+            let mut bits = AddrBits256::new();
+            for (i, &row) in rows.iter().enumerate() {
+                if row & mask != 0 {
+                    bits.set(i as u8);
                 }
             }
+            b.push_block(*block, &bits);
         }
-        AddrSet::from_sorted(out)
+        b.finish()
     }
 
     /// All addresses active in any week.
     pub fn all_active(&self) -> AddrSet {
         self.window_union(0..self.num_weeks)
+    }
+
+    /// [`Self::all_active`] materialized into any backend.
+    pub fn all_active_as<S: ActiveSet>(&self) -> S {
+        self.window_union_as(0..self.num_weeks)
     }
 
     /// Year-scale filling degree of a block: addresses active in at
@@ -1049,6 +1073,50 @@ mod tests {
         let mut c = DailyDatasetBuilder::new(7);
         c.record_hits(0, addr("10.0.2.1"), 1);
         assert!(merged.merge(c.finish()).coverage.is_none());
+    }
+
+    #[test]
+    fn empty_windows_materialize_without_chunks() {
+        use ipactive_net::TieredSet;
+        // A day/window with no activity must round-trip to a genuinely
+        // empty tiered set: no chunks, no dense bitmaps, near-zero heap.
+        let mut b = DailyDatasetBuilder::new(7);
+        b.record_hits(0, addr("10.0.0.1"), 5);
+        b.record_hits(6, addr("10.0.1.9"), 1);
+        let ds = b.finish();
+        let empty: TieredSet = ds.window_union_as(2..5); // quiet mid-window
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_chunks(), 0);
+        assert_eq!(empty.repr_census().total(), 0);
+        assert_eq!(empty.memory_bytes(), core::mem::size_of::<TieredSet>());
+
+        let mut b = WeeklyDatasetBuilder::new(8);
+        b.record_week(0, addr("10.0.0.1"), 3);
+        let ws = b.finish();
+        let empty: TieredSet = ws.window_union_as(2..8);
+        assert!(empty.is_empty());
+        assert_eq!(empty.num_chunks(), 0);
+    }
+
+    #[test]
+    fn single_address_day_round_trips_as_one_sparse_chunk() {
+        use ipactive_net::TieredSet;
+        let ds = tiny_daily();
+        // Day 3 activates exactly {10.0.0.2, 10.0.1.9}: two blocks, one
+        // address each — two sparse chunks, not two 256-bit bitmaps.
+        let d3: TieredSet = ds.day_set_as(3);
+        assert_eq!(d3.len(), 2);
+        assert_eq!(d3.num_chunks(), 2);
+        let census = d3.repr_census();
+        assert_eq!(census.sparse, 2);
+        assert_eq!(census.dense, 0);
+        assert!(d3.contains(addr("10.0.1.9")));
+        // Round-trip against the reference backend.
+        let oracle = ds.day_set(3);
+        assert!(d3.iter().eq(oracle.iter()));
+        // Heap cost stays proportional to membership, far below the
+        // 2 × 256-entry worst case a counting pre-pass would reserve.
+        assert!(d3.memory_bytes() < 256, "memory {}", d3.memory_bytes());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::dataset::DailyWindows;
 use ipactive_bgp::BgpTimeline;
-use ipactive_net::{AddrSet, EventSizeHistogram};
+use ipactive_net::{ActiveSet, EventSizeHistogram};
 
 /// Whether to size/correlate up events or down events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,8 +22,8 @@ pub enum EventDirection {
 ///
 /// Accepts any [`DailyWindows`] source, so the bench layer can pass a
 /// memoizing cache in place of the raw dataset.
-pub fn event_sizes(
-    ds: &impl DailyWindows,
+pub fn event_sizes<W: DailyWindows>(
+    ds: &W,
     window_days: usize,
     direction: EventDirection,
 ) -> EventSizeHistogram {
@@ -36,8 +36,8 @@ pub fn event_sizes(
     for i in 1..n_windows {
         let cur = ds.union(i * window_days..(i + 1) * window_days);
         let (events, exclusion) = match direction {
-            EventDirection::Up => (cur.difference(&prev), &prev),
-            EventDirection::Down => (prev.difference(&cur), &cur),
+            EventDirection::Up => (cur.difference(&prev), &*prev),
+            EventDirection::Down => (prev.difference(&cur), &*cur),
         };
         let pair_hist = EventSizeHistogram::from_events(&events, exclusion);
         hist.merge(&pair_hist);
@@ -68,8 +68,8 @@ pub struct BgpCorrelation {
 /// `day_offset` maps dataset day 0 onto the BGP timeline's day axis
 /// (the paper's daily window starts mid-August; BGP days count from
 /// the start of the year).
-pub fn bgp_correlation(
-    ds: &impl DailyWindows,
+pub fn bgp_correlation<W: DailyWindows>(
+    ds: &W,
     window_days: usize,
     bgp: &BgpTimeline,
     day_offset: u16,
@@ -86,7 +86,7 @@ pub fn bgp_correlation(
         let span_end = day_offset + ((i + 1) * window_days) as u16;
         let changes = bgp.changes_in(span_start..span_end);
         let count =
-            |set: &AddrSet| set.iter().filter(|&a| changes.affects(a)).count() as u64;
+            |set: &W::Set| set.iter().filter(|&a| changes.affects(a)).count() as u64;
         let ups = cur.difference(&prev);
         let downs = prev.difference(&cur);
         let steady = cur.intersect(&prev);

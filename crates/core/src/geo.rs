@@ -1,13 +1,16 @@
 //! Geographic dissection of visibility (Section 3.4, Figure 3).
 
 use crate::visibility::VisibilitySplit;
-use ipactive_net::AddrSet;
+use ipactive_net::ActiveSet;
 use ipactive_rir::{subscriber_ranks, CountryCode, DelegationDb, Rir, SubscriberRanks};
 use std::collections::HashMap;
 
+#[cfg(test)]
+use ipactive_net::AddrSet;
+
 /// Per-RIR visibility splits, indexed per [`Rir::index`] —
 /// Figure 3(a).
-pub fn by_rir(cdn: &AddrSet, icmp: &AddrSet, db: &DelegationDb) -> [VisibilitySplit; 5] {
+pub fn by_rir<S: ActiveSet>(cdn: &S, icmp: &S, db: &DelegationDb) -> [VisibilitySplit; 5] {
     let mut out = [VisibilitySplit::default(); 5];
     let union = cdn.union(icmp);
     for addr in union.iter() {
@@ -50,9 +53,9 @@ impl CountryVisibility {
 
 /// Computes Figure 3(b): the top `n` countries by combined visible
 /// addresses, each with its split and ITU ranks.
-pub fn top_countries(
-    cdn: &AddrSet,
-    icmp: &AddrSet,
+pub fn top_countries<S: ActiveSet>(
+    cdn: &S,
+    icmp: &S,
     db: &DelegationDb,
     n: usize,
 ) -> Vec<CountryVisibility> {

@@ -2,8 +2,11 @@
 //! Figure 2.
 
 use ipactive_bgp::{Asn, RoutingTable};
-use ipactive_net::{AddrSet, Block24};
+use ipactive_net::{ActiveSet, Block24};
 use std::collections::HashSet;
+
+#[cfg(test)]
+use ipactive_net::AddrSet;
 
 /// A three-way split of observed entities (Figure 2(a)'s bars).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,7 +56,7 @@ impl VisibilitySplit {
 /// let s = split_addrs(&cdn, &icmp);
 /// assert_eq!((s.cdn_only, s.both, s.icmp_only), (1, 1, 1));
 /// ```
-pub fn split_addrs(cdn: &AddrSet, icmp: &AddrSet) -> VisibilitySplit {
+pub fn split_addrs<S: ActiveSet>(cdn: &S, icmp: &S) -> VisibilitySplit {
     let both = cdn.intersect_len(icmp);
     VisibilitySplit {
         cdn_only: cdn.len() - both,
@@ -64,7 +67,7 @@ pub fn split_addrs(cdn: &AddrSet, icmp: &AddrSet) -> VisibilitySplit {
 
 /// `/24`-level visibility split (an entity is "seen" when any of its
 /// addresses is).
-pub fn split_blocks(cdn: &AddrSet, icmp: &AddrSet) -> VisibilitySplit {
+pub fn split_blocks<S: ActiveSet>(cdn: &S, icmp: &S) -> VisibilitySplit {
     let cb: HashSet<Block24> = cdn.blocks24().into_iter().collect();
     let ib: HashSet<Block24> = icmp.blocks24().into_iter().collect();
     let both = cb.intersection(&ib).count();
@@ -73,7 +76,7 @@ pub fn split_blocks(cdn: &AddrSet, icmp: &AddrSet) -> VisibilitySplit {
 
 /// Routed-prefix-level split: an announced prefix is "seen" by a
 /// method if any of that method's addresses falls inside it.
-pub fn split_prefixes(cdn: &AddrSet, icmp: &AddrSet, table: &RoutingTable) -> VisibilitySplit {
+pub fn split_prefixes<S: ActiveSet>(cdn: &S, icmp: &S, table: &RoutingTable) -> VisibilitySplit {
     let mut split = VisibilitySplit::default();
     for route in table.routes() {
         let c = cdn.any_in(route.prefix);
@@ -89,8 +92,8 @@ pub fn split_prefixes(cdn: &AddrSet, icmp: &AddrSet, table: &RoutingTable) -> Vi
 }
 
 /// AS-level split via origin lookup.
-pub fn split_ases(cdn: &AddrSet, icmp: &AddrSet, table: &RoutingTable) -> VisibilitySplit {
-    let collect = |set: &AddrSet| -> HashSet<Asn> {
+pub fn split_ases<S: ActiveSet>(cdn: &S, icmp: &S, table: &RoutingTable) -> VisibilitySplit {
+    let collect = |set: &S| -> HashSet<Asn> {
         let mut out = HashSet::new();
         // One lookup per touched /24 is enough: origins are uniform
         // below /24 in any realistic table, and both sets aggregate
@@ -118,7 +121,7 @@ pub fn split_ases(cdn: &AddrSet, icmp: &AddrSet, table: &RoutingTable) -> Visibi
 /// assumption is violated in practice (NAT hides hosts from ICMP in a
 /// correlated way), which biases the estimate up — the paper makes the
 /// same caveat about all capture/recapture address censuses.
-pub fn estimate_population(cdn: &AddrSet, icmp: &AddrSet) -> Option<f64> {
+pub fn estimate_population<S: ActiveSet>(cdn: &S, icmp: &S) -> Option<f64> {
     if cdn.is_empty() || icmp.is_empty() {
         return None;
     }
@@ -158,10 +161,10 @@ impl IcmpOnlyClasses {
 
 /// Classifies the ICMP-only population against port-scan (`servers`)
 /// and traceroute (`routers`) observations.
-pub fn classify_icmp_only(
-    icmp_only: &AddrSet,
-    servers: &AddrSet,
-    routers: &AddrSet,
+pub fn classify_icmp_only<S: ActiveSet>(
+    icmp_only: &S,
+    servers: &S,
+    routers: &S,
 ) -> IcmpOnlyClasses {
     let mut out = IcmpOnlyClasses::default();
     for addr in icmp_only.iter() {

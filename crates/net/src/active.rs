@@ -1,0 +1,158 @@
+//! The [`ActiveSet`] abstraction: what an "active address set" must
+//! provide so the analysis layers can run against interchangeable
+//! backends.
+//!
+//! Two implementations live in this crate:
+//!
+//! * [`crate::AddrSet`] (aliased [`crate::RefSet`]) — the sorted-`Vec`
+//!   reference. Simple, obviously correct, and the oracle the
+//!   differential property suite checks every other backend against.
+//! * [`crate::TieredSet`] — the Roaring-style chunked representation
+//!   that makes paper-scale (~1.2B address) runs fit in memory.
+//!
+//! Both iterate ascending and implement identical set algebra, so any
+//! analysis generic over `S: ActiveSet` produces byte-identical output
+//! regardless of the backend — an invariant pinned by
+//! `crates/net/tests/tiered_prop.rs` and the figure-suite differential
+//! test in `crates/bench/tests/engine.rs`.
+
+use crate::{Addr, AddrBits256, Block24, Prefix};
+
+/// Streaming constructor for an [`ActiveSet`], fed one `/24` block at a
+/// time in ascending block order.
+///
+/// This is how the dataset layers materialize day/week activity sets:
+/// they already hold per-block bitmaps, so handing whole blocks to the
+/// builder avoids both a counting pre-pass and a per-address sort —
+/// and lets a chunked backend adopt each block without rewriting it.
+pub trait SetBuilder: Sized {
+    /// The set type this builder produces.
+    type Set: ActiveSet;
+
+    /// A builder holding no addresses yet.
+    fn new() -> Self;
+
+    /// Appends the members of `block` given by `bits`.
+    ///
+    /// Blocks must arrive in strictly ascending order; an empty `bits`
+    /// is allowed and contributes nothing.
+    fn push_block(&mut self, block: Block24, bits: &AddrBits256);
+
+    /// Finalizes the set.
+    fn finish(self) -> Self::Set;
+}
+
+/// An immutable-flavored set of IPv4 addresses with ascending
+/// iteration, prefix range queries, and linear-merge set algebra.
+///
+/// Implementations must agree exactly: for any two sets with equal
+/// membership, every method here returns equal results (and `iter`
+/// yields the same ascending sequence). The analysis stack relies on
+/// this to swap backends without disturbing figure output.
+pub trait ActiveSet:
+    Sized
+    + Clone
+    + Default
+    + core::fmt::Debug
+    + PartialEq
+    + Eq
+    + Send
+    + Sync
+    + FromIterator<Addr>
+    + 'static
+{
+    /// Ascending iterator over members.
+    type Iter<'a>: Iterator<Item = Addr> + 'a
+    where
+        Self: 'a;
+
+    /// The streaming block-wise constructor for this backend.
+    type Builder: SetBuilder<Set = Self>;
+
+    /// A short stable identifier for reports (`"ref"`, `"tiered"`).
+    fn backend_name() -> &'static str;
+
+    /// An empty set.
+    fn empty() -> Self;
+
+    /// Builds from a sorted, deduplicated vector of addresses.
+    fn from_sorted_vec(addrs: Vec<Addr>) -> Self;
+
+    /// Number of members.
+    fn len(&self) -> usize;
+
+    /// Whether the set has no members.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    fn contains(&self, addr: Addr) -> bool;
+
+    /// Number of members inside `prefix`.
+    fn count_in(&self, prefix: Prefix) -> usize;
+
+    /// Whether any member falls inside `prefix` (the hot primitive
+    /// behind covering-mask growth; backends should short-circuit).
+    fn any_in(&self, prefix: Prefix) -> bool {
+        self.count_in(prefix) > 0
+    }
+
+    /// Ascending iterator over members.
+    fn iter(&self) -> Self::Iter<'_>;
+
+    /// Inserts one address; returns whether it was newly added.
+    fn insert(&mut self, addr: Addr) -> bool;
+
+    /// Set union.
+    fn union(&self, other: &Self) -> Self;
+
+    /// Set intersection.
+    fn intersect(&self, other: &Self) -> Self;
+
+    /// Set difference (`self \ other`).
+    fn difference(&self, other: &Self) -> Self;
+
+    /// Size of the intersection without materializing it.
+    fn intersect_len(&self, other: &Self) -> usize;
+
+    /// Approximate resident heap + inline size of this set, in bytes.
+    /// `BENCH_setops.json` compares backends with this.
+    fn memory_bytes(&self) -> usize;
+
+    /// The distinct `/24` blocks touched by this set, ascending.
+    fn blocks24(&self) -> Vec<Block24> {
+        let mut out: Vec<Block24> = Vec::new();
+        for a in self.iter() {
+            let b = Block24::of(a);
+            if out.last() != Some(&b) {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// The minimal ordered list of CIDR prefixes covering *exactly*
+    /// this set. Same contract (and algorithm) as
+    /// [`crate::AddrSet::to_prefixes`], so backends agree byte-for-byte.
+    fn to_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        let mut iter = self.iter().peekable();
+        while let Some(start) = iter.next() {
+            // Extend the maximal consecutive run starting here.
+            let mut len = 1u64;
+            let mut prev = start;
+            while let Some(&next) = iter.peek() {
+                if next.bits() as u64 == prev.bits() as u64 + 1 {
+                    prev = next;
+                    iter.next();
+                    len += 1;
+                } else {
+                    break;
+                }
+            }
+            out.extend(Prefix::cover_range(start, len));
+        }
+        out
+    }
+}

@@ -218,6 +218,13 @@ impl AddrBits256 {
         ])
     }
 
+    /// The backing 64-bit words, least significant first (word `w`
+    /// holds host indices `64w..64w+63`).
+    #[inline]
+    pub const fn words(&self) -> &[u64; 4] {
+        &self.0
+    }
+
     /// Iterator over present host indices, ascending.
     pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
         (0..4usize).flat_map(move |w| {

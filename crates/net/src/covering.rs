@@ -12,7 +12,10 @@
 //! so callers pass "the snapshot in which the event population must be
 //! absent" as `exclusion`.
 
-use crate::{Addr, AddrSet, Prefix};
+use crate::{ActiveSet, Addr, Prefix};
+
+#[cfg(test)]
+use crate::AddrSet;
 
 /// Computes the smallest covering mask for an event at `addr`.
 ///
@@ -30,7 +33,7 @@ use crate::{Addr, AddrSet, Prefix};
 /// let m = covering_mask("10.0.0.42".parse().unwrap(), &old);
 /// assert_eq!(m, 24); // the /23 would include 10.0.1.7, so growth stops at /24
 /// ```
-pub fn covering_mask(addr: Addr, exclusion: &AddrSet) -> u8 {
+pub fn covering_mask<S: ActiveSet>(addr: Addr, exclusion: &S) -> u8 {
     // Grow the prefix while it stays free of excluded addresses.
     let mut mask = 32u8;
     while mask > 0 {
@@ -75,7 +78,7 @@ impl EventSizeHistogram {
     ///
     /// `events` are the per-address events; `exclusion` as in
     /// [`covering_mask`].
-    pub fn from_events(events: &AddrSet, exclusion: &AddrSet) -> Self {
+    pub fn from_events<S: ActiveSet>(events: &S, exclusion: &S) -> Self {
         let mut h = Self::new();
         for addr in events.iter() {
             h.record(covering_mask(addr, exclusion));

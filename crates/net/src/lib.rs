@@ -25,18 +25,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod active;
 mod addr;
 mod bitset;
 mod block;
 mod covering;
 mod prefix;
 mod set;
+mod tiered;
 mod trie;
 
+pub use active::{ActiveSet, SetBuilder};
 pub use addr::{Addr, ParseAddrError};
 pub use bitset::{AddrBits256, DayBits};
 pub use block::Block24;
 pub use covering::{covering_mask, EventSizeHistogram};
 pub use prefix::{ParsePrefixError, Prefix};
-pub use set::AddrSet;
+pub use set::{AddrSet, RefSetBuilder};
+pub use tiered::{PrefixDensity, ReprCensus, TieredSet, TieredSetBuilder, RUNS_MAX, SPARSE_MAX};
 pub use trie::PrefixTrie;
+
+/// The sorted-`Vec` reference backend — the differential oracle every
+/// other [`ActiveSet`] implementation is property-tested against.
+pub type RefSet = AddrSet;

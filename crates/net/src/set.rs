@@ -224,6 +224,108 @@ impl FromIterator<Addr> for AddrSet {
     }
 }
 
+/// Streaming block-wise builder for [`AddrSet`] (see
+/// [`crate::SetBuilder`]): blocks arrive ascending, so the vector is
+/// appended in order and needs no sort or counting pre-pass.
+pub struct RefSetBuilder {
+    addrs: Vec<Addr>,
+}
+
+impl crate::SetBuilder for RefSetBuilder {
+    type Set = AddrSet;
+
+    fn new() -> Self {
+        RefSetBuilder { addrs: Vec::new() }
+    }
+
+    fn push_block(&mut self, block: crate::Block24, bits: &crate::AddrBits256) {
+        debug_assert!(
+            !self.addrs.last().is_some_and(|a| crate::Block24::of(*a).id() >= block.id()),
+            "blocks must arrive in ascending order"
+        );
+        self.addrs.extend(bits.iter().map(|h| block.addr(h)));
+    }
+
+    fn finish(self) -> AddrSet {
+        AddrSet { addrs: self.addrs }
+    }
+}
+
+impl crate::ActiveSet for AddrSet {
+    type Iter<'a> = core::iter::Copied<core::slice::Iter<'a, Addr>>;
+    type Builder = RefSetBuilder;
+
+    fn backend_name() -> &'static str {
+        "ref"
+    }
+
+    fn empty() -> Self {
+        AddrSet::new()
+    }
+
+    fn from_sorted_vec(addrs: Vec<Addr>) -> Self {
+        AddrSet::from_sorted(addrs)
+    }
+
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        AddrSet::contains(self, addr)
+    }
+
+    fn count_in(&self, prefix: Prefix) -> usize {
+        AddrSet::count_in(self, prefix)
+    }
+
+    fn any_in(&self, prefix: Prefix) -> bool {
+        AddrSet::any_in(self, prefix)
+    }
+
+    fn iter(&self) -> Self::Iter<'_> {
+        self.addrs.iter().copied()
+    }
+
+    fn insert(&mut self, addr: Addr) -> bool {
+        match self.addrs.binary_search(&addr) {
+            Ok(_) => false,
+            Err(i) => {
+                self.addrs.insert(i, addr);
+                true
+            }
+        }
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        AddrSet::union(self, other)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        AddrSet::intersect(self, other)
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        AddrSet::difference(self, other)
+    }
+
+    fn intersect_len(&self, other: &Self) -> usize {
+        AddrSet::intersect_len(self, other)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>() + self.addrs.capacity() * core::mem::size_of::<Addr>()
+    }
+
+    fn blocks24(&self) -> Vec<crate::Block24> {
+        AddrSet::blocks24(self)
+    }
+
+    fn to_prefixes(&self) -> Vec<Prefix> {
+        AddrSet::to_prefixes(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

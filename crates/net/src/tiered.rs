@@ -1,0 +1,844 @@
+//! Tiered compressed address sets (Roaring-style) and the per-prefix
+//! density index.
+//!
+//! [`TieredSet`] chunks the IPv4 space by `/24`: each non-empty block
+//! becomes one chunk keyed by its top 24 bits, stored in whichever of
+//! three representations is smallest for its contents:
+//!
+//! * **Sparse** — an explicit sorted array of host octets, for up to
+//!   [`SPARSE_MAX`] members (≤ 16 bytes);
+//! * **Runs** — a list of inclusive `(start, end)` host runs, for up
+//!   to [`RUNS_MAX`] maximal runs (≤ 16 bytes) — the shape DHCP pools
+//!   and fully-lit blocks produce;
+//! * **Dense** — the full 256-bit bitmap (32 bytes), for everything
+//!   else.
+//!
+//! The representation is a *pure function of chunk content* (see
+//! [`canonical_repr`]): two sets with equal membership are structurally
+//! identical, so the derived `PartialEq` is content equality and
+//! snapshots hash/compare deterministically. The property suite in
+//! `tests/tiered_prop.rs` drives arbitrary operation sequences against
+//! the sorted-`Vec` reference ([`crate::RefSet`]) and asserts
+//! bit-identical results, plus explicit dense↔sparse threshold
+//! crossings in both directions.
+//!
+//! Set algebra walks the two chunk lists in one linear merge; matching
+//! chunks are combined through the 256-bit bitmap and re-canonicalized,
+//! so every operation's output is canonical by construction.
+//!
+//! [`PrefixDensity`] is the counting index over a snapshot: one hash
+//! map per prefix length 0..=24 from prefix key to active-address
+//! count, giving O(1) density queries for any /8–/24 (indeed /0–/24)
+//! prefix — the primitive behind prefix-level utilization views.
+
+use std::collections::HashMap;
+
+use crate::active::{ActiveSet, SetBuilder};
+use crate::{Addr, AddrBits256, Block24, Prefix};
+
+/// Largest chunk population stored as an explicit sparse array.
+pub const SPARSE_MAX: usize = 16;
+
+/// Largest number of maximal runs stored as a run list.
+pub const RUNS_MAX: usize = 8;
+
+/// One `/24` chunk's physical representation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Repr {
+    /// Sorted host octets, `1..=SPARSE_MAX` of them.
+    Sparse(Vec<u8>),
+    /// Inclusive `(start, end)` maximal runs, ascending, non-adjacent.
+    Runs(Vec<(u8, u8)>),
+    /// Full 256-bit bitmap.
+    Dense(Box<AddrBits256>),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Chunk {
+    /// Top 24 bits of every member address.
+    key: u32,
+    /// Member count (1..=256); cached so len/density never rescan.
+    count: u16,
+    repr: Repr,
+}
+
+/// Number of maximal runs of consecutive set bits in `bits`.
+///
+/// A run starts at every set bit whose predecessor is clear; counting
+/// starts word-wise costs four popcounts instead of a 256-step scan.
+fn run_count(bits: &AddrBits256) -> u32 {
+    let mut starts = 0u32;
+    let mut carry = 0u64; // MSB of the previous word
+    for w in bits.words() {
+        starts += (w & !((w << 1) | carry)).count_ones();
+        carry = w >> 63;
+    }
+    starts
+}
+
+/// Materializes the maximal runs of `bits` as inclusive pairs.
+fn runs_of(bits: &AddrBits256) -> Vec<(u8, u8)> {
+    let mut out = Vec::new();
+    let mut cur: Option<(u8, u8)> = None;
+    for h in bits.iter() {
+        match cur {
+            Some((s, e)) if e as u16 + 1 == h as u16 => cur = Some((s, h)),
+            Some(done) => {
+                out.push(done);
+                cur = Some((h, h));
+            }
+            None => cur = Some((h, h)),
+        }
+    }
+    out.extend(cur);
+    out
+}
+
+/// The canonical representation for a chunk with the given contents,
+/// or `None` if the chunk is empty (empty chunks are never stored).
+///
+/// Canonical choice: sparse while the population fits, then runs while
+/// the run list fits, else dense. Being a pure function of content is
+/// what makes equal sets structurally equal.
+fn canonical_repr(bits: &AddrBits256) -> Option<(Repr, u16)> {
+    let n = bits.count();
+    if n == 0 {
+        return None;
+    }
+    let repr = if n as usize <= SPARSE_MAX {
+        Repr::Sparse(bits.iter().collect())
+    } else if run_count(bits) as usize <= RUNS_MAX {
+        Repr::Runs(runs_of(bits))
+    } else {
+        Repr::Dense(Box::new(*bits))
+    };
+    Some((repr, n as u16))
+}
+
+impl Repr {
+    fn to_bits(&self) -> AddrBits256 {
+        match self {
+            Repr::Sparse(hosts) => hosts.iter().copied().collect(),
+            Repr::Runs(runs) => {
+                let mut bits = AddrBits256::new();
+                for &(s, e) in runs {
+                    for h in s..=e {
+                        bits.set(h);
+                    }
+                }
+                bits
+            }
+            Repr::Dense(bits) => **bits,
+        }
+    }
+
+    fn contains(&self, h: u8) -> bool {
+        match self {
+            Repr::Sparse(hosts) => hosts.binary_search(&h).is_ok(),
+            Repr::Runs(runs) => runs.iter().any(|&(s, e)| s <= h && h <= e),
+            Repr::Dense(bits) => bits.get(h),
+        }
+    }
+
+    /// Members with host octet in `lo..=hi`.
+    fn count_range(&self, lo: u8, hi: u8) -> usize {
+        match self {
+            Repr::Sparse(hosts) => {
+                let a = hosts.partition_point(|&h| h < lo);
+                let b = hosts.partition_point(|&h| h <= hi);
+                b - a
+            }
+            Repr::Runs(runs) => runs
+                .iter()
+                .map(|&(s, e)| {
+                    let s = s.max(lo);
+                    let e = e.min(hi);
+                    if s <= e { (e - s) as usize + 1 } else { 0 }
+                })
+                .sum(),
+            Repr::Dense(bits) => {
+                (0..4usize)
+                    .map(|w| {
+                        let word = bits.words()[w];
+                        let base = (w as u16) << 6;
+                        // Clip the 64-bit word to [lo, hi].
+                        let wlo = (lo as u16).max(base).min(base + 64) - base;
+                        let whi = ((hi as u16 + 1).max(base).min(base + 64)) - base;
+                        if wlo >= whi {
+                            0
+                        } else {
+                            let mask = if whi - wlo == 64 {
+                                u64::MAX
+                            } else {
+                                ((1u64 << (whi - wlo)) - 1) << wlo
+                            };
+                            (word & mask).count_ones() as usize
+                        }
+                    })
+                    .sum()
+            }
+        }
+    }
+
+    /// Heap bytes held by this representation.
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Repr::Sparse(hosts) => hosts.capacity(),
+            Repr::Runs(runs) => runs.capacity() * 2,
+            Repr::Dense(_) => core::mem::size_of::<AddrBits256>(),
+        }
+    }
+}
+
+/// Per-backend chunk representation tallies, for reports and the
+/// threshold-transition property tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReprCensus {
+    /// Chunks stored as explicit sparse arrays.
+    pub sparse: usize,
+    /// Chunks stored as run lists.
+    pub runs: usize,
+    /// Chunks stored as dense bitmaps.
+    pub dense: usize,
+}
+
+impl ReprCensus {
+    /// Total chunks.
+    pub fn total(&self) -> usize {
+        self.sparse + self.runs + self.dense
+    }
+}
+
+/// A tiered, chunked set of IPv4 addresses.
+///
+/// Same observable contract as [`crate::AddrSet`] (the analysis layers
+/// use either through [`ActiveSet`]), but resident memory scales with
+/// *structure* rather than population: a fully-lit /24 costs ~40 bytes
+/// instead of 1 KiB of sorted `u32`s.
+///
+/// ```
+/// use ipactive_net::{ActiveSet, Addr, TieredSet};
+/// let set: TieredSet = (0u32..600).map(|i| Addr::new(0x0A000000 + i)).collect();
+/// assert_eq!(set.len(), 600);
+/// assert!(set.contains(Addr::new(0x0A000101)));
+/// assert_eq!(set.repr_census().total(), 3); // spans three /24 chunks
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct TieredSet {
+    /// Non-empty chunks, strictly ascending by key.
+    chunks: Vec<Chunk>,
+    /// Cached total population.
+    len: usize,
+}
+
+impl core::fmt::Debug for TieredSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let c = self.repr_census();
+        write!(
+            f,
+            "TieredSet[{} addrs in {} chunks: {} sparse, {} runs, {} dense]",
+            self.len,
+            c.total(),
+            c.sparse,
+            c.runs,
+            c.dense
+        )
+    }
+}
+
+enum MergeKind {
+    Union,
+    Intersect,
+    Difference,
+}
+
+impl TieredSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        TieredSet::default()
+    }
+
+    /// Builds a set from arbitrary input, sorting and deduplicating.
+    pub fn from_unsorted(mut addrs: Vec<Addr>) -> Self {
+        addrs.sort_unstable();
+        addrs.dedup();
+        Self::from_sorted(addrs)
+    }
+
+    /// Builds a set from input that is already sorted and deduplicated.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant does not hold.
+    pub fn from_sorted(addrs: Vec<Addr>) -> Self {
+        debug_assert!(addrs.windows(2).all(|w| w[0] < w[1]), "input not sorted/deduped");
+        let mut b = TieredSetBuilder::new();
+        let mut i = 0;
+        while i < addrs.len() {
+            let key = addrs[i].bits() >> 8;
+            let mut bits = AddrBits256::new();
+            while i < addrs.len() && addrs[i].bits() >> 8 == key {
+                bits.set(addrs[i].host_index());
+                i += 1;
+            }
+            b.push_block(Block24::new(key), &bits);
+        }
+        b.finish()
+    }
+
+    /// Tallies which representation each chunk currently uses.
+    pub fn repr_census(&self) -> ReprCensus {
+        let mut c = ReprCensus::default();
+        for chunk in &self.chunks {
+            match chunk.repr {
+                Repr::Sparse(_) => c.sparse += 1,
+                Repr::Runs(_) => c.runs += 1,
+                Repr::Dense(_) => c.dense += 1,
+            }
+        }
+        c
+    }
+
+    /// Number of chunks (distinct non-empty `/24` blocks).
+    pub fn num_chunks(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Whether every structural invariant holds: keys strictly
+    /// ascending, every chunk canonical for its contents with a correct
+    /// cached count, and the cached total consistent. The property
+    /// suite calls this after every operation.
+    pub fn is_canonical(&self) -> bool {
+        let mut total = 0usize;
+        let mut prev_key: Option<u32> = None;
+        for c in &self.chunks {
+            if prev_key.is_some_and(|p| p >= c.key) {
+                return false;
+            }
+            prev_key = Some(c.key);
+            let bits = c.repr.to_bits();
+            match canonical_repr(&bits) {
+                Some((repr, count)) if repr == c.repr && count == c.count => {}
+                _ => return false,
+            }
+            total += c.count as usize;
+        }
+        total == self.len
+    }
+
+    /// Builds the O(1) per-prefix density index for this snapshot.
+    ///
+    /// Costs one pass over the chunks per level; the result is
+    /// independent of representation tiers (pinned against the
+    /// reference backend by the property suite).
+    pub fn prefix_density(&self) -> PrefixDensity {
+        PrefixDensity::from_block_counts(
+            self.chunks.iter().map(|c| (c.key, c.count as u64)),
+        )
+    }
+
+    fn merge(&self, other: &Self, kind: MergeKind) -> Self {
+        let mut chunks = Vec::with_capacity(match kind {
+            MergeKind::Union => self.chunks.len() + other.chunks.len(),
+            MergeKind::Intersect => self.chunks.len().min(other.chunks.len()),
+            MergeKind::Difference => self.chunks.len(),
+        });
+        let mut len = 0usize;
+        let mut push = |c: Chunk| {
+            len += c.count as usize;
+            chunks.push(c);
+        };
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (a, b) = (&self.chunks[i], &other.chunks[j]);
+            match a.key.cmp(&b.key) {
+                core::cmp::Ordering::Less => {
+                    if !matches!(kind, MergeKind::Intersect) {
+                        push(a.clone());
+                    }
+                    i += 1;
+                }
+                core::cmp::Ordering::Greater => {
+                    if matches!(kind, MergeKind::Union) {
+                        push(b.clone());
+                    }
+                    j += 1;
+                }
+                core::cmp::Ordering::Equal => {
+                    let (x, y) = (a.repr.to_bits(), b.repr.to_bits());
+                    let bits = match kind {
+                        MergeKind::Union => x.union(&y),
+                        MergeKind::Intersect => x.intersect(&y),
+                        MergeKind::Difference => x.difference(&y),
+                    };
+                    if let Some((repr, count)) = canonical_repr(&bits) {
+                        push(Chunk { key: a.key, count, repr });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        match kind {
+            MergeKind::Union => {
+                self.chunks[i..].iter().for_each(|c| push(c.clone()));
+                other.chunks[j..].iter().for_each(|c| push(c.clone()));
+            }
+            MergeKind::Difference => {
+                self.chunks[i..].iter().for_each(|c| push(c.clone()));
+            }
+            MergeKind::Intersect => {}
+        }
+        TieredSet { chunks, len }
+    }
+
+    fn chunk_index(&self, key: u32) -> Result<usize, usize> {
+        self.chunks.binary_search_by_key(&key, |c| c.key)
+    }
+}
+
+impl FromIterator<Addr> for TieredSet {
+    fn from_iter<T: IntoIterator<Item = Addr>>(iter: T) -> Self {
+        TieredSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// Streaming block-wise builder for [`TieredSet`].
+///
+/// Chunks materialize straight into canonical form, so construction
+/// never allocates a full bitmap for blocks that end up sparse — the
+/// fix for the old counting-pass + `Vec::with_capacity` pre-sizing in
+/// the dataset layers.
+pub struct TieredSetBuilder {
+    chunks: Vec<Chunk>,
+    len: usize,
+}
+
+impl SetBuilder for TieredSetBuilder {
+    type Set = TieredSet;
+
+    fn new() -> Self {
+        TieredSetBuilder { chunks: Vec::new(), len: 0 }
+    }
+
+    fn push_block(&mut self, block: Block24, bits: &AddrBits256) {
+        debug_assert!(
+            !self.chunks.last().is_some_and(|c| c.key >= block.id()),
+            "blocks must arrive in ascending order"
+        );
+        if let Some((repr, count)) = canonical_repr(bits) {
+            self.len += count as usize;
+            self.chunks.push(Chunk { key: block.id(), count, repr });
+        }
+    }
+
+    fn finish(self) -> TieredSet {
+        TieredSet { chunks: self.chunks, len: self.len }
+    }
+}
+
+/// Ascending iterator over a [`TieredSet`]'s members.
+pub struct TieredIter<'a> {
+    chunks: &'a [Chunk],
+    next_chunk: usize,
+    cur: Option<(u32, HostIter<'a>)>,
+}
+
+enum HostIter<'a> {
+    Sparse(core::slice::Iter<'a, u8>),
+    Runs { runs: core::slice::Iter<'a, (u8, u8)>, pos: u16, end: u16 },
+    Dense { words: [u64; 4], w: usize },
+}
+
+impl HostIter<'_> {
+    fn of(repr: &Repr) -> HostIter<'_> {
+        match repr {
+            Repr::Sparse(hosts) => HostIter::Sparse(hosts.iter()),
+            // pos > end marks "fetch the next run".
+            Repr::Runs(runs) => HostIter::Runs { runs: runs.iter(), pos: 1, end: 0 },
+            Repr::Dense(bits) => HostIter::Dense { words: *bits.words(), w: 0 },
+        }
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        match self {
+            HostIter::Sparse(it) => it.next().copied(),
+            HostIter::Runs { runs, pos, end } => {
+                if *pos > *end {
+                    let &(s, e) = runs.next()?;
+                    *pos = s as u16;
+                    *end = e as u16;
+                }
+                let h = *pos as u8;
+                *pos += 1;
+                Some(h)
+            }
+            HostIter::Dense { words, w } => loop {
+                if *w == 4 {
+                    return None;
+                }
+                if words[*w] == 0 {
+                    *w += 1;
+                    continue;
+                }
+                let bit = words[*w].trailing_zeros() as u8;
+                words[*w] &= words[*w] - 1;
+                return Some(((*w as u8) << 6) | bit);
+            },
+        }
+    }
+}
+
+impl Iterator for TieredIter<'_> {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        loop {
+            if let Some((base, hosts)) = &mut self.cur {
+                if let Some(h) = hosts.next() {
+                    return Some(Addr::new(*base | h as u32));
+                }
+                self.cur = None;
+            }
+            let c = self.chunks.get(self.next_chunk)?;
+            self.next_chunk += 1;
+            self.cur = Some((c.key << 8, HostIter::of(&c.repr)));
+        }
+    }
+}
+
+impl ActiveSet for TieredSet {
+    type Iter<'a> = TieredIter<'a>;
+    type Builder = TieredSetBuilder;
+
+    fn backend_name() -> &'static str {
+        "tiered"
+    }
+
+    fn empty() -> Self {
+        TieredSet::new()
+    }
+
+    fn from_sorted_vec(addrs: Vec<Addr>) -> Self {
+        TieredSet::from_sorted(addrs)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        match self.chunk_index(addr.bits() >> 8) {
+            Ok(i) => self.chunks[i].repr.contains(addr.host_index()),
+            Err(_) => false,
+        }
+    }
+
+    fn count_in(&self, prefix: Prefix) -> usize {
+        let (net, last) = (prefix.network().bits(), prefix.last().bits());
+        if prefix.len() >= 24 {
+            // At most one chunk; count the host sub-range inside it.
+            match self.chunk_index(net >> 8) {
+                Ok(i) => self.chunks[i].repr.count_range(net as u8, last as u8),
+                Err(_) => 0,
+            }
+        } else {
+            // /0../23 prefixes cover whole chunks: sum cached counts.
+            let lo = self.chunks.partition_point(|c| c.key < net >> 8);
+            let hi = self.chunks.partition_point(|c| c.key <= last >> 8);
+            self.chunks[lo..hi].iter().map(|c| c.count as usize).sum()
+        }
+    }
+
+    fn any_in(&self, prefix: Prefix) -> bool {
+        let (net, last) = (prefix.network().bits(), prefix.last().bits());
+        if prefix.len() >= 24 {
+            match self.chunk_index(net >> 8) {
+                Ok(i) => self.chunks[i].repr.count_range(net as u8, last as u8) > 0,
+                Err(_) => false,
+            }
+        } else {
+            // Any chunk keyed inside the prefix is non-empty by invariant.
+            let lo = self.chunks.partition_point(|c| c.key < net >> 8);
+            lo < self.chunks.len() && self.chunks[lo].key <= last >> 8
+        }
+    }
+
+    fn iter(&self) -> TieredIter<'_> {
+        TieredIter { chunks: &self.chunks, next_chunk: 0, cur: None }
+    }
+
+    fn insert(&mut self, addr: Addr) -> bool {
+        let (key, h) = (addr.bits() >> 8, addr.host_index());
+        match self.chunk_index(key) {
+            Ok(i) => {
+                let c = &mut self.chunks[i];
+                if c.repr.contains(h) {
+                    return false;
+                }
+                let mut bits = c.repr.to_bits();
+                bits.set(h);
+                let (repr, count) =
+                    canonical_repr(&bits).expect("chunk non-empty after insert");
+                c.repr = repr;
+                c.count = count;
+                self.len += 1;
+                true
+            }
+            Err(i) => {
+                self.chunks.insert(i, Chunk { key, count: 1, repr: Repr::Sparse(vec![h]) });
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    fn union(&self, other: &Self) -> Self {
+        self.merge(other, MergeKind::Union)
+    }
+
+    fn intersect(&self, other: &Self) -> Self {
+        self.merge(other, MergeKind::Intersect)
+    }
+
+    fn difference(&self, other: &Self) -> Self {
+        self.merge(other, MergeKind::Difference)
+    }
+
+    fn intersect_len(&self, other: &Self) -> usize {
+        let (mut i, mut j, mut n) = (0, 0, 0usize);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (a, b) = (&self.chunks[i], &other.chunks[j]);
+            match a.key.cmp(&b.key) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    n += a.repr.to_bits().intersect(&b.repr.to_bits()).count() as usize;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn memory_bytes(&self) -> usize {
+        core::mem::size_of::<Self>()
+            + self.chunks.capacity() * core::mem::size_of::<Chunk>()
+            + self.chunks.iter().map(|c| c.repr.heap_bytes()).sum::<usize>()
+    }
+
+    fn blocks24(&self) -> Vec<Block24> {
+        self.chunks.iter().map(|c| Block24::new(c.key)).collect()
+    }
+}
+
+/// O(1) active-count index over every /0–/24 prefix of a snapshot.
+///
+/// One hash map per prefix length; the key for a length-`l` prefix is
+/// its network address shifted down by `32 − l` bits. Built from a
+/// [`TieredSet`]'s chunk counts (each chunk contributes to one key per
+/// level) or from any ascending address iterator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefixDensity {
+    /// `levels[l]` maps `network >> (32 - l)` to the member count, for
+    /// `l` in 1..=24; level 0 is the total.
+    levels: Vec<HashMap<u32, u64>>,
+    total: u64,
+}
+
+impl PrefixDensity {
+    /// Deepest indexed prefix length.
+    pub const MAX_LEN: u8 = 24;
+
+    fn from_block_counts(blocks: impl Iterator<Item = (u32, u64)>) -> Self {
+        let mut levels: Vec<HashMap<u32, u64>> =
+            (0..=Self::MAX_LEN).map(|_| HashMap::new()).collect();
+        let mut total = 0u64;
+        for (key, count) in blocks {
+            total += count;
+            for l in 1..=Self::MAX_LEN {
+                *levels[l as usize].entry(key >> (Self::MAX_LEN - l)).or_insert(0) += count;
+            }
+        }
+        PrefixDensity { levels, total }
+    }
+
+    /// Builds the index from any backend by grouping its ascending
+    /// iterator into `/24` blocks.
+    pub fn from_set<S: ActiveSet>(set: &S) -> Self {
+        let mut blocks: Vec<(u32, u64)> = Vec::new();
+        for a in set.iter() {
+            let key = a.bits() >> 8;
+            match blocks.last_mut() {
+                Some((k, n)) if *k == key => *n += 1,
+                _ => blocks.push((key, 1)),
+            }
+        }
+        Self::from_block_counts(blocks.into_iter())
+    }
+
+    /// Active addresses inside `prefix`, in O(1).
+    ///
+    /// # Panics
+    /// If `prefix.len() > 24` — host-granular counts stay with the set
+    /// itself (`count_in`), the index covers aggregation levels only.
+    pub fn count(&self, prefix: Prefix) -> u64 {
+        let l = prefix.len();
+        assert!(l <= Self::MAX_LEN, "PrefixDensity indexes /0../24, got /{l}");
+        if l == 0 {
+            return self.total;
+        }
+        let key = prefix.network().bits() >> (32 - l as u32);
+        self.levels[l as usize].get(&key).copied().unwrap_or(0)
+    }
+
+    /// Total population of the snapshot.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct prefixes with at least one active address at
+    /// the given level.
+    pub fn active_prefixes(&self, len: u8) -> usize {
+        assert!((1..=Self::MAX_LEN).contains(&len));
+        self.levels[len as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn set(addrs: &[&str]) -> TieredSet {
+        addrs.iter().map(|s| a(s)).collect()
+    }
+
+    #[test]
+    fn from_unsorted_dedups_sorts_and_is_canonical() {
+        let s = set(&["9.9.9.9", "1.1.1.1", "9.9.9.9", "5.5.5.5"]);
+        assert_eq!(s.len(), 3);
+        assert!(s.is_canonical());
+        let v: Vec<String> = s.iter().map(|a| a.to_string()).collect();
+        assert_eq!(v, vec!["1.1.1.1", "5.5.5.5", "9.9.9.9"]);
+    }
+
+    #[test]
+    fn representation_thresholds() {
+        // 16 scattered hosts: sparse.
+        let sparse: TieredSet = (0..16u32).map(|i| Addr::new(0x0A000000 + 2 * i)).collect();
+        assert_eq!(sparse.repr_census(), ReprCensus { sparse: 1, runs: 0, dense: 0 });
+        // 17 hosts in one run: runs.
+        let runs: TieredSet = (0..17u32).map(|i| Addr::new(0x0A000000 + i)).collect();
+        assert_eq!(runs.repr_census(), ReprCensus { sparse: 0, runs: 1, dense: 0 });
+        // 9 runs of 3 (27 > SPARSE_MAX, 9 > RUNS_MAX): dense.
+        let dense: TieredSet = (0..9u32)
+            .flat_map(|r| (0..3u32).map(move |i| Addr::new(0x0A000000 + 8 * r + i)))
+            .collect();
+        assert_eq!(dense.repr_census(), ReprCensus { sparse: 0, runs: 0, dense: 1 });
+        for s in [&sparse, &runs, &dense] {
+            assert!(s.is_canonical());
+        }
+    }
+
+    #[test]
+    fn insert_crosses_thresholds_and_stays_canonical() {
+        let mut s = TieredSet::new();
+        for i in 0..=255u32 {
+            assert!(s.insert(Addr::new(0x0A000000 + i)));
+            assert!(!s.insert(Addr::new(0x0A000000 + i)));
+            assert!(s.is_canonical(), "not canonical after {} inserts", i + 1);
+        }
+        assert_eq!(s.len(), 256);
+        // A full block is a single run.
+        assert_eq!(s.repr_census(), ReprCensus { sparse: 0, runs: 1, dense: 0 });
+    }
+
+    #[test]
+    fn set_algebra_matches_reference_semantics() {
+        let x = set(&["1.0.0.1", "1.0.0.2", "1.0.0.3", "2.0.0.1"]);
+        let y = set(&["1.0.0.3", "1.0.0.4", "3.0.0.1"]);
+        assert_eq!(x.union(&y).len(), 6);
+        assert_eq!(x.intersect(&y).len(), 1);
+        assert_eq!(x.intersect_len(&y), 1);
+        let diff = x.difference(&y);
+        assert_eq!(diff.len(), 3);
+        assert!(diff.contains(a("2.0.0.1")) && !diff.contains(a("1.0.0.3")));
+        for s in [x.union(&y), x.intersect(&y), diff] {
+            assert!(s.is_canonical());
+        }
+    }
+
+    #[test]
+    fn count_in_and_any_in_across_granularities() {
+        let s = set(&["10.0.0.5", "10.0.0.200", "10.0.1.3", "10.0.3.1", "11.0.0.1"]);
+        assert_eq!(s.count_in("10.0.0.0/24".parse().unwrap()), 2);
+        assert_eq!(s.count_in("10.0.0.0/22".parse().unwrap()), 4);
+        assert_eq!(s.count_in("10.0.0.0/8".parse().unwrap()), 4);
+        assert_eq!(s.count_in("10.0.0.0/25".parse().unwrap()), 1);
+        assert_eq!(s.count_in("10.0.0.128/25".parse().unwrap()), 1);
+        assert_eq!(s.count_in("10.0.2.0/24".parse().unwrap()), 0);
+        assert_eq!(s.count_in("0.0.0.0/0".parse().unwrap()), 5);
+        assert!(s.any_in("10.0.3.0/24".parse().unwrap()));
+        assert!(s.any_in("10.0.2.0/23".parse().unwrap())); // covers 10.0.3.1
+        assert!(!s.any_in("10.0.4.0/23".parse().unwrap()));
+        assert!(!TieredSet::new().any_in("0.0.0.0/0".parse().unwrap()));
+    }
+
+    #[test]
+    fn builder_skips_empty_blocks() {
+        let mut b = TieredSetBuilder::new();
+        b.push_block(Block24::new(1), &AddrBits256::new());
+        let mut bits = AddrBits256::new();
+        bits.set(7);
+        b.push_block(Block24::new(2), &bits);
+        let s = b.finish();
+        assert_eq!(s.num_chunks(), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_canonical());
+    }
+
+    #[test]
+    fn memory_stays_structural_for_dense_blocks() {
+        // Two fully-lit /24s: 512 addresses, but only two run chunks.
+        let s: TieredSet = (0..512u32).map(|i| Addr::new(0x0A000000 + i)).collect();
+        assert!(s.memory_bytes() < 512 * 4, "tiered set larger than the Vec it replaces");
+    }
+
+    #[test]
+    fn prefix_density_counts_match_count_in() {
+        let s = set(&["10.0.0.5", "10.0.0.200", "10.0.1.3", "10.7.3.1", "11.0.0.1"]);
+        let d = s.prefix_density();
+        assert_eq!(d.total(), 5);
+        for p in ["10.0.0.0/24", "10.0.0.0/16", "10.0.0.0/8", "0.0.0.0/0", "12.0.0.0/8"] {
+            let p: Prefix = p.parse().unwrap();
+            assert_eq!(d.count(p), s.count_in(p) as u64, "mismatch at {p}");
+        }
+        assert_eq!(d.active_prefixes(24), 4);
+        assert_eq!(d.active_prefixes(8), 2);
+        // Same index from the generic path.
+        assert_eq!(PrefixDensity::from_set(&s), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "indexes /0../24")]
+    fn prefix_density_rejects_host_prefixes() {
+        set(&["10.0.0.1"]).prefix_density().count("10.0.0.0/32".parse().unwrap());
+    }
+
+    #[test]
+    fn to_prefixes_and_blocks24_match_reference() {
+        use crate::AddrSet;
+        let addrs: Vec<Addr> = (0u32..300)
+            .map(|i| Addr::new(0x0A000000 + i))
+            .chain([a("10.0.2.7"), a("10.9.0.1")])
+            .collect();
+        let t = TieredSet::from_unsorted(addrs.clone());
+        let r = AddrSet::from_unsorted(addrs);
+        assert_eq!(ActiveSet::to_prefixes(&t), r.to_prefixes());
+        assert_eq!(ActiveSet::blocks24(&t), r.blocks24());
+    }
+}
