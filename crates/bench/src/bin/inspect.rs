@@ -26,7 +26,13 @@
 //! inspect fsck <DIR> [--repair]
 //! inspect metrics <DIR>
 //! inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>
+//! inspect worker --root DIR --shard S --shards N --emitters E --epoch G --attempt A ...
 //! ```
+//!
+//! `worker` runs one distributed-collection shard grant (see
+//! [`ipactive_bench::worker_cli`]) — it is the process the healing
+//! coordinator spawns, exposed here so harnesses can drive a worker
+//! directly.
 //!
 //! `mkstore` persists a deterministic universe into a log-store
 //! directory (`--atomic` uses the manifest-journaled batch commit;
@@ -59,6 +65,7 @@ fn main() {
             Some("mkstore") => run_mkstore(&args[1..]),
             Some("metrics") => run_metrics(&args[1..]),
             Some("metrics-check") => run_metrics_check(&args[1..]),
+            Some("worker") => ipactive_bench::worker_cli::run(&args[1..]),
             _ => {}
         }
     }

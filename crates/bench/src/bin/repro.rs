@@ -23,6 +23,18 @@
 //! experiment is unaffected; the flags exist to exercise and time the
 //! collection path at scale.
 //!
+//! `--distributed N` builds the datasets through *process-level*
+//! distributed collection: `N` shard workers run as separate OS
+//! processes (this same binary's hidden `worker` mode), each
+//! committing its shard into a leased, manifest-journaled store pair
+//! under `--dist-root` (a temp directory by default), while the
+//! coordinator heartbeat-watches them and heals failures. Up to
+//! `--dist-jobs` workers run concurrently. Each `--kill
+//! SHARD:POINT[:stall]` schedules a real `kill -9` (or silent stall)
+//! for that shard's first grant at a named protocol point — the
+//! coordinator fsck-repairs the remains and regrants, and the final
+//! report plus `--metrics-out` journal show the whole story.
+//!
 //! `--faults K` runs the *supervised* pipeline with `K` deterministic
 //! injected faults (crashes, corruption, drops, stalls seeded from
 //! `--seed`): transient faults heal via checkpointed replay, permanent
@@ -39,15 +51,45 @@
 //! stderr at exit.
 
 use ipactive_bench::{CheckOutcome, Repro, Scale, EXPERIMENTS};
+use ipactive_coord::{InjectionPoint, KillMode, KillPlan, KillSpec};
 use ipactive_obs::SnapshotMode;
 
+/// `--kill SHARD:POINT[:stall]` — one scheduled death for the
+/// distributed run's first grant of `SHARD` at injection point
+/// `POINT` (`early`, `after-buffer-K`, `pre-commit`, `mid-commit`,
+/// `pre-exit`), `kill -9`ed at the marker by default or wedge-killed
+/// after heartbeat stagnation with the `:stall` suffix.
+fn parse_kill(spec: &str) -> Option<KillSpec> {
+    let mut parts = spec.splitn(3, ':');
+    let shard: u32 = parts.next()?.parse().ok()?;
+    let point = InjectionPoint::parse(parts.next()?)?;
+    let mode = match parts.next() {
+        None => KillMode::Kill,
+        Some("stall") => KillMode::Stall,
+        Some(_) => return None,
+    };
+    Some(KillSpec { shard, attempt: 0, point, mode })
+}
+
 fn main() {
+    {
+        // Hidden worker mode: the distributed coordinator re-spawns
+        // this same binary as `repro worker ...` for each shard grant.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.first().map(String::as_str) == Some("worker") {
+            ipactive_bench::worker_cli::run(&args[1..]);
+        }
+    }
     let mut seed: u64 = 2015;
     let mut scale = Scale::Full;
     let mut out_path: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut collectors: Option<usize> = None;
     let mut faults: Option<usize> = None;
+    let mut distributed: Option<usize> = None;
+    let mut dist_jobs: usize = 2;
+    let mut dist_root: Option<String> = None;
+    let mut kills: Vec<KillSpec> = Vec::new();
     let mut jobs: usize = 1;
     let mut timings = false;
     let mut metrics_out: Option<String> = None;
@@ -106,6 +148,32 @@ fn main() {
                         .unwrap_or_else(|| usage("--faults needs a non-negative integer")),
                 );
             }
+            "--distributed" => {
+                distributed = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage("--distributed needs a positive shard count")),
+                );
+            }
+            "--dist-jobs" => {
+                dist_jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--dist-jobs needs a positive integer"));
+            }
+            "--dist-root" => {
+                dist_root =
+                    Some(args.next().unwrap_or_else(|| usage("--dist-root needs a path")));
+            }
+            "--kill" => {
+                let spec = args.next().unwrap_or_else(|| usage("--kill needs SHARD:POINT"));
+                kills.push(
+                    parse_kill(&spec)
+                        .unwrap_or_else(|| usage("--kill needs SHARD:POINT[:stall]")),
+                );
+            }
             "--jobs" => {
                 jobs = args
                     .next()
@@ -137,7 +205,51 @@ fn main() {
 
     eprintln!("generating universe (seed {seed}, scale {scale:?}) ...");
     let start = std::time::Instant::now();
-    let repro = if let Some(k) = faults {
+    let repro = if let Some(shards) = distributed {
+        if faults.is_some() {
+            usage("--distributed and --faults are separate collection paths; pick one");
+        }
+        let emitters = workers.unwrap_or(2);
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| {
+                eprintln!("error: cannot locate own executable: {e}");
+                std::process::exit(1);
+            })
+            .to_string_lossy()
+            .into_owned();
+        let worker_cmd = vec![exe, "worker".to_string()];
+        let (root, ephemeral) = match &dist_root {
+            Some(dir) => (std::path::PathBuf::from(dir), false),
+            None => (
+                std::env::temp_dir()
+                    .join(format!("ipactive-dist-{seed}-{}", std::process::id())),
+                true,
+            ),
+        };
+        let mut plan = KillPlan::none();
+        for spec in &kills {
+            plan = plan.with(*spec);
+        }
+        eprintln!(
+            "building datasets via distributed collection ({shards} worker processes x {emitters} emitters, {} scheduled kills) ...",
+            kills.len()
+        );
+        match Repro::new_distributed(
+            seed, scale, shards, emitters, dist_jobs, root.clone(), &worker_cmd, &plan,
+        ) {
+            Ok((repro, outcome)) => {
+                eprint!("{}", outcome.render());
+                if ephemeral {
+                    let _ = std::fs::remove_dir_all(&root);
+                }
+                repro
+            }
+            Err(e) => {
+                eprintln!("error: distributed collection failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else if let Some(k) = faults {
         let w = workers.unwrap_or(1);
         let c = collectors.unwrap_or(2);
         eprintln!(
@@ -270,6 +382,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!("usage: repro [EXPERIMENT ...] [--seed N] [--scale tiny|small|full] [--out FILE]");
     eprintln!("             [--workers N] [--collectors M] [--faults K] [--jobs N] [--timings]");
+    eprintln!("             [--distributed N] [--dist-jobs J] [--dist-root DIR] [--kill SHARD:POINT[:stall]]...");
     eprintln!("             [--metrics-out FILE] [--metrics-deterministic] [--profile]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));

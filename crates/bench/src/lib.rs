@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 mod engine;
+pub mod worker_cli;
 
 pub use engine::{AnalysisCtx, CacheStats};
 
@@ -310,6 +311,50 @@ impl Repro {
         };
         let repro = Repro::assemble(universe, daily, weekly, seed, registry);
         Ok((repro, SupervisedRunSummary { daily: daily_report, weekly: weekly_report, plan }))
+    }
+
+    /// Builds the session through *process-level* distributed
+    /// collection: `shards` separate worker OS processes (spawned
+    /// from `worker_cmd`, e.g. the current binary's hidden `worker`
+    /// mode) each replay their shard into a leased store pair under
+    /// `root`, while the coordinator heartbeat-watches them, `kill
+    /// -9`s any scheduled victims in `plan`, fsck-repairs what the
+    /// dead leave behind, and regrants or records honest coverage
+    /// loss. The merged datasets are identical to [`Repro::new`]'s
+    /// whenever no shard is permanently lost.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_distributed(
+        seed: u64,
+        scale: Scale,
+        shards: usize,
+        emitters: usize,
+        jobs: usize,
+        root: std::path::PathBuf,
+        worker_cmd: &[String],
+        plan: &ipactive_coord::KillPlan,
+    ) -> std::io::Result<(Repro, ipactive_coord::DistributedOutcome)> {
+        let registry = Registry::new();
+        let mut cfg = ipactive_coord::CoordConfig::new(scale.config(seed), root, shards, emitters);
+        cfg.jobs = jobs;
+        let extra_args = [
+            "--seed".to_string(),
+            seed.to_string(),
+            "--scale".to_string(),
+            scale.name().to_string(),
+        ];
+        let outcome = {
+            let _span = registry.span("repro.distributed");
+            ipactive_coord::run_processes(&cfg, plan, worker_cmd, &extra_args, &registry)?
+        };
+        let universe = Universe::generate(scale.config(seed));
+        let repro = Repro::assemble(
+            universe,
+            outcome.daily.clone(),
+            outcome.weekly.clone(),
+            seed,
+            registry,
+        );
+        Ok((repro, outcome))
     }
 }
 

@@ -1,0 +1,204 @@
+//! Process-level crash harness: real workers, real `kill -9`.
+//!
+//! These tests drive [`ipactive_coord::run_processes`] against the
+//! actual `inspect` binary's `worker` mode — separate OS processes
+//! committing leased store pairs on the real filesystem — and murder
+//! scheduled victims with genuine SIGKILL. The contract under test is
+//! the repo's distributed-collection headline:
+//!
+//! > For any seeded kill schedule, the merged dataset is either
+//! > bit-identical to the undisturbed (in-process) build, or
+//! > coverage-honest about exactly the shards that were lost —
+//! > deterministically.
+//!
+//! No wall-clock assertion anywhere: kills trigger on worker-written
+//! marker files, stalls on heartbeat *stagnation* (poll counts, not
+//! deadlines), so the suite cannot flake on a slow machine.
+
+use ipactive_cdnsim::{shard_of, RetryPolicy, Universe, UniverseConfig};
+use ipactive_coord::{
+    run_processes, shard_dir, CoordConfig, DistributedOutcome, InjectionPoint, KillMode, KillPlan,
+    KillSpec,
+};
+use ipactive_obs::{EventKind, Registry, SnapshotMode};
+use std::path::PathBuf;
+
+const SEED: u64 = 2015;
+
+fn worker_cmd() -> Vec<String> {
+    vec![env!("CARGO_BIN_EXE_inspect").to_string(), "worker".to_string()]
+}
+
+fn extra_args() -> Vec<String> {
+    vec!["--seed".into(), SEED.to_string(), "--scale".into(), "tiny".into()]
+}
+
+fn fixture_root(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("ipactive-dist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(root: PathBuf, shards: usize, jobs: usize) -> CoordConfig {
+    let mut cfg = CoordConfig::new(UniverseConfig::tiny(SEED), root, shards, 2);
+    cfg.jobs = jobs;
+    cfg
+}
+
+fn run(tag: &str, shards: usize, jobs: usize, plan: &KillPlan) -> (DistributedOutcome, Registry) {
+    let root = fixture_root(tag);
+    let registry = Registry::new();
+    let out = run_processes(&cfg(root.clone(), shards, jobs), plan, &worker_cmd(), &extra_args(), &registry)
+        .expect("distributed run failed");
+    let _ = std::fs::remove_dir_all(&root);
+    (out, registry)
+}
+
+fn event_counts(registry: &Registry) -> Vec<(String, usize)> {
+    let snap = registry.snapshot(SnapshotMode::Deterministic);
+    [
+        EventKind::WorkerSpawn,
+        EventKind::WorkerHeartbeat,
+        EventKind::LeaseSteal,
+        EventKind::FsckVerdict,
+        EventKind::ShardLost,
+    ]
+    .into_iter()
+    .map(|k| (k.as_str().to_string(), snap.events_of(k).count()))
+    .collect()
+}
+
+/// The CI kill matrix, in-tree: {crash-early, crash-mid-commit,
+/// stall} victims are SIGKILLed at their announced pause points (or
+/// wedge-killed on beat stagnation), healed by regrant, and the
+/// merged result must be bit-identical to the direct in-process
+/// build — same blocks, same counts, full coverage.
+#[test]
+fn kill_matrix_heals_to_the_in_process_datasets() {
+    let universe = Universe::generate(UniverseConfig::tiny(SEED));
+    let ref_daily = universe.build_daily();
+    let ref_weekly = universe.build_weekly();
+
+    let matrix: [(&str, KillSpec); 3] = [
+        ("early", KillSpec {
+            shard: 1,
+            attempt: 0,
+            point: InjectionPoint::Early,
+            mode: KillMode::Kill,
+        }),
+        ("midcommit", KillSpec {
+            shard: 1,
+            attempt: 0,
+            point: InjectionPoint::MidCommit,
+            mode: KillMode::Kill,
+        }),
+        ("stall", KillSpec {
+            shard: 1,
+            attempt: 0,
+            point: InjectionPoint::PreCommit,
+            mode: KillMode::Stall,
+        }),
+    ];
+    for (tag, spec) in matrix {
+        let plan = KillPlan::none().with(spec);
+        let (out, reg) = run(&format!("matrix-{tag}"), 2, 2, &plan);
+        assert!(out.lost_shards.is_empty(), "{tag}: shard lost");
+        assert_eq!(out.daily, ref_daily, "{tag}: daily diverged from in-process build");
+        assert_eq!(out.weekly, ref_weekly, "{tag}: weekly diverged from in-process build");
+        assert!(out.daily.coverage.as_ref().unwrap().is_complete(), "{tag}");
+        assert!(out.weekly.coverage.as_ref().unwrap().is_complete(), "{tag}");
+        assert_eq!(out.shard_reports[1].grants, 2, "{tag}: expected exactly one regrant");
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        let steals: Vec<_> = snap.events_of(EventKind::LeaseSteal).collect();
+        assert_eq!(steals.len(), 1, "{tag}");
+        let want = match spec.mode {
+            KillMode::Kill => "holder exited",
+            KillMode::Stall => "heartbeat stalled",
+        };
+        assert_eq!(steals[0].detail, want, "{tag}");
+        assert_eq!(snap.events_of(EventKind::FsckVerdict).count(), 2, "{tag}");
+    }
+}
+
+/// Retry exhaustion in real processes: a shard whose every grant is
+/// SIGKILLed ends as honest, first-class loss — zeroed coverage rows
+/// for exactly that shard, a `lost.why` sidecar, a `shard_lost`
+/// journal event — while the surviving shard's blocks are complete
+/// and correct.
+#[test]
+fn permanently_killed_shard_becomes_honest_coverage_loss() {
+    let root = fixture_root("permanent");
+    let registry = Registry::new();
+    let mut cfg = cfg(root.clone(), 2, 2);
+    cfg.retry = RetryPolicy {
+        max_retries: 1,
+        ..RetryPolicy::instant(1)
+    };
+    let plan = KillPlan::none().permanent(0, InjectionPoint::PreCommit);
+    let out = run_processes(&cfg, &plan, &worker_cmd(), &extra_args(), &registry)
+        .expect("distributed run failed");
+
+    assert_eq!(out.lost_shards, vec![0]);
+    assert_eq!(out.shard_reports[0].grants, 2, "initial grant + one retry");
+    assert!(out.shard_reports[0].lost);
+    let cov = out.daily.coverage.as_ref().unwrap();
+    assert_eq!(cov.degraded_shards(), vec![0], "exactly the killed shard is degraded");
+    assert_eq!(out.weekly.coverage.as_ref().unwrap().degraded_shards(), vec![0]);
+    // Every surviving block belongs to the surviving shard: the loss
+    // removed shard 0's partition wholesale, nothing else.
+    let universe = Universe::generate(UniverseConfig::tiny(SEED));
+    let ref_daily = universe.build_daily();
+    assert!(!out.daily.blocks.is_empty(), "surviving shard contributed data");
+    for rec in &out.daily.blocks {
+        assert_eq!(shard_of(rec.block, 2), 1, "block {} from the lost shard leaked", rec.block);
+    }
+    let expect_survivors =
+        ref_daily.blocks.iter().filter(|r| shard_of(r.block, 2) == 1).count();
+    assert_eq!(out.daily.blocks.len(), expect_survivors, "survivor partition incomplete");
+
+    let why = std::fs::read_to_string(shard_dir(&root, 0).join("quarantine/lost.why"))
+        .expect("lost.why sidecar");
+    assert_eq!(why, "shard 0000 abandoned after 2 grants: retries exhausted\n");
+    let snap = registry.snapshot(SnapshotMode::Deterministic);
+    assert_eq!(snap.events_of(EventKind::ShardLost).count(), 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Coordinator determinism (the flake-proofing contract): the same
+/// seed and kill schedule produce identical merged datasets, coverage
+/// grids, per-shard ledgers, and journal event counts — across
+/// reruns AND across `jobs = 1` vs `jobs = 4`.
+#[test]
+fn same_seed_and_kill_schedule_is_deterministic_across_reruns_and_jobs() {
+    let plan = KillPlan::none()
+        .with(KillSpec {
+            shard: 1,
+            attempt: 0,
+            point: InjectionPoint::MidCommit,
+            mode: KillMode::Kill,
+        })
+        .with(KillSpec {
+            shard: 2,
+            attempt: 0,
+            point: InjectionPoint::Early,
+            mode: KillMode::Stall,
+        });
+    let runs: Vec<(DistributedOutcome, Registry)> = [("det-a", 1), ("det-b", 1), ("det-c", 4)]
+        .into_iter()
+        .map(|(tag, jobs)| run(tag, 4, jobs, &plan))
+        .collect();
+    let (base, base_reg) = &runs[0];
+    assert!(base.lost_shards.is_empty());
+    assert_eq!(base.shard_reports[1].grants, 2);
+    assert_eq!(base.shard_reports[2].grants, 2);
+    for (out, reg) in &runs[1..] {
+        assert_eq!(out.daily, base.daily, "merged daily dataset diverged");
+        assert_eq!(out.weekly, base.weekly, "merged weekly dataset diverged");
+        assert_eq!(out.daily.coverage, base.daily.coverage, "daily coverage grid diverged");
+        assert_eq!(out.weekly.coverage, base.weekly.coverage, "weekly coverage grid diverged");
+        assert_eq!(out.shard_reports, base.shard_reports, "per-shard ledger diverged");
+        assert_eq!(out.render(), base.render(), "outcome render diverged");
+        assert_eq!(event_counts(reg), event_counts(base_reg), "journal event counts diverged");
+    }
+}

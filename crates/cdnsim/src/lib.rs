@@ -47,12 +47,12 @@ pub use config::{AsKind, CountryProfile, UniverseConfig, COUNTRY_PROFILES};
 pub use growth::{monthly_counts, GrowthModel};
 pub use pipeline::{
     collect_daily, collect_daily_sharded, collect_daily_sharded_obs, collect_from_store,
-    collect_from_store_checked, collect_weekly, collect_weekly_sharded,
-    collect_weekly_sharded_obs, emit_daily_logs, emit_daily_logs_packed, emit_daily_shards,
-    emit_weekly_logs, emit_weekly_shards, parallel_pipeline, parallel_pipeline_obs,
-    parallel_pipeline_weekly, parallel_pipeline_weekly_obs, persist_daily, persist_daily_atomic,
-    shard_of, validate_topology, CollectorStats, PipelineReport, PipelineStats, DAILY_PREFIX,
-    WEEKLY_PREFIX,
+    collect_from_store_checked, collect_weekly, collect_weekly_from_store,
+    collect_weekly_sharded, collect_weekly_sharded_obs, emit_daily_logs, emit_daily_logs_packed,
+    emit_daily_shards, emit_weekly_logs, emit_weekly_shards, parallel_pipeline,
+    parallel_pipeline_obs, parallel_pipeline_weekly, parallel_pipeline_weekly_obs, persist_daily,
+    persist_daily_atomic, shard_of, slot_batches_from_buffers, validate_topology, CollectorStats,
+    PipelineReport, PipelineStats, DAILY_PREFIX, WEEKLY_PREFIX,
 };
 pub use supervisor::{
     emit_daily_shard_buffers, emit_weekly_shard_buffers, recover_daily_from_store,

@@ -515,6 +515,87 @@ pub fn collect_from_store_checked<F: ipactive_logfmt::Fs>(
     Ok((dataset.with_coverage(coverage), stats, report))
 }
 
+/// Rebuilds a [`WeeklyDataset`] from a [`ipactive_logfmt::LogStore`]
+/// directory whose "days" are week indices — the weekly counterpart
+/// of [`collect_from_store`], used by distributed workers that commit
+/// both cadences into per-shard stores.
+pub fn collect_weekly_from_store<F: ipactive_logfmt::Fs>(
+    store: &ipactive_logfmt::LogStore<F>,
+    num_weeks: usize,
+) -> Result<(WeeklyDataset, PipelineStats), ipactive_logfmt::StoreError> {
+    let mut builder = WeeklyDatasetBuilder::new(num_weeks);
+    let mut stats = PipelineStats::default();
+    stats.frames_skipped = store.for_each_day(|_, records| {
+        for record in records {
+            stats.records_read += 1;
+            if let Record::Hits { day, addr, hits } = record {
+                builder.record_week(day as usize, addr, hits);
+            }
+        }
+    })?;
+    Ok((builder.finish(), stats))
+}
+
+/// The slot (day or week index) a record belongs to, if it carries
+/// payload. Cadence markers and stream terminators have none.
+fn record_slot(record: &Record) -> Option<u16> {
+    match record {
+        Record::Hits { day, .. } | Record::UaSample { day, .. } => Some(*day),
+        Record::BlockDay(bd) => Some(bd.day),
+        Record::DayStart { .. } | Record::Finish => None,
+    }
+}
+
+/// Decodes one shard's retained buffers (as produced by
+/// [`emit_daily_shard_buffers`](crate::emit_daily_shard_buffers) /
+/// [`emit_weekly_shard_buffers`](crate::emit_weekly_shard_buffers))
+/// into per-slot record batches ready for
+/// [`LogStore::commit_days`](ipactive_logfmt::LogStore::commit_days) —
+/// the replay step of a distributed shard worker. Slots with no
+/// records still appear in the batch (as empty days) so the manifest
+/// commits the full window and store-level coverage can distinguish
+/// "day observed, empty" from "day lost".
+///
+/// Decoding is tolerant: damaged frames are counted in the returned
+/// stats, never folded. Batch order and content are a pure function
+/// of the buffer bytes, so two replays of the same shard commit
+/// byte-identical day files.
+pub fn slot_batches_from_buffers(
+    buffers: &[Vec<u8>],
+    num_slots: usize,
+) -> (Vec<(u16, Vec<Record>)>, PipelineStats) {
+    let mut batches: Vec<(u16, Vec<Record>)> =
+        (0..num_slots).map(|s| (s as u16, Vec::new())).collect();
+    let mut stats = PipelineStats::default();
+    for buf in buffers {
+        let mut reader = FrameReader::new(&buf[..], ReadMode::Tolerant);
+        loop {
+            match reader.read() {
+                Ok(Some(record)) => {
+                    stats.records_read += 1;
+                    match record_slot(&record) {
+                        Some(slot) if usize::from(slot) < num_slots => {
+                            batches[usize::from(slot)].1.push(record);
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // An unrecoverable stream: whatever was folded so
+                    // far stands; the abandonment itself counts as a
+                    // lost frame so stats never read clean.
+                    stats.frames_skipped += 1;
+                    break;
+                }
+            }
+        }
+        stats.frames_skipped += reader.skipped();
+        stats.resyncs += reader.resyncs();
+    }
+    (batches, stats)
+}
+
 /// Serializes the universe's *weekly* view into `out` (the framing
 /// layer is cadence-agnostic; [`collect_weekly`] interprets the `day`
 /// field back as a week index). Returns records written.

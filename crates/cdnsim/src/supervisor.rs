@@ -147,10 +147,16 @@ impl RetryPolicy {
         if attempt == 0 || self.base_backoff.is_zero() {
             return Duration::ZERO;
         }
+        // Coordinator reassignment can drive attempt counts far past
+        // anything in-process supervision produced, so every step here
+        // must saturate: the doubling shift is capped, the multiply
+        // saturates, the jitter span truncation is floored away from
+        // zero (a `% 0` is a panic), and the final add saturates
+        // before the cap is applied.
         let exp = self.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
-        let span = self.base_backoff.as_nanos() as u64;
+        let span = (self.base_backoff.as_nanos() as u64).max(1);
         let jitter = splitmix(self.seed ^ mix(shard, buffer) ^ u64::from(attempt)) % span;
-        (exp + Duration::from_nanos(jitter)).min(self.max_backoff)
+        exp.saturating_add(Duration::from_nanos(jitter)).min(self.max_backoff)
     }
 }
 
@@ -970,6 +976,34 @@ mod tests {
             policy.backoff(4, 1, 1),
             "jitter separates shards"
         );
+    }
+
+    /// Attempt counts from coordinator reassignment storms reach far
+    /// past the in-process retry bound; every arithmetic step must
+    /// saturate instead of panicking, and the cap must still hold.
+    #[test]
+    fn backoff_saturates_at_extreme_attempts_and_bases() {
+        let policy = RetryPolicy {
+            max_retries: u32::MAX,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        for attempt in [63, 64, 1000, u32::MAX] {
+            let d = policy.backoff(0, 0, attempt);
+            assert!(d <= policy.max_backoff, "attempt {attempt} exceeded the cap: {d:?}");
+            assert!(d >= Duration::from_millis(1), "attempt {attempt} lost the floor: {d:?}");
+        }
+        // A pathological base near Duration::MAX: the exponential term
+        // saturates and the jitter add must not overflow the Duration.
+        let huge = RetryPolicy {
+            base_backoff: Duration::MAX,
+            max_backoff: Duration::MAX,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(huge.backoff(1, 2, 63), Duration::MAX);
+        // Deterministic at the edge, like everywhere else.
+        assert_eq!(policy.backoff(3, 1, 63), policy.backoff(3, 1, 63));
     }
 
     #[test]

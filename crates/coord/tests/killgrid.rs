@@ -1,0 +1,158 @@
+//! The kill grid: process death at every reachable state, in-process.
+//!
+//! The process-level harness in `ipactive-bench` kills real workers
+//! at a handful of protocol points; this suite uses the simulated
+//! filesystem to be exhaustive instead. [`SimFs::exit_process`]
+//! models `kill -9` faithfully — the page cache survives, unlike a
+//! power cut — so the coordinator can murder a worker at *every named
+//! protocol point* and at *every single filesystem operation* of its
+//! life, then heal, and the final merged dataset must come out
+//! bit-identical to the undisturbed run's. Deterministically: each
+//! cell of the grid is a pure function of `(seed, kill schedule)`.
+
+use ipactive_cdnsim::UniverseConfig;
+use ipactive_coord::{
+    run_sim, run_worker, CoordConfig, InjectionPoint, KillMode, KillPlan, KillSpec, OpKill,
+    PauseStyle, WorkerConfig,
+};
+use ipactive_logfmt::SimFs;
+use ipactive_obs::{EventKind, Registry, SnapshotMode};
+use std::path::PathBuf;
+
+const SEED: u64 = 0x5EED;
+
+/// A micro universe for the grid: the kill/heal protocol exercises
+/// the same code whatever the window size, so the grid shrinks the
+/// window (6 days, 4 weeks) to keep hundreds of full
+/// coordinator runs affordable in debug builds.
+fn micro(seed: u64) -> UniverseConfig {
+    let mut c = UniverseConfig::tiny(seed);
+    c.daily_days = 6;
+    c.weeks = 4;
+    c.daily_offset = 7;
+    c.mean_blocks_per_as = 2.0;
+    c
+}
+
+fn cfg(shards: usize) -> CoordConfig {
+    CoordConfig::new(micro(SEED), PathBuf::from("/run"), shards, 2)
+}
+
+fn undisturbed(shards: usize) -> (ipactive_core::DailyDataset, ipactive_core::WeeklyDataset) {
+    let out =
+        run_sim(&SimFs::new(), &cfg(shards), &KillPlan::none(), &[], &Registry::new()).unwrap();
+    (out.daily, out.weekly)
+}
+
+/// Every named protocol point, both kill modes: the victim's shard is
+/// regranted and the merged result is bit-identical to the
+/// undisturbed run — coverage complete, nothing lost.
+#[test]
+fn kill_at_every_protocol_point_heals_bit_identically() {
+    let (ref_daily, ref_weekly) = undisturbed(2);
+    let emitters = cfg(2).emitters as u32;
+    let mut points = vec![InjectionPoint::Early];
+    points.extend((0..2 * emitters).map(InjectionPoint::AfterBuffer));
+    points.extend([InjectionPoint::PreCommit, InjectionPoint::MidCommit, InjectionPoint::PreExit]);
+
+    for (i, &point) in points.iter().enumerate() {
+        // Alternate kill modes across the grid; in the sim driver the
+        // two differ only in the journaled steal reason, which is
+        // asserted below.
+        let mode = if i % 2 == 0 { KillMode::Kill } else { KillMode::Stall };
+        let plan =
+            KillPlan::none().with(KillSpec { shard: 1, attempt: 0, point, mode });
+        let fs = SimFs::new();
+        let reg = Registry::new();
+        let out = run_sim(&fs, &cfg(2), &plan, &[], &reg).unwrap();
+        assert!(out.lost_shards.is_empty(), "{point}: shard lost");
+        assert_eq!(out.daily, ref_daily, "{point}: daily dataset diverged");
+        assert_eq!(out.weekly, ref_weekly, "{point}: weekly dataset diverged");
+        assert_eq!(
+            out.daily.coverage, ref_daily.coverage,
+            "{point}: coverage grid diverged"
+        );
+        assert_eq!(out.shard_reports[1].grants, 2, "{point}: expected exactly one regrant");
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        let steal: Vec<_> = snap.events_of(EventKind::LeaseSteal).collect();
+        assert_eq!(steal.len(), 1, "{point}");
+        let want = match mode {
+            KillMode::Kill => "holder exited",
+            KillMode::Stall => "heartbeat stalled",
+        };
+        assert_eq!(steal[0].detail, want, "{point}");
+    }
+}
+
+/// Kill at *every filesystem operation* of the victim grant's life —
+/// mid-lease-write, mid-day-file, mid-manifest, mid-rename, between
+/// anything — and the healed result is still bit-identical. The op
+/// count is discovered from a clean run, so protocol changes widen or
+/// shrink the grid automatically.
+#[test]
+fn kill_at_every_filesystem_operation_heals_bit_identically() {
+    let coord_cfg = cfg(1);
+    let (ref_daily, ref_weekly) = undisturbed(1);
+
+    // Discover the op count of one clean grant.
+    let probe = SimFs::new();
+    let wcfg = WorkerConfig {
+        universe: coord_cfg.universe.clone(),
+        root: coord_cfg.root.clone(),
+        shard: 0,
+        shards: coord_cfg.shards,
+        emitters: coord_cfg.emitters,
+        epoch: 1,
+        attempt: 0,
+    };
+    run_worker(&probe, &wcfg, None, PauseStyle::ReturnEarly).unwrap();
+    let total = probe.ops();
+    assert!(total >= 20, "worker protocol shrank to {total} ops — a stage went missing?");
+
+    for at_op in 0..total {
+        let fs = SimFs::new();
+        let kills = [OpKill { shard: 0, attempt: 0, at_op }];
+        let reg = Registry::new();
+        let out = run_sim(&fs, &coord_cfg, &KillPlan::none(), &kills, &reg).unwrap();
+        let ctx = format!("kill at op {at_op}/{total}");
+        assert!(out.lost_shards.is_empty(), "{ctx}: shard lost");
+        assert_eq!(out.daily, ref_daily, "{ctx}: daily dataset diverged");
+        assert_eq!(out.weekly, ref_weekly, "{ctx}: weekly dataset diverged");
+        assert_eq!(out.daily.coverage, ref_daily.coverage, "{ctx}: coverage diverged");
+        // The victim died before its clean exit, so healing took
+        // exactly one regrant.
+        assert_eq!(out.shard_reports[0].grants, 2, "{ctx}");
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.events_of(EventKind::FsckVerdict).count(), 2, "{ctx}");
+    }
+}
+
+/// The same seed and kill schedule journal the same events, beat for
+/// beat, across independent reruns — the sim driver is a pure
+/// function end to end.
+#[test]
+fn sim_runs_are_deterministic_across_reruns() {
+    let plan = KillPlan::none()
+        .with(KillSpec {
+            shard: 0,
+            attempt: 0,
+            point: InjectionPoint::MidCommit,
+            mode: KillMode::Kill,
+        })
+        .permanent(1, InjectionPoint::Early);
+    let mut renders = Vec::new();
+    let mut journals = Vec::new();
+    for _ in 0..2 {
+        let fs = SimFs::new();
+        let mut c = cfg(2);
+        c.retry = ipactive_cdnsim::RetryPolicy::instant(1);
+        let reg = Registry::new();
+        let out = run_sim(&fs, &c, &plan, &[], &reg).unwrap();
+        renders.push(out.render());
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        journals.push(snap.to_json());
+    }
+    assert_eq!(renders[0], renders[1], "outcome render diverged between reruns");
+    assert_eq!(journals[0], journals[1], "journal diverged between reruns");
+    assert!(renders[0].contains("LOST"), "permanent kill should lose shard 1");
+}

@@ -1,0 +1,331 @@
+//! CRC-protected shard lease files for process-level coordination.
+//!
+//! A distributed collection run assigns each shard to a worker
+//! *process* through a lease file living inside that shard's store
+//! directory (`lease-0004.lse`). The lease is the unit of handoff:
+//!
+//! * the **coordinator** grants a shard by publishing a lease with a
+//!   fresh `epoch` (a fencing token — strictly increasing across
+//!   grants, so a late write from a deposed holder is recognizably
+//!   stale);
+//! * the **worker** heartbeats by republishing the lease with a larger
+//!   `beat`. The beat counter is tied to replay *progress* (buffers
+//!   decoded, days committed), never wall-clock time, so lease state
+//!   is a deterministic function of how far the worker got;
+//! * the coordinator detects a wedged worker as one whose beat stops
+//!   advancing, and steals the shard by granting a new epoch to a
+//!   successor.
+//!
+//! Every publish uses the store's durable protocol (unique tmp +
+//! fsync + rename + dir fsync), and the tmp names share the `.lease-`
+//! prefix so [`LogStore::open`](crate::LogStore::open)'s stale-tmp
+//! sweep disposes of a killed writer's leftovers. A torn or
+//! bit-rotted lease fails its trailing CRC on decode and reads as
+//! [`LeaseRead::Corrupt`] — the coordinator treats that exactly like
+//! an expired lease and fences a fresh epoch over it.
+//!
+//! ## Byte layout (`lease-SSSS.lse`)
+//!
+//! ```text
+//! +---------------------------+----------------+
+//! | magic "IPLSLE1\n" (8B)    | shard (LEB)    |
+//! +---------------------------+----------------+
+//! | epoch (LEB) | holder (LEB)                 |
+//! +----------------------------------------- --+
+//! | attempt (LEB) | beat (LEB)                 |
+//! +---------------------------------------------+
+//! | lease_crc32 over all preceding bytes (4B LE)|
+//! +---------------------------------------------+
+//! ```
+
+use crate::crc::crc32;
+use crate::varint::{decode_u64, encode_u64, VarintError};
+use crate::vfs::{Fs, FsFile};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File-name prefix of every lease file.
+pub const LEASE_PREFIX: &str = "lease-";
+/// File-name suffix of every lease file.
+pub const LEASE_SUFFIX: &str = ".lse";
+const MAGIC: &[u8; 8] = b"IPLSLE1\n";
+
+/// Distinguishes concurrent lease writers within one process, exactly
+/// like the store's day/manifest tmp counter.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// One shard's current lease: who holds it, under which fencing
+/// epoch, and how far they have provably gotten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The shard this lease governs.
+    pub shard: u32,
+    /// Fencing token: strictly increases across grants/steals. A
+    /// publish carrying an older epoch than the file's is a deposed
+    /// holder's late write and must be ignored.
+    pub epoch: u64,
+    /// Logical id of the holding worker (assignment-order index, not
+    /// a pid — lease bytes must stay deterministic run to run).
+    pub holder: u64,
+    /// Which reassignment attempt this grant is (0 = first grant).
+    pub attempt: u32,
+    /// Progress heartbeat: buffers replayed + days committed so far.
+    /// Monotone within an epoch; a beat that stops advancing marks a
+    /// wedged holder.
+    pub beat: u64,
+}
+
+/// Why a lease file failed to decode.
+#[derive(Debug)]
+pub enum LeaseError {
+    /// The magic header did not match (or the file is too short).
+    BadMagic,
+    /// A varint field was malformed.
+    BadField(VarintError),
+    /// The file ended inside a field.
+    Truncated,
+    /// The trailing CRC-32 did not match the content.
+    BadChecksum,
+    /// The shard or attempt field exceeded its type's range.
+    FieldOutOfRange(u64),
+}
+
+impl std::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeaseError::BadMagic => write!(f, "bad lease magic"),
+            LeaseError::BadField(e) => write!(f, "bad lease field: {e}"),
+            LeaseError::Truncated => write!(f, "lease truncated"),
+            LeaseError::BadChecksum => write!(f, "lease checksum mismatch"),
+            LeaseError::FieldOutOfRange(v) => write!(f, "lease field {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+impl Lease {
+    /// Serializes the lease, appending the trailing CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(MAGIC.len() + 5 * 10 + 4);
+        buf.extend_from_slice(MAGIC);
+        encode_u64(&mut buf, u64::from(self.shard));
+        encode_u64(&mut buf, self.epoch);
+        encode_u64(&mut buf, self.holder);
+        encode_u64(&mut buf, u64::from(self.attempt));
+        encode_u64(&mut buf, self.beat);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    /// Decodes and verifies a lease file's bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Lease, LeaseError> {
+        if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(LeaseError::BadMagic);
+        }
+        let (content, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+        if crc32(content) != stored {
+            return Err(LeaseError::BadChecksum);
+        }
+        let mut rest = &content[MAGIC.len()..];
+        let next = |rest: &mut &[u8]| -> Result<u64, LeaseError> {
+            if rest.is_empty() {
+                return Err(LeaseError::Truncated);
+            }
+            decode_u64(rest).map_err(LeaseError::BadField)
+        };
+        let shard = next(&mut rest)?;
+        let shard = u32::try_from(shard).map_err(|_| LeaseError::FieldOutOfRange(shard))?;
+        let epoch = next(&mut rest)?;
+        let holder = next(&mut rest)?;
+        let attempt = next(&mut rest)?;
+        let attempt = u32::try_from(attempt).map_err(|_| LeaseError::FieldOutOfRange(attempt))?;
+        let beat = next(&mut rest)?;
+        Ok(Lease { shard, epoch, holder, attempt, beat })
+    }
+
+    /// The file name of `shard`'s lease.
+    pub fn file_name(shard: u32) -> String {
+        format!("{LEASE_PREFIX}{shard:04}{LEASE_SUFFIX}")
+    }
+
+    /// The path of `shard`'s lease under `dir`.
+    pub fn path(dir: &Path, shard: u32) -> PathBuf {
+        dir.join(Self::file_name(shard))
+    }
+
+    /// Parses a shard number out of a lease file name.
+    pub fn parse_file_name(name: &str) -> Option<u32> {
+        let digits = name.strip_prefix(LEASE_PREFIX)?.strip_suffix(LEASE_SUFFIX)?;
+        if digits.len() != 4 {
+            return None;
+        }
+        digits.parse().ok()
+    }
+}
+
+/// What a lease read found.
+#[derive(Debug)]
+pub enum LeaseRead {
+    /// No lease file exists — the shard was never granted here.
+    Absent,
+    /// A lease file exists but fails verification (torn publish, bit
+    /// rot). Coordinators treat this exactly like an expired lease.
+    Corrupt(LeaseError),
+    /// A verified lease.
+    Held(Lease),
+}
+
+/// Durably publishes `lease` into `dir` via the store's tmp + fsync +
+/// rename + dir-fsync protocol. The tmp name carries the `.lease-`
+/// prefix so a killed writer's leftover is swept by the next
+/// [`LogStore::open`](crate::LogStore::open) on the directory.
+pub fn write_lease<F: Fs>(fs: &F, dir: &Path, lease: &Lease) -> io::Result<()> {
+    let tmp = dir.join(format!(
+        ".{LEASE_PREFIX}{:04}.{}-{}.tmp",
+        lease.shard,
+        std::process::id(),
+        TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let result = (|| {
+        let mut file = fs.create(&tmp)?;
+        file.write_all(&lease.encode())?;
+        file.sync_all()?;
+        fs.rename(&tmp, &Lease::path(dir, lease.shard))?;
+        fs.sync_dir(dir)
+    })();
+    if result.is_err() {
+        let _ = fs.remove_file(&tmp);
+    }
+    result
+}
+
+/// Reads and verifies `shard`'s lease under `dir`. Only genuine I/O
+/// failures (other than the file being absent) surface as errors;
+/// damage is reported in-band as [`LeaseRead::Corrupt`].
+pub fn read_lease<F: Fs>(fs: &F, dir: &Path, shard: u32) -> io::Result<LeaseRead> {
+    let path = Lease::path(dir, shard);
+    let mut bytes = Vec::new();
+    match fs.open_read(&path) {
+        Ok(mut f) => f.read_to_end(&mut bytes).map(|_| ())?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LeaseRead::Absent),
+        Err(e) => return Err(e),
+    }
+    Ok(match Lease::decode(&bytes) {
+        Ok(lease) => LeaseRead::Held(lease),
+        Err(e) => LeaseRead::Corrupt(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{CrashStyle, Inject, SimFs};
+
+    fn sample() -> Lease {
+        Lease { shard: 3, epoch: 7, holder: 2, attempt: 1, beat: 1 << 40 }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = sample();
+        assert_eq!(Lease::decode(&l.encode()).unwrap(), l);
+        let edge = Lease { shard: u32::MAX, epoch: u64::MAX, holder: 0, attempt: u32::MAX, beat: 0 };
+        assert_eq!(Lease::decode(&edge.encode()).unwrap(), edge);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample().encode();
+        for pos in 0..bytes.len() {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 0x41;
+            assert!(Lease::decode(&dirty).is_err(), "flip at byte {pos} slipped through");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode();
+        for keep in 0..bytes.len() {
+            assert!(
+                Lease::decode(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn file_names_roundtrip() {
+        assert_eq!(Lease::file_name(4), "lease-0004.lse");
+        assert_eq!(Lease::parse_file_name("lease-0004.lse"), Some(4));
+        assert_eq!(Lease::parse_file_name("lease-junk.lse"), None);
+        assert_eq!(Lease::parse_file_name("lease-00004.lse"), None);
+        assert_eq!(Lease::parse_file_name("manifest-000007.mft"), None);
+    }
+
+    #[test]
+    fn published_lease_survives_pessimist_crash() {
+        let fs = SimFs::new();
+        let dir = Path::new("/store/shard-0003");
+        write_lease(&fs, dir, &sample()).unwrap();
+        let fs = fs.crash(CrashStyle::Pessimist);
+        match read_lease(&fs, dir, 3).unwrap() {
+            LeaseRead::Held(l) => assert_eq!(l, sample()),
+            other => panic!("expected a held lease, got {other:?}"),
+        }
+    }
+
+    /// A publish cut down mid-protocol must never leave a half-lease
+    /// visible under the final name: the old lease (or nothing)
+    /// survives, and the damage is confined to a sweepable tmp.
+    #[test]
+    fn torn_publish_leaves_old_lease_or_absent_never_garbage() {
+        let dir = Path::new("/store/shard-0003");
+        // Count the ops of an undisturbed publish, then cut at each.
+        let probe = SimFs::new();
+        write_lease(&probe, dir, &sample()).unwrap();
+        let total_ops = probe.ops();
+        for cut in 0..total_ops {
+            let fs = SimFs::new().with_fault(cut, Inject::PowerCut);
+            let first = Lease { beat: 0, ..sample() };
+            assert!(write_lease(&fs, dir, &first).is_err());
+            let fs = fs.crash(CrashStyle::Torn { seed: cut });
+            match read_lease(&fs, dir, 3).unwrap() {
+                LeaseRead::Absent | LeaseRead::Held(_) => {}
+                LeaseRead::Corrupt(e) => {
+                    // Torn bytes under the final name are impossible:
+                    // the rename only happens after the fsync.
+                    panic!("cut at op {cut} left a corrupt published lease: {e}");
+                }
+            }
+        }
+    }
+
+    /// Republishing (a heartbeat) replaces the lease atomically; a
+    /// deposed holder's stale epoch remains detectable by compare.
+    #[test]
+    fn heartbeat_republish_replaces_atomically() {
+        let fs = SimFs::new();
+        let dir = Path::new("/store/shard-0003");
+        write_lease(&fs, dir, &sample()).unwrap();
+        let renewed = Lease { beat: sample().beat + 5, ..sample() };
+        write_lease(&fs, dir, &renewed).unwrap();
+        match read_lease(&fs, dir, 3).unwrap() {
+            LeaseRead::Held(l) => assert_eq!(l, renewed),
+            other => panic!("expected renewed lease, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_lease_reads_in_band() {
+        let fs = SimFs::new();
+        let dir = Path::new("/store/shard-0007");
+        fs.put_file(&Lease::path(dir, 7), b"not a lease");
+        assert!(matches!(read_lease(&fs, dir, 7).unwrap(), LeaseRead::Corrupt(_)));
+        assert!(matches!(read_lease(&fs, dir, 8).unwrap(), LeaseRead::Absent));
+    }
+}

@@ -38,6 +38,7 @@
 mod crc;
 mod frame;
 pub mod fsck;
+pub mod lease;
 pub mod manifest;
 mod record;
 mod store;
@@ -50,6 +51,7 @@ pub use frame::{
     QUARANTINE_CAPTURE_CAP,
 };
 pub use fsck::{fsck, fsck_obs, record_fsck, DayCheck, DayVerdict, FsckReport, Quarantined};
+pub use lease::{read_lease, write_lease, Lease, LeaseError, LeaseRead};
 pub use manifest::{DayMeta, Manifest, ManifestError};
 pub use record::{BlockDay, DecodeError, Record};
 pub use store::{DayDamage, LogStore, StoreError};

@@ -270,7 +270,8 @@ impl DayDamage {
 impl<F: Fs> LogStore<F> {
     /// Opens (creating if needed) a store rooted at `dir` on the given
     /// filesystem, sweeping any stale `.day-*.tmp` / `.manifest-*.tmp`
-    /// files a crashed writer left behind — a tmp file is only
+    /// / `.lease-*.tmp` files a crashed writer left behind — a tmp
+    /// file is only
     /// meaningful to the call that created it, so on open every
     /// survivor is garbage. Loads the newest manifest generation that
     /// verifies; errors if manifests exist but none does.
@@ -293,7 +294,9 @@ impl<F: Fs> LogStore<F> {
         fs.create_dir_all(&dir).map_err(|e| StoreError::io(None, &dir, e))?;
         let names = fs.read_dir_names(&dir).map_err(|e| StoreError::io(None, &dir, e))?;
         for name in &names {
-            let stale = (name.starts_with(".day-") || name.starts_with(".manifest-"))
+            let stale = (name.starts_with(".day-")
+                || name.starts_with(".manifest-")
+                || name.starts_with(".lease-"))
                 && name.ends_with(".tmp");
             if stale {
                 // Best effort: a sweep that loses a race with a live
@@ -932,11 +935,15 @@ mod tests {
         fs::write(dir.join(".day-0001.tmp"), b"half-written").unwrap();
         fs::write(dir.join(".day-0002.999-7.tmp"), b"half-written").unwrap();
         fs::write(dir.join(".manifest-000003.999-8.tmp"), b"half-written").unwrap();
+        fs::write(dir.join(".lease-0004.999-9.tmp"), b"half-written").unwrap();
+        fs::write(dir.join("lease-0004.lse"), b"published lease").unwrap();
         fs::write(dir.join(".keepme"), b"not ours").unwrap();
         let store = LogStore::open(&dir).unwrap();
         assert!(!dir.join(".day-0001.tmp").exists(), "stale tmp survived open");
         assert!(!dir.join(".day-0002.999-7.tmp").exists(), "stale tmp survived open");
         assert!(!dir.join(".manifest-000003.999-8.tmp").exists(), "stale manifest tmp survived");
+        assert!(!dir.join(".lease-0004.999-9.tmp").exists(), "stale lease tmp survived open");
+        assert!(dir.join("lease-0004.lse").exists(), "published lease must survive the sweep");
         assert!(dir.join(".keepme").exists(), "sweep must only touch our tmp files");
         assert_eq!(store.days().unwrap(), vec![1]);
         assert_eq!(store.read_day(1, ReadMode::Strict).unwrap().0, recs(1, 4));

@@ -445,6 +445,23 @@ impl SimFs {
         st.durable.insert(path.to_path_buf(), ino);
     }
 
+    /// Simulates a `kill -9` of the *process* without losing the
+    /// *machine*: unlike [`SimFs::crash`], nothing is truncated or
+    /// rolled back — written-but-unsynced bytes stay in the page cache
+    /// and unsynced renames stay in the directory, exactly as a real
+    /// OS keeps them when one process dies. Scheduled faults and the
+    /// power-off latch are cleared so a successor process (a healing
+    /// coordinator, a respawned worker) can keep operating on the same
+    /// disk. The operation counter and oplog are reset so the
+    /// successor's crash points number from zero.
+    pub fn exit_process(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.faults.clear();
+        st.powered_off = false;
+        st.ops = 0;
+        st.oplog.clear();
+    }
+
     /// Simulates the reboot after a power loss: collapses visible
     /// state into what a fresh mount would find under `style`, clears
     /// all faults and the power-off latch, and resets the operation
@@ -814,6 +831,30 @@ mod tests {
         let snap = reg.snapshot(SnapshotMode::Deterministic);
         assert_eq!(snap.counter("vfs.ops.write"), 1, "the attempt is counted");
         assert_eq!(snap.counter("vfs.bytes_written"), 0, "failed bytes are not");
+    }
+
+    /// A killed process loses nothing that was already in the page
+    /// cache: unsynced bytes and unsynced renames survive, and the
+    /// successor process can operate on the same disk.
+    #[test]
+    fn exit_process_preserves_unsynced_state_and_unlatches() {
+        let fs = SimFs::new().with_fault(3, Inject::PowerCut);
+        let mut f = fs.create(&p("/s/.tmp")).unwrap(); // op 0
+        f.write_all(b"unsynced").unwrap(); // op 1
+        fs.rename(&p("/s/.tmp"), &p("/s/final")).unwrap(); // op 2
+        // op 3: the injected "kill" halts the victim mid-protocol.
+        assert!(fs.sync_dir(&p("/s")).is_err());
+        assert!(fs.powered_off());
+        fs.exit_process();
+        assert!(!fs.powered_off());
+        assert_eq!(fs.ops(), 0, "successor numbers ops from zero");
+        // Page-cache state survived the kill intact.
+        let mut got = Vec::new();
+        fs.open_read(&p("/s/final")).unwrap().read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"unsynced");
+        // ...but none of it is durable: a machine crash now loses it.
+        let fs = fs.crash(CrashStyle::Pessimist);
+        assert!(!fs.exists(&p("/s/final")));
     }
 
     #[test]

@@ -228,6 +228,86 @@ fn commit_days_is_atomic_under_a_power_cut_at_every_operation() {
 }
 
 // ---------------------------------------------------------------------------
+// Repair is idempotent: a second repair pass finds nothing to do, and
+// the repaired store accepts fresh batch commits.
+// ---------------------------------------------------------------------------
+
+/// Repairs the disk twice and asserts the second *repair* pass takes
+/// zero actions — no quarantines, no orphan or stale-manifest
+/// removals, no tmp sweeps. (Stronger than "the second dry run is
+/// healthy": it pins that repair itself converges in one step, so a
+/// healing coordinator re-running `fsck --repair` on a store it
+/// already repaired — a regranted worker's predecessor crashed twice
+/// — can never oscillate.) Then commits a fresh day batch through the
+/// repaired store and reads it back, proving repair leaves the store
+/// fully writable, not merely consistent.
+fn assert_repair_idempotent_and_recommittable(fs: &SimFs, ctx: &str) {
+    fsck(fs, &dir(), true).unwrap_or_else(|e| panic!("{ctx}: first repair failed: {e}"));
+    let second = fsck(fs, &dir(), true).unwrap_or_else(|e| panic!("{ctx}: second repair failed: {e}"));
+    assert!(
+        second.quarantined.is_empty()
+            && second.orphans_removed.is_empty()
+            && second.stale_manifests.is_empty()
+            && second.tmp_swept.is_empty(),
+        "{ctx}: second repair found new actions:\n{}",
+        second.render(),
+    );
+    assert!(second.is_healthy(), "{ctx}: repaired store not healthy:\n{}", second.render());
+    // Round trip: the repaired store takes a new atomic batch.
+    let mut store = LogStore::open_on(fs.clone(), dir())
+        .unwrap_or_else(|e| panic!("{ctx}: reopen after repair failed: {e}"));
+    let fresh = recs(9, 9, 5);
+    store
+        .commit_days(&[(9, fresh.clone())])
+        .unwrap_or_else(|e| panic!("{ctx}: commit through repaired store failed: {e}"));
+    let reopened = LogStore::open_on(fs.clone(), dir()).unwrap();
+    assert!(reopened.committed_days().contains(&9), "{ctx}: fresh commit not visible");
+    let (got, damage) = reopened
+        .read_day(9, ReadMode::Strict)
+        .unwrap_or_else(|e| panic!("{ctx}: fresh day unreadable: {e}"));
+    assert_eq!(got, fresh, "{ctx}: fresh day content wrong");
+    assert!(damage.is_clean(), "{ctx}: fresh day read with damage");
+}
+
+#[test]
+fn fsck_repair_is_idempotent_on_every_crash_scenario() {
+    // Scenario A: the write_day workload cut at every op.
+    let probe = setup_write_day();
+    let base_ops = probe.ops();
+    run_write_day(&probe).unwrap();
+    let total = probe.ops() - base_ops;
+    for cut in 0..total {
+        let fs = setup_write_day();
+        let at_op = fs.ops() + cut;
+        let fs = fs.with_fault(at_op, Inject::PowerCut);
+        run_write_day(&fs).expect_err("power cut must surface as an error");
+        for style in [CrashStyle::Pessimist, CrashStyle::Torn { seed: 0xDEAD_BEEF }] {
+            let ctx = format!("write_day cut at op {cut}/{total}, {style:?}");
+            let rebooted = fs.fork().crash(style);
+            assert_repair_idempotent_and_recommittable(&rebooted, &ctx);
+        }
+    }
+
+    // Scenario B: the manifest-journaled batch commit cut at every op.
+    let probe = setup_commit();
+    let base_ops = probe.ops();
+    run_commit(&probe).unwrap();
+    let total = probe.ops() - base_ops;
+    for cut in 0..total {
+        let fs = setup_commit();
+        let at_op = fs.ops() + cut;
+        let fs = fs.with_fault(at_op, Inject::PowerCut);
+        let _ = run_commit(&fs);
+        assert!(fs.powered_off(), "scheduled power cut never fired");
+        for style in [CrashStyle::Pessimist, CrashStyle::Torn { seed: 42 }] {
+            let ctx = format!("commit cut at op {cut}/{total}, {style:?}");
+            let rebooted = fs.fork().crash(style);
+            assert_repair_idempotent_and_recommittable(&rebooted, &ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Satellite: ENOSPC and short writes at every operation (tmp hygiene).
 // ---------------------------------------------------------------------------
 

@@ -35,6 +35,20 @@ pub enum EventKind {
     FsckSalvage,
     /// `fsck` applied a repair (rewrote a day, swept a stale file).
     FsckRepair,
+    /// A coordinator spawned (or respawned) a shard worker process.
+    WorkerSpawn,
+    /// A worker's progress heartbeat, observed by the coordinator.
+    /// `offset` carries the final beat count seen for that grant.
+    WorkerHeartbeat,
+    /// The coordinator fenced a new epoch over a dead or wedged
+    /// worker's lease and took the shard back.
+    LeaseSteal,
+    /// The coordinator's post-mortem `fsck` verdict on an orphaned
+    /// shard store (`detail` says healthy/repaired).
+    FsckVerdict,
+    /// A shard exhausted reassignment and was recorded as lost:
+    /// coverage degrades, quarantine provenance is written.
+    ShardLost,
 }
 
 impl EventKind {
@@ -50,6 +64,11 @@ impl EventKind {
             EventKind::FsckAdopt => "fsck_adopt",
             EventKind::FsckSalvage => "fsck_salvage",
             EventKind::FsckRepair => "fsck_repair",
+            EventKind::WorkerSpawn => "worker_spawn",
+            EventKind::WorkerHeartbeat => "worker_heartbeat",
+            EventKind::LeaseSteal => "lease_steal",
+            EventKind::FsckVerdict => "fsck_verdict",
+            EventKind::ShardLost => "shard_lost",
         }
     }
 }
