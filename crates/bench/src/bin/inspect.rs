@@ -26,6 +26,7 @@
 //! inspect fsck <DIR> [--repair]
 //! inspect metrics <DIR>
 //! inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>
+//! inspect perf-check <BENCH.json> [--min-speedup X] [--max-figure-ratio Y] [--floor-ms F]
 //! inspect worker --root DIR --shard S --shards N --emitters E --epoch G --attempt A ...
 //! ```
 //!
@@ -50,7 +51,12 @@
 //! document, guaranteed to agree with `inspect fsck`'s report because
 //! both derive from the same pass. `metrics-check` validates a
 //! snapshot JSON document against a JSON-schema file (the CI
-//! `metrics-golden` job drives it).
+//! `metrics-golden` job drives it). `perf-check` gates a
+//! `BENCH_repro.json` written by `repro --timings`: end-to-end
+//! speedup must reach `--min-speedup`, and no figure's cached run may
+//! exceed `--max-figure-ratio` times its serial-uncached time
+//! (figures faster than `--floor-ms` both ways are exempt — at that
+//! size the ratio measures timer noise, not work).
 
 use ipactive_bench::{Repro, Scale};
 use ipactive_core::{matrix, outages, persistence};
@@ -65,6 +71,7 @@ fn main() {
             Some("mkstore") => run_mkstore(&args[1..]),
             Some("metrics") => run_metrics(&args[1..]),
             Some("metrics-check") => run_metrics_check(&args[1..]),
+            Some("perf-check") => run_perf_check(&args[1..]),
             Some("worker") => ipactive_bench::worker_cli::run(&args[1..]),
             _ => {}
         }
@@ -277,9 +284,96 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]\n       inspect metrics <DIR>\n       inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]\n       inspect metrics <DIR>\n       inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>\n       inspect perf-check <BENCH.json> [--min-speedup X] [--max-figure-ratio Y] [--floor-ms F]"
     );
     std::process::exit(2);
+}
+
+/// `inspect perf-check <BENCH.json> [--min-speedup X]
+/// [--max-figure-ratio Y] [--floor-ms F]` — gate a `BENCH_repro.json`
+/// written by `repro --timings`. Fails (exit 1) when the end-to-end
+/// cached speedup falls below `--min-speedup` (default 2.0) or any
+/// figure's cached-parallel time exceeds `--max-figure-ratio` (default
+/// 1.5) times its serial-uncached time. Figures where both sides run
+/// under `--floor-ms` (default 20) are exempt from the per-figure
+/// ratio: at that size the ratio amplifies scheduler jitter, not a
+/// regression. Exit status: 0 pass, 1 regression, 2 unreadable.
+fn run_perf_check(args: &[String]) -> ! {
+    let mut path: Option<&str> = None;
+    let mut min_speedup = 2.0f64;
+    let mut max_ratio = 1.5f64;
+    let mut floor_ms = 20.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--min-speedup" => min_speedup = num("--min-speedup"),
+            "--max-figure-ratio" => max_ratio = num("--max-figure-ratio"),
+            "--floor-ms" => floor_ms = num("--floor-ms"),
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = ipactive_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    let field = |v: &ipactive_obs::json::Json, key: &str| -> f64 {
+        v.get(key).and_then(|x| x.as_f64()).unwrap_or_else(|| {
+            eprintln!("error: {path}: missing numeric field {key:?}");
+            std::process::exit(2);
+        })
+    };
+    let total = field(&doc, "total_ms");
+    let serial = field(&doc, "serial_uncached_total_ms");
+    let speedup = serial / total.max(1e-9);
+    let mut failures = 0usize;
+    println!(
+        "end-to-end: {serial:.1} ms serial-uncached -> {total:.1} ms cached = {speedup:.2}x \
+         (gate: >= {min_speedup:.2}x)"
+    );
+    if speedup < min_speedup {
+        println!("FAIL  end-to-end speedup below the gate");
+        failures += 1;
+    }
+    let figures = doc.get("figures").and_then(|f| f.as_array()).unwrap_or_else(|| {
+        eprintln!("error: {path}: missing \"figures\" array");
+        std::process::exit(2);
+    });
+    for f in figures {
+        let name = f.get("name").and_then(|n| n.as_str()).unwrap_or("?");
+        let ms = field(f, "ms");
+        let base = field(f, "serial_uncached_ms");
+        if ms < floor_ms && base < floor_ms {
+            continue;
+        }
+        if ms > max_ratio * base {
+            println!(
+                "FAIL  {name}: cached {ms:.1} ms > {max_ratio:.2}x serial-uncached {base:.1} ms"
+            );
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!(
+            "perf-check: pass ({} figures, per-figure gate {max_ratio:.2}x over {floor_ms:.0} ms)",
+            figures.len()
+        );
+        std::process::exit(0);
+    }
+    println!("perf-check: {failures} regression(s)");
+    std::process::exit(1);
 }
 
 /// `inspect metrics <DIR>` — read a store through an observability

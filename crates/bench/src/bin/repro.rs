@@ -10,12 +10,17 @@
 //! Use a release build for `--scale full` (the default). `--out`
 //! writes the combined report to a file as well as stdout.
 //!
-//! `--jobs N` regenerates the full suite across `N` worker threads
-//! sharing the memoized activity-set cache; output is identical to the
-//! serial run, just faster. `--timings` additionally times a serial
-//! cache-bypassed baseline first and writes the comparison — per-figure
-//! milliseconds, total wall-clock, cache hit counts, speedup — to
-//! `BENCH_repro.json`. Both apply to the full suite only.
+//! `--jobs N` regenerates the full suite across up to `N` worker
+//! threads (clamped to the machine's cores) sharing the memoized
+//! activity-set cache, heavy figures scheduled first and idle cores
+//! lent to the running figures' chunked kernels; output is identical
+//! to the serial run, just faster. `--timings` additionally times a
+//! serial cache-bypassed baseline first, then re-times the warm suite
+//! at jobs 1, 2, and `N`, and writes the comparison — per-figure
+//! milliseconds and subtask counts, total wall-clock, cache hit
+//! counts, speedup, the jobs sweep — to `BENCH_repro.json` (which
+//! `inspect perf-check` gates in CI). Both apply to the full suite
+//! only.
 //!
 //! `--workers`/`--collectors` route dataset construction through the
 //! sharded log pipeline instead of the direct builders — the datasets
@@ -338,7 +343,19 @@ fn main() {
             "speedup vs serial uncached: {:.2}x",
             baseline.total_ms / cached.total_ms.max(1e-9)
         );
-        let json = cached.bench_json(&baseline, seed, scale);
+        // Warm sweep: the cache is fully populated now, so these
+        // passes time scheduling and the chunked kernels alone. Same
+        // bytes at every point — only the wall-clock varies.
+        let mut sweep_points = vec![1usize, 2, jobs];
+        sweep_points.sort_unstable();
+        sweep_points.dedup();
+        let mut jobs_sweep = Vec::new();
+        for j in sweep_points {
+            let warm = repro.run_all(j);
+            eprintln!("warm sweep: jobs {j} -> {:.1} ms", warm.total_ms);
+            jobs_sweep.push((j, warm.total_ms));
+        }
+        let json = cached.bench_json(&baseline, seed, scale, &jobs_sweep);
         if let Err(e) = std::fs::write("BENCH_repro.json", &json) {
             eprintln!("error: failed to write BENCH_repro.json: {e}");
             std::process::exit(1);

@@ -20,6 +20,7 @@ use ipactive_cdnsim::{
     UniverseConfig,
 };
 use ipactive_obs::{Registry, SnapshotMode, SpanSnapshot};
+use ipactive_core::par::{self, Parallelism};
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
     traffic, visibility, DailyDataset, WeeklyDataset,
@@ -183,6 +184,17 @@ pub const EXPERIMENTS: [&str; 24] = [
     "fig1", "table1", "fig2a", "fig2b", "fig3a", "fig3b", "fig4a", "fig4b", "fig4c",
     "fig5a", "fig5b", "fig5c", "table2", "fig6", "fig7", "fig8a", "fig8b", "fig8c",
     "fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12",
+];
+
+/// [`EXPERIMENTS`] indices in scheduling order: the measured
+/// heavyweights first, so the figures that dominate the critical path
+/// start before the cheap ones instead of landing on whichever worker
+/// drains last. A pure constant — workers pull from this list through
+/// a shared counter, and the report is still assembled in
+/// [`EXPERIMENTS`] order, so output bytes never depend on it.
+const HEAVY_FIRST: [usize; 24] = [
+    10, 11, 7, 6, 9, 20, 16, // fig5b fig5c fig4b fig4a fig5a fig9c fig8b
+    0, 1, 2, 3, 4, 5, 8, 12, 13, 14, 15, 17, 18, 19, 21, 22, 23,
 ];
 
 impl<S: ActiveSet> Repro<S> {
@@ -388,6 +400,14 @@ impl<S: ActiveSet> Repro<S> {
 
     /// Runs one experiment by name, returning its report text.
     pub fn run(&self, name: &str) -> Option<String> {
+        self.run_with(name, &Parallelism::serial())
+    }
+
+    /// [`Repro::run`] with an explicit helper-thread budget for the
+    /// figure's chunked kernels. The chunk partition is a pure
+    /// function of the problem size (see [`par`]), so the output is
+    /// byte-identical whatever the budget.
+    pub fn run_with(&self, name: &str, par: &Parallelism) -> Option<String> {
         Some(match name {
             "fig1" => self.fig1(),
             "table1" => self.table1(),
@@ -395,21 +415,21 @@ impl<S: ActiveSet> Repro<S> {
             "fig2b" => self.fig2b(),
             "fig3a" => self.fig3a(),
             "fig3b" => self.fig3b(),
-            "fig4a" => self.fig4a(),
-            "fig4b" => self.fig4b(),
+            "fig4a" => self.fig4a(par),
+            "fig4b" => self.fig4b(par),
             "fig4c" => self.fig4c(),
-            "fig5a" => self.fig5a(),
-            "fig5b" => self.fig5b(),
-            "fig5c" => self.fig5c(),
+            "fig5a" => self.fig5a(par),
+            "fig5b" => self.fig5b(par),
+            "fig5c" => self.fig5c(par),
             "table2" => self.table2(),
             "fig6" => self.fig6(),
             "fig7" => self.fig7(),
             "fig8a" => self.fig8a(),
-            "fig8b" => self.fig8b(),
+            "fig8b" => self.fig8b(par),
             "fig8c" => self.fig8c(),
             "fig9a" => self.fig9a(),
             "fig9b" => self.fig9b(),
-            "fig9c" => self.fig9c(),
+            "fig9c" => self.fig9c(par),
             "fig10" => self.fig10(),
             "fig11" => self.fig11(),
             "fig12" => self.fig12(),
@@ -619,8 +639,8 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 4(a): daily actives with up/down events.
-    pub fn fig4a(&self) -> String {
-        let series = churn::daily_series(&self.daily);
+    pub fn fig4a(&self, par: &Parallelism) -> String {
+        let series = churn::daily_series_over(&self.engine, par);
         let mut out = header(
             "Figure 4(a) — daily active IPv4 addresses and up/down events",
             "paper: ~650M daily actives, ~55M daily up and down events, weekend dips",
@@ -650,7 +670,7 @@ impl<S: ActiveSet> Repro<S> {
             big(avg_down as u64),
             100.0 * avg_down / avg_active,
         );
-        let profile = churn::weekday_profile(&self.daily);
+        let profile = churn::weekday_profile_from(&series);
         let weekday = profile[..5].iter().sum::<f64>() / 5.0;
         let weekend = profile[5..].iter().sum::<f64>() / 2.0;
         let _ = writeln!(
@@ -664,8 +684,8 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 4(b): churn vs aggregation window size.
-    pub fn fig4b(&self) -> String {
-        let sweep = churn::window_sweep(&self.daily, &[1, 2, 3, 4, 7, 14, 21, 28]);
+    pub fn fig4b(&self, par: &Parallelism) -> String {
+        let sweep = churn::window_sweep_over(&self.engine, &[1, 2, 3, 4, 7, 14, 21, 28], par);
         let mut out = header(
             "Figure 4(b) — up/down event percentage vs aggregation window",
             "paper: ~8% daily, day-of-week spikes to 14%, plateau ≈5% for windows ≥7d",
@@ -690,7 +710,7 @@ impl<S: ActiveSet> Repro<S> {
         }
         // Extension beyond the paper's 28-day ceiling: the same sweep
         // over week-granularity windows of the weekly dataset.
-        for w in churn::weekly_window_sweep(&self.weekly, &[4, 8, 13]) {
+        for w in churn::weekly_window_sweep_over(&self.engine, &[4, 8, 13], par) {
             let _ = writeln!(
                 out,
                 "  {:<8} {:>6.1} /{:>6.1} /{:>6.1} {:>6.1} /{:>6.1} /{:>6.1}  (weekly data)",
@@ -741,7 +761,7 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 5(a): per-AS median up-event percentage CDF.
-    pub fn fig5a(&self) -> String {
+    pub fn fig5a(&self, par: &Parallelism) -> String {
         let table = self.universe.bgp().base();
         let min_ips = self.min_as_ips();
         let mut out = header(
@@ -752,9 +772,13 @@ impl<S: ActiveSet> Repro<S> {
             if self.daily.num_days / window < 2 {
                 continue;
             }
-            let ecdf = churn::per_as_churn(&self.daily, window, min_ips, |b| {
-                table.origin_of(b.network())
-            });
+            let ecdf = churn::per_as_churn_over(
+                &self.engine,
+                window,
+                min_ips,
+                |b| table.origin_of(b.network()),
+                par,
+            );
             if ecdf.is_empty() {
                 let _ =
                     writeln!(out, "  {window}d window: no AS passes the {min_ips}-IP filter");
@@ -771,7 +795,7 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 5(b): event size distribution by covering prefix mask.
-    pub fn fig5b(&self) -> String {
+    pub fn fig5b(&self, par: &Parallelism) -> String {
         let mut out = header(
             "Figure 5(b) — size of up events (smallest covering prefix mask)",
             "paper: 1d events >70% at /31–/32; 28d windows: >38% of events at masks ≤ /24",
@@ -785,7 +809,7 @@ impl<S: ActiveSet> Repro<S> {
             if self.daily.num_days / window < 2 {
                 continue;
             }
-            let h = events::event_sizes(&self.engine, window, events::EventDirection::Up);
+            let h = events::event_sizes_par(&self.engine, window, events::EventDirection::Up, par);
             let b = h.figure5b_buckets();
             let _ = writeln!(
                 out,
@@ -802,7 +826,7 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 5(c): correlation of events with BGP changes.
-    pub fn fig5c(&self) -> String {
+    pub fn fig5c(&self, par: &Parallelism) -> String {
         let offset = self.universe.config().daily_offset as u16;
         let mut out = header(
             "Figure 5(c) — % of events coinciding with a BGP change",
@@ -813,7 +837,8 @@ impl<S: ActiveSet> Repro<S> {
             if self.daily.num_days / window < 2 {
                 continue;
             }
-            let c = events::bgp_correlation(&self.engine, window, self.universe.bgp(), offset);
+            let c =
+                events::bgp_correlation_par(&self.engine, window, self.universe.bgp(), offset, par);
             let _ = writeln!(
                 out,
                 "  {:<8} {:>7.2}% {:>7.2}% {:>7.2}%",
@@ -984,8 +1009,15 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 8(b): filling degree by DNS-derived assignment class.
-    pub fn fig8b(&self) -> String {
-        let split = blocks::fd_by_assignment(&self.daily, self.universe.ptr_table(), 16);
+    pub fn fig8b(&self, par: &Parallelism) -> String {
+        let all = self.engine.all_active();
+        let split = blocks::fd_by_assignment_over(
+            &self.daily,
+            &*all,
+            self.universe.ptr_table(),
+            16,
+            par,
+        );
         let mut out = header(
             "Figure 8(b) — filling degree of /24s: static vs dynamic (PTR tags)",
             "paper: 75% of static /24s below FD 64; >80% of dynamic /24s above FD 250",
@@ -1130,8 +1162,8 @@ impl<S: ActiveSet> Repro<S> {
     }
 
     /// Figure 9(c): weekly traffic share of the top-10% addresses.
-    pub fn fig9c(&self) -> String {
-        let shares = traffic::weekly_top_share(&self.weekly, 0.1);
+    pub fn fig9c(&self, par: &Parallelism) -> String {
+        let shares = traffic::weekly_top_share_par(&self.weekly, 0.1, par);
         let smooth = traffic::moving_average(&shares, 4);
         let mut out = header(
             "Figure 9(c) — weekly traffic share of the top 10% of addresses",
@@ -1305,46 +1337,70 @@ impl<S: ActiveSet> Repro<S> {
         self.router_set();
     }
 
-    /// Runs every experiment across `jobs` scoped worker threads.
+    /// Runs every experiment across up to `jobs` scoped worker
+    /// threads, heavy figures first.
     ///
-    /// Workers pull figure indices from a shared counter, so scheduling
-    /// is dynamic, but the report is always assembled in
-    /// [`EXPERIMENTS`] order — output is deterministic and
+    /// The worker count is clamped to the machine's cores (a `--jobs`
+    /// above the core count used to oversubscribe a small box and run
+    /// *slower* than serial); the clamped-off budget, plus each
+    /// worker's core as it retires, feeds a shared [`Parallelism`]
+    /// pool that the still-running figures' chunked kernels draw
+    /// helper threads from — so the tail of the schedule, when few
+    /// figures remain, parallelizes *inside* the heavy figures
+    /// instead of idling. Workers pull `HEAVY_FIRST` indices off a
+    /// shared counter, but the report is always assembled in
+    /// [`EXPERIMENTS`] order: output is deterministic and
     /// byte-identical to running each figure serially (pinned by
-    /// `tests/engine.rs`). Per-figure wall-clock and the cache
-    /// counters accumulated during the run ride along for
+    /// `tests/engine.rs`), and the cache hit/miss totals are a pure
+    /// function of the query set, independent of `jobs`. Per-figure
+    /// wall-clock and subtask counts ride along for
     /// `BENCH_repro.json`.
     pub fn run_all(&self, jobs: usize) -> RunAllReport {
         let jobs = jobs.max(1);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let budget = jobs.min(cores);
+        let workers = budget.min(EXPERIMENTS.len());
+        let pool = Parallelism::new(budget - workers);
         let before = self.engine.stats();
         let started = Instant::now();
+        // Bulk-build every day/week unit set up front (one transposed
+        // pass per dataset, uncounted) so the first heavy figures don't
+        // absorb ~120 cold unit builds on their own clocks. Inside the
+        // timed window: the cached pass pays for it honestly.
+        self.engine.prewarm_units();
         let mut slots: Vec<Option<FigureRun>> = Vec::new();
         slots.resize_with(EXPERIMENTS.len(), || None);
         let next = AtomicUsize::new(0);
         let suite_span = self.registry.span("repro.run_all");
         std::thread::scope(|scope| {
-            let workers: Vec<_> = (0..jobs)
+            let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut done = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= EXPERIMENTS.len() {
+                            let slot = next.fetch_add(1, Ordering::Relaxed);
+                            if slot >= HEAVY_FIRST.len() {
                                 break;
                             }
+                            let i = HEAVY_FIRST[slot];
                             let name = EXPERIMENTS[i];
                             let _span = self.registry.span(format!("figure.{name}"));
                             let t0 = Instant::now();
-                            let output = self.run(name).expect("EXPERIMENTS entries are runnable");
+                            let output = self
+                                .run_with(name, &pool)
+                                .expect("EXPERIMENTS entries are runnable");
                             let millis = t0.elapsed().as_secs_f64() * 1e3;
-                            done.push((i, FigureRun { name, output, millis }));
+                            done.push((i, FigureRun { name, output, millis, subtasks: 1 }));
                         }
+                        // This worker's core is free now; lend it to the
+                        // kernels of whatever figures are still running.
+                        pool.release_tokens(1);
                         done
                     })
                 })
                 .collect();
-            for worker in workers {
-                for (i, run) in worker.join().expect("figure worker panicked") {
+            for handle in handles {
+                for (i, run) in handle.join().expect("figure worker panicked") {
                     slots[i] = Some(run);
                 }
             }
@@ -1352,15 +1408,71 @@ impl<S: ActiveSet> Repro<S> {
         drop(suite_span);
         let total_ms = started.elapsed().as_secs_f64() * 1e3;
         let after = self.engine.stats();
+        let mut figures: Vec<FigureRun> =
+            slots.into_iter().map(|s| s.expect("every figure ran")).collect();
+        // Subtask attribution happens after the cache delta is
+        // captured: figure_subtasks re-derives loop extents with a few
+        // (cached) engine queries that must not skew the figures'
+        // hit/miss accounting.
+        for f in &mut figures {
+            f.subtasks = self.figure_subtasks(f.name);
+            self.registry.gauge(format!("figure.{}.subtasks", f.name)).set(f.subtasks as i64);
+        }
         RunAllReport {
             jobs,
-            figures: slots.into_iter().map(|s| s.expect("every figure ran")).collect(),
+            figures,
             total_ms,
             cache: CacheStats {
                 hits: after.hits - before.hits,
                 misses: after.misses - before.misses,
             },
             spans: self.registry.snapshot(SnapshotMode::Timed).spans,
+        }
+    }
+
+    /// How many chunk-range subtasks `name`'s kernels partition their
+    /// dominant loops into — re-derived from the pure
+    /// [`par::chunk_count`] partition (summed across a figure's
+    /// kernel invocations), so it is the same number whatever thread
+    /// budget actually ran the chunks. Figures without a chunked
+    /// kernel report 1.
+    fn figure_subtasks(&self, name: &str) -> usize {
+        let days = self.daily.num_days;
+        let weeks = self.weekly.num_weeks;
+        let event_windows = |min_chunk: usize| -> usize {
+            [1usize, 7, 28]
+                .iter()
+                .filter(|&&w| days / w >= 2)
+                .map(|&w| par::chunk_count(days / w - 1, min_chunk))
+                .sum()
+        };
+        match name {
+            "fig4a" => par::chunk_count(days.saturating_sub(1), 8),
+            "fig4b" => {
+                let daily: usize = [1usize, 2, 3, 4, 7, 14, 21, 28]
+                    .iter()
+                    .filter(|&&w| days / w >= 2)
+                    .map(|&w| par::chunk_count(days / w - 1, 4))
+                    .sum();
+                let weekly: usize = [4usize, 8, 13]
+                    .iter()
+                    .filter(|&&w| weeks / w >= 2)
+                    .map(|&w| par::chunk_count(weeks / w - 1, 4))
+                    .sum();
+                daily + weekly
+            }
+            "fig5a" => {
+                let blocks = self.engine.all_active().blocks24().len();
+                [1usize, 7, 28]
+                    .iter()
+                    .filter(|&&w| days / w >= 2)
+                    .map(|_| par::chunk_count(blocks, 64))
+                    .sum()
+            }
+            "fig5b" | "fig5c" => event_windows(2),
+            "fig8b" => par::chunk_count(self.daily.blocks.len(), 64),
+            "fig9c" => par::chunk_count(weeks, 4),
+            _ => 1,
         }
     }
 
@@ -1377,7 +1489,8 @@ impl<S: ActiveSet> Repro<S> {
                 .map(|&name| {
                     let t0 = Instant::now();
                     let output = self.run(name).expect("EXPERIMENTS entries are runnable");
-                    FigureRun { name, output, millis: t0.elapsed().as_secs_f64() * 1e3 }
+                    let millis = t0.elapsed().as_secs_f64() * 1e3;
+                    FigureRun { name, output, millis, subtasks: 1 }
                 })
                 .collect()
         };
@@ -1418,6 +1531,10 @@ pub struct FigureRun {
     pub output: String,
     /// Wall-clock spent generating it, in milliseconds.
     pub millis: f64,
+    /// Chunk-range subtasks the figure's kernels partitioned into (1
+    /// for figures with no chunked kernel, and for the serial-uncached
+    /// baseline, which reports the pre-engine execution shape).
+    pub subtasks: usize,
 }
 
 /// Result of [`Repro::run_all`] / [`Repro::run_serial_uncached`]:
@@ -1448,7 +1565,14 @@ impl RunAllReport {
     pub fn render_timings(&self) -> String {
         let mut out = String::new();
         for f in &self.figures {
-            let _ = writeln!(out, "  {:<8} {:>9.2} ms", f.name, f.millis);
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>9.2} ms  ({} subtask{})",
+                f.name,
+                f.millis,
+                f.subtasks,
+                if f.subtasks == 1 { "" } else { "s" },
+            );
         }
         let _ = writeln!(
             out,
@@ -1464,9 +1588,17 @@ impl RunAllReport {
 
     /// Renders `BENCH_repro.json`: this (cached, possibly parallel) run
     /// against the serial uncached `baseline`, per-figure and in total.
-    /// Hand-rolled JSON — every value is a number or a fixed
-    /// identifier, so no escaping is needed.
-    pub fn bench_json(&self, baseline: &RunAllReport, seed: u64, scale: Scale) -> String {
+    /// `jobs_sweep` rows are warm `(jobs, total_ms)` reruns recorded by
+    /// `repro --timings` — same output bytes at every point, so only
+    /// the wall-clock varies. Hand-rolled JSON — every value is a
+    /// number or a fixed identifier, so no escaping is needed.
+    pub fn bench_json(
+        &self,
+        baseline: &RunAllReport,
+        seed: u64,
+        scale: Scale,
+        jobs_sweep: &[(usize, f64)],
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{{");
         let _ = writeln!(out, "  \"bench\": \"repro_run_all\",");
@@ -1484,9 +1616,16 @@ impl RunAllReport {
             let comma = if i + 1 < n { "," } else { "" };
             let _ = writeln!(
                 out,
-                "    {{\"name\": \"{}\", \"ms\": {:.3}, \"serial_uncached_ms\": {:.3}}}{comma}",
-                f.name, f.millis, b.millis,
+                "    {{\"name\": \"{}\", \"ms\": {:.3}, \"serial_uncached_ms\": {:.3}, \"subtasks\": {}}}{comma}",
+                f.name, f.millis, b.millis, f.subtasks,
             );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"jobs_sweep\": [");
+        let n = jobs_sweep.len();
+        for (i, (jobs, ms)) in jobs_sweep.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "    {{\"jobs\": {jobs}, \"total_ms\": {ms:.3}}}{comma}");
         }
         let _ = writeln!(out, "  ],");
         let _ = writeln!(out, "  \"spans\": [");
@@ -1855,6 +1994,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn heavy_first_is_a_permutation_of_the_experiments() {
+        let mut seen = [false; EXPERIMENTS.len()];
+        for &i in &HEAVY_FIRST {
+            assert!(!seen[i], "index {i} scheduled twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
     fn big_formats_thousands() {
         assert_eq!(big(0), "0");
         assert_eq!(big(999), "999");
@@ -1892,10 +2041,10 @@ mod tests {
         let t1 = r.table1();
         assert!(t1.contains("Daily") && t1.contains("Weekly"));
         // Figure 4(b) includes the weekly-window extension rows.
-        let f4b = r.fig4b();
+        let f4b = r.fig4b(&Parallelism::serial());
         assert!(f4b.contains("(weekly data)"));
         // Figure 9(c) reports both the share trend and the Gini lens.
-        let f9c = r.fig9c();
+        let f9c = r.fig9c(&Parallelism::serial());
         assert!(f9c.contains("trend:") && f9c.contains("Gini"));
     }
 

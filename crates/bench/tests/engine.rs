@@ -2,7 +2,7 @@
 //! the parallel `run_all` must be invisible in the output — every
 //! figure byte-identical to a serial run with the cache bypassed.
 
-use ipactive_bench::{Repro, Scale, EXPERIMENTS};
+use ipactive_bench::{AnalysisCtx, Repro, Scale, EXPERIMENTS};
 use std::sync::Arc;
 
 #[test]
@@ -123,7 +123,7 @@ fn bench_json_reports_both_runs() {
     repro.prewarm_probes();
     let baseline = repro.run_serial_uncached();
     let cached = repro.run_all(2);
-    let json = cached.bench_json(&baseline, 0xCAFE, Scale::Tiny);
+    let json = cached.bench_json(&baseline, 0xCAFE, Scale::Tiny, &[(1, 12.5), (8, 4.25)]);
     for needle in [
         "\"bench\": \"repro_run_all\"",
         "\"scale\": \"tiny\"",
@@ -133,7 +133,193 @@ fn bench_json_reports_both_runs() {
         "\"cache_hits\"",
         "\"name\": \"fig1\"",
         "\"name\": \"fig12\"",
+        "\"subtasks\":",
+        "\"jobs_sweep\": [",
+        "{\"jobs\": 1, \"total_ms\": 12.500}",
+        "{\"jobs\": 8, \"total_ms\": 4.250}",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
     }
+    // Every chunked kernel's partition is recorded; at least the
+    // block-scan figures split on the tiny universe too.
+    assert!(cached.figures.iter().any(|f| f.subtasks > 1), "no figure reported subtasks");
+}
+
+#[test]
+fn jobs_sweep_is_deterministic_across_thread_counts_and_reruns() {
+    // One fresh session per point, so every run starts cache-cold:
+    // figure bytes AND cache hit/miss totals must be a pure function
+    // of the query set — independent of the thread count, and stable
+    // across reruns of the same thread count.
+    let runs: Vec<_> = [1usize, 2, 8, 2]
+        .iter()
+        .map(|&jobs| {
+            let repro = Repro::new(0xD15C, Scale::Tiny);
+            let report = repro.run_all(jobs);
+            (jobs, report.combined_output(), report.cache)
+        })
+        .collect();
+    let (_, first_out, first_cache) = &runs[0];
+    for (jobs, out, cache) in &runs[1..] {
+        assert_eq!(out, first_out, "output bytes diverged at jobs {jobs}");
+        assert_eq!(cache, first_cache, "cache totals diverged at jobs {jobs}");
+    }
+}
+
+mod counting_backend {
+    //! A [`RefSet`] wrapper that counts *expensive computations* — a
+    //! streaming build (one `SetBuilder::finish`) or a k-way
+    //! `union_many` — so tests can assert how many times the engine
+    //! really computed, independent of its hit/miss bookkeeping.
+    use ipactive_net::{ActiveSet, Addr, AddrBits256, Block24, Prefix, RefSet, SetBuilder};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub static COMPUTES: AtomicUsize = AtomicUsize::new(0);
+
+    #[derive(Clone, Default, Debug, PartialEq, Eq)]
+    pub struct CountingSet(RefSet);
+
+    impl FromIterator<Addr> for CountingSet {
+        fn from_iter<I: IntoIterator<Item = Addr>>(iter: I) -> Self {
+            CountingSet(RefSet::from_iter(iter))
+        }
+    }
+
+    pub struct CountingBuilder(<RefSet as ActiveSet>::Builder);
+
+    impl SetBuilder for CountingBuilder {
+        type Set = CountingSet;
+        fn new() -> Self {
+            CountingBuilder(<RefSet as ActiveSet>::Builder::new())
+        }
+        fn push_block(&mut self, block: Block24, bits: &AddrBits256) {
+            self.0.push_block(block, bits);
+        }
+        fn finish(self) -> CountingSet {
+            COMPUTES.fetch_add(1, Ordering::SeqCst);
+            CountingSet(self.0.finish())
+        }
+    }
+
+    impl ActiveSet for CountingSet {
+        type Iter<'a> = <RefSet as ActiveSet>::Iter<'a>;
+        type Builder = CountingBuilder;
+        fn backend_name() -> &'static str {
+            "counting"
+        }
+        fn empty() -> Self {
+            CountingSet(RefSet::empty())
+        }
+        fn from_sorted_vec(addrs: Vec<Addr>) -> Self {
+            CountingSet(RefSet::from_sorted_vec(addrs))
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn contains(&self, addr: Addr) -> bool {
+            self.0.contains(addr)
+        }
+        fn count_in(&self, prefix: Prefix) -> usize {
+            self.0.count_in(prefix)
+        }
+        fn iter(&self) -> Self::Iter<'_> {
+            <RefSet as ActiveSet>::iter(&self.0)
+        }
+        fn insert(&mut self, addr: Addr) -> bool {
+            self.0.insert(addr)
+        }
+        fn union(&self, other: &Self) -> Self {
+            CountingSet(self.0.union(&other.0))
+        }
+        fn union_many(sets: &[&Self]) -> Self {
+            COMPUTES.fetch_add(1, Ordering::SeqCst);
+            let inner: Vec<&RefSet> = sets.iter().map(|s| &s.0).collect();
+            CountingSet(RefSet::union_many(&inner))
+        }
+        fn intersect(&self, other: &Self) -> Self {
+            CountingSet(self.0.intersect(&other.0))
+        }
+        fn difference(&self, other: &Self) -> Self {
+            CountingSet(self.0.difference(&other.0))
+        }
+        fn intersect_len(&self, other: &Self) -> usize {
+            self.0.intersect_len(&other.0)
+        }
+        fn memory_bytes(&self) -> usize {
+            self.0.memory_bytes()
+        }
+    }
+}
+
+#[test]
+fn racing_queries_compute_each_key_exactly_once() {
+    // Regression for the old mutex-map miss path, which computed the
+    // window union BEFORE re-checking the map: every racing loser
+    // burned a full computation and then threw it away (counted as a
+    // "hit", so the stats never showed the waste). With per-key slots,
+    // losers block on the winner — the computation count equals the
+    // distinct-key count no matter how many threads collide.
+    use counting_backend::{CountingSet, COMPUTES};
+    use ipactive_bench::CacheStats;
+    use ipactive_core::{DailyDatasetBuilder, WeeklyDatasetBuilder};
+    use std::sync::atomic::Ordering;
+    use std::sync::Barrier;
+
+    let mut d = DailyDatasetBuilder::new(5);
+    let mut w = WeeklyDatasetBuilder::new(2);
+    for day in 0..5 {
+        d.record_hits(day, format!("10.{day}.0.1").parse().unwrap(), 1 + day as u64);
+    }
+    w.record_week(0, "10.0.0.1".parse().unwrap(), 1);
+    let ctx: AnalysisCtx<CountingSet> =
+        AnalysisCtx::new(Arc::new(d.finish()), Arc::new(w.finish()));
+
+    const THREADS: usize = 16;
+    let barrier = Barrier::new(THREADS);
+
+    // Phase 1: every thread storms the same cold key.
+    let before = COMPUTES.load(Ordering::SeqCst);
+    let sets = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    ctx.day_window(0..5)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    });
+    assert_eq!(
+        COMPUTES.load(Ordering::SeqCst) - before,
+        6,
+        "one build per day set plus one union_many — racing losers must not recompute"
+    );
+    for s in &sets[1..] {
+        assert!(Arc::ptr_eq(s, &sets[0]), "all racers must share the winner's set");
+    }
+    assert_eq!(ctx.stats(), CacheStats { hits: (THREADS - 1) as u64, misses: 1 });
+
+    // Phase 2: four cold window keys over already-warm day sets, four
+    // threads colliding on each.
+    ctx.reset_stats();
+    let before = COMPUTES.load(Ordering::SeqCst);
+    std::thread::scope(|scope| {
+        let (barrier, ctx) = (&barrier, &ctx);
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                barrier.wait();
+                let s = t % 4;
+                ctx.day_window(s..s + 2)
+            });
+        }
+    });
+    assert_eq!(
+        COMPUTES.load(Ordering::SeqCst) - before,
+        4,
+        "one union_many per distinct key; member day sets were already cached"
+    );
+    // Per key: 1 miss + 3 loser hits; composition reads the warm day
+    // slots uncounted, so the ledger is exactly 4·3 hits, 4 misses.
+    assert_eq!(ctx.stats(), CacheStats { hits: 12, misses: 4 });
 }

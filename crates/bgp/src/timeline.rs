@@ -190,7 +190,7 @@ impl BgpTimeline {
     /// a queryable [`ChangeSet`].
     pub fn changes_in(&self, days: core::ops::Range<u16>) -> ChangeSet {
         let mut trie = PrefixTrie::new();
-        let mut count = 0usize;
+        let mut prefixes = Vec::new();
         for e in &self.events {
             if e.day < days.start {
                 continue;
@@ -199,10 +199,10 @@ impl BgpTimeline {
                 break;
             }
             if trie.insert(e.prefix, ()).is_none() {
-                count += 1;
+                prefixes.push(e.prefix);
             }
         }
-        ChangeSet { trie, count }
+        ChangeSet { trie, prefixes }
     }
 }
 
@@ -212,7 +212,7 @@ impl BgpTimeline {
 #[derive(Debug, Clone)]
 pub struct ChangeSet {
     trie: PrefixTrie<()>,
-    count: usize,
+    prefixes: Vec<Prefix>,
 }
 
 impl ChangeSet {
@@ -223,12 +223,37 @@ impl ChangeSet {
 
     /// Number of distinct changed prefixes.
     pub fn len(&self) -> usize {
-        self.count
+        self.prefixes.len()
     }
 
     /// Whether no prefix changed.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.prefixes.is_empty()
+    }
+
+    /// The distinct changed prefixes, in first-seen order.
+    pub fn prefixes(&self) -> &[Prefix] {
+        &self.prefixes
+    }
+
+    /// The maximal changed prefixes: every prefix fully covered by
+    /// another is dropped, so the survivors are pairwise disjoint and
+    /// cover exactly the addresses [`ChangeSet::affects`] accepts.
+    /// Sorted by network address — the shape range-counting correlation
+    /// kernels want (sum `count_in` per survivor, no per-address walk).
+    pub fn maximal_prefixes(&self) -> Vec<Prefix> {
+        let mut sorted = self.prefixes.clone();
+        // Network ascending; ties (same base) widest first, so the
+        // sweep below sees each area's covering prefix first.
+        sorted.sort_by_key(|p| (p.network().bits(), p.len()));
+        let mut out: Vec<Prefix> = Vec::with_capacity(sorted.len());
+        for p in sorted {
+            match out.last() {
+                Some(prev) if prev.covers(p) => {}
+                _ => out.push(p),
+            }
+        }
+        out
     }
 }
 
@@ -348,6 +373,24 @@ mod tests {
         let all = tl.changes_in(0..14);
         assert_eq!(all.len(), 2);
         assert!(tl.changes_in(20..30).is_empty());
+    }
+
+    #[test]
+    fn maximal_prefixes_drop_nested_and_sort() {
+        let mut tl = BgpTimeline::new(base());
+        tl.push(BgpEvent { day: 1, prefix: p("10.5.0.0/16"), kind: BgpEventKind::OriginChange { to: Asn(1) } });
+        tl.push(BgpEvent { day: 2, prefix: p("10.5.7.0/24"), kind: BgpEventKind::Withdraw });
+        tl.push(BgpEvent { day: 3, prefix: p("10.0.0.0/8"), kind: BgpEventKind::OriginChange { to: Asn(2) } });
+        tl.push(BgpEvent { day: 4, prefix: p("9.0.0.0/8"), kind: BgpEventKind::Withdraw });
+        let cs = tl.changes_in(0..10);
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs.maximal_prefixes(), vec![p("9.0.0.0/8"), p("10.0.0.0/8")]);
+        // The survivors accept exactly what affects() accepts.
+        for probe in ["9.1.1.1", "10.5.7.7", "10.9.0.1", "11.0.0.1"] {
+            let addr = a(probe);
+            let covered = cs.maximal_prefixes().iter().any(|q| q.contains(addr));
+            assert_eq!(covered, cs.affects(addr), "probe {probe}");
+        }
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //! Figures 8(b) and 8(c)).
 
 use crate::dataset::DailyDataset;
+use crate::par::Parallelism;
 use crate::stats::Ecdf;
 use ipactive_dns::{classify_block, AssignmentHint, PtrTable};
-use ipactive_net::Block24;
+use ipactive_net::{ActiveSet, Block24};
 
 /// Filling-degree distributions split by DNS-derived assignment class
 /// (Figure 8(b)).
@@ -42,6 +43,59 @@ pub fn fd_by_assignment(ds: &DailyDataset, ptr: &PtrTable, min_records: usize) -
             AssignmentHint::Dynamic => dyn_.push(fd as f64),
             AssignmentHint::Unknown => {}
         }
+    }
+    FdByAssignment {
+        n_static: stat.len(),
+        n_dynamic: dyn_.len(),
+        all: Ecdf::new(all),
+        static_blocks: Ecdf::new(stat),
+        dynamic_blocks: Ecdf::new(dyn_),
+    }
+}
+
+/// [`fd_by_assignment`] computed against a pre-materialized
+/// full-window union, with the block scan split into chunk-range
+/// subtasks.
+///
+/// `all_active` must be the union of every day's activity (what
+/// [`DailyDataset::all_active_as`] returns — or a cache's memoized
+/// copy). A block's filling degree over the full window is exactly
+/// the number of its addresses in that union, so
+/// `all_active.count_in(block)` replaces the 256-row matrix walk of
+/// [`BlockRecord::filling_degree`](crate::BlockRecord::filling_degree)
+/// and the result agrees exactly with [`fd_by_assignment`]. Chunk
+/// results concatenate in block order, preserving the serial Ecdf
+/// inputs.
+pub fn fd_by_assignment_over<S: ActiveSet>(
+    ds: &DailyDataset,
+    all_active: &S,
+    ptr: &PtrTable,
+    min_records: usize,
+    par: &Parallelism,
+) -> FdByAssignment {
+    let chunks = par.run(ds.blocks.len(), 64, |range| {
+        let mut all = Vec::new();
+        let mut stat = Vec::new();
+        let mut dyn_ = Vec::new();
+        for rec in &ds.blocks[range] {
+            let fd = all_active.count_in(rec.block.prefix()) as u32;
+            if fd == 0 {
+                continue;
+            }
+            all.push(fd as f64);
+            match classify_block(ptr, rec.block, min_records) {
+                AssignmentHint::Static => stat.push(fd as f64),
+                AssignmentHint::Dynamic => dyn_.push(fd as f64),
+                AssignmentHint::Unknown => {}
+            }
+        }
+        (all, stat, dyn_)
+    });
+    let (mut all, mut stat, mut dyn_) = (Vec::new(), Vec::new(), Vec::new());
+    for (a, s, d) in chunks {
+        all.extend(a);
+        stat.extend(s);
+        dyn_.extend(d);
     }
     FdByAssignment {
         n_static: stat.len(),
@@ -221,6 +275,21 @@ mod tests {
         // Static blocks all have FD <= 64 here; dynamic all > 250.
         assert_eq!(split.static_blocks.fraction_le(64.0), 1.0);
         assert_eq!(split.dynamic_blocks.fraction_le(250.0), 0.0);
+    }
+
+    #[test]
+    fn fd_split_over_union_matches_matrix_walk() {
+        let (ds, ptr) = fixture();
+        let expect = fd_by_assignment(&ds, &ptr, 10);
+        let all: ipactive_net::TieredSet = ds.all_active_as();
+        for pool in [Parallelism::serial(), Parallelism::new(3)] {
+            let got = fd_by_assignment_over(&ds, &all, &ptr, 10, &pool);
+            assert_eq!(got.all.samples(), expect.all.samples());
+            assert_eq!(got.static_blocks.samples(), expect.static_blocks.samples());
+            assert_eq!(got.dynamic_blocks.samples(), expect.dynamic_blocks.samples());
+            assert_eq!(got.n_static, expect.n_static);
+            assert_eq!(got.n_dynamic, expect.n_dynamic);
+        }
     }
 
     #[test]

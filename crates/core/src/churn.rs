@@ -12,11 +12,13 @@
 //! * [`long_term`] — Table 2: appear/disappear between two two-month
 //!   unions, block-level bulkiness, and BGP attribution.
 
-use crate::dataset::{DailyDataset, WeeklyDataset, WeeklyWindows};
+use crate::dataset::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
+use crate::par::Parallelism;
 use crate::stats::{Ecdf, MinMedMax};
 use ipactive_bgp::{Asn, BgpTimeline};
 use ipactive_net::{ActiveSet, AddrSet, Block24};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One day of Figure 4(a): active count plus events versus the
 /// previous day (`up`/`down` are 0 for day 0).
@@ -74,14 +76,52 @@ pub fn daily_series(ds: &DailyDataset) -> Vec<DayChurn> {
     out
 }
 
+/// [`daily_series`] computed through a [`DailyWindows`] source, with
+/// the per-pair intersections split into chunk-range subtasks.
+///
+/// The day sets are fetched up front in day order (so a memoizing
+/// source sees the same query sequence regardless of the subtask
+/// schedule); each pair `(d-1, d)` then needs only one
+/// [`ActiveSet::intersect_len`], since `up = |D_d| − |D_{d-1} ∩ D_d|`
+/// and `down = |D_{d-1}| − |D_{d-1} ∩ D_d|`. Agrees exactly with
+/// [`daily_series`] on the underlying dataset.
+pub fn daily_series_over<W: DailyWindows>(ds: &W, par: &Parallelism) -> Vec<DayChurn> {
+    let n = ds.num_days();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sets: Vec<Arc<W::Set>> = (0..n).map(|d| ds.union(d..d + 1)).collect();
+    let active: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+    let pairs = par.run(n - 1, 8, |range| {
+        range
+            .map(|k| {
+                let d = k + 1;
+                let inter = sets[d - 1].intersect_len(&sets[d]);
+                (active[d] - inter, active[d - 1] - inter)
+            })
+            .collect::<Vec<(usize, usize)>>()
+    });
+    let mut out = vec![DayChurn { day: 0, active: active[0], up: 0, down: 0 }];
+    out.extend(pairs.into_iter().flatten().enumerate().map(|(k, (up, down))| {
+        DayChurn { day: k + 1, active: active[k + 1], up, down }
+    }));
+    out
+}
+
 /// Mean active addresses per day-of-week (index 0..=6; the universe
 /// treats 5 and 6 as the weekend). Figure 4(a)'s weekend dips, made
 /// quantitative.
 pub fn weekday_profile(ds: &DailyDataset) -> [f64; 7] {
-    let series = daily_series(ds);
+    weekday_profile_from(&daily_series(ds))
+}
+
+/// The day-of-week averages of [`weekday_profile`], computed from an
+/// already-materialized daily series (so a caller that has the
+/// Figure 4(a) series in hand does not scan the matrices twice).
+pub fn weekday_profile_from(series: &[DayChurn]) -> [f64; 7] {
     let mut sums = [0f64; 7];
     let mut counts = [0u32; 7];
-    for p in &series {
+    for p in series {
         sums[p.day % 7] += p.active as f64;
         counts[p.day % 7] += 1;
     }
@@ -170,6 +210,68 @@ pub fn window_sweep(ds: &DailyDataset, window_sizes: &[usize]) -> Vec<WindowChur
         .collect()
 }
 
+/// Per-pair up/down percentages from materialized window sets: the
+/// set-algebra form of the [`window_pair_percentages`] matrix scan,
+/// with the pair intersections split into chunk-range subtasks.
+fn pair_percentages_from_windows<S: ActiveSet>(
+    windows: &[Arc<S>],
+    par: &Parallelism,
+) -> (Vec<f64>, Vec<f64>) {
+    let n_windows = windows.len();
+    let sizes: Vec<u64> = windows.iter().map(|w| w.len() as u64).collect();
+    let inters: Vec<u64> = par
+        .run(n_windows - 1, 4, |range| {
+            range
+                .map(|i| windows[i].intersect_len(&windows[i + 1]) as u64)
+                .collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut up_pct = Vec::new();
+    let mut down_pct = Vec::new();
+    for i in 0..n_windows - 1 {
+        if sizes[i + 1] > 0 {
+            up_pct.push(100.0 * (sizes[i + 1] - inters[i]) as f64 / sizes[i + 1] as f64);
+        }
+        if sizes[i] > 0 {
+            down_pct.push(100.0 * (sizes[i] - inters[i]) as f64 / sizes[i] as f64);
+        }
+    }
+    (up_pct, down_pct)
+}
+
+/// [`window_sweep`] computed through a [`DailyWindows`] source.
+///
+/// Each window size fetches its window unions in order (one query per
+/// window, so a memoizing source's hit/miss counts stay a pure
+/// function of the sweep), then reduces every consecutive pair with a
+/// single [`ActiveSet::intersect_len`]: `up = |W_{i+1}| − |W_i ∩
+/// W_{i+1}|`, `down = |W_i| − |W_i ∩ W_{i+1}|`. Agrees exactly with
+/// [`window_sweep`] on the underlying dataset.
+pub fn window_sweep_over<W: DailyWindows>(
+    ds: &W,
+    window_sizes: &[usize],
+    par: &Parallelism,
+) -> Vec<WindowChurn> {
+    window_sizes
+        .iter()
+        .filter(|&&w| w >= 1 && ds.num_days() / w >= 2)
+        .map(|&w| {
+            let n_windows = ds.num_days() / w;
+            let windows: Vec<Arc<W::Set>> =
+                (0..n_windows).map(|i| ds.union(i * w..(i + 1) * w)).collect();
+            let (up, down) = pair_percentages_from_windows(&windows, par);
+            let zero = MinMedMax { min: 0.0, median: 0.0, max: 0.0 };
+            WindowChurn {
+                window_days: w,
+                up: MinMedMax::of(&up).unwrap_or(zero),
+                down: MinMedMax::of(&down).unwrap_or(zero),
+            }
+        })
+        .collect()
+}
+
 /// Extends the Figure 4(b) sweep beyond the daily dataset: the same
 /// min/median/max up/down percentages computed over *week*-sized
 /// aggregation windows of the weekly dataset (window sizes in weeks).
@@ -232,6 +334,32 @@ pub fn weekly_window_sweep(ws: &WeeklyDataset, window_weeks: &[usize]) -> Vec<Wi
         });
     }
     out
+}
+
+/// [`weekly_window_sweep`] computed through a [`WeeklyWindows`]
+/// source — the weekly counterpart of [`window_sweep_over`], with the
+/// same query discipline and pair algebra.
+pub fn weekly_window_sweep_over<W: WeeklyWindows>(
+    ws: &W,
+    window_weeks: &[usize],
+    par: &Parallelism,
+) -> Vec<WindowChurn> {
+    window_weeks
+        .iter()
+        .filter(|&&w| w >= 1 && ws.num_weeks() / w >= 2)
+        .map(|&w| {
+            let n_windows = ws.num_weeks() / w;
+            let windows: Vec<Arc<W::Set>> =
+                (0..n_windows).map(|i| ws.union(i * w..(i + 1) * w)).collect();
+            let (up, down) = pair_percentages_from_windows(&windows, par);
+            let zero = MinMedMax { min: 0.0, median: 0.0, max: 0.0 };
+            WindowChurn {
+                window_days: w * 7,
+                up: MinMedMax::of(&up).unwrap_or(zero),
+                down: MinMedMax::of(&down).unwrap_or(zero),
+            }
+        })
+        .collect()
 }
 
 /// One week of Figure 4(c): drift relative to the first week.
@@ -336,6 +464,124 @@ where
                     acc.ups[i - 1] += 1;
                 }
                 prev_in = cur_in;
+            }
+        }
+    }
+    let mut medians = Vec::new();
+    for acc in per_as.values() {
+        if (acc.active_ips as usize) < min_ips {
+            continue;
+        }
+        let pcts: Vec<f64> = (0..acc.ups.len())
+            .filter(|&i| acc.sizes[i + 1] > 0)
+            .map(|i| 100.0 * acc.ups[i] as f64 / acc.sizes[i + 1] as f64)
+            .collect();
+        if let Some(m) = MinMedMax::of(&pcts) {
+            medians.push(m.median);
+        }
+    }
+    Ecdf::new(medians)
+}
+
+/// [`per_as_churn`] computed through a [`DailyWindows`] source, with
+/// the block scan split into chunk-range subtasks.
+///
+/// Instead of walking every address's day-bits, this form answers the
+/// same questions with per-block counts against the window sets: per
+/// `/24` block `b`, an AS gains `|All ∩ b|` active addresses, window
+/// `i` contributes `|W_i ∩ b|` to its size, and pair `i−1`
+/// contributes `|W_i ∩ b| − |W_{i−1} ∩ W_i ∩ b|` up events. The
+/// counts come as whole columns — [`ActiveSet::block_counts`] per
+/// window and [`ActiveSet::intersect_block_counts`] per adjacent
+/// pair, merge-aligned against the block list — rather than
+/// per-(block, window) `count_in` searches, and no intersection set
+/// is ever materialized. Blocks with no activity contribute nothing
+/// in either form, and the medians/ECDF math is unchanged, so the
+/// result agrees exactly with [`per_as_churn`] on the underlying
+/// dataset.
+pub fn per_as_churn_over<W, F>(
+    ds: &W,
+    window_days: usize,
+    min_ips: usize,
+    resolve: F,
+    par: &Parallelism,
+) -> Ecdf
+where
+    W: DailyWindows,
+    F: Fn(Block24) -> Option<Asn> + Sync,
+{
+    let w = window_days;
+    let n_windows = ds.num_days() / w;
+    assert!(n_windows >= 2, "need at least two windows");
+    let windows: Vec<Arc<W::Set>> =
+        (0..n_windows).map(|i| ds.union(i * w..(i + 1) * w)).collect();
+    let all = ds.union(0..ds.num_days());
+    let blocks = all.blocks24();
+
+    // Count columns aligned to `blocks`: every window (and window
+    // pair) is a subset of `all`, so its sorted per-block counts
+    // merge-align in one linear walk.
+    let align = |counts: Vec<(Block24, u32)>| -> Vec<u32> {
+        let mut row = vec![0u32; blocks.len()];
+        let mut k = 0;
+        for (block, n) in counts {
+            while blocks[k] != block {
+                k += 1;
+            }
+            row[k] = n;
+            k += 1;
+        }
+        row
+    };
+    let all_counts = align(all.block_counts());
+    let win_counts: Vec<Vec<u32>> = windows.iter().map(|s| align(s.block_counts())).collect();
+    let inter_counts: Vec<Vec<u32>> = (1..n_windows)
+        .map(|i| align(windows[i - 1].intersect_block_counts(&windows[i])))
+        .collect();
+
+    #[derive(Clone)]
+    struct Acc {
+        active_ips: u64,
+        ups: Vec<u64>,   // per pair
+        sizes: Vec<u64>, // per window
+    }
+    let chunk_maps: Vec<HashMap<Asn, Acc>> = par.run(blocks.len(), 64, |range| {
+        let mut per_as: HashMap<Asn, Acc> = HashMap::new();
+        for bi in range {
+            let Some(asn) = resolve(blocks[bi]) else { continue };
+            let acc = per_as.entry(asn).or_insert_with(|| Acc {
+                active_ips: 0,
+                ups: vec![0; n_windows - 1],
+                sizes: vec![0; n_windows],
+            });
+            acc.active_ips += all_counts[bi] as u64;
+            for i in 0..n_windows {
+                let cur = win_counts[i][bi] as u64;
+                acc.sizes[i] += cur;
+                if i > 0 {
+                    acc.ups[i - 1] += cur - inter_counts[i - 1][bi] as u64;
+                }
+            }
+        }
+        per_as
+    });
+    let mut per_as: HashMap<Asn, Acc> = HashMap::new();
+    for map in chunk_maps {
+        for (asn, acc) in map {
+            match per_as.entry(asn) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(acc);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    mine.active_ips += acc.active_ips;
+                    for (a, b) in mine.ups.iter_mut().zip(&acc.ups) {
+                        *a += b;
+                    }
+                    for (a, b) in mine.sizes.iter_mut().zip(&acc.sizes) {
+                        *a += b;
+                    }
+                }
             }
         }
     }
@@ -635,6 +881,77 @@ mod tests {
         let ds = b.finish();
         let ecdf = per_as_churn(&ds, 2, 100, |_| Some(Asn(9)));
         assert!(ecdf.is_empty());
+    }
+
+    /// A 12-day dataset with steady, flickering, and one-shot
+    /// addresses across three blocks — enough texture to exercise
+    /// every transition kind in the set-algebra kernel forms.
+    fn churny_fixture() -> DailyDataset {
+        let mut b = DailyDatasetBuilder::new(12);
+        for d in 0..12 {
+            b.record_hits(d, a("10.0.0.1"), 1); // steady
+        }
+        for d in (0..12).step_by(2) {
+            b.record_hits(d, a("10.0.0.2"), 1); // daily flicker
+        }
+        for d in (0..12).step_by(3) {
+            b.record_hits(d, a("10.0.1.7"), 1); // slower flicker, block 2
+        }
+        b.record_hits(5, a("10.0.2.9"), 1); // one-shot, block 3
+        b.record_hits(11, a("10.0.2.10"), 1); // appears at the end
+        b.finish()
+    }
+
+    #[test]
+    fn daily_series_over_matches_matrix_scan() {
+        let ds = churny_fixture();
+        let expect = daily_series(&ds);
+        for pool in [Parallelism::serial(), Parallelism::new(3)] {
+            assert_eq!(daily_series_over(&ds, &pool), expect);
+        }
+        assert_eq!(weekday_profile_from(&expect), weekday_profile(&ds));
+    }
+
+    #[test]
+    fn window_sweep_over_matches_matrix_scan() {
+        let ds = churny_fixture();
+        let sizes = [1usize, 2, 3, 4, 6, 12];
+        let expect = window_sweep(&ds, &sizes);
+        for pool in [Parallelism::serial(), Parallelism::new(3)] {
+            assert_eq!(window_sweep_over(&ds, &sizes, &pool), expect);
+        }
+    }
+
+    #[test]
+    fn weekly_window_sweep_over_matches_matrix_scan() {
+        let mut b = WeeklyDatasetBuilder::new(8);
+        for wk in [0usize, 1, 4, 5] {
+            b.record_week(wk, a("10.0.0.1"), 1);
+        }
+        for wk in 0..8 {
+            b.record_week(wk, a("10.0.0.2"), 1);
+        }
+        b.record_week(7, a("10.0.3.3"), 1);
+        let ws = b.finish();
+        let sizes = [1usize, 2, 4, 8];
+        let expect = weekly_window_sweep(&ws, &sizes);
+        assert_eq!(weekly_window_sweep_over(&ws, &sizes, &Parallelism::new(2)), expect);
+    }
+
+    #[test]
+    fn per_as_churn_over_matches_matrix_scan() {
+        let ds = churny_fixture();
+        let resolve = |block: Block24| {
+            Some(if block == Block24::of(a("10.0.0.0")) { Asn(1) } else { Asn(2) })
+        };
+        let expect = per_as_churn(&ds, 2, 1, resolve);
+        for pool in [Parallelism::serial(), Parallelism::new(3)] {
+            let got = per_as_churn_over(&ds, 2, 1, resolve, &pool);
+            assert_eq!(got.samples(), expect.samples());
+        }
+        // The min_ips filter applies identically.
+        let filtered = per_as_churn_over(&ds, 2, 100, resolve, &Parallelism::serial());
+        assert!(filtered.is_empty());
     }
 
     #[test]

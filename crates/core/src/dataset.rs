@@ -186,15 +186,52 @@ impl DailyDataset {
         assert!(d < self.num_days, "day {d} outside window");
         let mut b = <S::Builder>::new();
         for rec in &self.blocks {
-            let mut bits = AddrBits256::new();
+            // Branch-free: extract bit `d` of each row straight into
+            // the block bitmap's words, so the 256-row scan reduces to
+            // shift/or chains the compiler can unroll and vectorize.
+            let mut words = [0u64; 4];
             for (i, row) in rec.rows.iter().enumerate() {
-                if row.get(d) {
-                    bits.set(i as u8);
-                }
+                words[i >> 6] |= ((row.bits() >> d) as u64 & 1) << (i & 63);
             }
-            b.push_block(rec.block, &bits);
+            b.push_block(rec.block, &AddrBits256::from_words(words));
         }
         b.finish()
+    }
+
+    /// Every day's active set in one transposed pass: instead of
+    /// `num_days` scans that each read all 256 rows of every block,
+    /// walk the matrix once and scatter each row's set day-bits into
+    /// per-day block bitmaps. Work is proportional to the *active*
+    /// (address, day) pairs plus one pass over the rows, so building
+    /// all sets costs a fraction of `num_days` × [`Self::day_set_as`].
+    /// Element `d` equals `day_set_as(d)` exactly (differentially
+    /// pinned).
+    pub fn day_sets_all<S: ActiveSet>(&self) -> Vec<S> {
+        let d = self.num_days;
+        let mut builders: Vec<S::Builder> = (0..d).map(|_| <S::Builder>::new()).collect();
+        let mut buf: Vec<[u64; 4]> = vec![[0u64; 4]; d];
+        for rec in &self.blocks {
+            let mut touched: u128 = 0;
+            for (i, row) in rec.rows.iter().enumerate() {
+                let mut bits = row.bits();
+                touched |= bits;
+                while bits != 0 {
+                    let day = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    buf[day][i >> 6] |= 1u64 << (i & 63);
+                }
+            }
+            // Push (and clear) only the days this block touched, in
+            // ascending block order per builder by construction.
+            let mut t = touched;
+            while t != 0 {
+                let day = t.trailing_zeros() as usize;
+                t &= t - 1;
+                builders[day].push_block(rec.block, &AddrBits256::from_words(buf[day]));
+                buf[day] = [0u64; 4];
+            }
+        }
+        builders.into_iter().map(|b| b.finish()).collect()
     }
 
     /// Union of active addresses over a day range (a "window" in the
@@ -207,15 +244,22 @@ impl DailyDataset {
     /// [`Self::day_set_as`] for the construction strategy).
     pub fn window_union_as<S: ActiveSet>(&self, days: core::ops::Range<usize>) -> S {
         assert!(days.end <= self.num_days, "window outside dataset");
+        let width = days.end - days.start;
+        let mask: u128 = if width == 0 {
+            0
+        } else if width == DayBits::CAPACITY {
+            u128::MAX
+        } else {
+            ((1u128 << width) - 1) << days.start
+        };
         let mut b = <S::Builder>::new();
         for rec in &self.blocks {
-            let mut bits = AddrBits256::new();
+            // Branch-free window test per row (see `day_set_as`).
+            let mut words = [0u64; 4];
             for (i, row) in rec.rows.iter().enumerate() {
-                if row.any_in_range(days.start, days.end) {
-                    bits.set(i as u8);
-                }
+                words[i >> 6] |= ((row.bits() & mask != 0) as u64) << (i & 63);
             }
-            b.push_block(rec.block, &bits);
+            b.push_block(rec.block, &AddrBits256::from_words(words));
         }
         b.finish()
     }
@@ -510,6 +554,35 @@ impl WeeklyDataset {
         self.masked_union(1u64 << w)
     }
 
+    /// Every week's active set in one transposed pass (the weekly
+    /// analogue of [`DailyDataset::day_sets_all`]); element `w` equals
+    /// `week_set_as(w)` exactly.
+    pub fn week_sets_all<S: ActiveSet>(&self) -> Vec<S> {
+        let w = self.num_weeks;
+        let mut builders: Vec<S::Builder> = (0..w).map(|_| <S::Builder>::new()).collect();
+        let mut buf: Vec<[u64; 4]> = vec![[0u64; 4]; w];
+        for (block, rows) in &self.blocks {
+            let mut touched: u64 = 0;
+            for (i, &row) in rows.iter().enumerate() {
+                let mut bits = row;
+                touched |= bits;
+                while bits != 0 {
+                    let week = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    buf[week][i >> 6] |= 1u64 << (i & 63);
+                }
+            }
+            let mut t = touched;
+            while t != 0 {
+                let week = t.trailing_zeros() as usize;
+                t &= t - 1;
+                builders[week].push_block(*block, &AddrBits256::from_words(buf[week]));
+                buf[week] = [0u64; 4];
+            }
+        }
+        builders.into_iter().map(|b| b.finish()).collect()
+    }
+
     /// Union of addresses active in a week range.
     pub fn window_union(&self, weeks: core::ops::Range<usize>) -> AddrSet {
         self.window_union_as(weeks)
@@ -531,13 +604,13 @@ impl WeeklyDataset {
     fn masked_union<S: ActiveSet>(&self, mask: u64) -> S {
         let mut b = <S::Builder>::new();
         for (block, rows) in &self.blocks {
-            let mut bits = AddrBits256::new();
+            // Branch-free week-mask test per row (see
+            // [`DailyDataset::day_set_as`]).
+            let mut words = [0u64; 4];
             for (i, &row) in rows.iter().enumerate() {
-                if row & mask != 0 {
-                    bits.set(i as u8);
-                }
+                words[i >> 6] |= ((row & mask != 0) as u64) << (i & 63);
             }
-            b.push_block(*block, &bits);
+            b.push_block(*block, &AddrBits256::from_words(words));
         }
         b.finish()
     }
@@ -1117,6 +1190,41 @@ mod tests {
         // Heap cost stays proportional to membership, far below the
         // 2 × 256-entry worst case a counting pre-pass would reserve.
         assert!(d3.memory_bytes() < 256, "memory {}", d3.memory_bytes());
+    }
+
+    #[test]
+    fn bulk_day_sets_match_per_day_builds() {
+        use ipactive_net::TieredSet;
+        let ds = tiny_daily();
+        let bulk_ref: Vec<AddrSet> = ds.day_sets_all();
+        let bulk_tiered: Vec<TieredSet> = ds.day_sets_all();
+        assert_eq!(bulk_ref.len(), ds.num_days);
+        for d in 0..ds.num_days {
+            assert_eq!(bulk_ref[d], ds.day_set_as::<AddrSet>(d), "day {d}");
+            assert_eq!(bulk_tiered[d], ds.day_set_as::<TieredSet>(d), "day {d}");
+        }
+
+        // Including a dataset with quiet days and an empty one.
+        let empty = DailyDatasetBuilder::new(3).finish();
+        assert_eq!(empty.day_sets_all::<AddrSet>(), vec![AddrSet::empty(); 3]);
+    }
+
+    #[test]
+    fn bulk_week_sets_match_per_week_builds() {
+        use ipactive_net::TieredSet;
+        let mut b = WeeklyDatasetBuilder::new(52);
+        b.record_week(0, addr("10.0.0.1"), 100);
+        b.record_week(51, addr("10.0.0.1"), 100);
+        b.record_week(10, addr("10.0.2.7"), 5);
+        b.record_week(10, addr("10.0.0.200"), 2);
+        let ds = b.finish();
+        let bulk_ref: Vec<AddrSet> = ds.week_sets_all();
+        let bulk_tiered: Vec<TieredSet> = ds.week_sets_all();
+        assert_eq!(bulk_ref.len(), ds.num_weeks);
+        for w in 0..ds.num_weeks {
+            assert_eq!(bulk_ref[w], ds.week_set_as::<AddrSet>(w), "week {w}");
+            assert_eq!(bulk_tiered[w], ds.week_set_as::<TieredSet>(w), "week {w}");
+        }
     }
 
     #[test]

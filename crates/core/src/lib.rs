@@ -47,6 +47,7 @@ pub mod hosts;
 pub mod market;
 pub mod matrix;
 pub mod outages;
+pub mod par;
 pub mod persistence;
 pub mod stats;
 pub mod timeline;

@@ -1,0 +1,206 @@
+//! Deterministic intra-figure parallelism.
+//!
+//! The figure kernels split their dominant loops (window pairs, block
+//! ranges, weeks) into *chunk-range subtasks*. The partition is a pure
+//! function of the problem size — [`chunk_count`] and [`chunk_range`]
+//! never consult thread counts or timing — so a kernel produces the
+//! same chunk results in the same order whether the chunks run on one
+//! thread or sixteen. Threads only decide *who* computes a chunk,
+//! never *what* the chunks are.
+//!
+//! [`Parallelism`] is a shared token budget: the figure scheduler in
+//! the bench crate hands each figure worker a clone, and a kernel
+//! spawns a scoped helper thread per token it can grab. With zero
+//! tokens (the serial baseline, or a machine with no spare cores) the
+//! calling thread simply works through the chunks itself.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Hard cap on subtasks per kernel invocation; bounds scheduling
+/// overhead without affecting results (the partition is still pure).
+pub const MAX_SUBTASKS: usize = 16;
+
+/// Number of chunk-range subtasks a loop of `n` items splits into.
+///
+/// Pure in `n` and `min_chunk`: `1` when the loop is too small to be
+/// worth splitting (fewer than two minimum-size chunks), otherwise
+/// `⌊n / min_chunk⌋` capped at [`MAX_SUBTASKS`].
+pub fn chunk_count(n: usize, min_chunk: usize) -> usize {
+    let min_chunk = min_chunk.max(1);
+    if n < 2 * min_chunk {
+        1
+    } else {
+        (n / min_chunk).min(MAX_SUBTASKS)
+    }
+}
+
+/// The half-open item range of chunk `i` of `k` over `n` items: the
+/// standard balanced partition `[i·n/k, (i+1)·n/k)`.
+pub fn chunk_range(n: usize, k: usize, i: usize) -> Range<usize> {
+    debug_assert!(i < k);
+    i * n / k..(i + 1) * n / k
+}
+
+/// A shared budget of helper-thread tokens.
+///
+/// Cloning shares the budget (all clones draw from the same pool), so
+/// concurrently running figures compete for the same spare cores
+/// instead of oversubscribing the machine. A budget of zero tokens
+/// degrades every [`Parallelism::run`] into a serial loop over the
+/// same chunks.
+#[derive(Debug, Clone)]
+pub struct Parallelism(Arc<AtomicIsize>);
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Parallelism {
+    /// A budget with no helper tokens: chunks all run on the caller.
+    pub fn serial() -> Self {
+        Parallelism(Arc::new(AtomicIsize::new(0)))
+    }
+
+    /// A budget of `tokens` helper threads shared by all clones.
+    pub fn new(tokens: usize) -> Self {
+        Parallelism(Arc::new(AtomicIsize::new(tokens as isize)))
+    }
+
+    /// Returns `tokens` to the pool (used by the figure scheduler when
+    /// a whole worker retires and its core frees up).
+    pub fn release_tokens(&self, tokens: usize) {
+        self.0.fetch_add(tokens as isize, Ordering::SeqCst);
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                if v > 0 {
+                    Some(v - 1)
+                } else {
+                    None
+                }
+            })
+            .is_ok()
+    }
+
+    /// Runs `f` over every chunk of `0..n` and returns the chunk
+    /// results in chunk order.
+    ///
+    /// The partition comes from [`chunk_count`]/[`chunk_range`] alone;
+    /// helper threads (at most one per available token, returned to
+    /// the pool as each helper exits) only steal whole chunks off a
+    /// shared counter. `f` must be a pure function of its range for
+    /// the caller to get deterministic output — which is exactly what
+    /// the figure kernels provide.
+    pub fn run<R, F>(&self, n: usize, min_chunk: usize, f: F) -> Vec<R>
+    where
+        R: Send + Sync,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let k = chunk_count(n, min_chunk);
+        if k <= 1 {
+            return vec![f(0..n)];
+        }
+        let slots: Vec<OnceLock<R>> = (0..k).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        // Claim a chunk off the shared counter, compute it, repeat.
+        let drain = |first: usize| {
+            let mut i = first;
+            while i < k {
+                let computed = f(chunk_range(n, k, i));
+                let _ = slots[i].set(computed);
+                i = next.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        std::thread::scope(|scope| {
+            // Recruit one helper per free token, capped so an idle
+            // pool never spawns more workers than chunks. The caller
+            // counts as one worker and drains alongside them.
+            let mut helpers = 1usize;
+            while helpers < k && self.try_acquire() {
+                helpers += 1;
+                let pool = self.clone();
+                let (next_ref, drain_ref) = (&next, &drain);
+                scope.spawn(move || {
+                    drain_ref(next_ref.fetch_add(1, Ordering::Relaxed));
+                    pool.release_tokens(1);
+                });
+            }
+            drain(next.fetch_add(1, Ordering::Relaxed));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every chunk ran to completion"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count_is_pure_and_bounded() {
+        assert_eq!(chunk_count(0, 8), 1);
+        assert_eq!(chunk_count(15, 8), 1); // < 2 chunks of 8
+        assert_eq!(chunk_count(16, 8), 2);
+        assert_eq!(chunk_count(100, 8), 12);
+        assert_eq!(chunk_count(10_000, 8), MAX_SUBTASKS);
+        assert_eq!(chunk_count(5, 0), 5); // min_chunk clamps to 1
+    }
+
+    #[test]
+    fn chunk_ranges_tile_the_input_exactly() {
+        for n in [1usize, 7, 16, 100, 1001] {
+            for min_chunk in [1usize, 8, 64] {
+                let k = chunk_count(n, min_chunk);
+                let mut covered = 0usize;
+                for i in 0..k {
+                    let r = chunk_range(n, k, i);
+                    assert_eq!(r.start, covered, "n={n} k={k} i={i}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_budgets_agree() {
+        let square_sums = |pool: &Parallelism| -> Vec<u64> {
+            pool.run(1000, 8, |r| r.map(|i| (i * i) as u64).sum())
+        };
+        let serial = square_sums(&Parallelism::serial());
+        let parallel = square_sums(&Parallelism::new(4));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), chunk_count(1000, 8));
+        let total: u64 = serial.iter().sum();
+        let expect: u64 = (0..1000u64).map(|i| i * i).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn tokens_are_returned_when_helpers_retire() {
+        let pool = Parallelism::new(3);
+        for _ in 0..5 {
+            let out = pool.run(640, 8, |r| r.len());
+            assert_eq!(out.iter().sum::<usize>(), 640);
+        }
+        // All three tokens must be back: acquire them explicitly.
+        assert!(pool.try_acquire() && pool.try_acquire() && pool.try_acquire());
+        assert!(!pool.try_acquire());
+        pool.release_tokens(3);
+    }
+
+    #[test]
+    fn small_inputs_run_as_one_chunk() {
+        let pool = Parallelism::new(8);
+        let out = pool.run(3, 8, |r| r.collect::<Vec<_>>());
+        assert_eq!(out, vec![vec![0, 1, 2]]);
+    }
+}

@@ -91,10 +91,14 @@ pub fn top_share(hits: &[u64], frac: f64) -> f64 {
     if total == 0 {
         return 0.0;
     }
-    let mut sorted = hits.to_vec();
-    sorted.sort_unstable_by(|a, b| b.cmp(a));
-    let k = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    let top: u64 = sorted[..k].iter().sum();
+    let mut scratch = hits.to_vec();
+    let k = ((frac * scratch.len() as f64).ceil() as usize).clamp(1, scratch.len());
+    // Only the top-k *multiset* matters for the sum, so an O(n)
+    // selection replaces the full descending sort.
+    if k < scratch.len() {
+        scratch.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+    }
+    let top: u64 = scratch[..k].iter().sum();
     top as f64 / total as f64
 }
 
@@ -102,6 +106,22 @@ pub fn top_share(hits: &[u64], frac: f64) -> f64 {
 /// `frac` of that week's addresses.
 pub fn weekly_top_share(ws: &WeeklyDataset, frac: f64) -> Vec<f64> {
     ws.week_hits.iter().map(|hits| top_share(hits, frac)).collect()
+}
+
+/// [`weekly_top_share`] with the weeks split into chunk-range
+/// subtasks; each week's share is independent, and chunk results
+/// concatenate in week order, so the output equals the serial form.
+pub fn weekly_top_share_par(
+    ws: &WeeklyDataset,
+    frac: f64,
+    par: &crate::par::Parallelism,
+) -> Vec<f64> {
+    par.run(ws.week_hits.len(), 4, |range| {
+        range.map(|w| top_share(&ws.week_hits[w], frac)).collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Centered moving average used to overlay the Figure 9(c) trend
@@ -214,6 +234,24 @@ mod tests {
         assert!((shares[0] - 0.1).abs() < 1e-12);
         assert_eq!(shares[1], 0.0); // empty week
         assert!(shares[2] > 0.9);
+        for pool in [crate::par::Parallelism::serial(), crate::par::Parallelism::new(2)] {
+            assert_eq!(weekly_top_share_par(&ws, 0.1, &pool), shares);
+        }
+    }
+
+    #[test]
+    fn top_share_selection_handles_ties_like_a_full_sort() {
+        // Duplicated values straddling the k-th position: the top-k
+        // multiset (and hence the share) is unique despite ties.
+        let hits = [7u64, 7, 7, 7, 3, 3, 1];
+        let mut sorted = hits.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for frac in [0.1, 0.25, 0.5, 0.75, 1.0] {
+            let k = ((frac * hits.len() as f64).ceil() as usize).clamp(1, hits.len());
+            let expect = sorted[..k].iter().sum::<u64>() as f64
+                / hits.iter().sum::<u64>() as f64;
+            assert_eq!(top_share(&hits, frac), expect, "frac {frac}");
+        }
     }
 
     #[test]

@@ -51,28 +51,39 @@ pub fn classify_name(name: &str) -> AssignmentHint {
 ///
 /// The paper tags blocks "containing addresses with consistent names
 /// that suggest static … as well as dynamic … assignment".
+///
+/// One template names the whole block, and host octets render as
+/// digits and dashes — which cannot spell a keyword — so every name a
+/// block renders classifies identically (keywords come from the
+/// template prefix or the operator domain, constant across the
+/// block). That makes the per-name vote loop redundant: count the
+/// records with an allocation-free presence test and render exactly
+/// one representative name to classify. The equivalence with the
+/// naive 256-render loop is pinned by a differential test.
 pub fn classify_block(table: &PtrTable, block: Block24, min_records: usize) -> AssignmentHint {
-    let mut votes_static = 0usize;
-    let mut votes_dynamic = 0usize;
+    let Some(scheme) = table.scheme_of(block) else {
+        return AssignmentHint::Unknown;
+    };
     let mut records = 0usize;
+    let mut sample = None;
     for addr in block.addrs() {
-        if let Some(name) = table.name_of(addr) {
+        if scheme.has_record(addr) {
             records += 1;
-            match classify_name(&name) {
-                AssignmentHint::Static => votes_static += 1,
-                AssignmentHint::Dynamic => votes_dynamic += 1,
-                AssignmentHint::Unknown => {}
+            if sample.is_none() {
+                sample = Some(addr);
             }
         }
     }
     if records < min_records {
         return AssignmentHint::Unknown;
     }
-    match (votes_static > 0, votes_dynamic > 0) {
-        (true, false) => AssignmentHint::Static,
-        (false, true) => AssignmentHint::Dynamic,
-        _ => AssignmentHint::Unknown,
-    }
+    let Some(name) = sample.and_then(|addr| table.name_of(addr)) else {
+        // Zero records (and min_records == 0): no votes were possible.
+        return AssignmentHint::Unknown;
+    };
+    // All names agree with the representative, so the consistency vote
+    // collapses to its single verdict.
+    classify_name(&name)
 }
 
 #[cfg(test)]
@@ -119,6 +130,85 @@ mod tests {
     fn absent_records_are_unknown() {
         let table = PtrTable::new();
         assert_eq!(classify_block(&table, Block24::new(7), 1), AssignmentHint::Unknown);
+    }
+
+    /// The naive per-name implementation `classify_block` replaced:
+    /// render every address, vote, apply threshold + consistency.
+    fn classify_block_by_names(
+        table: &PtrTable,
+        block: Block24,
+        min_records: usize,
+    ) -> AssignmentHint {
+        let mut votes_static = 0usize;
+        let mut votes_dynamic = 0usize;
+        let mut records = 0usize;
+        for addr in block.addrs() {
+            if let Some(name) = table.name_of(addr) {
+                records += 1;
+                match classify_name(&name) {
+                    AssignmentHint::Static => votes_static += 1,
+                    AssignmentHint::Dynamic => votes_dynamic += 1,
+                    AssignmentHint::Unknown => {}
+                }
+            }
+        }
+        if records < min_records {
+            return AssignmentHint::Unknown;
+        }
+        match (votes_static > 0, votes_dynamic > 0) {
+            (true, false) => AssignmentHint::Static,
+            (false, true) => AssignmentHint::Dynamic,
+            _ => AssignmentHint::Unknown,
+        }
+    }
+
+    #[test]
+    fn scheme_fast_path_matches_per_name_voting() {
+        // Every scheme shape, including keyword-bearing operator
+        // domains (the "dsl.example.de" trap: an Opaque template whose
+        // *domain* makes every name classify Dynamic) and nested
+        // partial sampling.
+        let dyn_domain = || NamingScheme::Opaque { domain: "dsl.example.de".into() };
+        let schemes: Vec<NamingScheme> = vec![
+            NamingScheme::StaticKeyword { domain: "uni.example".into() },
+            NamingScheme::DynamicKeyword { domain: "x.example".into() },
+            NamingScheme::PoolKeyword { domain: "isp.example".into() },
+            NamingScheme::Opaque { domain: "corp.example".into() },
+            dyn_domain(),
+            NamingScheme::Opaque { domain: "static.example".into() },
+            // Contradiction: static prefix, dynamic domain.
+            NamingScheme::StaticKeyword { domain: "dsl.example.de".into() },
+            NamingScheme::Partial { inner: Box::new(dyn_domain()), one_in: 4 },
+            NamingScheme::Partial {
+                inner: Box::new(NamingScheme::Partial {
+                    inner: Box::new(NamingScheme::DynamicKeyword { domain: "x.example".into() }),
+                    one_in: 2,
+                }),
+                one_in: 3,
+            },
+            NamingScheme::Partial { inner: Box::new(dyn_domain()), one_in: 0 },
+            NamingScheme::None,
+        ];
+        for (i, scheme) in schemes.into_iter().enumerate() {
+            let block = Block24::new(i as u32);
+            let mut table = PtrTable::new();
+            table.set_scheme(block, scheme.clone());
+            for min_records in [0, 1, 32, 64, 256, 257] {
+                assert_eq!(
+                    classify_block(&table, block, min_records),
+                    classify_block_by_names(&table, block, min_records),
+                    "scheme {scheme:?} with min_records {min_records}"
+                );
+            }
+        }
+        // And a block with no scheme at all.
+        let table = PtrTable::new();
+        for min_records in [0, 1] {
+            assert_eq!(
+                classify_block(&table, Block24::new(99), min_records),
+                classify_block_by_names(&table, Block24::new(99), min_records),
+            );
+        }
     }
 
     #[test]

@@ -61,6 +61,18 @@ impl NamingScheme {
             NamingScheme::None => None,
         }
     }
+
+    /// Whether `addr` has a PTR record under this scheme — the
+    /// allocation-free mirror of `render(addr).is_some()`.
+    pub(crate) fn has_record(&self, addr: Addr) -> bool {
+        match self {
+            NamingScheme::Partial { inner, one_in } => {
+                *one_in > 0 && addr.host_index() % one_in == 0 && inner.has_record(addr)
+            }
+            NamingScheme::None => false,
+            _ => true,
+        }
+    }
 }
 
 /// Reverse-DNS table: per-`/24` naming schemes, rendered on lookup.

@@ -98,6 +98,24 @@ pub trait ActiveSet:
         self.count_in(prefix) > 0
     }
 
+    /// The smallest covering mask for an event at `addr` when this set
+    /// is the exclusion population: the largest prefix around `addr`
+    /// containing no member (see [`crate::covering_mask`] for the
+    /// figure-5(b) semantics). The default grows one mask bit at a time
+    /// through [`ActiveSet::any_in`]; backends may override with an
+    /// equivalent faster walk. Must agree with the default exactly.
+    fn covering_mask(&self, addr: Addr) -> u8 {
+        let mut mask = 32u8;
+        while mask > 0 {
+            let candidate = Prefix::containing(addr, mask - 1);
+            if self.any_in(candidate) {
+                break;
+            }
+            mask -= 1;
+        }
+        mask
+    }
+
     /// Ascending iterator over members.
     fn iter(&self) -> Self::Iter<'_>;
 
@@ -107,6 +125,16 @@ pub trait ActiveSet:
     /// Set union.
     fn union(&self, other: &Self) -> Self;
 
+    /// Union of many sets in one pass.
+    ///
+    /// The default folds pairwise (correct for any backend, and what
+    /// the reference oracle uses); chunked backends override it with a
+    /// k-way merge so an n-day window union materializes no n−1
+    /// intermediate sets. Must equal the pairwise fold exactly.
+    fn union_many(sets: &[&Self]) -> Self {
+        sets.iter().fold(Self::empty(), |acc, s| acc.union(s))
+    }
+
     /// Set intersection.
     fn intersect(&self, other: &Self) -> Self;
 
@@ -115,6 +143,32 @@ pub trait ActiveSet:
 
     /// Size of the intersection without materializing it.
     fn intersect_len(&self, other: &Self) -> usize;
+
+    /// Calls `f` with every member of `self \ other`, ascending — the
+    /// streaming form of [`ActiveSet::difference`] for consumers that
+    /// size each element and drop it (event sizing walks one window
+    /// pair per histogram merge and never needs the set). The default
+    /// materializes the difference; chunked backends override with a
+    /// merge walk that allocates nothing. Must visit exactly the
+    /// members of [`ActiveSet::difference`], in iteration order.
+    fn for_each_difference(&self, other: &Self, mut f: impl FnMut(Addr)) {
+        for addr in self.difference(other).iter() {
+            f(addr);
+        }
+    }
+
+    /// Calls `f` with the covering mask of every event in `self \
+    /// other`, sized against `other` as the exclusion population —
+    /// the whole event-sizing inner loop of one window pair (up
+    /// events: `cur.diff_event_masks(&prev, …)`; down events swap the
+    /// operands). Events ascend, so chunked backends override this
+    /// with a single merge walk whose cursor into `other` doubles as
+    /// the covering-mask neighbor probe — no per-event binary search.
+    /// Must equal [`ActiveSet::covering_mask`] over
+    /// [`ActiveSet::for_each_difference`], in order.
+    fn diff_event_masks(&self, other: &Self, mut f: impl FnMut(u8)) {
+        self.for_each_difference(other, |addr| f(other.covering_mask(addr)));
+    }
 
     /// Approximate resident heap + inline size of this set, in bytes.
     /// `BENCH_setops.json` compares backends with this.
@@ -130,6 +184,32 @@ pub trait ActiveSet:
             }
         }
         out
+    }
+
+    /// Per-`/24` member counts, ascending by block — the whole
+    /// `count_in(block)` column in one pass. The default groups the
+    /// ascending iterator; chunked backends return their chunk
+    /// directory without touching members. Must equal the default
+    /// exactly.
+    fn block_counts(&self) -> Vec<(Block24, u32)> {
+        let mut out: Vec<(Block24, u32)> = Vec::new();
+        for a in self.iter() {
+            let b = Block24::of(a);
+            match out.last_mut() {
+                Some((last, n)) if *last == b => *n += 1,
+                _ => out.push((b, 1)),
+            }
+        }
+        out
+    }
+
+    /// Per-`/24` counts of `self ∩ other`, ascending by block, blocks
+    /// with an empty intersection omitted. The default materializes
+    /// the intersection; chunked backends walk the two chunk lists
+    /// and popcount, allocating no set. Must equal the default
+    /// exactly.
+    fn intersect_block_counts(&self, other: &Self) -> Vec<(Block24, u32)> {
+        self.intersect(other).block_counts()
     }
 
     /// The minimal ordered list of CIDR prefixes covering *exactly*

@@ -12,7 +12,7 @@
 //! so callers pass "the snapshot in which the event population must be
 //! absent" as `exclusion`.
 
-use crate::{ActiveSet, Addr, Prefix};
+use crate::{ActiveSet, Addr};
 
 #[cfg(test)]
 use crate::AddrSet;
@@ -34,16 +34,9 @@ use crate::AddrSet;
 /// assert_eq!(m, 24); // the /23 would include 10.0.1.7, so growth stops at /24
 /// ```
 pub fn covering_mask<S: ActiveSet>(addr: Addr, exclusion: &S) -> u8 {
-    // Grow the prefix while it stays free of excluded addresses.
-    let mut mask = 32u8;
-    while mask > 0 {
-        let candidate = Prefix::containing(addr, mask - 1);
-        if exclusion.any_in(candidate) {
-            break;
-        }
-        mask -= 1;
-    }
-    mask
+    // Backends may specialize the growth walk; the trait default is the
+    // one-mask-at-a-time loop this function always performed.
+    exclusion.covering_mask(addr)
 }
 
 /// Histogram of event sizes keyed by covering mask length (0..=32).
@@ -83,6 +76,19 @@ impl EventSizeHistogram {
         for addr in events.iter() {
             h.record(covering_mask(addr, exclusion));
         }
+        h
+    }
+
+    /// Builds the histogram for the event population `cur \ prev`,
+    /// sized against `prev` as the exclusion set, without
+    /// materializing the events (see
+    /// [`ActiveSet::diff_event_masks`]); equal to
+    /// `from_events(&cur.difference(prev), prev)`. Down events swap
+    /// the operands — the exclusion is always the window the events
+    /// are absent from, which is exactly the subtracted one.
+    pub fn from_diff_events<S: ActiveSet>(cur: &S, prev: &S) -> Self {
+        let mut h = Self::new();
+        cur.diff_event_masks(prev, |mask| h.record(mask));
         h
     }
 

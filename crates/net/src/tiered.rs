@@ -122,9 +122,7 @@ impl Repr {
             Repr::Runs(runs) => {
                 let mut bits = AddrBits256::new();
                 for &(s, e) in runs {
-                    for h in s..=e {
-                        bits.set(h);
-                    }
+                    bits.set_range(s, e);
                 }
                 bits
             }
@@ -177,6 +175,91 @@ impl Repr {
                     })
                     .sum()
             }
+        }
+    }
+
+    /// Largest member `≤ h`, if any.
+    fn pred(&self, h: u8) -> Option<u8> {
+        match self {
+            Repr::Sparse(hosts) => {
+                let i = hosts.partition_point(|&x| x <= h);
+                i.checked_sub(1).map(|i| hosts[i])
+            }
+            Repr::Runs(runs) => {
+                let mut best = None;
+                for &(s, e) in runs {
+                    if s > h {
+                        break;
+                    }
+                    best = Some(e.min(h));
+                }
+                best
+            }
+            Repr::Dense(bits) => {
+                let words = bits.words();
+                let mut wi = (h >> 6) as usize;
+                let off = h & 63;
+                let mask = if off == 63 { u64::MAX } else { (1u64 << (off + 1)) - 1 };
+                let mut w = words[wi] & mask;
+                loop {
+                    if w != 0 {
+                        return Some(((wi as u8) << 6) | (63 - w.leading_zeros() as u8));
+                    }
+                    wi = wi.checked_sub(1)?;
+                    w = words[wi];
+                }
+            }
+        }
+    }
+
+    /// Smallest member `≥ h`, if any.
+    fn succ(&self, h: u8) -> Option<u8> {
+        match self {
+            Repr::Sparse(hosts) => {
+                let i = hosts.partition_point(|&x| x < h);
+                hosts.get(i).copied()
+            }
+            Repr::Runs(runs) => {
+                for &(s, e) in runs {
+                    if e >= h {
+                        return Some(s.max(h));
+                    }
+                }
+                None
+            }
+            Repr::Dense(bits) => {
+                let words = bits.words();
+                let mut wi = (h >> 6) as usize;
+                let mut w = words[wi] & (u64::MAX << (h & 63));
+                loop {
+                    if w != 0 {
+                        return Some(((wi as u8) << 6) | w.trailing_zeros() as u8);
+                    }
+                    wi += 1;
+                    if wi == 4 {
+                        return None;
+                    }
+                    w = words[wi];
+                }
+            }
+        }
+    }
+
+    /// Smallest member (chunks are never empty).
+    fn first(&self) -> u8 {
+        match self {
+            Repr::Sparse(hosts) => hosts[0],
+            Repr::Runs(runs) => runs[0].0,
+            Repr::Dense(bits) => bits.iter().next().expect("dense chunk is non-empty"),
+        }
+    }
+
+    /// Largest member (chunks are never empty).
+    fn last(&self) -> u8 {
+        match self {
+            Repr::Sparse(hosts) => *hosts.last().expect("sparse chunk is non-empty"),
+            Repr::Runs(runs) => runs.last().expect("runs chunk is non-empty").1,
+            Repr::Dense(_) => self.pred(255).expect("dense chunk is non-empty"),
         }
     }
 
@@ -250,6 +333,30 @@ enum MergeKind {
     Union,
     Intersect,
     Difference,
+}
+
+/// First index `>= from` whose chunk key is `>= key`.
+///
+/// Exponential probing then a binary search over the overshoot window:
+/// O(log gap) instead of the two-pointer loop's O(gap) when one side of
+/// a merge is far ahead (skewed inputs). Requires `chunks[from].key <
+/// key`, which is what the merge's unequal-key branches guarantee.
+fn gallop(chunks: &[Chunk], from: usize, key: u32) -> usize {
+    debug_assert!(chunks[from].key < key);
+    let mut lo = from;
+    let mut step = 1usize;
+    let hi = loop {
+        let probe = lo + step;
+        if probe >= chunks.len() {
+            break chunks.len();
+        }
+        if chunks[probe].key >= key {
+            break probe;
+        }
+        lo = probe;
+        step <<= 1;
+    };
+    lo + 1 + chunks[lo + 1..hi].partition_point(|c| c.key < key)
 }
 
 impl TieredSet {
@@ -352,18 +459,35 @@ impl TieredSet {
             let (a, b) = (&self.chunks[i], &other.chunks[j]);
             match a.key.cmp(&b.key) {
                 core::cmp::Ordering::Less => {
+                    // Gallop to the next possible key match and handle
+                    // the whole skipped run at once.
+                    let stop = gallop(&self.chunks, i, b.key);
                     if !matches!(kind, MergeKind::Intersect) {
-                        push(a.clone());
+                        self.chunks[i..stop].iter().for_each(|c| push(c.clone()));
                     }
-                    i += 1;
+                    i = stop;
                 }
                 core::cmp::Ordering::Greater => {
+                    let stop = gallop(&other.chunks, j, a.key);
                     if matches!(kind, MergeKind::Union) {
-                        push(b.clone());
+                        other.chunks[j..stop].iter().for_each(|c| push(c.clone()));
                     }
-                    j += 1;
+                    j = stop;
                 }
                 core::cmp::Ordering::Equal => {
+                    if a.repr == b.repr {
+                        // Identical chunks (steady blocks dominate
+                        // real window pairs): the result is the chunk
+                        // itself for union/intersect and empty for
+                        // difference — no bitmap round-trip, and the
+                        // clone is already canonical.
+                        if !matches!(kind, MergeKind::Difference) {
+                            push(a.clone());
+                        }
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
                     let (x, y) = (a.repr.to_bits(), b.repr.to_bits());
                     let bits = match kind {
                         MergeKind::Union => x.union(&y),
@@ -563,6 +687,53 @@ impl ActiveSet for TieredSet {
         }
     }
 
+    /// Closed form instead of the default's per-mask growth walk: the
+    /// result is `min(32, 1 + cpl)` where `cpl` is the longest common
+    /// prefix between `addr` and any member — and that maximum is
+    /// always attained by the nearest member below or above `addr`
+    /// (values between two numbers sharing a prefix share it too). So
+    /// one chunk binary search plus two neighbor probes replaces up
+    /// to 32 range-emptiness checks. Agreement with the default walk
+    /// is pinned by `covering_mask_override_matches_default_walk` and
+    /// the property suite.
+    fn covering_mask(&self, addr: Addr) -> u8 {
+        let bits = addr.bits();
+        let (key, h) = (bits >> 8, addr.host_index());
+        let (i, own) = match self.chunk_index(key) {
+            Ok(i) => (i, Some(&self.chunks[i].repr)),
+            Err(i) => (i, None),
+        };
+        // Nearest member ≤ addr: in addr's own chunk if present there,
+        // else the last member of the previous chunk (chunks are
+        // sorted and never empty).
+        let pred = own
+            .and_then(|repr| repr.pred(h))
+            .map(|p| (key << 8) | p as u32)
+            .or_else(|| {
+                let c = self.chunks[..i].last()?;
+                Some((c.key << 8) | c.repr.last() as u32)
+            });
+        // Nearest member ≥ addr, symmetrically.
+        let next_chunk = i + usize::from(own.is_some());
+        let succ = own
+            .and_then(|repr| repr.succ(h))
+            .map(|s| (key << 8) | s as u32)
+            .or_else(|| {
+                let c = self.chunks.get(next_chunk)?;
+                Some((c.key << 8) | c.repr.first() as u32)
+            });
+        let cpl = [pred, succ]
+            .into_iter()
+            .flatten()
+            .map(|n| (bits ^ n).leading_zeros())
+            .max();
+        match cpl {
+            // `cpl == 32` means addr itself is a member: still /32.
+            Some(cpl) => (cpl + 1).min(32) as u8,
+            None => 0, // empty exclusion: growth reaches /0
+        }
+    }
+
     fn iter(&self) -> TieredIter<'_> {
         TieredIter { chunks: &self.chunks, next_chunk: 0, cur: None }
     }
@@ -596,6 +767,62 @@ impl ActiveSet for TieredSet {
         self.merge(other, MergeKind::Union)
     }
 
+    /// K-way union: one pass over all chunk lists, each output chunk
+    /// OR'd straight from every input holding it — an n-day window
+    /// union materializes no intermediate sets.
+    fn union_many(sets: &[&Self]) -> Self {
+        match sets {
+            [] => return TieredSet::new(),
+            [only] => return (*only).clone(),
+            _ => {}
+        }
+        let mut cursors = vec![0usize; sets.len()];
+        let mut chunks = Vec::new();
+        let mut len = 0usize;
+        let mut matching: Vec<&Chunk> = Vec::with_capacity(sets.len());
+        loop {
+            // Keys are 24-bit, so u32::MAX doubles as "all exhausted".
+            let mut min_key = u32::MAX;
+            for (s, &c) in sets.iter().zip(cursors.iter()) {
+                if let Some(chunk) = s.chunks.get(c) {
+                    min_key = min_key.min(chunk.key);
+                }
+            }
+            if min_key == u32::MAX {
+                break;
+            }
+            matching.clear();
+            for (s, c) in sets.iter().zip(cursors.iter_mut()) {
+                if let Some(chunk) = s.chunks.get(*c) {
+                    if chunk.key == min_key {
+                        matching.push(chunk);
+                        *c += 1;
+                    }
+                }
+            }
+            if let [only] = matching[..] {
+                // Already canonical: adopt it without re-deriving.
+                len += only.count as usize;
+                chunks.push(only.clone());
+            } else if matching[1..].iter().all(|c| c.repr == matching[0].repr) {
+                // Every operand contributes the identical chunk (steady
+                // blocks dominate overlapping windows): adopt it.
+                len += matching[0].count as usize;
+                chunks.push(matching[0].clone());
+            } else {
+                let mut bits = matching[0].repr.to_bits();
+                for c in &matching[1..] {
+                    bits = bits.union(&c.repr.to_bits());
+                }
+                let (repr, count) =
+                    canonical_repr(&bits).expect("chunks are non-empty by invariant");
+                len += count as usize;
+                chunks.push(Chunk { key: min_key, count, repr });
+            }
+        }
+        TieredSet { chunks, len }
+    }
+
     fn intersect(&self, other: &Self) -> Self {
         self.merge(other, MergeKind::Intersect)
     }
@@ -609,16 +836,129 @@ impl ActiveSet for TieredSet {
         while i < self.chunks.len() && j < other.chunks.len() {
             let (a, b) = (&self.chunks[i], &other.chunks[j]);
             match a.key.cmp(&b.key) {
-                core::cmp::Ordering::Less => i += 1,
-                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Less => i = gallop(&self.chunks, i, b.key),
+                core::cmp::Ordering::Greater => j = gallop(&other.chunks, j, a.key),
                 core::cmp::Ordering::Equal => {
-                    n += a.repr.to_bits().intersect(&b.repr.to_bits()).count() as usize;
+                    if a.repr == b.repr {
+                        // Identical chunks (steady blocks dominate
+                        // adjacent windows): the cached count is the
+                        // overlap, no bitmap round-trip needed.
+                        n += a.count as usize;
+                    } else {
+                        n += a.repr.to_bits().intersect(&b.repr.to_bits()).count() as usize;
+                    }
                     i += 1;
                     j += 1;
                 }
             }
         }
         n
+    }
+
+    fn for_each_difference(&self, other: &Self, mut f: impl FnMut(Addr)) {
+        // One merge walk over the two chunk lists, visiting survivors
+        // in ascending order without building a set. Chunks with no
+        // counterpart stream their hosts directly; matching chunks
+        // diff four words and scan the set bits.
+        let mut j = 0;
+        for a in &self.chunks {
+            while j < other.chunks.len() && other.chunks[j].key < a.key {
+                j += 1;
+            }
+            let base = a.key << 8;
+            if j < other.chunks.len() && other.chunks[j].key == a.key {
+                if a.repr == other.chunks[j].repr {
+                    // Identical chunk on both sides (the steady-block
+                    // common case): no survivors, skip the word walk.
+                    continue;
+                }
+                let b_bits = other.chunks[j].repr.to_bits();
+                for (w, (x, y)) in
+                    a.repr.to_bits().words().iter().zip(b_bits.words()).enumerate()
+                {
+                    let mut bits = x & !y;
+                    while bits != 0 {
+                        let h = (w as u32) * 64 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        f(Addr::new(base | h));
+                    }
+                }
+            } else {
+                let mut hosts = HostIter::of(&a.repr);
+                while let Some(h) = hosts.next() {
+                    f(Addr::new(base | h as u32));
+                }
+            }
+        }
+    }
+
+    fn diff_event_masks(&self, other: &Self, mut f: impl FnMut(u8)) {
+        // The fused form of `for_each_difference` + `covering_mask`:
+        // events ascend, so the walk's cursor `j` — the first
+        // exclusion chunk with key ≥ the event's key — is exactly the
+        // insertion point `covering_mask` would binary-search for,
+        // and the neighbor probes become cursor-local.
+        let exc = &other.chunks;
+        let mut j = 0usize;
+        for a in &self.chunks {
+            while j < exc.len() && exc[j].key < a.key {
+                j += 1;
+            }
+            let matched = j < exc.len() && exc[j].key == a.key;
+            let own = matched.then(|| &exc[j].repr);
+            let next_chunk = j + usize::from(matched);
+            let base = a.key << 8;
+            // `covering_mask`'s closed form with (i, own) resolved by
+            // the cursor instead of `chunk_index`.
+            let size = |h: u8| -> u8 {
+                let bits = base | h as u32;
+                let pred = own
+                    .and_then(|repr| repr.pred(h))
+                    .map(|p| base | p as u32)
+                    .or_else(|| {
+                        let c = exc[..j].last()?;
+                        Some((c.key << 8) | c.repr.last() as u32)
+                    });
+                let succ = own
+                    .and_then(|repr| repr.succ(h))
+                    .map(|s| base | s as u32)
+                    .or_else(|| {
+                        let c = exc.get(next_chunk)?;
+                        Some((c.key << 8) | c.repr.first() as u32)
+                    });
+                let cpl = [pred, succ]
+                    .into_iter()
+                    .flatten()
+                    .map(|n| (bits ^ n).leading_zeros())
+                    .max();
+                match cpl {
+                    Some(cpl) => (cpl + 1).min(32) as u8,
+                    None => 0,
+                }
+            };
+            if matched && a.repr == exc[j].repr {
+                // Identical chunk on both sides: no events here.
+                continue;
+            }
+            if matched {
+                let y_bits = exc[j].repr.to_bits();
+                for (w, (x, y)) in
+                    a.repr.to_bits().words().iter().zip(y_bits.words()).enumerate()
+                {
+                    let mut word = x & !y;
+                    while word != 0 {
+                        let h = (w * 64) as u8 + word.trailing_zeros() as u8;
+                        word &= word - 1;
+                        f(size(h));
+                    }
+                }
+            } else {
+                let mut hosts = HostIter::of(&a.repr);
+                while let Some(h) = hosts.next() {
+                    f(size(h));
+                }
+            }
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -629,6 +969,41 @@ impl ActiveSet for TieredSet {
 
     fn blocks24(&self) -> Vec<Block24> {
         self.chunks.iter().map(|c| Block24::new(c.key)).collect()
+    }
+
+    fn block_counts(&self) -> Vec<(Block24, u32)> {
+        // The chunk directory *is* the answer: keys ascend and counts
+        // are cached per chunk.
+        self.chunks.iter().map(|c| (Block24::new(c.key), c.count as u32)).collect()
+    }
+
+    fn intersect_block_counts(&self, other: &Self) -> Vec<(Block24, u32)> {
+        // One merge walk over the two chunk lists; matching chunks
+        // cost four AND+popcount words, and no set is materialized.
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (a, b) = (&self.chunks[i], &other.chunks[j]);
+            match a.key.cmp(&b.key) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    let (x, y) = (a.repr.to_bits(), b.repr.to_bits());
+                    let n: u32 = x
+                        .words()
+                        .iter()
+                        .zip(y.words())
+                        .map(|(p, q)| (p & q).count_ones())
+                        .sum();
+                    if n > 0 {
+                        out.push((Block24::new(a.key), n));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
     }
 }
 
@@ -786,6 +1161,155 @@ mod tests {
         assert!(s.any_in("10.0.2.0/23".parse().unwrap())); // covers 10.0.3.1
         assert!(!s.any_in("10.0.4.0/23".parse().unwrap()));
         assert!(!TieredSet::new().any_in("0.0.0.0/0".parse().unwrap()));
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold() {
+        let days: Vec<TieredSet> = vec![
+            set(&["1.0.0.1", "1.0.0.2", "2.0.0.9"]),
+            set(&["1.0.0.2", "3.0.0.7"]),
+            (0..300u32).map(|i| Addr::new(0x0A000000 + i)).collect(),
+            TieredSet::new(),
+            set(&["3.0.0.7", "10.0.0.5"]),
+        ];
+        let refs: Vec<&TieredSet> = days.iter().collect();
+        let kway = TieredSet::union_many(&refs);
+        let fold = refs.iter().fold(TieredSet::new(), |acc, s| acc.union(s));
+        assert_eq!(kway, fold);
+        assert!(kway.is_canonical());
+        assert_eq!(TieredSet::union_many(&[]), TieredSet::new());
+        assert_eq!(TieredSet::union_many(&[&days[0]]), days[0]);
+    }
+
+    #[test]
+    fn gallop_merges_handle_skewed_inputs() {
+        // One chunk on the left, many on the right (and vice versa):
+        // the galloping advance must not skip or duplicate chunks.
+        let wide: TieredSet = (0..64u32).map(|b| Addr::new(b << 16 | 5)).collect();
+        let narrow = set(&["0.32.0.5", "0.63.0.9"]);
+        assert_eq!(wide.union(&narrow).len(), 65);
+        assert_eq!(wide.intersect(&narrow).len(), 1);
+        assert_eq!(wide.intersect_len(&narrow), 1);
+        assert_eq!(narrow.intersect_len(&wide), 1);
+        assert_eq!(wide.difference(&narrow).len(), 63);
+        assert_eq!(narrow.difference(&wide).len(), 1);
+        for s in [wide.union(&narrow), wide.intersect(&narrow), wide.difference(&narrow)] {
+            assert!(s.is_canonical());
+        }
+    }
+
+    #[test]
+    fn covering_mask_override_matches_default_walk() {
+        use crate::AddrSet;
+        let members = ["10.0.0.43", "10.0.0.200", "10.0.4.1", "10.1.0.1", "192.0.0.1"];
+        let tiered = set(&members);
+        let reference: AddrSet = members.iter().map(|s| a(s)).collect();
+        let probes = [
+            "10.0.0.42",  // /31 partner of a member
+            "10.0.0.40",  // nearby member limits growth
+            "10.0.0.201", "10.0.1.77", // own /24 occupied vs absent
+            "10.0.5.1", "10.128.0.1", "11.0.0.1", "250.0.0.1",
+        ];
+        for p in probes {
+            let addr = a(p);
+            assert_eq!(
+                ActiveSet::covering_mask(&tiered, addr),
+                ActiveSet::covering_mask(&reference, addr),
+                "probe {p}"
+            );
+        }
+        // Empty exclusion grows all the way to /0 on both paths.
+        assert_eq!(ActiveSet::covering_mask(&TieredSet::new(), a("1.2.3.4")), 0);
+
+        // Exhaustive sweep across all three chunk representations:
+        // a dense chunk, a runs chunk, a sparse chunk, and the gaps
+        // between them, probing every address in the span plus
+        // far-away strays on both sides.
+        let mut members: Vec<Addr> = Vec::new();
+        members.extend((0u32..200).map(|i| Addr::new(0x0A000500 + (i * 5) % 256))); // dense
+        members.extend((16u32..80).map(|i| Addr::new(0x0A000900 + i))); // one run
+        members.extend([3u32, 77, 130].map(|i| Addr::new(0x0A000C00 + i))); // sparse
+        let tiered: TieredSet = members.iter().copied().collect();
+        let reference: AddrSet = members.into_iter().collect();
+        for bits in 0x0A000400..0x0A000E00u32 {
+            let addr = Addr::new(bits);
+            assert_eq!(
+                ActiveSet::covering_mask(&tiered, addr),
+                ActiveSet::covering_mask(&reference, addr),
+                "sweep probe {addr:?}"
+            );
+        }
+        for stray in ["0.0.0.0", "9.255.255.255", "10.0.13.0", "255.255.255.255"] {
+            let addr = a(stray);
+            assert_eq!(
+                ActiveSet::covering_mask(&tiered, addr),
+                ActiveSet::covering_mask(&reference, addr),
+                "stray probe {stray}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_count_overrides_match_default_grouping() {
+        use crate::RefSet;
+        // Mixed representations on both sides: dense, runs, sparse
+        // chunks, plus chunks present in only one operand.
+        let left: Vec<Addr> = (0u32..200)
+            .map(|i| Addr::new(0x0A000500 + (i * 5) % 256))
+            .chain((16u32..80).map(|i| Addr::new(0x0A000900 + i)))
+            .chain([3u32, 77, 130].map(|i| Addr::new(0x0A000C00 + i)))
+            .collect();
+        let right: Vec<Addr> = (0u32..256)
+            .map(|i| Addr::new(0x0A000500 + i)) // full /24 overlapping the dense chunk
+            .chain((60u32..100).map(|i| Addr::new(0x0A000900 + i)))
+            .chain([9u32].map(|i| Addr::new(0x0A000D00 + i))) // only-right chunk
+            .collect();
+        let (lt, rt): (TieredSet, TieredSet) =
+            (left.iter().copied().collect(), right.iter().copied().collect());
+        let (lr, rr): (RefSet, RefSet) =
+            (left.into_iter().collect(), right.into_iter().collect());
+        // RefSet runs the trait defaults; the overrides must agree.
+        assert_eq!(lt.block_counts(), lr.block_counts());
+        assert_eq!(rt.block_counts(), rr.block_counts());
+        assert_eq!(lt.intersect_block_counts(&rt), lr.intersect_block_counts(&rr));
+        assert_eq!(rt.intersect_block_counts(&lt), rr.intersect_block_counts(&lr));
+        assert_eq!(TieredSet::new().block_counts(), vec![]);
+        assert_eq!(lt.intersect_block_counts(&TieredSet::new()), vec![]);
+    }
+
+    #[test]
+    fn streaming_difference_matches_materialized() {
+        // Same mixed-representation fixture shape as the block-count
+        // test: the streaming walk must visit exactly the members of
+        // `difference`, ascending, for every chunk pairing (matched,
+        // only-left, only-right, empty operands).
+        let left: Vec<Addr> = (0u32..200)
+            .map(|i| Addr::new(0x0A000500 + (i * 5) % 256))
+            .chain((16u32..80).map(|i| Addr::new(0x0A000900 + i)))
+            .chain([3u32, 77, 130].map(|i| Addr::new(0x0A000C00 + i)))
+            .collect();
+        let right: Vec<Addr> = (0u32..256)
+            .map(|i| Addr::new(0x0A000500 + i))
+            .chain((60u32..100).map(|i| Addr::new(0x0A000900 + i)))
+            .chain([9u32].map(|i| Addr::new(0x0A000D00 + i)))
+            .collect();
+        let (lt, rt): (TieredSet, TieredSet) =
+            (left.into_iter().collect(), right.into_iter().collect());
+        for (a, b) in [(&lt, &rt), (&rt, &lt), (&lt, &TieredSet::new()), (&TieredSet::new(), &lt)]
+        {
+            let mut streamed = Vec::new();
+            a.for_each_difference(b, |addr| streamed.push(addr));
+            let materialized: Vec<Addr> = a.difference(b).iter().collect();
+            assert_eq!(streamed, materialized);
+
+            // The fused event-mask walk must equal sizing each
+            // streamed event against `b` with the plain covering mask
+            // (the trait-default path).
+            let mut fused = Vec::new();
+            a.diff_event_masks(b, |m| fused.push(m));
+            let unfused: Vec<u8> = materialized.iter().map(|&x| b.covering_mask(x)).collect();
+            assert_eq!(fused, unfused);
+        }
     }
 
     #[test]
