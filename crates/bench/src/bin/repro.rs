@@ -84,6 +84,9 @@ fn main() {
         if args.first().map(String::as_str) == Some("worker") {
             ipactive_bench::worker_cli::run(&args[1..]);
         }
+        if args.first().map(String::as_str) == Some("serve-bench") {
+            serve_bench(&args[1..]);
+        }
     }
     let mut seed: u64 = 2015;
     let mut scale = Scale::Full;
@@ -393,6 +396,127 @@ fn main() {
     finish_obs(&repro);
 }
 
+/// `repro serve-bench` — stand up an in-process observatory server,
+/// drive it with the open-loop load generator, and write the latency
+/// and shed-rate record to `BENCH_serve.json`.
+///
+/// ```text
+/// repro serve-bench [--days N] [--requests N] [--rate R] [--workers N]
+///                   [--queue-depth N] [--budget-ms MS] [--seed N]
+///                   [--stall-period K] [--stall-us US] [--out FILE]
+/// ```
+///
+/// `--stall-period K` stalls every Kth executed query by `--stall-us`
+/// (deterministic, seeded) so the admission queue and deadline paths
+/// see realistic pressure; both default to off.
+fn serve_bench(args: &[String]) -> ! {
+    use ipactive_serve::{
+        loadgen, synthetic_day_log, ChaosPlan, LoadgenConfig, Observatory, ServeConfig, Server,
+    };
+
+    let sb_usage = |err: &str| -> ! {
+        if !err.is_empty() {
+            eprintln!("error: {err}\n");
+        }
+        eprintln!("usage: repro serve-bench [--days N] [--requests N] [--rate R] [--workers N]");
+        eprintln!("                         [--queue-depth N] [--budget-ms MS] [--seed N]");
+        eprintln!("                         [--stall-period K] [--stall-us US] [--out FILE]");
+        std::process::exit(if err.is_empty() { 0 } else { 2 });
+    };
+    let mut days: usize = 28;
+    let mut requests: u64 = 2000;
+    let mut rate: f64 = 20_000.0;
+    let mut workers: usize = 2;
+    let mut queue_depth: usize = 64;
+    let mut budget_ms: u64 = 0;
+    let mut seed: u64 = 2016;
+    let mut stall_period: u64 = 0;
+    let mut stall_us: u64 = 0;
+    let mut out: String = "BENCH_serve.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| sb_usage(&format!("{what} needs a non-negative integer")))
+        };
+        match arg.as_str() {
+            "--days" => days = num("--days") as usize,
+            "--requests" => requests = num("--requests"),
+            "--rate" => {
+                rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| sb_usage("--rate needs a positive number"));
+            }
+            "--workers" => workers = num("--workers").max(1) as usize,
+            "--queue-depth" => queue_depth = num("--queue-depth").max(1) as usize,
+            "--budget-ms" => budget_ms = num("--budget-ms"),
+            "--seed" => seed = num("--seed"),
+            "--stall-period" => stall_period = num("--stall-period"),
+            "--stall-us" => stall_us = num("--stall-us"),
+            "--out" => {
+                out = it.next().cloned().unwrap_or_else(|| sb_usage("--out needs a path"));
+            }
+            "--help" | "-h" => sb_usage(""),
+            other => sb_usage(&format!("unknown flag: {other}")),
+        }
+    }
+
+    let registry = ipactive_obs::Registry::new();
+    let obs: std::sync::Arc<Observatory> = std::sync::Arc::new(Observatory::new(&registry));
+    eprintln!("ingesting {days} synthetic days (seed {seed}) ...");
+    obs.ingest_days((0..days).map(|d| synthetic_day_log(seed, d)).collect());
+    let chaos = ChaosPlan { seed, panic_period: 0, stall_period, stall_us };
+    let server = Server::start(obs, ServeConfig { workers, queue_depth, chaos });
+    eprintln!(
+        "open-loop load: {requests} requests at {rate:.0}/s against {workers} workers (queue {queue_depth}) ..."
+    );
+    let report = loadgen::run(
+        &server,
+        &LoadgenConfig { requests, rate, budget_ms, allow_degraded: true, seed },
+    );
+    server.shutdown();
+    eprintln!(
+        "served {} of {}: {} ok, {} degraded, {} deadline, {} shed ({:.1}% shed rate)",
+        report.answered(),
+        report.sent,
+        report.ok,
+        report.degraded,
+        report.deadline_exceeded,
+        report.overloaded,
+        report.shed_rate * 100.0,
+    );
+    eprintln!(
+        "client latency: p50 {:.0}us  p90 {:.0}us  p99 {:.0}us  ({:.0} req/s achieved)",
+        report.p50_us, report.p90_us, report.p99_us, report.achieved_rate,
+    );
+    let json = format!(
+        concat!(
+            "{{\"config\":{{\"days\":{},\"requests\":{},\"rate\":{:.1},\"workers\":{},",
+            "\"queue_depth\":{},\"budget_ms\":{},\"seed\":{},\"stall_period\":{},",
+            "\"stall_us\":{}}},\"report\":{}}}\n"
+        ),
+        days,
+        requests,
+        rate,
+        workers,
+        queue_depth,
+        budget_ms,
+        seed,
+        stall_period,
+        stall_us,
+        report.to_json(),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("error: failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("serve bench record written to {out}");
+    std::process::exit(0);
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
@@ -402,6 +526,7 @@ fn usage(err: &str) -> ! {
     eprintln!("             [--distributed N] [--dist-jobs J] [--dist-root DIR] [--kill SHARD:POINT[:stall]]...");
     eprintln!("             [--metrics-out FILE] [--metrics-deterministic] [--profile]");
     eprintln!("       repro list | repro validate [--seed N] [--scale ...]");
+    eprintln!("       repro serve-bench --help   (observatory server load generator)");
     eprintln!("experiments: {}", EXPERIMENTS.join(" "));
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -8,10 +8,12 @@
 
 #![forbid(unsafe_code)]
 
-mod engine;
 pub mod worker_cli;
 
-pub use engine::{AnalysisCtx, CacheStats};
+// The analysis engine moved down into `ipactive-core` so the serving
+// layer can build on it without a bench dependency; re-exported here
+// so existing callers keep their import paths.
+pub use ipactive_core::engine::{AnalysisCtx, CacheStats};
 
 use ipactive_cdnsim::{
     emit_daily_shard_buffers, emit_weekly_shard_buffers, monthly_counts, parallel_pipeline_obs,

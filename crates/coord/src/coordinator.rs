@@ -33,8 +33,8 @@ use ipactive_cdnsim::{
 };
 use ipactive_core::{Coverage, DailyDataset, DailyDatasetBuilder, WeeklyDataset, WeeklyDatasetBuilder};
 use ipactive_logfmt::{
-    fsck, read_lease, Fs, FsFile, FsckReport, Inject, LeaseRead, LogStore, RealFs, SimFs,
-    StoreError,
+    fsck, read_lease, Fs, FsFile, FsckReport, Inject, Lease, LeaseError, LeaseRead, LogStore,
+    RealFs, SimFs, StoreError,
 };
 use ipactive_obs::{Event, EventKind, Registry};
 use std::collections::VecDeque;
@@ -165,13 +165,65 @@ fn store_io(e: StoreError) -> io::Error {
 
 /// Reads the beat the grant `(shard, attempt)` last published, or 0
 /// if its lease never landed (or a different grant's lease is
-/// visible).
-fn last_beat<F: Fs>(fs: &F, cfg: &CoordConfig, shard: u32, attempt: u32) -> u64 {
+/// visible). A lease file that *exists but fails verification* is not
+/// silently conflated with "no lease": the corrupt file is moved into
+/// the shard's `quarantine/` directory with a `.why` sidecar and
+/// journaled, and only then does healing proceed from beat 0 — the
+/// same provenance discipline as `lost.why`.
+fn last_beat<F: Fs>(
+    fs: &F,
+    cfg: &CoordConfig,
+    registry: &Registry,
+    shard: u32,
+    attempt: u32,
+) -> u64 {
     let sdir = shard_dir(&cfg.root, shard);
     match read_lease(fs, &sdir, shard) {
         Ok(LeaseRead::Held(l)) if l.holder == holder_id(shard, attempt) => l.beat,
+        Ok(LeaseRead::Corrupt(err)) => {
+            quarantine_corrupt_lease(fs, cfg, registry, shard, attempt, &err);
+            0
+        }
         _ => 0,
     }
+}
+
+/// Preserves the evidence of a corrupt lease: renames the file into
+/// the shard's `quarantine/` directory (which also makes the next
+/// poll read `Absent` instead of re-tripping on the same corpse),
+/// writes a `.why` sidecar naming the verification failure, and emits
+/// a `Quarantine` journal event. Best-effort on purpose — quarantine
+/// bookkeeping must never block healing.
+fn quarantine_corrupt_lease<F: Fs>(
+    fs: &F,
+    cfg: &CoordConfig,
+    registry: &Registry,
+    shard: u32,
+    attempt: u32,
+    err: &LeaseError,
+) {
+    let sdir = shard_dir(&cfg.root, shard);
+    let qdir = sdir.join("quarantine");
+    let name = Lease::file_name(shard);
+    let moved = fs
+        .create_dir_all(&qdir)
+        .and_then(|()| fs.rename(&Lease::path(&sdir, shard), &qdir.join(&name)))
+        .is_ok();
+    let sidecar = (|| {
+        let mut why = fs.create(&qdir.join(format!("{name}.why")))?;
+        why.write_all(
+            format!("shard {shard:04} attempt {attempt}: lease failed verification: {err}\n")
+                .as_bytes(),
+        )?;
+        why.sync_all()
+    })()
+    .is_ok();
+    registry.emit(
+        Event::new(EventKind::Quarantine).shard(shard).attempt(attempt).detail(format!(
+            "corrupt lease {name}: {err}{}",
+            if moved && sidecar { "" } else { " (quarantine bookkeeping incomplete)" }
+        )),
+    );
 }
 
 fn fsck_verdict(report: &FsckReport, cadence: &str) -> String {
@@ -381,7 +433,7 @@ pub fn run_sim(
                 Err(_) => Some("holder exited"),
             };
             if let Some(reason) = died {
-                let beat = last_beat(fs, cfg, shard, attempt);
+                let beat = last_beat(fs, cfg, registry, shard, attempt);
                 if resolve_dead(fs, cfg, registry, shard, attempt, beat, reason)? {
                     attempt += 1;
                     continue;
@@ -483,7 +535,7 @@ pub fn run_processes(
         let mut resolved: Vec<(usize, Resolution)> = Vec::new();
         for (i, r) in running.iter_mut().enumerate() {
             if let Some(status) = r.child.try_wait()? {
-                let beat = last_beat(&fs, cfg, r.shard, r.attempt);
+                let beat = last_beat(&fs, cfg, registry, r.shard, r.attempt);
                 if status.success() && stores_complete(&fs, cfg, r.shard) {
                     resolved.push((i, Resolution::Done { beats: beat }));
                 } else {
@@ -497,11 +549,11 @@ pub fn run_processes(
                 // answer with the real thing. SIGKILL, no shutdown.
                 r.child.kill()?;
                 r.child.wait()?;
-                let beat = last_beat(&fs, cfg, r.shard, r.attempt);
+                let beat = last_beat(&fs, cfg, registry, r.shard, r.attempt);
                 resolved.push((i, Resolution::Dead { beat, reason: "holder exited" }));
                 continue;
             }
-            let beat = last_beat(&fs, cfg, r.shard, r.attempt);
+            let beat = last_beat(&fs, cfg, registry, r.shard, r.attempt);
             if beat > r.observed_beat {
                 r.observed_beat = beat;
                 r.stagnant_polls = 0;
@@ -594,6 +646,35 @@ mod tests {
         .into_iter()
         .map(|k| (k, snap.events_of(k).count()))
         .collect()
+    }
+
+    #[test]
+    fn corrupt_lease_is_quarantined_with_provenance_not_silently_zeroed() {
+        let fs = SimFs::new();
+        let cfg = sim_cfg("/run", 1);
+        let reg = Registry::new();
+        let sdir = shard_dir(&cfg.root, 0);
+        fs.create_dir_all(&sdir).unwrap();
+        let lease_path = Lease::path(&sdir, 0);
+        let mut f = fs.create(&lease_path).unwrap();
+        f.write_all(b"IPLSLE1\x0athis is not a lease").unwrap();
+        f.sync_all().unwrap();
+
+        assert_eq!(last_beat(&fs, &cfg, &reg, 0, 0), 0, "healing proceeds from beat 0");
+        // The corpse was moved aside, with a sidecar naming the
+        // verification failure — evidence preserved, not destroyed.
+        assert!(!fs.exists(&lease_path), "corrupt lease must be moved, not left in place");
+        let qdir = sdir.join("quarantine");
+        assert!(fs.exists(&qdir.join(Lease::file_name(0))));
+        assert!(fs.exists(&qdir.join(format!("{}.why", Lease::file_name(0)))));
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.events_of(EventKind::Quarantine).count(), 1);
+
+        // The rename makes the next poll read `Absent`: beat stays 0
+        // and the quarantine is not re-tripped on the same corpse.
+        assert_eq!(last_beat(&fs, &cfg, &reg, 0, 0), 0);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.events_of(EventKind::Quarantine).count(), 1);
     }
 
     #[test]

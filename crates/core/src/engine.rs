@@ -1,5 +1,5 @@
 //! The analysis engine: one memoized activity-set cache shared by the
-//! entire figure suite.
+//! entire figure suite and the always-on observatory.
 //!
 //! Every figure and table of the paper is a window query over the same
 //! two immutable activity matrices (Section 4.1's sliding windows), so
@@ -7,7 +7,7 @@
 //! `week_set(w)`, `window_union(range)` — as `Arc`-shared
 //! [`ActiveSet`] values keyed by their range. A set is computed at
 //! most once per session and then shared by reference across figures
-//! and across the worker threads of `Repro::run_all`.
+//! and across the worker threads of the bench crate's `Repro::run_all`.
 //!
 //! ## Slot layout
 //!
@@ -40,14 +40,39 @@
 //! change after `finish()`, and the context holds them behind `Arc`,
 //! so a cached entry can never go stale. Correctness-neutrality
 //! (cached results byte-identical to fresh computation) is pinned by
-//! the differential tests in `tests/engine.rs`.
+//! the differential tests in the bench crate's `tests/engine.rs`.
+//!
+//! ## Epoch carry-forward
+//!
+//! An always-on observatory appends days to its dataset, which *adds*
+//! cache keys but never invalidates existing ones: a window `s..e`
+//! over the first `d` days names the same set whether the dataset has
+//! `d` days or `d + 1`. [`AnalysisCtx::extended_from`] exploits this —
+//! it builds the cache for the grown dataset and seeds it with every
+//! slot the previous epoch already materialized (remapping window
+//! slots through the new triangular layout), so publishing a new day
+//! costs zero recomputation of history and readers of the new epoch
+//! share the very same `Arc`s the old epoch handed out.
+//!
+//! ## Deadline budgets
+//!
+//! The serving layer answers queries under a per-request wall-clock
+//! budget. [`AnalysisCtx::day_window_within`] /
+//! [`AnalysisCtx::week_window_within`] run the same composition as the
+//! unbudgeted queries but check a [`QueryBudget`] at every
+//! slot-composition boundary; an exceeded budget returns
+//! [`DeadlineExceeded`] carrying how many units of the window had been
+//! composed — partial-progress provenance the serving layer forwards
+//! to the client. Cached answers are handed out even when the budget
+//! is already spent (a hit costs nothing).
 
-use ipactive_core::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
+use crate::{DailyDataset, DailyWindows, WeeklyDataset, WeeklyWindows};
 use ipactive_net::{ActiveSet, TieredSet};
 use ipactive_obs::{Counter, Event, EventKind, Registry};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Hit/miss accounting for one [`AnalysisCtx`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +95,48 @@ impl CacheStats {
     }
 }
 
+/// A per-query wall-clock compute budget.
+///
+/// Checked at slot-composition boundaries by the `*_within` queries;
+/// [`QueryBudget::unlimited`] never expires and makes the budgeted
+/// paths behave exactly like their unbudgeted counterparts.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+}
+
+impl QueryBudget {
+    /// A budget that never expires.
+    pub fn unlimited() -> QueryBudget {
+        QueryBudget { deadline: None }
+    }
+
+    /// A budget expiring `budget` from now.
+    pub fn within(budget: Duration) -> QueryBudget {
+        QueryBudget { deadline: Some(Instant::now() + budget) }
+    }
+
+    /// Whether the budget is spent.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// A budgeted query ran out of time mid-composition.
+///
+/// Partial-progress provenance: `units_done` of `units_total`
+/// single-day (or single-week) spans of the requested window had been
+/// covered by cached sub-windows or freshly materialized units when
+/// the deadline fired. `units_done == units_total` means every piece
+/// was gathered but the final k-way merge had not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded {
+    /// Units of the window already composed.
+    pub units_done: usize,
+    /// Total units in the requested window.
+    pub units_total: usize,
+}
+
 /// Flat index of window `s..e` (`0 ≤ s < e ≤ d_max`) in a triangular
 /// table of `d_max(d_max+1)/2` slots: the windows starting at `s`
 /// occupy a contiguous run of `d_max − s` slots.
@@ -87,8 +154,8 @@ fn window_slot(d_max: usize, s: usize, e: usize) -> usize {
 /// path. Generic over the [`ActiveSet`] backend the cache
 /// materializes; defaults to the tiered compressed representation.
 /// The cache logic (slot layout, hit/miss accounting, bypass) is
-/// backend-independent, which is what the differential suite in
-/// `tests/engine.rs` pins.
+/// backend-independent, which is what the differential suite in the
+/// bench crate's `tests/engine.rs` pins.
 pub struct AnalysisCtx<S: ActiveSet = TieredSet> {
     daily: Arc<DailyDataset>,
     weekly: Arc<WeeklyDataset>,
@@ -113,6 +180,11 @@ pub struct AnalysisCtx<S: ActiveSet = TieredSet> {
     /// correctness at 2³² queries, far beyond a figure suite.
     local: AtomicU64,
     bypass: AtomicBool,
+    /// Chaos injection point (µs slept before each uncached unit
+    /// materialization on the *budgeted* paths); 0 = disabled. Lets
+    /// the chaos harness make `DeadlineExceeded` reachable
+    /// deterministically without slowing the unbudgeted hot path.
+    compose_stall_us: AtomicU64,
 }
 
 const HIT_ONE: u64 = 1 << 32;
@@ -150,7 +222,74 @@ impl<S: ActiveSet> AnalysisCtx<S> {
             misses: registry.counter("engine.cache.miss"),
             local: AtomicU64::new(0),
             bypass: AtomicBool::new(false),
+            compose_stall_us: AtomicU64::new(0),
         }
+    }
+
+    /// Builds the cache for a *grown* pair of datasets, carrying
+    /// forward every slot `prev` already materialized.
+    ///
+    /// Caller contract: the new datasets must extend the old ones —
+    /// same records for the shared day/week prefix, new days/weeks
+    /// appended at the end — which is exactly what an append-only
+    /// ingest produces. Under that contract every cached set still
+    /// names the same value (appending a day adds keys, it never
+    /// changes an existing window), so unit slots copy across directly
+    /// and window slots remap through the new triangular layout. The
+    /// carried `Arc`s are *shared*, not cloned data: a reader pinned
+    /// to the old epoch and a reader of the new one hand out the very
+    /// same sets, which is what makes concurrent-ingest answers
+    /// byte-identical to a batch build (pinned by the serve crate's
+    /// snapshot-isolation differential tests).
+    ///
+    /// # Panics
+    /// If either new dataset is shorter than `prev`'s.
+    pub fn extended_from(
+        prev: &AnalysisCtx<S>,
+        daily: Arc<DailyDataset>,
+        weekly: Arc<WeeklyDataset>,
+        registry: &Registry,
+    ) -> Self {
+        assert!(
+            prev.daily.num_days <= daily.num_days,
+            "extended daily dataset must not shrink ({} -> {})",
+            prev.daily.num_days,
+            daily.num_days
+        );
+        assert!(
+            prev.weekly.num_weeks <= weekly.num_weeks,
+            "extended weekly dataset must not shrink ({} -> {})",
+            prev.weekly.num_weeks,
+            weekly.num_weeks
+        );
+        let fresh = AnalysisCtx::new_with_obs(daily, weekly, registry);
+        for (old, new) in prev.day_sets.iter().zip(&fresh.day_sets) {
+            if let Some(set) = old.get() {
+                let _ = new.set(set.clone());
+            }
+        }
+        for (old, new) in prev.week_sets.iter().zip(&fresh.week_sets) {
+            if let Some(set) = old.get() {
+                let _ = new.set(set.clone());
+            }
+        }
+        let (d_old, d_new) = (prev.daily.num_days, fresh.daily.num_days);
+        for s in 0..d_old {
+            for e in s + 2..=d_old {
+                if let Some(set) = prev.day_windows[window_slot(d_old, s, e)].get() {
+                    let _ = fresh.day_windows[window_slot(d_new, s, e)].set(set.clone());
+                }
+            }
+        }
+        let (w_old, w_new) = (prev.weekly.num_weeks, fresh.weekly.num_weeks);
+        for s in 0..w_old {
+            for e in s + 2..=w_old {
+                if let Some(set) = prev.week_windows[window_slot(w_old, s, e)].get() {
+                    let _ = fresh.week_windows[window_slot(w_new, s, e)].set(set.clone());
+                }
+            }
+        }
+        fresh
     }
 
     /// The daily dataset the context answers for.
@@ -226,10 +365,35 @@ impl<S: ActiveSet> AnalysisCtx<S> {
         units: &[OnceLock<Arc<S>>],
         unit: impl Fn(usize) -> S,
     ) -> Arc<S> {
+        let budget = QueryBudget::unlimited();
+        self.compose_within(u_max, range, windows, units, unit, &budget)
+            .expect("an unlimited budget never expires")
+    }
+
+    /// [`AnalysisCtx::compose`] with a deadline checked at every
+    /// slot-composition boundary — before each greedy step and before
+    /// the final merge. The stall injection point (see
+    /// [`AnalysisCtx::set_compose_stall`]) fires before each uncached
+    /// unit materialization, *after* the boundary check, so an
+    /// injected stall is charged to the following boundary exactly
+    /// like a genuinely slow set build.
+    fn compose_within(
+        &self,
+        u_max: usize,
+        range: Range<usize>,
+        windows: &[OnceLock<Arc<S>>],
+        units: &[OnceLock<Arc<S>>],
+        unit: impl Fn(usize) -> S,
+        budget: &QueryBudget,
+    ) -> Result<Arc<S>, DeadlineExceeded> {
         let _span = self.registry.span("engine.compose");
+        let units_total = range.len();
         let mut parts: Vec<Arc<S>> = Vec::new();
         let mut s = range.start;
         while s < range.end {
+            if budget.expired() {
+                return Err(DeadlineExceeded { units_done: s - range.start, units_total });
+            }
             let mut cached = None;
             let mut e = range.end;
             while e > s + 1 {
@@ -245,16 +409,20 @@ impl<S: ActiveSet> AnalysisCtx<S> {
                     s = e;
                 }
                 None => {
+                    self.chaos_stall();
                     parts.push(units[s].get_or_init(|| Arc::new(unit(s))).clone());
                     s += 1;
                 }
             }
         }
         if parts.len() == 1 {
-            return parts.pop().expect("non-empty range composes at least one part");
+            return Ok(parts.pop().expect("non-empty range composes at least one part"));
+        }
+        if budget.expired() {
+            return Err(DeadlineExceeded { units_done: units_total, units_total });
         }
         let refs: Vec<&S> = parts.iter().map(|p| &**p).collect();
-        Arc::new(S::union_many(&refs))
+        Ok(Arc::new(S::union_many(&refs)))
     }
 
     /// Union of the day window `days`, memoized.
@@ -304,6 +472,124 @@ impl<S: ActiveSet> AnalysisCtx<S> {
                 self.weekly.week_set_as(w)
             })
         })
+    }
+
+    /// [`AnalysisCtx::day_window`] under a deadline budget.
+    ///
+    /// A cached window is handed out even when the budget is already
+    /// spent (a hit costs nothing). A miss composes with the budget
+    /// checked at every slot boundary; running out returns
+    /// [`DeadlineExceeded`] with partial-progress provenance and
+    /// caches nothing. A successful budgeted miss publishes its set
+    /// into the same slot the unbudgeted query uses, so later queries
+    /// of either flavor hit.
+    ///
+    /// Metering: one hit per cached answer, one miss per call that
+    /// computed, nothing on `Err`. Unlike [`AnalysisCtx::day_window`],
+    /// two budgeted misses racing on one key may both count a miss
+    /// (abortable composition cannot run inside `get_or_init`); the
+    /// slot still keeps a single canonical set.
+    pub fn day_window_within(
+        &self,
+        days: Range<usize>,
+        budget: &QueryBudget,
+    ) -> Result<Arc<S>, DeadlineExceeded> {
+        assert!(days.end <= self.daily.num_days, "window outside dataset");
+        if days.len() <= 1 {
+            return self.unit_within(
+                days,
+                |r| self.day_window(r),
+                self.daily.num_days,
+                &self.day_sets,
+                budget,
+            );
+        }
+        if self.bypass() {
+            if budget.expired() {
+                return Err(DeadlineExceeded { units_done: 0, units_total: days.len() });
+            }
+            return Ok(Arc::new(self.daily.window_union_as(days)));
+        }
+        let d_max = self.daily.num_days;
+        let slot = &self.day_windows[window_slot(d_max, days.start, days.end)];
+        if let Some(set) = slot.get() {
+            self.record(true);
+            return Ok(set.clone());
+        }
+        let set = self.compose_within(
+            d_max,
+            days.clone(),
+            &self.day_windows,
+            &self.day_sets,
+            |d| self.daily.day_set_as(d),
+            budget,
+        )?;
+        let _ = slot.set(set);
+        self.record(false);
+        Ok(slot.get().expect("slot was just set").clone())
+    }
+
+    /// [`AnalysisCtx::week_window`] under a deadline budget; semantics
+    /// as in [`AnalysisCtx::day_window_within`].
+    pub fn week_window_within(
+        &self,
+        weeks: Range<usize>,
+        budget: &QueryBudget,
+    ) -> Result<Arc<S>, DeadlineExceeded> {
+        assert!(weeks.end <= self.weekly.num_weeks, "window outside dataset");
+        if weeks.len() <= 1 {
+            return self.unit_within(
+                weeks,
+                |r| self.week_window(r),
+                self.weekly.num_weeks,
+                &self.week_sets,
+                budget,
+            );
+        }
+        if self.bypass() {
+            if budget.expired() {
+                return Err(DeadlineExceeded { units_done: 0, units_total: weeks.len() });
+            }
+            return Ok(Arc::new(self.weekly.window_union_as(weeks)));
+        }
+        let w_max = self.weekly.num_weeks;
+        let slot = &self.week_windows[window_slot(w_max, weeks.start, weeks.end)];
+        if let Some(set) = slot.get() {
+            self.record(true);
+            return Ok(set.clone());
+        }
+        let set = self.compose_within(
+            w_max,
+            weeks.clone(),
+            &self.week_windows,
+            &self.week_sets,
+            |w| self.weekly.week_set_as(w),
+            budget,
+        )?;
+        let _ = slot.set(set);
+        self.record(false);
+        Ok(slot.get().expect("slot was just set").clone())
+    }
+
+    /// Budgeted path for empty and one-unit windows: cached units are
+    /// free; an uncached unit build is charged against the budget as
+    /// one boundary.
+    fn unit_within(
+        &self,
+        range: Range<usize>,
+        query: impl FnOnce(Range<usize>) -> Arc<S>,
+        _u_max: usize,
+        units: &[OnceLock<Arc<S>>],
+        budget: &QueryBudget,
+    ) -> Result<Arc<S>, DeadlineExceeded> {
+        if range.is_empty() {
+            return Ok(Arc::new(S::empty()));
+        }
+        let cached = !self.bypass() && units[range.start].get().is_some();
+        if !cached && budget.expired() {
+            return Err(DeadlineExceeded { units_done: 0, units_total: 1 });
+        }
+        Ok(query(range))
     }
 
     /// Union of all days — the figure suite's "CDN union".
@@ -373,6 +659,22 @@ impl<S: ActiveSet> AnalysisCtx<S> {
     fn bypass(&self) -> bool {
         self.bypass.load(Ordering::SeqCst)
     }
+
+    /// Chaos injection: sleep `stall` before every uncached unit
+    /// materialization on the budgeted composition paths (zero
+    /// disables). Deterministic harnesses use this to make slow slot
+    /// builds — and therefore `DeadlineExceeded` — reachable on
+    /// demand; the unbudgeted hot path never consults it.
+    pub fn set_compose_stall(&self, stall: Duration) {
+        self.compose_stall_us.store(stall.as_micros() as u64, Ordering::SeqCst);
+    }
+
+    fn chaos_stall(&self) {
+        let us = self.compose_stall_us.load(Ordering::Relaxed);
+        if us > 0 {
+            std::thread::sleep(Duration::from_micros(us));
+        }
+    }
 }
 
 impl<S: ActiveSet> DailyWindows for AnalysisCtx<S> {
@@ -402,7 +704,7 @@ impl<S: ActiveSet> WeeklyWindows for AnalysisCtx<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipactive_core::{DailyDatasetBuilder, WeeklyDatasetBuilder};
+    use crate::{DailyDatasetBuilder, WeeklyDatasetBuilder};
     use ipactive_net::Addr;
 
     fn a(s: &str) -> Addr {
@@ -593,5 +895,120 @@ mod tests {
         assert_eq!(WeeklyWindows::num_weeks(&ctx), 4);
         let wk = WeeklyWindows::union(&ctx, 0..2);
         assert!(Arc::ptr_eq(&wk, &ctx.week_window(0..2)));
+    }
+
+    /// Grows the 5-day context's dataset by appending a day and
+    /// rebuilding from the same record prefix.
+    fn grown_datasets() -> (Arc<DailyDataset>, Arc<WeeklyDataset>) {
+        let mut d = DailyDatasetBuilder::new(6);
+        d.record_hits(0, a("10.0.0.1"), 3);
+        d.record_hits(2, a("10.0.0.2"), 1);
+        d.record_hits(4, a("10.0.1.7"), 9);
+        d.record_hits(5, a("10.0.3.3"), 4); // the appended day
+        let mut w = WeeklyDatasetBuilder::new(4);
+        w.record_week(0, a("10.0.0.1"), 2);
+        w.record_week(3, a("10.0.2.8"), 5);
+        (Arc::new(d.finish()), Arc::new(w.finish()))
+    }
+
+    #[test]
+    fn extended_from_carries_cached_slots_by_identity() {
+        let prev = ctx();
+        let d0 = prev.day_set(0);
+        let w03 = prev.day_window(0..3);
+        let wk = prev.week_window(0..4);
+        let (daily, weekly) = grown_datasets();
+        let next = AnalysisCtx::extended_from(&prev, daily, weekly, &Registry::new());
+        // Carried slots hand out the very same Arcs — a hit, not a
+        // recomputation, and shared with readers of the old epoch.
+        next.reset_stats();
+        assert!(Arc::ptr_eq(&next.day_set(0), &d0));
+        assert!(Arc::ptr_eq(&next.day_window(0..3), &w03));
+        assert!(Arc::ptr_eq(&next.week_window(0..4), &wk));
+        assert_eq!(ctx_stats_misses(&next), 0, "carried slots must all hit");
+        // Windows touching the new day compose fresh and match a
+        // batch-built context byte for byte.
+        let grown = next.day_window(0..6);
+        let (daily2, weekly2) = grown_datasets();
+        let batch: AnalysisCtx = AnalysisCtx::new(daily2, weekly2);
+        assert_eq!(*grown, *batch.day_window(0..6));
+        assert_eq!(*next.day_window(0..3), *batch.day_window(0..3));
+    }
+
+    fn ctx_stats_misses(ctx: &AnalysisCtx) -> u64 {
+        ctx.stats().misses
+    }
+
+    #[test]
+    #[should_panic(expected = "must not shrink")]
+    fn extended_from_rejects_shrinking_datasets() {
+        let (daily, weekly) = grown_datasets();
+        let big: AnalysisCtx = AnalysisCtx::new(daily, weekly);
+        let small = ctx();
+        let _ = AnalysisCtx::extended_from(
+            &big,
+            small.daily().clone(),
+            small.weekly().clone(),
+            &Registry::new(),
+        );
+    }
+
+    #[test]
+    fn budgeted_queries_match_unbudgeted_and_cache_normally() {
+        let ctx = ctx();
+        let budget = QueryBudget::unlimited();
+        let set = ctx.day_window_within(0..5, &budget).expect("unlimited budget");
+        assert_eq!(*set, ctx.daily().window_union_as(0..5));
+        // The budgeted miss populated the shared slot: the unbudgeted
+        // query now hits the same Arc.
+        assert!(Arc::ptr_eq(&set, &ctx.day_window(0..5)));
+        assert_eq!(ctx.stats(), CacheStats { hits: 1, misses: 1 });
+        let wk = ctx.week_window_within(0..4, &budget).unwrap();
+        assert_eq!(*wk, ctx.weekly().window_union_as(0..4));
+        // Empty and one-unit windows stay budget-exempt when cached.
+        assert!(ctx.day_window_within(0..0, &budget).unwrap().is_empty());
+    }
+
+    #[test]
+    fn expired_budget_returns_partial_progress_provenance() {
+        let ctx = ctx();
+        let spent = QueryBudget::within(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(spent.expired());
+        let err = ctx.day_window_within(0..5, &spent).unwrap_err();
+        assert_eq!(err, DeadlineExceeded { units_done: 0, units_total: 5 });
+        // Nothing was cached by the failed query.
+        assert_eq!(ctx.stats(), CacheStats::default());
+        // An uncached single unit is also charged.
+        let err = ctx.day_window_within(2..3, &spent).unwrap_err();
+        assert_eq!(err.units_total, 1);
+        // ...but a cached answer is free even over budget.
+        ctx.day_window(0..5);
+        ctx.day_set(2);
+        assert!(ctx.day_window_within(0..5, &spent).is_ok());
+        assert!(ctx.day_window_within(2..3, &spent).is_ok());
+        assert!(ctx.week_window_within(0..4, &spent).is_err());
+    }
+
+    #[test]
+    fn compose_stall_makes_midflight_deadlines_reachable() {
+        let ctx = ctx();
+        // 5 uncached units at ≥2ms each against a ~3ms budget: the
+        // deadline fires at a slot boundary strictly inside the
+        // window, so the provenance shows genuine partial progress.
+        ctx.set_compose_stall(Duration::from_millis(2));
+        let budget = QueryBudget::within(Duration::from_millis(3));
+        match ctx.day_window_within(0..5, &budget) {
+            Err(err) => {
+                assert!(err.units_total == 5);
+                assert!(err.units_done < 5, "stall must abort before the window completes");
+            }
+            // On a heavily loaded machine the budget may survive the
+            // stalls; the query must then be exact.
+            Ok(set) => assert_eq!(*set, ctx.daily().window_union_as(0..5)),
+        }
+        ctx.set_compose_stall(Duration::ZERO);
+        let set = ctx.day_window_within(0..5, &QueryBudget::unlimited()).unwrap();
+        assert_eq!(*set, ctx.daily().window_union_as(0..5));
     }
 }

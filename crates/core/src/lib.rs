@@ -41,6 +41,7 @@ pub mod churn;
 pub mod coverage;
 mod dataset;
 pub mod demographics;
+pub mod engine;
 pub mod events;
 pub mod geo;
 pub mod hosts;
@@ -55,6 +56,7 @@ pub mod traffic;
 pub mod visibility;
 
 pub use coverage::Coverage;
+pub use engine::{AnalysisCtx, CacheStats, DeadlineExceeded, QueryBudget};
 pub use dataset::{
     BlockRecord, DailyDataset, DailyDatasetBuilder, DailyWindows, IpTraffic,
     WeeklyDataset, WeeklyDatasetBuilder, WeeklyWindows,

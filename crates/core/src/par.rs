@@ -88,6 +88,19 @@ impl Parallelism {
             .is_ok()
     }
 
+    /// Acquires one token as an RAII guard, or `None` when the pool is
+    /// empty. The token returns to the pool when the guard drops — on
+    /// every exit path, including unwinding out of a panicking kernel,
+    /// so a caught panic can never permanently shrink the shared
+    /// budget.
+    fn acquire_guard(&self) -> Option<TokenGuard> {
+        if self.try_acquire() {
+            Some(TokenGuard(self.clone()))
+        } else {
+            None
+        }
+    }
+
     /// Runs `f` over every chunk of `0..n` and returns the chunk
     /// results in chunk order.
     ///
@@ -122,13 +135,16 @@ impl Parallelism {
             // pool never spawns more workers than chunks. The caller
             // counts as one worker and drains alongside them.
             let mut helpers = 1usize;
-            while helpers < k && self.try_acquire() {
+            while helpers < k {
+                let Some(token) = self.acquire_guard() else { break };
                 helpers += 1;
-                let pool = self.clone();
                 let (next_ref, drain_ref) = (&next, &drain);
                 scope.spawn(move || {
+                    // Hold the token for the helper's lifetime; the
+                    // guard returns it even if `f` panics mid-chunk
+                    // and the panic unwinds through `drain`.
+                    let _token = token;
                     drain_ref(next_ref.fetch_add(1, Ordering::Relaxed));
-                    pool.release_tokens(1);
                 });
             }
             drain(next.fetch_add(1, Ordering::Relaxed));
@@ -137,6 +153,15 @@ impl Parallelism {
             .into_iter()
             .map(|s| s.into_inner().expect("every chunk ran to completion"))
             .collect()
+    }
+}
+
+/// RAII ownership of one helper token; returns it on drop.
+struct TokenGuard(Parallelism);
+
+impl Drop for TokenGuard {
+    fn drop(&mut self) {
+        self.0.release_tokens(1);
     }
 }
 
@@ -195,6 +220,53 @@ mod tests {
         assert!(pool.try_acquire() && pool.try_acquire() && pool.try_acquire());
         assert!(!pool.try_acquire());
         pool.release_tokens(3);
+    }
+
+    /// Payload type for the injected panic below; the quiet hook
+    /// suppresses exactly this type, so it can never hide a genuine
+    /// failure from another test in the binary.
+    struct InjectedChunkPanic;
+
+    fn quiet_injected_panics() {
+        static INSTALL: std::sync::Once = std::sync::Once::new();
+        INSTALL.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if info.payload().downcast_ref::<InjectedChunkPanic>().is_none() {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn panicking_kernel_does_not_leak_helper_tokens() {
+        // Regression: helper tokens used to be released by straight-
+        // line code after the drain, so a panic unwinding out of `f`
+        // skipped the release and permanently shrank the shared pool.
+        quiet_injected_panics();
+        let pool = Parallelism::new(3);
+        for round in 0..4 {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(640, 8, |r| {
+                    if r.contains(&320) {
+                        std::panic::panic_any(InjectedChunkPanic);
+                    }
+                    r.len()
+                })
+            }));
+            assert!(caught.is_err(), "round {round}: the injected panic must propagate");
+            // Every token must be back in the pool after the unwind.
+            assert!(
+                pool.try_acquire() && pool.try_acquire() && pool.try_acquire(),
+                "round {round}: panic leaked a helper token"
+            );
+            assert!(!pool.try_acquire());
+            pool.release_tokens(3);
+        }
+        // And the pool still runs healthy kernels afterwards.
+        let out = pool.run(640, 8, |r| r.len());
+        assert_eq!(out.iter().sum::<usize>(), 640);
     }
 
     #[test]

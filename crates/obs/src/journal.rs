@@ -49,6 +49,15 @@ pub enum EventKind {
     /// A shard exhausted reassignment and was recorded as lost:
     /// coverage degrades, quarantine provenance is written.
     ShardLost,
+    /// The observatory published a new epoch snapshot (`offset`
+    /// carries the epoch number, `day` the new day count).
+    EpochPublish,
+    /// A serve query worker panicked mid-query; the request was
+    /// answered degraded instead of dropped.
+    QueryPanic,
+    /// The serve admission queue was full and a request was shed with
+    /// an explicit `Overloaded` response.
+    LoadShed,
 }
 
 impl EventKind {
@@ -69,6 +78,9 @@ impl EventKind {
             EventKind::LeaseSteal => "lease_steal",
             EventKind::FsckVerdict => "fsck_verdict",
             EventKind::ShardLost => "shard_lost",
+            EventKind::EpochPublish => "epoch_publish",
+            EventKind::QueryPanic => "query_panic",
+            EventKind::LoadShed => "load_shed",
         }
     }
 }

@@ -149,6 +149,19 @@ impl Histogram {
         self.inner.sum.load(Ordering::Relaxed)
     }
 
+    /// Bucket-interpolated quantile estimate (`q` in `0.0..=1.0`).
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// rank `⌈q·count⌉` observation and interpolates linearly inside
+    /// its `(lower, upper]` value range, so the estimate's error is
+    /// bounded by the bucket width. Observations past the last bound
+    /// live in the open overflow bucket, whose upper edge is unknown —
+    /// a quantile landing there saturates to the last bound. Returns
+    /// 0.0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+
     pub(crate) fn snapshot(&self) -> crate::snapshot::HistogramSnapshot {
         crate::snapshot::HistogramSnapshot {
             bounds: self.inner.bounds.clone(),
@@ -219,5 +232,55 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.bounds, vec![1, 10, 100]);
         assert_eq!(snap.buckets, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn quantile_is_zero_on_empty() {
+        let h = Histogram::new(DECADE_BOUNDS);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        // 100 observations uniform over 1..=100 against bounds
+        // {10, 100}: p50 lands mid-way through the (10, 100] bucket.
+        let h = Histogram::new(&[10, 100]);
+        for v in 1..=100 {
+            h.observe(v);
+        }
+        let p50 = h.quantile(0.5);
+        // Rank 50 is the 40th of 90 observations in (10, 100]:
+        // 10 + (40/90)·90 = 50.
+        assert!((p50 - 50.0).abs() < 1.0, "p50 {p50}");
+        let p05 = h.quantile(0.05);
+        // Rank 5 of 10 in (0, 10]: 0 + (5/10)·10 = 5.
+        assert!((p05 - 5.0).abs() < 1.0, "p05 {p05}");
+        // q = 1.0 reaches the top of the last populated bucket.
+        assert!((h.quantile(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_saturates_in_the_overflow_bucket() {
+        let h = Histogram::new(&[10]);
+        h.observe(5);
+        h.observe(1_000_000); // overflow: upper edge unknown
+        assert_eq!(h.quantile(0.99), 10.0, "overflow quantiles clamp to the last bound");
+        // Bucket resolution: all we know of the low observation is
+        // "in (0, 10]", so the estimate lands at the bucket edge.
+        assert!((h.quantile(0.25) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_bucket_p50_p99_ordering() {
+        let h = Histogram::new(DECADE_BOUNDS);
+        for _ in 0..99 {
+            h.observe(3);
+        }
+        h.observe(700_000);
+        let (p50, p99) = (h.quantile(0.5), h.quantile(0.99));
+        assert!(p50 <= 4.0, "p50 {p50} must sit in the low bucket");
+        assert!(p99 <= p50.max(p99), "quantiles are monotone");
+        assert!(h.quantile(0.995) > 262_144.0, "tail observation pulls the extreme quantile up");
     }
 }

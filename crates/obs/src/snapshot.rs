@@ -44,6 +44,42 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Bucket-interpolated quantile estimate (`q` in `0.0..=1.0`);
+    /// see [`Histogram::quantile`](crate::Histogram::quantile) for the
+    /// interpolation and overflow-saturation rules. Returns 0.0 on an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Target rank in 1..=count; ceil so q = 0.0 still asks for the
+        // first observation and q = 1.0 for the last.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if below + n >= rank {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: the upper edge is unknown, so
+                    // the estimate saturates at the last finite bound.
+                    None => return lower as f64,
+                };
+                let into = (rank - below) as f64 / n as f64;
+                return lower as f64 + into * (upper - lower) as f64;
+            }
+            below += n;
+        }
+        // Unreachable when count equals the bucket sum; be defensive.
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+}
+
 /// Frozen aggregate for one span path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanSnapshot {

@@ -1,0 +1,311 @@
+//! Open-loop load generator for the observatory server.
+//!
+//! *Open-loop* is the property that matters: the sender issues request
+//! `i` at `start + i/rate` whether or not earlier responses have come
+//! back, so a slow server faces a growing backlog instead of a
+//! politely self-throttling client — the regime where load shedding
+//! and deadline budgets actually earn their keep (and where
+//! closed-loop generators famously under-report tail latency).
+//!
+//! Latency is measured client-side (send to response, queue time
+//! included) and recorded into the obs histogram plane; quantiles come
+//! from [`Histogram::quantile`](ipactive_obs::Histogram::quantile).
+
+use std::io::Write as _;
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ipactive_net::ActiveSet;
+use ipactive_obs::metrics::DECADE_BOUNDS;
+
+use crate::pipe::duplex;
+use crate::server::Server;
+use crate::wire::{self, QueryKind, Request, Status};
+
+/// Shape of one load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Target offered rate in requests per second.
+    pub rate: f64,
+    /// Deadline budget per request in milliseconds (0 = unlimited).
+    pub budget_ms: u64,
+    /// Whether deadline overruns may be answered degraded.
+    pub allow_degraded: bool,
+    /// Seed for the deterministic query mix.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            requests: 200,
+            rate: 2_000.0,
+            budget_ms: 0,
+            allow_degraded: true,
+            seed: 1,
+        }
+    }
+}
+
+/// What one load run observed. Every issued request is accounted for
+/// in exactly one status bucket — the server's "no silent drops"
+/// contract, re-checked from the outside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub sent: u64,
+    /// Exact answers.
+    pub ok: u64,
+    /// Degraded answers (partial coverage or density-approximated).
+    pub degraded: u64,
+    /// Deadline overruns that were not degradable.
+    pub deadline_exceeded: u64,
+    /// Load-shed at admission.
+    pub overloaded: u64,
+    /// Malformed requests.
+    pub bad_request: u64,
+    /// `overloaded / sent`.
+    pub shed_rate: f64,
+    /// Median client-observed latency, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile latency, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Offered rate actually achieved, requests per second.
+    pub achieved_rate: f64,
+}
+
+impl LoadReport {
+    /// Responses received, all classes.
+    pub fn answered(&self) -> u64 {
+        self.ok + self.degraded + self.deadline_exceeded + self.overloaded + self.bad_request
+    }
+
+    /// The report as a single JSON object (hand-rolled; the repo
+    /// carries no JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sent\":{},\"ok\":{},\"degraded\":{},\"deadline_exceeded\":{},",
+                "\"overloaded\":{},\"bad_request\":{},\"shed_rate\":{:.6},",
+                "\"p50_us\":{:.1},\"p90_us\":{:.1},\"p99_us\":{:.1},",
+                "\"elapsed_ms\":{},\"achieved_rate\":{:.1}}}"
+            ),
+            self.sent,
+            self.ok,
+            self.degraded,
+            self.deadline_exceeded,
+            self.overloaded,
+            self.bad_request,
+            self.shed_rate,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.elapsed_ms,
+            self.achieved_rate,
+        )
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic query mix: mostly day windows of varied width,
+/// some week windows when weeks exist, an occasional prefix count and
+/// status probe.
+fn query_for(i: u64, seed: u64, days: u64, weeks: u64) -> QueryKind {
+    let r = splitmix(seed ^ i.wrapping_mul(0x517c_c1b7_2722_0a95));
+    match r % 10 {
+        0 => QueryKind::Status,
+        1 => QueryKind::PrefixCount {
+            base: 0x0a00_0000 | (((r >> 8) % 24) as u32) << 8,
+            len: 24,
+        },
+        2 | 3 if weeks > 0 => {
+            let s = (r >> 16) % weeks;
+            let e = s + 1 + (r >> 32) % (weeks - s);
+            QueryKind::WeekWindow { start: s, end: e }
+        }
+        _ => {
+            if days == 0 {
+                return QueryKind::Status;
+            }
+            let s = (r >> 16) % days;
+            let e = s + 1 + (r >> 32) % (days - s);
+            QueryKind::DayWindow { start: s, end: e }
+        }
+    }
+}
+
+/// Runs one open-loop load against `server` over an in-process duplex
+/// connection and collects every response.
+pub fn run<S: ActiveSet>(server: &Server<S>, config: &LoadgenConfig) -> LoadReport {
+    let (client, server_end) = duplex();
+    let (srv_rx, srv_tx) = server_end.split();
+    server.attach(srv_rx, srv_tx);
+    let (mut rx, mut tx) = client.split();
+
+    let snap = server.observatory().pin();
+    let (days, weeks) = (snap.days() as u64, snap.weeks() as u64);
+    let latency = server
+        .observatory()
+        .registry()
+        .histogram("serve.client.latency_us", DECADE_BOUNDS);
+
+    let sent_at: Arc<Vec<OnceLock<Instant>>> =
+        Arc::new((0..config.requests).map(|_| OnceLock::new()).collect());
+    let cfg = *config;
+    let slab = sent_at.clone();
+    let start = Instant::now();
+    let sender = thread::spawn(move || {
+        for i in 0..cfg.requests {
+            // Open loop: request i fires at start + i/rate, no matter
+            // how the server is doing. Sleep only when ahead.
+            let target = start + Duration::from_secs_f64(i as f64 / cfg.rate.max(1e-9));
+            let now = Instant::now();
+            if target > now {
+                thread::sleep(target - now);
+            }
+            let req = Request {
+                id: i,
+                kind: query_for(i, cfg.seed, days, weeks),
+                budget_ms: cfg.budget_ms,
+                allow_degraded: cfg.allow_degraded,
+            };
+            let _ = slab[i as usize].set(Instant::now());
+            if wire::write_request(&mut tx, &req).is_err() {
+                return; // server gone; receiver will see EOF
+            }
+            let _ = tx.flush();
+        }
+        // tx drops here: half-close tells the server this client is
+        // done sending; responses keep flowing the other way.
+    });
+
+    let mut report = LoadReport {
+        sent: config.requests,
+        ok: 0,
+        degraded: 0,
+        deadline_exceeded: 0,
+        overloaded: 0,
+        bad_request: 0,
+        shed_rate: 0.0,
+        p50_us: 0.0,
+        p90_us: 0.0,
+        p99_us: 0.0,
+        elapsed_ms: 0,
+        achieved_rate: 0.0,
+    };
+    let mut answered = 0u64;
+    while answered < config.requests {
+        match wire::read_response(&mut rx) {
+            Ok(Some(resp)) => {
+                answered += 1;
+                if let Some(&at) = sent_at.get(resp.id as usize).and_then(|s| s.get()) {
+                    latency.observe(at.elapsed().as_micros() as u64);
+                }
+                match resp.status {
+                    Status::Ok => report.ok += 1,
+                    Status::Degraded => report.degraded += 1,
+                    Status::DeadlineExceeded => report.deadline_exceeded += 1,
+                    Status::Overloaded => report.overloaded += 1,
+                    Status::BadRequest => report.bad_request += 1,
+                }
+            }
+            Ok(None) => break, // server closed before answering all
+            Err(_) => break,
+        }
+    }
+    let _ = sender.join();
+    let elapsed = start.elapsed();
+    report.shed_rate = if report.sent == 0 {
+        0.0
+    } else {
+        report.overloaded as f64 / report.sent as f64
+    };
+    report.p50_us = latency.quantile(0.50);
+    report.p90_us = latency.quantile(0.90);
+    report.p99_us = latency.quantile(0.99);
+    report.elapsed_ms = elapsed.as_millis() as u64;
+    report.achieved_rate = if elapsed.as_secs_f64() > 0.0 {
+        report.sent as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory::{synthetic_day_log, Observatory};
+    use crate::server::ServeConfig;
+    use ipactive_obs::Registry;
+
+    #[test]
+    fn every_request_is_answered_exactly_once() {
+        let reg = Registry::new();
+        let obs: Arc<Observatory> = Arc::new(Observatory::new(&reg));
+        obs.ingest_days((0..8).map(|d| synthetic_day_log(5, d)).collect());
+        let server = Server::start(obs, ServeConfig::default());
+        let report = run(
+            &server,
+            &LoadgenConfig { requests: 120, rate: 50_000.0, ..LoadgenConfig::default() },
+        );
+        assert_eq!(report.sent, 120);
+        assert_eq!(report.answered(), 120, "no silent drops: {report:?}");
+        assert!(report.ok + report.degraded > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = LoadReport {
+            sent: 10,
+            ok: 7,
+            degraded: 1,
+            deadline_exceeded: 1,
+            overloaded: 1,
+            bad_request: 0,
+            shed_rate: 0.1,
+            p50_us: 120.0,
+            p90_us: 900.0,
+            p99_us: 4000.0,
+            elapsed_ms: 5,
+            achieved_rate: 2000.0,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sent\":10"));
+        assert!(json.contains("\"shed_rate\":0.100000"));
+        assert!(json.contains("\"p99_us\":4000.0"));
+    }
+
+    #[test]
+    fn query_mix_is_deterministic_and_in_range() {
+        for i in 0..500u64 {
+            let q = query_for(i, 9, 14, 2);
+            assert_eq!(q, query_for(i, 9, 14, 2));
+            match q {
+                QueryKind::DayWindow { start, end } => {
+                    assert!(start < end && end <= 14);
+                }
+                QueryKind::WeekWindow { start, end } => {
+                    assert!(start < end && end <= 2);
+                }
+                QueryKind::PrefixCount { len, .. } => assert!(len <= 24),
+                QueryKind::Status => {}
+            }
+        }
+    }
+}

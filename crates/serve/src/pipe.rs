@@ -1,0 +1,205 @@
+//! In-process byte pipes for driving the server without sockets.
+//!
+//! Tests and the load generator need a transport that behaves like a
+//! stream socket — blocking reads, EOF on writer drop, `BrokenPipe`
+//! when the reader went away — but stays deterministic and in-process.
+//! [`pipe`] gives one unidirectional channel; [`duplex`] pairs two into
+//! a connection.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Shared {
+    buf: VecDeque<u8>,
+    write_closed: bool,
+    read_closed: bool,
+}
+
+struct Channel {
+    state: Mutex<Shared>,
+    ready: Condvar,
+}
+
+/// Write half of a [`pipe`]; dropping it delivers EOF to the reader.
+pub struct PipeWriter {
+    ch: Arc<Channel>,
+}
+
+/// Read half of a [`pipe`]; blocks until bytes arrive or the writer
+/// hangs up.
+pub struct PipeReader {
+    ch: Arc<Channel>,
+}
+
+/// Creates an unbounded in-memory byte pipe.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let ch = Arc::new(Channel {
+        state: Mutex::new(Shared {
+            buf: VecDeque::new(),
+            write_closed: false,
+            read_closed: false,
+        }),
+        ready: Condvar::new(),
+    });
+    (PipeWriter { ch: ch.clone() }, PipeReader { ch })
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut st = self.ch.state.lock().unwrap();
+        if st.read_closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "pipe reader closed",
+            ));
+        }
+        st.buf.extend(data);
+        self.ch.ready.notify_all();
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut st = self.ch.state.lock().unwrap();
+        st.write_closed = true;
+        self.ch.ready.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.ch.state.lock().unwrap();
+        loop {
+            if !st.buf.is_empty() {
+                let n = out.len().min(st.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if st.write_closed {
+                return Ok(0); // EOF
+            }
+            st = self.ch.ready.wait(st).unwrap();
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut st = self.ch.state.lock().unwrap();
+        st.read_closed = true;
+        self.ch.ready.notify_all();
+    }
+}
+
+/// One endpoint of a [`duplex`] connection: `Read` pulls from the peer,
+/// `Write` pushes to it. Split into halves with [`DuplexConn::split`]
+/// to hand the read side and write side to different threads.
+pub struct DuplexConn {
+    /// Bytes arriving from the peer.
+    pub rx: PipeReader,
+    /// Bytes heading to the peer.
+    pub tx: PipeWriter,
+}
+
+impl DuplexConn {
+    /// Splits the connection into independently-owned halves.
+    pub fn split(self) -> (PipeReader, PipeWriter) {
+        (self.rx, self.tx)
+    }
+}
+
+impl Read for DuplexConn {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        self.rx.read(out)
+    }
+}
+
+impl Write for DuplexConn {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.tx.write(data)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.tx.flush()
+    }
+}
+
+/// Creates a connected pair of bidirectional in-process streams.
+pub fn duplex() -> (DuplexConn, DuplexConn) {
+    let (a_tx, b_rx) = pipe();
+    let (b_tx, a_rx) = pipe();
+    (
+        DuplexConn { rx: a_rx, tx: a_tx },
+        DuplexConn { rx: b_rx, tx: b_tx },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"world").unwrap();
+        drop(w);
+        let mut got = String::new();
+        r.read_to_string(&mut got).unwrap();
+        assert_eq!(got, "hello world");
+    }
+
+    #[test]
+    fn reader_blocks_until_writer_delivers() {
+        let (mut w, mut r) = pipe();
+        let handle = thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf).unwrap();
+            buf
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        w.write_all(b"ping").unwrap();
+        assert_eq!(&handle.join().unwrap(), b"ping");
+    }
+
+    #[test]
+    fn writer_sees_broken_pipe_after_reader_drops() {
+        let (mut w, r) = pipe();
+        drop(r);
+        let err = w.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn duplex_carries_traffic_both_ways() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"req").unwrap();
+        let mut buf = [0u8; 3];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"req");
+        b.write_all(b"resp").unwrap();
+        let mut buf = [0u8; 4];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"resp");
+    }
+
+    #[test]
+    fn dropping_one_duplex_end_eofs_the_peer() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = Vec::new();
+        assert_eq!(b.read_to_end(&mut buf).unwrap(), 0);
+    }
+}

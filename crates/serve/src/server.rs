@@ -1,0 +1,686 @@
+//! The threaded query front-end: bounded admission, deadline budgets,
+//! panic isolation, and honest degradation.
+//!
+//! Every request that reaches the server gets exactly one response,
+//! and the response class is always truthful about what happened:
+//!
+//! * admission queue full → [`Status::Overloaded`], written
+//!   immediately by the connection thread (the query never executes);
+//! * deadline expired mid-composition → [`Status::DeadlineExceeded`]
+//!   with `units_done / units_total` partial-progress provenance, or —
+//!   when the client set `allow_degraded` — a [`Status::Degraded`]
+//!   answer from the [`PrefixDensity`](ipactive_net::PrefixDensity)
+//!   approximation, flagged `from_density`;
+//! * window touching a partial feed or reaching past the ingested
+//!   horizon → exact value over what exists, [`Status::Degraded`] with
+//!   `coverage_ppm < 1_000_000`;
+//! * worker panic → caught per query, journaled as `query_panic`, and
+//!   the request is still answered (degraded, from density).
+//!
+//! Nothing here returns a silently wrong answer: `Status::Ok` means
+//! "exact over fully ingested, fully covered data", full stop.
+
+use std::io::{Read, Write};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, Once};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ipactive_core::QueryBudget;
+use ipactive_net::{ActiveSet, Addr, Prefix, PrefixDensity, TieredSet};
+use ipactive_obs::metrics::DECADE_BOUNDS;
+use ipactive_obs::{Event, EventKind};
+
+use crate::chaos::{ChaosAction, ChaosPlan};
+use crate::observatory::{EpochSnapshot, Observatory};
+use crate::wire::{self, QueryKind, Request, Response, Status};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Query worker threads.
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue sheds load with
+    /// explicit `Overloaded` responses instead of building backlog.
+    pub queue_depth: usize,
+    /// Deterministic fault-injection schedule.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, queue_depth: 64, chaos: ChaosPlan::none() }
+    }
+}
+
+/// Panic payload for chaos-injected worker panics. Module-private so
+/// only the chaos path can construct it; the quiet hook silences
+/// exactly this payload and forwards every real panic.
+struct InjectedQueryPanic;
+
+/// Silences the default stderr backtrace for chaos-injected query
+/// panics (they are expected and journaled); every other panic still
+/// reaches the previous hook. Idempotent.
+pub fn quiet_injected_query_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedQueryPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// One admitted query: the request plus the (frame-atomic) response
+/// sink of the connection it arrived on.
+struct Job {
+    req: Request,
+    out: Arc<Mutex<dyn Write + Send>>,
+}
+
+/// The always-on query front-end over one [`Observatory`].
+pub struct Server<S: ActiveSet = TieredSet> {
+    obs: Arc<Observatory<S>>,
+    tx: SyncSender<Job>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    executed: Arc<AtomicU64>,
+    config: ServeConfig,
+}
+
+impl<S: ActiveSet> Server<S> {
+    /// Starts `config.workers` query workers over `obs`.
+    pub fn start(obs: Arc<Observatory<S>>, config: ServeConfig) -> Server<S> {
+        if config.chaos.panic_period != 0 {
+            quiet_injected_query_panics();
+        }
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let executed = Arc::new(AtomicU64::new(0));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let obs = obs.clone();
+                let executed = executed.clone();
+                let chaos = config.chaos;
+                thread::spawn(move || worker_loop(rx, obs, executed, chaos))
+            })
+            .collect();
+        Server { obs, tx, workers, conns: Mutex::new(Vec::new()), executed, config }
+    }
+
+    /// The observatory this server answers from.
+    pub fn observatory(&self) -> &Arc<Observatory<S>> {
+        &self.obs
+    }
+
+    /// Queries executed so far (admitted and dequeued; shed requests
+    /// never count).
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::SeqCst)
+    }
+
+    /// Attaches one client connection: `reader` carries request
+    /// frames in, `writer` carries response frames out. Returns after
+    /// spawning the connection thread; the thread exits when the
+    /// client closes its write half.
+    pub fn attach<R, W>(&self, reader: R, writer: W)
+    where
+        R: Read + Send + 'static,
+        W: Write + Send + 'static,
+    {
+        let tx = self.tx.clone();
+        let obs = self.obs.clone();
+        let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(writer));
+        let handle = thread::spawn(move || connection_loop(reader, out, tx, obs));
+        self.conns.lock().expect("conn list poisoned").push(handle);
+    }
+
+    /// Shuts the server down: waits for attached connections to drain
+    /// (they exit when their clients close), then stops and joins the
+    /// workers. Call after client write halves are dropped.
+    pub fn shutdown(self) {
+        let conns = std::mem::take(&mut *self.conns.lock().expect("conn list poisoned"));
+        for c in conns {
+            let _ = c.join();
+        }
+        drop(self.tx); // workers see the channel close and exit
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let _ = self.config;
+    }
+}
+
+/// Reads request frames off one connection, admitting each into the
+/// bounded queue or shedding it with an immediate `Overloaded`.
+fn connection_loop<S: ActiveSet>(
+    mut reader: impl Read,
+    out: Arc<Mutex<dyn Write + Send>>,
+    tx: SyncSender<Job>,
+    obs: Arc<Observatory<S>>,
+) {
+    let registry = obs.registry().clone();
+    loop {
+        let req = match wire::read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF
+            Err(err) => {
+                // The stream is unsynchronized after a corrupt frame:
+                // answer what we can attribute (id 0) and hang up.
+                registry.counter("serve.bad_frames").inc();
+                let resp = Response {
+                    id: 0,
+                    epoch: obs.pin().epoch(),
+                    status: Status::BadRequest,
+                    value: 0,
+                    coverage_ppm: 0,
+                    units_done: 0,
+                    units_total: 0,
+                    from_density: false,
+                };
+                write_locked(&out, &resp);
+                let _ = err;
+                return;
+            }
+        };
+        registry.counter("serve.requests").inc();
+        match tx.try_send(Job { req, out: out.clone() }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                // Load-shed (or server shutting down): explicit
+                // Overloaded, never a dropped request.
+                registry.counter("serve.shed").inc();
+                registry.emit(
+                    Event::new(EventKind::LoadShed)
+                        .offset(job.req.id)
+                        .detail("admission queue full"),
+                );
+                let resp = Response {
+                    id: job.req.id,
+                    epoch: obs.pin().epoch(),
+                    status: Status::Overloaded,
+                    value: 0,
+                    coverage_ppm: 0,
+                    units_done: 0,
+                    units_total: 0,
+                    from_density: false,
+                };
+                write_locked(&job.out, &resp);
+            }
+        }
+    }
+}
+
+fn write_locked(out: &Arc<Mutex<dyn Write + Send>>, resp: &Response) {
+    let mut w = out.lock().expect("response sink poisoned");
+    // A client that hung up mid-flight is not an error worth dying
+    // over; the response is simply undeliverable.
+    let _ = wire::write_response(&mut *w, resp);
+    let _ = w.flush();
+}
+
+fn worker_loop<S: ActiveSet>(
+    rx: Arc<Mutex<Receiver<Job>>>,
+    obs: Arc<Observatory<S>>,
+    executed: Arc<AtomicU64>,
+    chaos: ChaosPlan,
+) {
+    let registry = obs.registry().clone();
+    let latency = registry.histogram("serve.latency_us", DECADE_BOUNDS);
+    loop {
+        let job = match rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: shutdown
+        };
+        let seq = executed.fetch_add(1, Ordering::SeqCst);
+        let action = chaos.action(seq);
+        let start = Instant::now();
+        let snap = obs.pin();
+        let req = job.req;
+
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            match action {
+                ChaosAction::Panic => panic::panic_any(InjectedQueryPanic),
+                ChaosAction::Stall => {
+                    thread::sleep(Duration::from_micros(chaos.stall_us))
+                }
+                ChaosAction::None => {}
+            }
+            answer(&snap, &req)
+        }));
+
+        let resp = match outcome {
+            Ok(resp) => resp,
+            Err(_payload) => {
+                // The worker survived a panic: journal it and still
+                // answer — degraded, from the density approximation.
+                registry.counter("serve.panics").inc();
+                registry.emit(
+                    Event::new(EventKind::QueryPanic)
+                        .offset(req.id)
+                        .detail("query worker panicked; answered degraded"),
+                );
+                degraded_from_density(&snap, &req)
+            }
+        };
+        match resp.status {
+            Status::Ok => registry.counter("serve.ok").inc(),
+            Status::Degraded => registry.counter("serve.degraded").inc(),
+            Status::DeadlineExceeded => registry.counter("serve.deadline").inc(),
+            Status::Overloaded => registry.counter("serve.overloaded").inc(),
+            Status::BadRequest => registry.counter("serve.bad_request").inc(),
+        }
+        latency.observe(start.elapsed().as_micros() as u64);
+        write_locked(&job.out, &resp);
+    }
+}
+
+fn ppm(fraction: f64) -> u64 {
+    (fraction.clamp(0.0, 1.0) * Response::FULL_COVERAGE as f64).round() as u64
+}
+
+/// Computes the honest answer for one request against one pinned
+/// epoch. Never panics on any decodable request: ranges are validated
+/// and clamped *before* the engine sees them.
+fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
+    let budget = if req.budget_ms == 0 {
+        QueryBudget::unlimited()
+    } else {
+        QueryBudget::within(Duration::from_millis(req.budget_ms))
+    };
+    let bad = |snap: &EpochSnapshot<S>| Response {
+        id: req.id,
+        epoch: snap.epoch(),
+        status: Status::BadRequest,
+        value: 0,
+        coverage_ppm: 0,
+        units_done: 0,
+        units_total: 0,
+        from_density: false,
+    };
+    match req.kind {
+        QueryKind::Status => Response {
+            id: req.id,
+            epoch: snap.epoch(),
+            status: Status::Ok,
+            value: snap.days() as u64,
+            coverage_ppm: ppm(snap.window_coverage(0..snap.days())),
+            units_done: 0,
+            units_total: 0,
+            from_density: false,
+        },
+        QueryKind::PrefixCount { base, len } => {
+            if len > PrefixDensity::MAX_LEN {
+                return bad(snap);
+            }
+            // The density index answers prefix counts exactly in O(1);
+            // `from_density` records the provenance all the same.
+            let count = snap.density().count(Prefix::new(Addr::new(base), len));
+            let cov = snap.window_coverage(0..snap.days());
+            Response {
+                id: req.id,
+                epoch: snap.epoch(),
+                status: if cov >= 1.0 { Status::Ok } else { Status::Degraded },
+                value: count,
+                coverage_ppm: ppm(cov),
+                units_done: 0,
+                units_total: 0,
+                from_density: true,
+            }
+        }
+        QueryKind::DayWindow { start, end } => {
+            if start > end {
+                return bad(snap);
+            }
+            let (s, e) = (start as usize, end as usize);
+            // Clamp to the ingested horizon; the requested window's
+            // coverage already dilutes for the days we do not have.
+            let ce = e.min(snap.days());
+            let cs = s.min(ce);
+            let cov = snap.window_coverage(s..e);
+            let result = snap
+                .engine()
+                .day_window_within(cs..ce, &budget)
+                .map(|set| set.len() as u64);
+            shape_window(req, snap, cov, result)
+        }
+        QueryKind::WeekWindow { start, end } => {
+            if start > end {
+                return bad(snap);
+            }
+            let (s, e) = (start as usize, end as usize);
+            let ce = e.min(snap.weeks());
+            let cs = s.min(ce);
+            let cov = snap.week_window_coverage(s..e);
+            let result = snap
+                .engine()
+                .week_window_within(cs..ce, &budget)
+                .map(|set| set.len() as u64);
+            shape_window(req, snap, cov, result)
+        }
+    }
+}
+
+/// Shared Ok/Degraded/DeadlineExceeded shaping for the two window
+/// query kinds. `result` is the budgeted engine answer over the
+/// *clamped* range; `cov` is coverage of the *requested* range, so a
+/// horizon clamp already shows up as `cov < 1.0`.
+fn shape_window<S: ActiveSet>(
+    req: &Request,
+    snap: &EpochSnapshot<S>,
+    cov: f64,
+    result: Result<u64, ipactive_core::DeadlineExceeded>,
+) -> Response {
+    match result {
+        Ok(value) => Response {
+            id: req.id,
+            epoch: snap.epoch(),
+            status: if cov >= 1.0 { Status::Ok } else { Status::Degraded },
+            value,
+            coverage_ppm: ppm(cov),
+            units_done: 0,
+            units_total: 0,
+            from_density: false,
+        },
+        Err(partial) if req.allow_degraded => Response {
+            id: req.id,
+            epoch: snap.epoch(),
+            status: Status::Degraded,
+            // The density index covers the union of *all* days, an
+            // O(1) upper bound for any window — honest because it is
+            // flagged `from_density` with the partial progress.
+            value: snap.density().total(),
+            coverage_ppm: ppm(cov),
+            units_done: partial.units_done as u64,
+            units_total: partial.units_total as u64,
+            from_density: true,
+        },
+        Err(partial) => Response {
+            id: req.id,
+            epoch: snap.epoch(),
+            status: Status::DeadlineExceeded,
+            value: 0,
+            coverage_ppm: ppm(cov),
+            units_done: partial.units_done as u64,
+            units_total: partial.units_total as u64,
+            from_density: false,
+        },
+    }
+}
+
+/// Degraded answer built entirely from the density approximation —
+/// the fallback after a worker panic, when no exact machinery can be
+/// trusted for this request.
+fn degraded_from_density<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
+    let density = snap.density();
+    let (value, cov) = match req.kind {
+        QueryKind::PrefixCount { base, len } if len <= PrefixDensity::MAX_LEN => (
+            density.count(Prefix::new(Addr::new(base), len)),
+            snap.window_coverage(0..snap.days()),
+        ),
+        QueryKind::DayWindow { start, end } if start <= end => (
+            density.total(),
+            snap.window_coverage(start as usize..end as usize),
+        ),
+        QueryKind::WeekWindow { start, end } if start <= end => (
+            density.total(),
+            snap.week_window_coverage(start as usize..end as usize),
+        ),
+        QueryKind::Status => (snap.days() as u64, 1.0),
+        _ => {
+            return Response {
+                id: req.id,
+                epoch: snap.epoch(),
+                status: Status::BadRequest,
+                value: 0,
+                coverage_ppm: 0,
+                units_done: 0,
+                units_total: 0,
+                from_density: false,
+            }
+        }
+    };
+    Response {
+        id: req.id,
+        epoch: snap.epoch(),
+        status: Status::Degraded,
+        value,
+        coverage_ppm: ppm(cov),
+        units_done: 0,
+        units_total: 0,
+        from_density: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observatory::synthetic_day_log;
+    use crate::pipe::duplex;
+    use ipactive_obs::{Registry, SnapshotMode};
+    use std::collections::HashMap;
+
+    fn served_observatory(days: usize) -> (Registry, Arc<Observatory>) {
+        let reg = Registry::new();
+        let obs: Arc<Observatory> = Arc::new(Observatory::new(&reg));
+        obs.ingest_days((0..days).map(|d| synthetic_day_log(11, d)).collect());
+        (reg, obs)
+    }
+
+    /// Sends `reqs` over one connection and returns responses by id.
+    fn exchange(server: &Server, reqs: &[Request]) -> HashMap<u64, Response> {
+        let (client, server_end) = duplex();
+        let (srx, stx) = server_end.split();
+        server.attach(srx, stx);
+        let (mut rx, mut tx) = client.split();
+        for r in reqs {
+            wire::write_request(&mut tx, r).unwrap();
+        }
+        drop(tx);
+        let mut got = HashMap::new();
+        while got.len() < reqs.len() {
+            match wire::read_response(&mut rx).unwrap() {
+                Some(resp) => {
+                    got.insert(resp.id, resp);
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
+    fn req(id: u64, kind: QueryKind) -> Request {
+        Request { id, kind, budget_ms: 0, allow_degraded: false }
+    }
+
+    #[test]
+    fn exact_answers_match_the_engine_directly() {
+        let (_reg, obs) = served_observatory(9);
+        let want_window = obs.pin().engine().day_window(2..7).len() as u64;
+        let server = Server::start(obs, ServeConfig::default());
+        let got = exchange(
+            &server,
+            &[
+                req(0, QueryKind::Status),
+                req(1, QueryKind::DayWindow { start: 2, end: 7 }),
+                req(2, QueryKind::WeekWindow { start: 0, end: 1 }),
+                req(3, QueryKind::PrefixCount { base: 0x0a00_0000, len: 24 }),
+            ],
+        );
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[&0].status, Status::Ok);
+        assert_eq!(got[&0].value, 9, "status reports ingested days");
+        assert_eq!(got[&1].status, Status::Ok);
+        assert_eq!(got[&1].value, want_window);
+        assert!(!got[&1].from_density);
+        assert_eq!(got[&2].status, Status::Ok);
+        assert_eq!(got[&3].status, Status::Ok);
+        assert!(got[&3].from_density, "prefix counts carry index provenance");
+        assert!(got[&3].value > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn horizon_overruns_and_partial_feeds_answer_degraded_not_wrong() {
+        let reg = Registry::new();
+        let obs: Arc<Observatory> = Arc::new(Observatory::new(&reg));
+        obs.ingest_day(synthetic_day_log(2, 0));
+        obs.ingest_day_with_coverage(synthetic_day_log(2, 1), 0.5);
+        let exact = obs.pin().engine().day_window(0..2).len() as u64;
+        let server = Server::start(obs, ServeConfig::default());
+        let got = exchange(
+            &server,
+            &[
+                // Past the horizon: clamped, degraded, diluted coverage.
+                req(0, QueryKind::DayWindow { start: 0, end: 4 }),
+                // Inside the horizon but over a half-covered day.
+                req(1, QueryKind::DayWindow { start: 0, end: 2 }),
+                // Fully covered day: exact.
+                req(2, QueryKind::DayWindow { start: 0, end: 1 }),
+            ],
+        );
+        assert_eq!(got[&0].status, Status::Degraded);
+        assert_eq!(got[&0].value, exact, "clamped value is exact over what exists");
+        assert!(got[&0].coverage_ppm < Response::FULL_COVERAGE);
+        assert_eq!(got[&1].status, Status::Degraded);
+        assert_eq!(got[&1].coverage_ppm, 750_000);
+        assert_eq!(got[&2].status, Status::Ok);
+        assert_eq!(got[&2].coverage_ppm, Response::FULL_COVERAGE);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_windows_get_bad_request_not_a_panic() {
+        let (_reg, obs) = served_observatory(3);
+        let server = Server::start(obs, ServeConfig::default());
+        let got = exchange(
+            &server,
+            &[
+                req(0, QueryKind::DayWindow { start: 5, end: 2 }),
+                req(1, QueryKind::PrefixCount { base: 0, len: 30 }),
+                req(2, QueryKind::Status),
+            ],
+        );
+        assert_eq!(got[&0].status, Status::BadRequest);
+        assert_eq!(got[&1].status, Status::BadRequest);
+        assert_eq!(got[&2].status, Status::Ok, "server survives bad requests");
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_budgets_return_partial_progress_or_a_degraded_answer() {
+        let (_reg, obs) = served_observatory(10);
+        // Make every uncached unit build cost ~4ms so a 1ms budget
+        // reliably dies mid-composition.
+        obs.set_compose_stall(Duration::from_millis(4));
+        let server = Server::start(obs, ServeConfig::default());
+        let strict = Request {
+            id: 0,
+            kind: QueryKind::DayWindow { start: 0, end: 10 },
+            budget_ms: 1,
+            allow_degraded: false,
+        };
+        let soft = Request { id: 1, allow_degraded: true, ..strict };
+        let got = exchange(&server, &[strict, soft]);
+        match got[&0].status {
+            Status::DeadlineExceeded => {
+                assert!(got[&0].units_total >= 1);
+                assert!(got[&0].units_done < 10);
+            }
+            // A cached window (filled by the other request racing
+            // ahead) legitimately answers exactly; tolerate it.
+            Status::Ok => {}
+            other => panic!("unexpected status {other:?}"),
+        }
+        match got[&1].status {
+            Status::Degraded => assert!(got[&1].from_density),
+            Status::Ok => {}
+            other => panic!("unexpected status {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_panics_are_caught_journaled_and_still_answered() {
+        let (reg, obs) = served_observatory(6);
+        let server = Server::start(
+            obs,
+            ServeConfig {
+                workers: 1,
+                queue_depth: 16,
+                // Every executed query panics.
+                chaos: ChaosPlan { seed: 3, panic_period: 1, stall_period: 0, stall_us: 0 },
+            },
+        );
+        let got = exchange(
+            &server,
+            &[
+                req(0, QueryKind::DayWindow { start: 0, end: 6 }),
+                req(1, QueryKind::Status),
+            ],
+        );
+        assert_eq!(got.len(), 2, "panicked queries still answer");
+        for resp in got.values() {
+            assert_eq!(resp.status, Status::Degraded);
+            assert!(resp.from_density);
+        }
+        server.shutdown();
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("serve.panics"), 2);
+        let (events, _) = reg.journal().drain_sorted();
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::QueryPanic),
+            "panic must be journaled"
+        );
+    }
+
+    #[test]
+    fn a_full_admission_queue_sheds_with_explicit_overloaded() {
+        let (reg, obs) = served_observatory(6);
+        let server = Server::start(
+            obs,
+            ServeConfig {
+                workers: 1,
+                queue_depth: 1,
+                // Stall every query 20ms so the queue jams instantly.
+                chaos: ChaosPlan { seed: 1, panic_period: 0, stall_period: 1, stall_us: 20_000 },
+            },
+        );
+        let reqs: Vec<Request> =
+            (0..30).map(|i| req(i, QueryKind::DayWindow { start: 0, end: 3 })).collect();
+        let got = exchange(&server, &reqs);
+        assert_eq!(got.len(), 30, "every request answered, shed or not");
+        let shed = got.values().filter(|r| r.status == Status::Overloaded).count();
+        assert!(shed > 0, "a 1-deep queue against 20ms queries must shed");
+        assert!(
+            got.values().all(|r| matches!(r.status, Status::Ok | Status::Overloaded)),
+            "unexpected status in {got:?}"
+        );
+        server.shutdown();
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("serve.shed"), shed as u64);
+        let (events, _) = reg.journal().drain_sorted();
+        assert!(events.iter().any(|e| e.kind == EventKind::LoadShed));
+    }
+
+    #[test]
+    fn corrupt_frames_hang_up_honestly() {
+        let (_reg, obs) = served_observatory(2);
+        let server = Server::start(obs, ServeConfig::default());
+        let (client, server_end) = duplex();
+        let (srx, stx) = server_end.split();
+        server.attach(srx, stx);
+        let (mut rx, mut tx) = client.split();
+        tx.write_all(&[0x03, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0]).unwrap();
+        drop(tx);
+        let resp = wire::read_response(&mut rx).unwrap().unwrap();
+        assert_eq!(resp.status, Status::BadRequest);
+        assert!(wire::read_response(&mut rx).unwrap().is_none(), "then EOF");
+        server.shutdown();
+    }
+}

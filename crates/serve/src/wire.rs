@@ -1,0 +1,493 @@
+//! Length-prefixed binary protocol for observatory queries.
+//!
+//! Frames reuse the `logfmt` lease idiom: a varint length prefix, the
+//! payload, then a little-endian CRC-32 of the payload. A torn or
+//! bit-flipped frame is *detected*, never half-parsed. Integers inside
+//! payloads are LEB128 varints; the layout is append-only so older
+//! clients keep working when trailing fields grow.
+//!
+//! ```text
+//! frame    := varint(payload_len) payload crc32(payload) as 4 LE bytes
+//! request  := 0x51 varint(id) kind:u8 varint(a) varint(b)
+//!             varint(budget_ms) flags:u8          ; flags bit0 = allow_degraded
+//! response := 0x52 varint(id) varint(epoch) status:u8 varint(value)
+//!             varint(coverage_ppm) varint(units_done) varint(units_total)
+//!             flags:u8                            ; flags bit0 = from_density
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use ipactive_logfmt::{crc32, decode_u64, encode_u64, VarintError};
+
+/// First payload byte of every request frame.
+const REQUEST_MAGIC: u8 = 0x51;
+/// First payload byte of every response frame.
+const RESPONSE_MAGIC: u8 = 0x52;
+/// Upper bound on a sane frame; anything larger is a corrupt length.
+const MAX_FRAME: u64 = 1 << 20;
+
+/// Error reading or decoding a wire frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying transport error.
+    Io(io::Error),
+    /// The stream ended inside a frame (a clean EOF *between* frames is
+    /// reported as `Ok(None)` by [`read_frame`], not as an error).
+    Truncated,
+    /// A varint field was malformed.
+    Varint(VarintError),
+    /// The payload CRC did not match: the frame was damaged in flight.
+    CrcMismatch,
+    /// The length prefix exceeded the sanity cap.
+    Oversized(u64),
+    /// The payload did not start with the expected magic byte.
+    BadMagic(u8),
+    /// Unknown query kind or status discriminant.
+    BadDiscriminant(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+            WireError::Truncated => write!(f, "frame truncated mid-stream"),
+            WireError::Varint(e) => write!(f, "bad varint field: {e}"),
+            WireError::CrcMismatch => write!(f, "frame CRC mismatch"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds cap {MAX_FRAME}"),
+            WireError::BadMagic(b) => write!(f, "unexpected frame magic {b:#04x}"),
+            WireError::BadDiscriminant(b) => write!(f, "unknown discriminant {b}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+impl From<VarintError> for WireError {
+    fn from(e: VarintError) -> Self {
+        WireError::Varint(e)
+    }
+}
+
+/// What a request asks the observatory to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Distinct active addresses over the half-open day window `start..end`.
+    DayWindow {
+        /// First day (inclusive).
+        start: u64,
+        /// One past the last day.
+        end: u64,
+    },
+    /// Distinct active addresses over the half-open week window `start..end`.
+    WeekWindow {
+        /// First week (inclusive).
+        start: u64,
+        /// One past the last week.
+        end: u64,
+    },
+    /// Active-address count inside one prefix, answered from the
+    /// density index (`len` ≤ 24).
+    PrefixCount {
+        /// Prefix base address.
+        base: u32,
+        /// Prefix length in bits.
+        len: u8,
+    },
+    /// Server status probe: answers with the current epoch and ingested
+    /// day count (in `value`), never touches the engine.
+    Status,
+}
+
+impl QueryKind {
+    fn discriminant(self) -> u8 {
+        match self {
+            QueryKind::DayWindow { .. } => 1,
+            QueryKind::WeekWindow { .. } => 2,
+            QueryKind::PrefixCount { .. } => 3,
+            QueryKind::Status => 4,
+        }
+    }
+
+    fn operands(self) -> (u64, u64) {
+        match self {
+            QueryKind::DayWindow { start, end } | QueryKind::WeekWindow { start, end } => {
+                (start, end)
+            }
+            QueryKind::PrefixCount { base, len } => (u64::from(base), u64::from(len)),
+            QueryKind::Status => (0, 0),
+        }
+    }
+}
+
+/// One query addressed to the observatory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub id: u64,
+    /// The computation being requested.
+    pub kind: QueryKind,
+    /// Deadline budget in milliseconds; `0` means unlimited.
+    pub budget_ms: u64,
+    /// Whether a deadline overrun may be answered from the density
+    /// approximation instead of failing with `DeadlineExceeded`.
+    pub allow_degraded: bool,
+}
+
+/// Outcome class of a response; every admitted request gets exactly one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Exact answer from fully ingested data.
+    Ok,
+    /// An answer was produced but is *not* the exact batch answer —
+    /// either the window coverage is partial or the value came from the
+    /// density approximation. Inspect `coverage_ppm` / `from_density`.
+    Degraded,
+    /// The deadline budget expired and degraded answering was not
+    /// allowed; `units_done`/`units_total` carry partial progress.
+    DeadlineExceeded,
+    /// The admission queue was full; the request was never executed.
+    Overloaded,
+    /// The request was malformed or out of range.
+    BadRequest,
+}
+
+impl Status {
+    fn discriminant(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Degraded => 1,
+            Status::DeadlineExceeded => 2,
+            Status::Overloaded => 3,
+            Status::BadRequest => 4,
+        }
+    }
+
+    fn from_discriminant(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => Status::Ok,
+            1 => Status::Degraded,
+            2 => Status::DeadlineExceeded,
+            3 => Status::Overloaded,
+            4 => Status::BadRequest,
+            other => return Err(WireError::BadDiscriminant(other)),
+        })
+    }
+}
+
+/// The observatory's answer to one [`Request`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Epoch of the snapshot the answer was computed against.
+    pub epoch: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// The count (or, for `Status` probes, the ingested day count).
+    pub value: u64,
+    /// Window coverage in parts-per-million: `1_000_000` means every
+    /// day in the window was fully fed; less annotates partial feeds or
+    /// a clamped horizon.
+    pub coverage_ppm: u64,
+    /// Composition units materialized before the answer (or deadline).
+    pub units_done: u64,
+    /// Composition units the full answer needed.
+    pub units_total: u64,
+    /// True when `value` came from the [`PrefixDensity`]
+    /// approximation rather than exact set composition.
+    ///
+    /// [`PrefixDensity`]: ipactive_net::PrefixDensity
+    pub from_density: bool,
+}
+
+impl Response {
+    /// Coverage denominator: one million, i.e. a fully-fed window.
+    pub const FULL_COVERAGE: u64 = 1_000_000;
+}
+
+fn encode_request(req: &Request) -> Vec<u8> {
+    let mut p = Vec::with_capacity(32);
+    p.push(REQUEST_MAGIC);
+    encode_u64(&mut p, req.id);
+    p.push(req.kind.discriminant());
+    let (a, b) = req.kind.operands();
+    encode_u64(&mut p, a);
+    encode_u64(&mut p, b);
+    encode_u64(&mut p, req.budget_ms);
+    p.push(u8::from(req.allow_degraded));
+    p
+}
+
+fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut p = Vec::with_capacity(48);
+    p.push(RESPONSE_MAGIC);
+    encode_u64(&mut p, resp.id);
+    encode_u64(&mut p, resp.epoch);
+    p.push(resp.status.discriminant());
+    encode_u64(&mut p, resp.value);
+    encode_u64(&mut p, resp.coverage_ppm);
+    encode_u64(&mut p, resp.units_done);
+    encode_u64(&mut p, resp.units_total);
+    p.push(u8::from(resp.from_density));
+    p
+}
+
+fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    let (&b, rest) = buf.split_first().ok_or(WireError::Truncated)?;
+    *buf = rest;
+    Ok(b)
+}
+
+fn decode_request(mut p: &[u8]) -> Result<Request, WireError> {
+    let magic = take_u8(&mut p)?;
+    if magic != REQUEST_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let id = decode_u64(&mut p)?;
+    let kind_b = take_u8(&mut p)?;
+    let a = decode_u64(&mut p)?;
+    let b = decode_u64(&mut p)?;
+    let kind = match kind_b {
+        1 => QueryKind::DayWindow { start: a, end: b },
+        2 => QueryKind::WeekWindow { start: a, end: b },
+        3 => QueryKind::PrefixCount {
+            base: u32::try_from(a).map_err(|_| WireError::BadDiscriminant(kind_b))?,
+            len: u8::try_from(b).map_err(|_| WireError::BadDiscriminant(kind_b))?,
+        },
+        4 => QueryKind::Status,
+        other => return Err(WireError::BadDiscriminant(other)),
+    };
+    let budget_ms = decode_u64(&mut p)?;
+    let flags = take_u8(&mut p)?;
+    Ok(Request {
+        id,
+        kind,
+        budget_ms,
+        allow_degraded: flags & 1 != 0,
+    })
+}
+
+fn decode_response(mut p: &[u8]) -> Result<Response, WireError> {
+    let magic = take_u8(&mut p)?;
+    if magic != RESPONSE_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let id = decode_u64(&mut p)?;
+    let epoch = decode_u64(&mut p)?;
+    let status = Status::from_discriminant(take_u8(&mut p)?)?;
+    let value = decode_u64(&mut p)?;
+    let coverage_ppm = decode_u64(&mut p)?;
+    let units_done = decode_u64(&mut p)?;
+    let units_total = decode_u64(&mut p)?;
+    let flags = take_u8(&mut p)?;
+    Ok(Response {
+        id,
+        epoch,
+        status,
+        value,
+        coverage_ppm,
+        units_done,
+        units_total,
+        from_density: flags & 1 != 0,
+    })
+}
+
+fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(payload.len() + 16);
+    encode_u64(&mut frame, payload.len() as u64);
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&frame)
+}
+
+/// Reads one framed payload. `Ok(None)` means the peer closed the
+/// stream cleanly *between* frames; EOF inside a frame is
+/// [`WireError::Truncated`].
+fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    // Read the varint length byte-by-byte so a clean EOF before the
+    // first byte is distinguishable from a torn frame.
+    let mut len: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if shift == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+        len |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift >= 64 {
+            return Err(WireError::Varint(VarintError::Overflow));
+        }
+    }
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut crc = [0u8; 4];
+    r.read_exact(&mut crc)?;
+    if u32::from_le_bytes(crc) != crc32(&payload) {
+        return Err(WireError::CrcMismatch);
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one request frame.
+pub fn write_request<W: Write + ?Sized>(w: &mut W, req: &Request) -> io::Result<()> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Reads one request frame; `Ok(None)` on clean EOF.
+pub fn read_request<R: Read + ?Sized>(r: &mut R) -> Result<Option<Request>, WireError> {
+    match read_frame(r)? {
+        Some(p) => Ok(Some(decode_request(&p)?)),
+        None => Ok(None),
+    }
+}
+
+/// Writes one response frame.
+pub fn write_response<W: Write + ?Sized>(w: &mut W, resp: &Response) -> io::Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+/// Reads one response frame; `Ok(None)` on clean EOF.
+pub fn read_response<R: Read + ?Sized>(r: &mut R) -> Result<Option<Response>, WireError> {
+    match read_frame(r)? {
+        Some(p) => Ok(Some(decode_response(&p)?)),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request {
+                id: 0,
+                kind: QueryKind::DayWindow { start: 0, end: 7 },
+                budget_ms: 0,
+                allow_degraded: false,
+            },
+            Request {
+                id: u64::MAX,
+                kind: QueryKind::WeekWindow { start: 3, end: 52 },
+                budget_ms: 25,
+                allow_degraded: true,
+            },
+            Request {
+                id: 17,
+                kind: QueryKind::PrefixCount {
+                    base: 0x0a00_0000,
+                    len: 24,
+                },
+                budget_ms: 1,
+                allow_degraded: false,
+            },
+            Request {
+                id: 1,
+                kind: QueryKind::Status,
+                budget_ms: 0,
+                allow_degraded: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip_through_one_stream() {
+        let mut buf = Vec::new();
+        let reqs = sample_requests();
+        for r in &reqs {
+            write_request(&mut buf, r).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for want in &reqs {
+            let got = read_request(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+        assert!(read_request(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resp = Response {
+            id: 42,
+            epoch: 9,
+            status: Status::Degraded,
+            value: 123_456,
+            coverage_ppm: 750_000,
+            units_done: 3,
+            units_total: 8,
+            from_density: true,
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn corrupt_crc_is_detected_not_parsed() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &sample_requests()[0]).unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = read_request(&mut &buf[..]).unwrap_err();
+        assert!(
+            matches!(err, WireError::CrcMismatch | WireError::BadMagic(_)),
+            "flipped bit must surface as corruption, got {err}"
+        );
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, &sample_requests()[1]).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_request(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated), "got {err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        encode_u64(&mut buf, MAX_FRAME + 1);
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::Oversized(_)), "got {err}");
+    }
+
+    #[test]
+    fn unknown_kind_discriminant_is_rejected() {
+        let mut p = Vec::new();
+        p.push(REQUEST_MAGIC);
+        encode_u64(&mut p, 5); // id
+        p.push(9); // bogus kind
+        encode_u64(&mut p, 0);
+        encode_u64(&mut p, 0);
+        encode_u64(&mut p, 0);
+        p.push(0);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        let err = read_request(&mut &buf[..]).unwrap_err();
+        assert!(matches!(err, WireError::BadDiscriminant(9)), "got {err}");
+    }
+}
