@@ -27,6 +27,8 @@
 //! inspect metrics <DIR>
 //! inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>
 //! inspect perf-check <BENCH.json> [--min-speedup X] [--max-figure-ratio Y] [--floor-ms F]
+//! inspect trace <TRACES.json> [TRACE_ID] [--schema FILE]
+//! inspect slo-check <BENCH_serve.json> [--max-shed-rate F] [--max-p99-us F] [--max-burns N]
 //! inspect worker --root DIR --shard S --shards N --emitters E --epoch G --attempt A ...
 //! ```
 //!
@@ -57,6 +59,15 @@
 //! exceed `--max-figure-ratio` times its serial-uncached time
 //! (figures faster than `--floor-ms` both ways are exempt — at that
 //! size the ratio measures timer noise, not work).
+//!
+//! `trace` renders the span trees from a trace document — either a
+//! worker's exported single-trace file or the multi-trace document
+//! `repro serve-bench --traces-out` writes — as an indented tree, one
+//! line per span; name a `TRACE_ID` (hex) to print just that trace,
+//! and `--schema` additionally validates the document against a
+//! JSON-schema file. `slo-check` gates a `BENCH_serve.json`: the
+//! client-observed shed rate, p99, and (optionally) the server's
+//! burned SLO windows must stay inside the given ceilings.
 
 use ipactive_bench::{Repro, Scale};
 use ipactive_core::{matrix, outages, persistence};
@@ -72,6 +83,8 @@ fn main() {
             Some("metrics") => run_metrics(&args[1..]),
             Some("metrics-check") => run_metrics_check(&args[1..]),
             Some("perf-check") => run_perf_check(&args[1..]),
+            Some("trace") => run_trace(&args[1..]),
+            Some("slo-check") => run_slo_check(&args[1..]),
             Some("worker") => ipactive_bench::worker_cli::run(&args[1..]),
             _ => {}
         }
@@ -284,7 +297,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]\n       inspect metrics <DIR>\n       inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>\n       inspect perf-check <BENCH.json> [--min-speedup X] [--max-figure-ratio Y] [--floor-ms F]"
+        "usage: inspect <BLOCK|top|changed> [--seed N] [--scale tiny|small|full] [--truth]\n       [--workers N] [--collectors M] [--faults K]\n       inspect mkstore <DIR> [--seed N] [--scale tiny|small|full] [--atomic] [--corrupt]\n       inspect fsck <DIR> [--repair]\n       inspect metrics <DIR>\n       inspect metrics-check <SNAPSHOT.json> <SCHEMA.json>\n       inspect perf-check <BENCH.json> [--min-speedup X] [--max-figure-ratio Y] [--floor-ms F]\n       inspect trace <TRACES.json> [TRACE_ID] [--schema FILE]\n       inspect slo-check <BENCH_serve.json> [--max-shed-rate F] [--max-p99-us F] [--max-burns N]"
     );
     std::process::exit(2);
 }
@@ -373,6 +386,224 @@ fn run_perf_check(args: &[String]) -> ! {
         std::process::exit(0);
     }
     println!("perf-check: {failures} regression(s)");
+    std::process::exit(1);
+}
+
+/// `inspect trace <TRACES.json> [TRACE_ID] [--schema FILE]` — render
+/// the span trees of a trace document as indented trees. Accepts both
+/// document shapes the system writes: a single-trace file (a worker's
+/// exported `trace-AA.json`, or a `Trace` wire response body) and the
+/// multi-trace document from `repro serve-bench --traces-out` /
+/// [`ipactive_obs::Registry::traces_json`]. A hex `TRACE_ID` narrows
+/// the output to one trace; `--schema` first validates the document
+/// against a JSON-schema-subset file. Exit status: 0 rendered, 1 when
+/// the named trace is absent or the schema is violated, 2 unreadable.
+fn run_trace(args: &[String]) -> ! {
+    let mut path: Option<&str> = None;
+    let mut wanted: Option<u64> = None;
+    let mut schema_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => match it.next() {
+                Some(p) => schema_path = Some(p),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other if wanted.is_none() && !other.starts_with('-') => {
+                wanted = match u64::from_str_radix(other, 16) {
+                    Ok(id) => Some(id),
+                    Err(_) => {
+                        eprintln!("error: {other:?} is not a hex trace id");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = ipactive_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    if let Some(schema_path) = schema_path {
+        let schema_text = std::fs::read_to_string(schema_path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {schema_path}: {e}");
+            std::process::exit(2);
+        });
+        let schema = ipactive_obs::json::parse(&schema_text).unwrap_or_else(|e| {
+            eprintln!("error: {schema_path}: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = ipactive_obs::json::check_schema(&doc, &schema) {
+            eprintln!("error: {path}: schema violation: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("{path}: valid against {schema_path}");
+    }
+    // One extractor for both shapes: a trace object is
+    // {"trace_id": hex, "spans": [...]}, and the multi-trace document
+    // wraps a list of them under "traces".
+    let extract = |v: &ipactive_obs::json::Json| -> (u64, Vec<ipactive_obs::SpanRecord>) {
+        let bad = |what: &str| -> ! {
+            eprintln!("error: {path}: {what}");
+            std::process::exit(2);
+        };
+        let trace = v
+            .get("trace_id")
+            .and_then(ipactive_obs::json::Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .unwrap_or_else(|| bad("missing or malformed trace_id"));
+        let spans = v
+            .get("spans")
+            .and_then(ipactive_obs::json::Json::as_array)
+            .unwrap_or_else(|| bad("missing spans array"))
+            .iter()
+            .map(|s| {
+                let num = |key: &str| {
+                    s.get(key)
+                        .and_then(ipactive_obs::json::Json::as_f64)
+                        .filter(|n| n.fract() == 0.0 && *n >= 0.0)
+                        .map(|n| n as u64)
+                        .unwrap_or_else(|| bad(&format!("span missing integer `{key}`")))
+                };
+                let text = |key: &str| {
+                    s.get(key)
+                        .and_then(ipactive_obs::json::Json::as_str)
+                        .map(str::to_string)
+                        .unwrap_or_else(|| bad(&format!("span missing string `{key}`")))
+                };
+                ipactive_obs::SpanRecord {
+                    seq: num("seq"),
+                    parent: num("parent"),
+                    name: text("name"),
+                    detail: text("detail"),
+                }
+            })
+            .collect();
+        (trace, spans)
+    };
+    let traces: Vec<(u64, Vec<ipactive_obs::SpanRecord>)> = match doc
+        .get("traces")
+        .and_then(ipactive_obs::json::Json::as_array)
+    {
+        Some(list) => list.iter().map(extract).collect(),
+        None => vec![extract(&doc)],
+    };
+    let mut printed = 0usize;
+    for (trace, spans) in &traces {
+        if wanted.is_some_and(|id| id != *trace) {
+            continue;
+        }
+        printed += 1;
+        println!("trace {trace:016x} ({} spans)", spans.len());
+        // Indent each span under its parent; orphans (parent seq not
+        // in the document — e.g. a worker file before stitching)
+        // surface at the root level rather than vanishing.
+        fn render(spans: &[ipactive_obs::SpanRecord], parent: u64, depth: usize) {
+            for s in spans.iter().filter(|s| s.parent == parent) {
+                let pad = "  ".repeat(depth + 1);
+                if s.detail.is_empty() {
+                    println!("{pad}{:>3}  {}", s.seq, s.name);
+                } else {
+                    println!("{pad}{:>3}  {}  [{}]", s.seq, s.name, s.detail);
+                }
+                render(spans, s.seq, depth + 1);
+            }
+        }
+        render(spans, 0, 0);
+        let known: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.seq).collect();
+        for s in spans.iter().filter(|s| s.parent != 0 && !known.contains(&s.parent)) {
+            println!("   {:>3}  {}  [{}]  (orphan: parent {} absent)", s.seq, s.name, s.detail, s.parent);
+            render(spans, s.seq, 1);
+        }
+    }
+    if printed == 0 {
+        match wanted {
+            Some(id) => eprintln!("error: trace {id:016x} not in {path}"),
+            None => eprintln!("{path}: no traces"),
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// `inspect slo-check <BENCH_serve.json> [--max-shed-rate F]
+/// [--max-p99-us F] [--max-burns N]` — gate a serve-bench record
+/// against declared service-level objectives: the client-observed
+/// shed rate (default ceiling 0.5) and p99 latency (default
+/// 1,000,000 us) from the `report` object, plus — when `--max-burns`
+/// is given — the server-side count of burned SLO windows from the
+/// `slo` object. Exit status: 0 pass, 1 breach, 2 unreadable.
+fn run_slo_check(args: &[String]) -> ! {
+    let mut path: Option<&str> = None;
+    let mut max_shed_rate = 0.5f64;
+    let mut max_p99_us = 1_000_000.0f64;
+    let mut max_burns: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |flag: &str| -> f64 {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--max-shed-rate" => max_shed_rate = num("--max-shed-rate"),
+            "--max-p99-us" => max_p99_us = num("--max-p99-us"),
+            "--max-burns" => max_burns = Some(num("--max-burns")),
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = ipactive_obs::json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    });
+    let field = |obj: &str, key: &str| -> f64 {
+        doc.get(obj).and_then(|o| o.get(key)).and_then(|x| x.as_f64()).unwrap_or_else(|| {
+            eprintln!("error: {path}: missing numeric field {obj}.{key}");
+            std::process::exit(2);
+        })
+    };
+    let shed_rate = field("report", "shed_rate");
+    let p99_us = field("report", "p99_us");
+    let mut failures = 0usize;
+    println!("shed rate: {shed_rate:.4} (gate: <= {max_shed_rate:.4})");
+    if shed_rate > max_shed_rate {
+        println!("FAIL  shed rate above the ceiling");
+        failures += 1;
+    }
+    println!("client p99: {p99_us:.0} us (gate: <= {max_p99_us:.0} us)");
+    if p99_us > max_p99_us {
+        println!("FAIL  client p99 above the ceiling");
+        failures += 1;
+    }
+    if let Some(max_burns) = max_burns {
+        let burns = field("slo", "burns");
+        println!("burned SLO windows: {burns:.0} (gate: <= {max_burns:.0})");
+        if burns > max_burns {
+            println!("FAIL  burned windows above the ceiling");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("slo-check: pass");
+        std::process::exit(0);
+    }
+    println!("slo-check: {failures} breach(es)");
     std::process::exit(1);
 }
 

@@ -404,14 +404,24 @@ fn main() {
 /// repro serve-bench [--days N] [--requests N] [--rate R] [--workers N]
 ///                   [--queue-depth N] [--budget-ms MS] [--seed N]
 ///                   [--stall-period K] [--stall-us US] [--out FILE]
+///                   [--traces-out FILE] [--trace-requests N]
 /// ```
 ///
 /// `--stall-period K` stalls every Kth executed query by `--stall-us`
 /// (deterministic, seeded) so the admission queue and deadline paths
 /// see realistic pressure; both default to off.
+///
+/// Before the open-loop storm, a closed-loop *traced pass* sends
+/// `--trace-requests` requests (default 16) each carrying a minted
+/// trace id, then writes the resulting span trees — byte-stable for a
+/// given seed — to `--traces-out` when given. The SLO monitor runs
+/// throughout with the default policy; the output JSON's `slo` object
+/// records the burn count and last-window gauges, which
+/// `inspect slo-check` gates in CI.
 fn serve_bench(args: &[String]) -> ! {
     use ipactive_serve::{
         loadgen, synthetic_day_log, ChaosPlan, LoadgenConfig, Observatory, ServeConfig, Server,
+        SloPolicy,
     };
 
     let sb_usage = |err: &str| -> ! {
@@ -421,6 +431,7 @@ fn serve_bench(args: &[String]) -> ! {
         eprintln!("usage: repro serve-bench [--days N] [--requests N] [--rate R] [--workers N]");
         eprintln!("                         [--queue-depth N] [--budget-ms MS] [--seed N]");
         eprintln!("                         [--stall-period K] [--stall-us US] [--out FILE]");
+        eprintln!("                         [--traces-out FILE] [--trace-requests N]");
         std::process::exit(if err.is_empty() { 0 } else { 2 });
     };
     let mut days: usize = 28;
@@ -433,6 +444,8 @@ fn serve_bench(args: &[String]) -> ! {
     let mut stall_period: u64 = 0;
     let mut stall_us: u64 = 0;
     let mut out: String = "BENCH_serve.json".to_string();
+    let mut traces_out: Option<String> = None;
+    let mut trace_requests: u64 = 16;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |what: &str| -> u64 {
@@ -459,6 +472,11 @@ fn serve_bench(args: &[String]) -> ! {
             "--out" => {
                 out = it.next().cloned().unwrap_or_else(|| sb_usage("--out needs a path"));
             }
+            "--traces-out" => {
+                traces_out =
+                    Some(it.next().cloned().unwrap_or_else(|| sb_usage("--traces-out needs a path")));
+            }
+            "--trace-requests" => trace_requests = num("--trace-requests"),
             "--help" | "-h" => sb_usage(""),
             other => sb_usage(&format!("unknown flag: {other}")),
         }
@@ -469,7 +487,31 @@ fn serve_bench(args: &[String]) -> ! {
     eprintln!("ingesting {days} synthetic days (seed {seed}) ...");
     obs.ingest_days((0..days).map(|d| synthetic_day_log(seed, d)).collect());
     let chaos = ChaosPlan { seed, panic_period: 0, stall_period, stall_us };
-    let server = Server::start(obs, ServeConfig { workers, queue_depth, chaos });
+    let server = Server::start(
+        obs,
+        ServeConfig { workers, queue_depth, chaos, slo: Some(SloPolicy::default()) },
+    );
+    // Closed-loop traced pass first, against the fresh server: the
+    // span trees it produces are a pure function of the seed, so the
+    // traces file is written before the open-loop storm muddies the
+    // registry with its own (also traced) requests.
+    let traced_linked = if trace_requests > 0 {
+        let linked = loadgen::traced_pass(&server, seed, trace_requests);
+        eprintln!(
+            "traced pass: {linked} of {trace_requests} responses echoed their minted trace id"
+        );
+        if let Some(path) = &traces_out {
+            let doc = registry.traces_json();
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("error: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("trace span trees written to {path}");
+        }
+        linked
+    } else {
+        0
+    };
     eprintln!(
         "open-loop load: {requests} requests at {rate:.0}/s against {workers} workers (queue {queue_depth}) ..."
     );
@@ -492,11 +534,20 @@ fn serve_bench(args: &[String]) -> ! {
         "client latency: p50 {:.0}us  p90 {:.0}us  p99 {:.0}us  ({:.0} req/s achieved)",
         report.p50_us, report.p90_us, report.p99_us, report.achieved_rate,
     );
+    let snap = registry.snapshot(ipactive_obs::SnapshotMode::Deterministic);
+    let burns = snap.counters.get("slo.burn").copied().unwrap_or(0);
+    let shed_ppm = snap.gauges.get("slo.window.shed_ppm").copied().unwrap_or(0);
+    let p99_gauge = snap.gauges.get("slo.window.p99_us").copied().unwrap_or(0);
+    eprintln!(
+        "slo: {burns} burned windows (last window: {shed_ppm} ppm shed, p99 {p99_gauge}us)"
+    );
     let json = format!(
         concat!(
             "{{\"config\":{{\"days\":{},\"requests\":{},\"rate\":{:.1},\"workers\":{},",
             "\"queue_depth\":{},\"budget_ms\":{},\"seed\":{},\"stall_period\":{},",
-            "\"stall_us\":{}}},\"report\":{}}}\n"
+            "\"stall_us\":{},\"trace_requests\":{}}},\"report\":{},",
+            "\"slo\":{{\"burns\":{},\"window_shed_ppm\":{},\"window_p99_us\":{},",
+            "\"traced_linked\":{}}}}}\n"
         ),
         days,
         requests,
@@ -507,7 +558,12 @@ fn serve_bench(args: &[String]) -> ! {
         seed,
         stall_period,
         stall_us,
+        trace_requests,
         report.to_json(),
+        burns,
+        shed_ppm,
+        p99_gauge,
+        traced_linked,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("error: failed to write {out}: {e}");

@@ -21,7 +21,7 @@ use ipactive_cdnsim::{
     FaultPlan, GrowthModel, PipelineReport, RetryPolicy, SupervisedReport, Universe,
     UniverseConfig,
 };
-use ipactive_obs::{Registry, SnapshotMode, SpanSnapshot};
+use ipactive_obs::{Registry, SnapshotMode, SpanSnapshot, TraceContext, TraceId};
 use ipactive_core::par::{self, Parallelism};
 use ipactive_core::{
     blocks, census, change, churn, demographics, events, geo, hosts, matrix, timeline,
@@ -198,6 +198,11 @@ const HEAVY_FIRST: [usize; 24] = [
     10, 11, 7, 6, 9, 20, 16, // fig5b fig5c fig4b fig4a fig5a fig9c fig8b
     0, 1, 2, 3, 4, 5, 8, 12, 13, 14, 15, 17, 18, 19, 21, 22, 23,
 ];
+
+/// Salt for per-figure trace ids: `mint(seed ^ FIG_SALT, figure
+/// index)`, so a suite run's traces are a pure function of the seed
+/// and every rerun (at any `--jobs`) mints the same ids.
+const FIG_SALT: u64 = 0xF19_93BE;
 
 impl<S: ActiveSet> Repro<S> {
     fn assemble(
@@ -1387,10 +1392,23 @@ impl<S: ActiveSet> Repro<S> {
                             let i = HEAVY_FIRST[slot];
                             let name = EXPERIMENTS[i];
                             let _span = self.registry.span(format!("figure.{name}"));
+                            // Each figure gets its own trace, minted
+                            // from (seed, figure index) — structural
+                            // spans only, so the trace store stays
+                            // byte-identical whatever `jobs` is.
+                            let ftrace = TraceId::mint(self.seed ^ FIG_SALT, i as u64);
+                            let fctx = self
+                                .registry
+                                .trace_span(TraceContext::root(ftrace), "figure", name);
                             let t0 = Instant::now();
                             let output = self
                                 .run_with(name, &pool)
                                 .expect("EXPERIMENTS entries are runnable");
+                            self.registry.trace_span(
+                                fctx,
+                                "figure.output",
+                                format!("bytes {}", output.len()),
+                            );
                             let millis = t0.elapsed().as_secs_f64() * 1e3;
                             done.push((i, FigureRun { name, output, millis, subtasks: 1 }));
                         }

@@ -6,24 +6,30 @@
 //! ... worker --root DIR --shard S --shards N --emitters E
 //!            --epoch G --attempt A [--seed N] [--scale tiny|small|full]
 //!            [--pause-at POINT] [--stall]
+//!            [--trace-id HEX] [--parent-span SEQ]
 //! ```
 //!
 //! `--pause-at` freezes the worker at a named injection point
 //! ([`InjectionPoint`] spelling) after writing a pause marker — the
 //! harness's cue to `kill -9` it there. With `--stall` the freeze is
 //! silent (no marker): the coordinator must catch the wedge through
-//! heartbeat stagnation. Exit status: 0 when both stores committed;
-//! 1 on I/O failure; 2 on usage errors.
+//! heartbeat stagnation. `--trace-id`/`--parent-span` continue the
+//! coordinator's grant trace across the process boundary: the worker
+//! records its spans after the handed-down parent sequence and
+//! exports them to `shard-SSSS/trace-AA.json` for stitching. Exit
+//! status: 0 when both stores committed; 1 on I/O failure; 2 on usage
+//! errors.
 
 use crate::Scale;
 use ipactive_coord::{run_worker, InjectionPoint, PauseStyle, WorkerConfig, WorkerExit};
 use ipactive_logfmt::RealFs;
+use ipactive_obs::{Registry, TraceContext, TraceId};
 use std::path::PathBuf;
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: worker --root DIR --shard S --shards N --emitters E --epoch G --attempt A\n              [--seed N] [--scale tiny|small|full] [--pause-at POINT] [--stall]"
+        "usage: worker --root DIR --shard S --shards N --emitters E --epoch G --attempt A\n              [--seed N] [--scale tiny|small|full] [--pause-at POINT] [--stall]\n              [--trace-id HEX] [--parent-span SEQ]"
     );
     std::process::exit(2);
 }
@@ -41,6 +47,8 @@ pub fn run(args: &[String]) -> ! {
     let mut attempt: Option<u32> = None;
     let mut pause_at: Option<InjectionPoint> = None;
     let mut stall = false;
+    let mut trace_id = TraceId::NONE;
+    let mut parent_span: u64 = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,6 +77,14 @@ pub fn run(args: &[String]) -> ! {
                 )
             }
             "--stall" => stall = true,
+            "--trace-id" => {
+                trace_id = TraceId::from_hex(&val())
+                    .unwrap_or_else(|| usage("--trace-id needs a hex trace id"))
+            }
+            "--parent-span" => {
+                parent_span =
+                    val().parse().unwrap_or_else(|_| usage("--parent-span needs an integer"))
+            }
             other => usage(&format!("unknown worker flag: {other}")),
         }
     }
@@ -86,8 +102,13 @@ pub fn run(args: &[String]) -> ! {
         emitters,
         epoch,
         attempt,
+        trace: TraceContext { trace: trace_id, span: parent_span },
     };
-    match run_worker(&RealFs, &cfg, pause_at, PauseStyle::Spin { write_marker: !stall }) {
+    // The worker's span records live in a process-local registry; the
+    // exported trace file is how they reach the coordinator.
+    let registry = Registry::new();
+    match run_worker(&RealFs, &cfg, pause_at, PauseStyle::Spin { write_marker: !stall }, &registry)
+    {
         Ok(run) => {
             // A Spin pause never returns, so reaching here with a
             // Paused exit is impossible; still, only Completed earns 0.

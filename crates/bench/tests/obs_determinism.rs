@@ -73,6 +73,84 @@ fn aggregate_counters_are_invariant_across_collector_topologies() {
     }
 }
 
+/// The per-figure traces minted by `run_all` are structural — names
+/// and config-derived details only, never timings — so the full trace
+/// document must be byte-identical across `--jobs 1` and `--jobs 4`
+/// and across independent reruns, and every figure must appear as its
+/// own trace with a `figure` root span.
+#[test]
+fn figure_traces_are_byte_identical_across_job_counts_and_reruns() {
+    let mut docs = Vec::new();
+    for jobs in [1usize, 4, 1] {
+        let repro = Repro::new(11, Scale::Tiny);
+        repro.run_all(jobs);
+        docs.push(repro.registry().traces_json());
+    }
+    assert_eq!(docs[0], docs[1], "figure traces depend on the job count");
+    assert_eq!(docs[0], docs[2], "figure traces differ between reruns");
+    let trace_count = docs[0].matches("\"trace_id\"").count();
+    assert_eq!(
+        trace_count,
+        ipactive_bench::EXPERIMENTS.len(),
+        "expected one trace per figure"
+    );
+    assert_eq!(
+        docs[0].matches("\"name\": \"figure\"").count(),
+        ipactive_bench::EXPERIMENTS.len(),
+        "every figure trace roots at a `figure` span"
+    );
+    for name in ipactive_bench::EXPERIMENTS {
+        assert!(
+            docs[0].contains(&format!("\"detail\": \"{name}\"")),
+            "figure {name} has no root span"
+        );
+    }
+}
+
+/// The supervised collector's per-shard traces are a pure function of
+/// (seed, topology, fault plan): pinned inputs reproduce the trace
+/// document byte for byte, and every injected fault surfaces in some
+/// buffer span's detail.
+#[test]
+fn supervised_traces_reproduce_byte_for_byte_under_a_pinned_fault_plan() {
+    let run = || {
+        let (repro, summary) =
+            Repro::new_supervised(2015, Scale::Tiny, 2, 2, 3).expect("supervised run");
+        (repro.registry().traces_json(), summary)
+    };
+    let (first, summary) = run();
+    let (second, _) = run();
+    assert_eq!(first, second, "supervised traces differ between pinned reruns");
+    assert!(
+        first.contains("\"name\": \"collect.shard\""),
+        "per-shard collection trace missing"
+    );
+    assert!(
+        first.contains("\"name\": \"collect.buffer\""),
+        "per-buffer child spans missing"
+    );
+    // Ground truth from the outcomes (the plan may schedule faults
+    // that shadow each other or miss the real buffer grid): every
+    // fault that actually struck a buffer surfaces in that buffer
+    // span's detail.
+    let mut struck = 0;
+    for outcome in summary.daily.outcomes.iter().chain(&summary.weekly.outcomes) {
+        for b in &outcome.buffers {
+            if let Some(kind) = b.fault {
+                struck += 1;
+                let kind = format!("{kind:?}").to_lowercase();
+                assert!(
+                    first.contains(&format!("buffer {} bytes", b.buffer))
+                        && first.contains(&format!("fault {kind}")),
+                    "injected {kind} fault on buffer {} absent from the span details",
+                    b.buffer
+                );
+            }
+        }
+    }
+    assert!(struck > 0, "the pinned plan injected no faults at all");
+}
+
 /// Repeating a supervised run with the same pinned [`FaultPlan`]
 /// inputs reproduces the snapshot byte for byte, and the journal's
 /// retry/quarantine event counts equal the report's accounting — the

@@ -1,0 +1,86 @@
+//! The trace golden: a pinned-seed traced pass against a chaos-ridden
+//! observatory server must reproduce the committed span-tree document
+//! byte for byte — across reruns and across worker counts — and the
+//! document must validate against the checked-in trace schema. This is
+//! the CI pin for the end-to-end tracing contract: span trees carry
+//! structure (names, request-derived details, parent links) and never
+//! wall-time, so they are a pure function of (seed, request sequence)
+//! even with deterministic worker panics and stalls injected.
+//!
+//! Regenerate the golden after an intentional span-layout change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ipactive-bench --test trace_golden
+//! ```
+
+use ipactive_obs::{json, Registry};
+use ipactive_serve::{
+    loadgen, synthetic_day_log, ChaosPlan, Observatory, ServeConfig, Server, SloPolicy,
+};
+use std::sync::Arc;
+
+const SEED: u64 = 0x90_1DE2;
+const REQUESTS: u64 = 12;
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_snapshot.json");
+const SCHEMA: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_schema.json");
+
+/// One closed-loop traced pass under pinned chaos; returns the
+/// registry's full trace document.
+fn traced_doc(workers: usize) -> String {
+    let registry = Registry::new();
+    let obs: Arc<Observatory> = Arc::new(Observatory::new(&registry));
+    obs.ingest_days((0..6).map(|d| synthetic_day_log(SEED, d)).collect());
+    let server = Server::start(
+        obs,
+        ServeConfig {
+            workers,
+            queue_depth: 16,
+            chaos: ChaosPlan { seed: SEED, panic_period: 3, stall_period: 2, stall_us: 100 },
+            slo: Some(SloPolicy::default()),
+        },
+    );
+    let linked = loadgen::traced_pass(&server, SEED, REQUESTS);
+    server.shutdown();
+    assert_eq!(linked, REQUESTS, "every response must echo its minted trace id");
+    registry.traces_json()
+}
+
+#[test]
+fn trace_snapshot_matches_the_committed_golden() {
+    let doc = traced_doc(2);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &doc).expect("rewrite golden trace snapshot");
+    }
+    let golden = std::fs::read_to_string(GOLDEN)
+        .expect("golden trace snapshot missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        doc, golden,
+        "trace snapshot diverged from the committed golden; if the span \
+         layout changed intentionally, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn trace_snapshot_is_invariant_across_worker_counts_and_validates() {
+    let doc = traced_doc(2);
+    assert_eq!(doc, traced_doc(4), "trace snapshot depends on the worker count");
+    let value = json::parse(&doc).expect("trace document parses");
+    let schema_text = std::fs::read_to_string(SCHEMA).expect("trace schema is committed");
+    let schema = json::parse(&schema_text).expect("trace schema parses");
+    json::check_schema(&value, &schema).expect("trace document validates against the schema");
+    // Every traced request produced a full client -> admission ->
+    // answer chain (chaos may append panic/retry spans after these).
+    let traces = value.get("traces").and_then(json::Json::as_array).expect("traces array");
+    assert_eq!(traces.len() as u64, REQUESTS);
+    for t in traces {
+        let spans = t.get("spans").and_then(json::Json::as_array).expect("spans array");
+        for name in ["client.request", "serve.admission", "serve.answer"] {
+            assert!(
+                spans.iter().any(|s| {
+                    s.get("name").and_then(json::Json::as_str) == Some(name)
+                }),
+                "trace lacks a {name} span"
+            );
+        }
+    }
+}

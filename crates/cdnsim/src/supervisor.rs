@@ -42,7 +42,7 @@ use ipactive_core::{
     Coverage, DailyDataset, DailyDatasetBuilder, WeeklyDataset, WeeklyDatasetBuilder,
 };
 use ipactive_logfmt::{FrameReader, FrameWriter, QuarantinedFrame, ReadMode, Record};
-use ipactive_obs::{Event, EventKind, Registry};
+use ipactive_obs::{Event, EventKind, Registry, TraceContext, TraceId};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -517,6 +517,22 @@ fn drain_attempt<S: Sink>(buf: &[u8], slots: usize, capture: bool) -> (S, Attemp
 
 /// The stable lowercase token a fault kind carries in journal event
 /// details (`None` decodes that still came up dirty say "dirty").
+/// Salt for per-shard collection trace ids, folded with an FNV-1a
+/// hash of the metric prefix so the daily and weekly cadences of the
+/// same seeded run mint distinct traces.
+const TRACE_SALT: u64 = 0x5C01_1EC7;
+
+/// FNV-1a over the prefix bytes — a stable, dependency-free way to
+/// tell `supervisor.daily` traces from `supervisor.weekly` ones.
+fn prefix_salt(prefix: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in prefix.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 fn fault_detail(kind: Option<FaultKind>) -> &'static str {
     match kind {
         Some(FaultKind::Crash) => "crash",
@@ -723,11 +739,27 @@ fn supervise_shard<S: Sink>(
 ) -> (S, ShardOutcome, Vec<DeadLetter>) {
     let _span = registry.span(collector_span_path(prefix, shard));
     let meters = ShardMeters::new(registry, prefix, shard);
+    // One trace per (cadence, shard), minted from the fault plan's
+    // seed: the span tree is a pure function of (seed, topology,
+    // plan), so reruns — at any thread count — produce identical
+    // trace bytes.
+    let trace = TraceId::mint(plan.seed ^ TRACE_SALT ^ prefix_salt(prefix), shard as u64);
+    let ctx = registry.trace_span(
+        TraceContext::root(trace),
+        "collect.shard",
+        format!("{prefix} shard {shard}"),
+    );
     let mut acc = S::new(slots);
     let mut letters = Vec::new();
     let mut outcomes = Vec::with_capacity(buffers.len());
     for (buffer, buf) in buffers.iter().enumerate() {
         meters.count_buffer(buf.len());
+        let injected = plan.fault_for(shard, buffer).map(|f| fault_detail(Some(f.kind)));
+        registry.trace_span(
+            ctx,
+            "collect.buffer",
+            format!("buffer {buffer} bytes {} fault {}", buf.len(), injected.unwrap_or("none")),
+        );
         outcomes.push(supervise_buffer(
             shard, buffer, buf, slots, policy, plan, prefix, &mut acc, &meters, &mut letters,
         ));

@@ -25,8 +25,8 @@
 
 use crate::plan::{KillMode, KillPlan};
 use crate::worker::{
-    clean_beats, daily_dir, holder_id, marker_path, run_worker, shard_dir, weekly_dir, PauseStyle,
-    WorkerConfig, WorkerExit,
+    clean_beats, daily_dir, holder_id, marker_path, run_worker, shard_dir, trace_path, weekly_dir,
+    PauseStyle, WorkerConfig, WorkerExit,
 };
 use ipactive_cdnsim::{
     collect_from_store_checked, collect_weekly_from_store, RetryPolicy, UniverseConfig,
@@ -36,7 +36,8 @@ use ipactive_logfmt::{
     fsck, read_lease, Fs, FsFile, FsckReport, Inject, Lease, LeaseError, LeaseRead, LogStore,
     RealFs, SimFs, StoreError,
 };
-use ipactive_obs::{Event, EventKind, Registry};
+use ipactive_obs::trace::parse_trace_doc;
+use ipactive_obs::{Event, EventKind, Registry, TraceContext, TraceId};
 use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::path::PathBuf;
@@ -163,6 +164,56 @@ fn store_io(e: StoreError) -> io::Error {
     io::Error::other(e.to_string())
 }
 
+/// Salt folded into the universe seed for per-grant trace ids, so
+/// coordinator traces never collide with serve- or figure-minted ones
+/// from the same seed.
+const TRACE_SALT: u64 = 0xC0_0D17;
+
+/// Mints the trace id for grant `(shard, attempt)` of a run — a pure
+/// function of the universe seed and the grant's logical holder id,
+/// so both drivers (and later inspection tooling) derive the same id.
+pub fn grant_trace_id(universe_seed: u64, shard: u32, attempt: u32) -> TraceId {
+    TraceId::mint(universe_seed ^ TRACE_SALT, holder_id(shard, attempt))
+}
+
+/// Opens the grant's trace with a `coord.grant` root span (seq 1) and
+/// returns the context workers hang their spans off.
+fn open_grant_trace(
+    registry: &Registry,
+    universe_seed: u64,
+    shard: u32,
+    attempt: u32,
+    epoch: u64,
+) -> TraceContext {
+    let tid = grant_trace_id(universe_seed, shard, attempt);
+    registry.trace_span(
+        TraceContext::root(tid),
+        "coord.grant",
+        format!("shard {shard} attempt {attempt} epoch {epoch}"),
+    )
+}
+
+/// Stitches a worker-exported span tree (its `trace-AA.json`) into
+/// the coordinator's trace store. Import is idempotent by sequence
+/// number, so the in-process driver (which shares a registry with its
+/// workers) and the process driver (which does not) both end up with
+/// one coherent tree. Best-effort: a missing or torn file just means
+/// the worker died before its first export.
+fn import_worker_trace<F: Fs>(fs: &F, cfg: &CoordConfig, registry: &Registry, shard: u32, attempt: u32) {
+    use std::io::Read as _;
+    let path = trace_path(&cfg.root, shard, attempt);
+    let mut buf = Vec::new();
+    let Ok(mut f) = fs.open_read(&path) else { return };
+    if f.read_to_end(&mut buf).is_err() {
+        return;
+    }
+    if let Ok(doc) = String::from_utf8(buf) {
+        if let Ok((trace, spans)) = parse_trace_doc(&doc) {
+            registry.import_trace(trace, spans);
+        }
+    }
+}
+
 /// Reads the beat the grant `(shard, attempt)` last published, or 0
 /// if its lease never landed (or a different grant's lease is
 /// visible). A lease file that *exists but fails verification* is not
@@ -257,6 +308,15 @@ fn resolve_dead<F: Fs>(
     );
     registry.emit(
         Event::new(EventKind::LeaseSteal).shard(shard).attempt(attempt).detail(reason),
+    );
+    // Stitch whatever span tree the corpse managed to export, then
+    // record the steal as part of the same trace — the post-mortem
+    // hangs off the grant, after the worker's own spans.
+    import_worker_trace(fs, cfg, registry, shard, attempt);
+    registry.trace_span(
+        TraceContext { trace: grant_trace_id(cfg.universe.seed, shard, attempt), span: 1 },
+        "coord.steal",
+        reason,
     );
     for (dir, cadence) in
         [(daily_dir(&cfg.root, shard), "daily"), (weekly_dir(&cfg.root, shard), "weekly")]
@@ -402,8 +462,9 @@ pub fn run_sim(
                 emitters: cfg.emitters,
                 epoch,
                 attempt,
+                trace: open_grant_trace(registry, cfg.universe.seed, shard, attempt, epoch),
             };
-            let result = run_worker(fs, &wcfg, pause_at, PauseStyle::ReturnEarly);
+            let result = run_worker(fs, &wcfg, pause_at, PauseStyle::ReturnEarly, registry);
             // The grant is over either way; clear latched faults so
             // coordinator I/O below runs on a healthy filesystem.
             fs.exit_process();
@@ -500,6 +561,10 @@ pub fn run_processes(
         registry.emit(
             Event::new(EventKind::WorkerSpawn).shard(shard).attempt(attempt).offset(epoch),
         );
+        // Open the grant span here; the worker process continues the
+        // trace from `--parent-span` in its own registry and exports
+        // it for stitching.
+        let trace = open_grant_trace(registry, cfg.universe.seed, shard, attempt, epoch);
         let mut cmd = Command::new(&worker_cmd[0]);
         cmd.args(&worker_cmd[1..])
             .args(extra_args)
@@ -510,6 +575,8 @@ pub fn run_processes(
             .args(["--emitters", &cfg.emitters.to_string()])
             .args(["--epoch", &epoch.to_string()])
             .args(["--attempt", &attempt.to_string()])
+            .args(["--trace-id", &trace.trace.to_hex()])
+            .args(["--parent-span", &trace.span.to_string()])
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null());
@@ -583,6 +650,7 @@ pub fn run_processes(
                             .attempt(r.attempt)
                             .offset(beats),
                     );
+                    import_worker_trace(&fs, cfg, registry, r.shard, r.attempt);
                     shard_reports.push(ShardReport {
                         shard: r.shard,
                         grants: r.attempt + 1,
@@ -756,6 +824,41 @@ mod tests {
         assert_eq!(snap.events_of(EventKind::ShardLost).count(), 1);
         assert_eq!(snap.events_of(EventKind::WorkerSpawn).count(), 4, "3 grants + shard 1");
         assert!(fs.exists(&shard_dir(&cfg.root, 0).join("quarantine/lost.why")));
+    }
+
+    #[test]
+    fn healed_grants_stitch_one_trace_per_grant_deterministically() {
+        let plan = KillPlan::none().with(KillSpec {
+            shard: 1,
+            attempt: 0,
+            point: InjectionPoint::MidCommit,
+            mode: KillMode::Kill,
+        });
+        let fs = SimFs::new();
+        let cfg = sim_cfg("/run", 2);
+        let reg = Registry::new();
+        run_sim(&fs, &cfg, &plan, &[], &reg).unwrap();
+
+        // The killed grant is one stitched tree: grant → worker's
+        // partial progress → post-mortem steal, seqs ascending.
+        let spans = reg.trace_spans(grant_trace_id(cfg.universe.seed, 1, 0).0).unwrap();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.first(), Some(&"coord.grant"));
+        assert!(names.contains(&"worker.run"));
+        assert!(names.contains(&"store.commit.daily"), "{names:?}");
+        assert!(!names.contains(&"store.commit.weekly"), "killed mid-commit: {names:?}");
+        assert!(names.contains(&"coord.steal"));
+        assert_eq!(spans[0].seq, 1);
+        assert!(spans.windows(2).all(|w| w[0].seq < w[1].seq), "seqs ascend: {spans:?}");
+
+        // The healing grant is its own trace and ran to completion.
+        let spans1 = reg.trace_spans(grant_trace_id(cfg.universe.seed, 1, 1).0).unwrap();
+        assert!(spans1.iter().any(|s| s.name == "store.commit.weekly"));
+
+        // The whole trace plane reproduces byte-for-byte.
+        let reg2 = Registry::new();
+        run_sim(&SimFs::new(), &sim_cfg("/run", 2), &plan, &[], &reg2).unwrap();
+        assert_eq!(reg.traces_json(), reg2.traces_json());
     }
 
     #[test]

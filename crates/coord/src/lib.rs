@@ -34,10 +34,10 @@ pub mod plan;
 pub mod worker;
 
 pub use coordinator::{
-    run_processes, run_sim, CoordConfig, DistributedOutcome, OpKill, ShardReport,
+    grant_trace_id, run_processes, run_sim, CoordConfig, DistributedOutcome, OpKill, ShardReport,
 };
 pub use plan::{InjectionPoint, KillMode, KillPlan, KillSpec};
 pub use worker::{
-    clean_beats, daily_dir, holder_id, marker_path, run_worker, shard_dir, weekly_dir, PauseStyle,
-    WorkerConfig, WorkerExit, WorkerRun,
+    clean_beats, daily_dir, holder_id, marker_path, run_worker, shard_dir, trace_path, weekly_dir,
+    PauseStyle, WorkerConfig, WorkerExit, WorkerRun,
 };

@@ -24,6 +24,7 @@ use ipactive_cdnsim::{
     UniverseConfig,
 };
 use ipactive_logfmt::{write_lease, Fs, FsFile, Lease, LogStore, Record, StoreError};
+use ipactive_obs::{Registry, TraceContext};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
@@ -45,6 +46,9 @@ pub struct WorkerConfig {
     pub epoch: u64,
     /// Which grant of this shard this is (0 = first assignment).
     pub attempt: u32,
+    /// Trace context handed down with the grant (the coordinator's
+    /// `coord.grant` span); [`TraceContext::NONE`] runs untraced.
+    pub trace: TraceContext,
 }
 
 /// `<root>/shard-SSSS`.
@@ -74,6 +78,13 @@ pub fn holder_id(shard: u32, attempt: u32) -> u64 {
 /// the scheduled state — kill me now".
 pub fn marker_path(root: &Path, shard: u32, attempt: u32) -> PathBuf {
     shard_dir(root, shard).join(format!("paused-{attempt:02}.marker"))
+}
+
+/// Where a traced grant exports its span records — durable before the
+/// worker pauses or exits, so the coordinator can stitch the worker's
+/// side of the tree into its own store even after a `kill -9`.
+pub fn trace_path(root: &Path, shard: u32, attempt: u32) -> PathBuf {
+    shard_dir(root, shard).join(format!("trace-{attempt:02}.json"))
 }
 
 /// What a paused worker does at its injection point.
@@ -136,9 +147,32 @@ pub fn run_worker<F: Fs>(
     cfg: &WorkerConfig,
     pause_at: Option<InjectionPoint>,
     style: PauseStyle,
+    registry: &Registry,
 ) -> io::Result<WorkerRun> {
     let sdir = shard_dir(&cfg.root, cfg.shard);
     fs.create_dir_all(&sdir)?;
+
+    // The worker's side of the grant's trace. Spans are structural
+    // (protocol points and config-derived details only) so the tree
+    // is identical however the grant is scheduled or killed.
+    let run_ctx = registry.trace_span(
+        cfg.trace,
+        "worker.run",
+        format!("shard {} attempt {}", cfg.shard, cfg.attempt),
+    );
+    // Persists the grant's span records next to its lease; called at
+    // every exit point (pause or completion) so the coordinator can
+    // stitch the worker's tree even across a process boundary.
+    // Best-effort: tracing must never fail a grant.
+    let export_trace = |fs: &F| {
+        if let Some(doc) = registry.trace_json(cfg.trace.trace.0) {
+            let _ = (|| -> io::Result<()> {
+                let mut f = fs.create(&trace_path(&cfg.root, cfg.shard, cfg.attempt))?;
+                f.write_all(doc.as_bytes())?;
+                f.sync_all()
+            })();
+        }
+    };
 
     let mut beat = 0u64;
     let publish = |fs: &F, beat: u64| {
@@ -161,6 +195,7 @@ pub fn run_worker<F: Fs>(
         if pause_at != Some(point) {
             return Ok(None);
         }
+        export_trace(fs);
         match style {
             PauseStyle::ReturnEarly => Ok(Some(WorkerRun { exit: WorkerExit::Paused(point), beats: beat })),
             PauseStyle::Spin { write_marker } => {
@@ -186,6 +221,7 @@ pub fn run_worker<F: Fs>(
     // Replay: regenerate the universe and this shard's retained
     // buffers. (Emitting all shards and slicing ours is wasteful but
     // keeps the buffers bit-identical to the in-process pipeline's.)
+    registry.trace_span(run_ctx, "worker.replay", format!("emitters {}", cfg.emitters));
     let universe = Universe::generate(cfg.universe.clone());
     let num_days = cfg.universe.daily_days;
     let num_weeks = cfg.universe.weeks;
@@ -227,6 +263,7 @@ pub fn run_worker<F: Fs>(
     if daily_store.committed_days().len() < num_days {
         daily_store.commit_days(&daily_batches).map_err(store_io)?;
     }
+    registry.trace_span(run_ctx, "store.commit.daily", format!("days {num_days}"));
     beat += 1;
     publish(fs, beat)?;
     if let Some(run) = pause(fs, InjectionPoint::MidCommit, beat)? {
@@ -238,12 +275,14 @@ pub fn run_worker<F: Fs>(
     if weekly_store.committed_days().len() < num_weeks {
         weekly_store.commit_days(&weekly_batches).map_err(store_io)?;
     }
+    registry.trace_span(run_ctx, "store.commit.weekly", format!("weeks {num_weeks}"));
     beat += 1;
     publish(fs, beat)?;
     if let Some(run) = pause(fs, InjectionPoint::PreExit, beat)? {
         return Ok(run);
     }
 
+    export_trace(fs);
     Ok(WorkerRun { exit: WorkerExit::Completed, beats: beat })
 }
 
@@ -267,6 +306,7 @@ mod tests {
             emitters: 2,
             epoch: 1,
             attempt: 0,
+            trace: TraceContext::NONE,
         }
     }
 
@@ -274,7 +314,8 @@ mod tests {
     fn worker_commits_both_cadences_and_beats_deterministically() {
         let fs = SimFs::new();
         let cfg = cfg("/run", 0);
-        let run = run_worker(&fs, &cfg, None, PauseStyle::ReturnEarly).unwrap();
+        let run =
+            run_worker(&fs, &cfg, None, PauseStyle::ReturnEarly, &Registry::new()).unwrap();
         assert_eq!(run.exit, WorkerExit::Completed);
         assert_eq!(run.beats, clean_beats(2));
         let daily = LogStore::open_on(fs.clone(), daily_dir(&cfg.root, 0)).unwrap();
@@ -300,6 +341,7 @@ mod tests {
             &cfg0,
             Some(InjectionPoint::MidCommit),
             PauseStyle::ReturnEarly,
+            &Registry::new(),
         )
         .unwrap();
         assert_eq!(run.exit, WorkerExit::Paused(InjectionPoint::MidCommit));
@@ -310,9 +352,62 @@ mod tests {
         assert!(weekly.committed_days().is_empty());
         // Successor grant finishes the job.
         let cfg1 = WorkerConfig { epoch: 2, attempt: 1, ..cfg0.clone() };
-        let run = run_worker(&fs, &cfg1, None, PauseStyle::ReturnEarly).unwrap();
+        let run =
+            run_worker(&fs, &cfg1, None, PauseStyle::ReturnEarly, &Registry::new()).unwrap();
         assert_eq!(run.exit, WorkerExit::Completed);
         let weekly = LogStore::open_on(fs.clone(), weekly_dir(&cfg0.root, 1)).unwrap();
         assert_eq!(weekly.committed_days().len(), cfg0.universe.weeks);
+    }
+
+    fn read_doc(fs: &SimFs, path: &Path) -> String {
+        use std::io::Read as _;
+        let mut buf = Vec::new();
+        fs.open_read(path).unwrap().read_to_end(&mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn traced_grant_exports_its_span_tree_before_pausing_and_on_completion() {
+        use ipactive_obs::trace::parse_trace_doc;
+        use ipactive_obs::TraceId;
+
+        let fs = SimFs::new();
+        let reg = Registry::new();
+        let tid = TraceId::mint(7, 1);
+        // Span 1 plays the coordinator's grant span.
+        let granted = reg.trace_span(TraceContext::root(tid), "coord.grant", "shard 0");
+        let mut wcfg = cfg("/run", 0);
+        wcfg.trace = granted;
+
+        // Killed mid-commit: the exported tree already covers the
+        // daily commit but not the weekly one.
+        let run = run_worker(
+            &fs,
+            &wcfg,
+            Some(InjectionPoint::MidCommit),
+            PauseStyle::ReturnEarly,
+            &reg,
+        )
+        .unwrap();
+        assert_eq!(run.exit, WorkerExit::Paused(InjectionPoint::MidCommit));
+        let doc = read_doc(&fs, &trace_path(&wcfg.root, 0, 0));
+        let (trace, spans) = parse_trace_doc(&doc).unwrap();
+        assert_eq!(trace, tid.0);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"worker.run"));
+        assert!(names.contains(&"store.commit.daily"));
+        assert!(!names.contains(&"store.commit.weekly"), "killed before the weekly commit");
+
+        // The healing grant continues the same trace in a fresh
+        // registry (the process boundary), importing nothing: its
+        // spans start after the handed-down parent seq.
+        let reg2 = Registry::new();
+        let wcfg2 = WorkerConfig { epoch: 2, attempt: 1, trace: granted, ..wcfg.clone() };
+        let run = run_worker(&fs, &wcfg2, None, PauseStyle::ReturnEarly, &reg2).unwrap();
+        assert_eq!(run.exit, WorkerExit::Completed);
+        let doc2 = read_doc(&fs, &trace_path(&wcfg.root, 0, 1));
+        let (_, spans2) = parse_trace_doc(&doc2).unwrap();
+        assert!(spans2.iter().all(|s| s.seq > granted.span), "worker seqs follow the grant span");
+        assert!(spans2.iter().any(|s| s.name == "store.commit.weekly"));
     }
 }

@@ -104,8 +104,9 @@ fn kill_at_every_filesystem_operation_heals_bit_identically() {
         emitters: coord_cfg.emitters,
         epoch: 1,
         attempt: 0,
+        trace: ipactive_obs::TraceContext::NONE,
     };
-    run_worker(&probe, &wcfg, None, PauseStyle::ReturnEarly).unwrap();
+    run_worker(&probe, &wcfg, None, PauseStyle::ReturnEarly, &Registry::new()).unwrap();
     let total = probe.ops();
     assert!(total >= 20, "worker protocol shrank to {total} ops — a stage went missing?");
 

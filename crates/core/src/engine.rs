@@ -16,7 +16,7 @@
 //! So the cache is not a locked map but a flat, pre-keyed table of
 //! [`OnceLock`] slots — single days/weeks in per-index vectors, and
 //! multi-day windows in a triangular vector indexed by
-//! [`window_slot`]. A hit is one lock-free `OnceLock::get`; a miss
+//! `window_slot`. A hit is one lock-free `OnceLock::get`; a miss
 //! computes inside `get_or_init`, so racing readers of the same key
 //! block on the winner instead of each recomputing the set (the old
 //! mutex-map design computed first and re-checked the map afterwards,

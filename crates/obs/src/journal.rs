@@ -58,6 +58,10 @@ pub enum EventKind {
     /// The serve admission queue was full and a request was shed with
     /// an explicit `Overloaded` response.
     LoadShed,
+    /// A windowed SLO check breached its declared targets (shed-rate
+    /// or p99 burn); `offset` carries the window index, `detail` the
+    /// measured-vs-target numbers.
+    SloBurn,
 }
 
 impl EventKind {
@@ -81,6 +85,7 @@ impl EventKind {
             EventKind::EpochPublish => "epoch_publish",
             EventKind::QueryPanic => "query_panic",
             EventKind::LoadShed => "load_shed",
+            EventKind::SloBurn => "slo_burn",
         }
     }
 }

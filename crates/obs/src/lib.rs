@@ -37,11 +37,13 @@ pub mod json;
 pub mod metrics;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use journal::{Event, EventKind, Journal};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotMode, SpanSnapshot};
 pub use span::{Span, SpanStat};
+pub use trace::{SpanRecord, TraceContext, TraceId};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -80,6 +82,7 @@ struct Inner {
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    traces: Mutex<trace::TraceStore>,
     journal: Journal,
 }
 
@@ -114,6 +117,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 spans: Mutex::new(BTreeMap::new()),
+                traces: Mutex::new(trace::TraceStore::default()),
                 journal: Journal::with_capacity(capacity),
             }),
         }
@@ -159,8 +163,94 @@ impl Registry {
     }
 
     pub(crate) fn record_span(&self, path: &str, elapsed_ns: u64) {
-        let mut spans = self.inner.spans.lock().unwrap();
-        spans.entry(path.to_string()).or_default().record(elapsed_ns);
+        let mut truncated = false;
+        {
+            let mut spans = self.inner.spans.lock().unwrap();
+            // A *new* path whose parent already carries MAX_CHILDREN
+            // direct children folds into the parent's `...` bucket;
+            // existing paths keep aggregating normally, so the scan
+            // only runs on first sight of a path.
+            let key = if spans.contains_key(path) {
+                path.to_string()
+            } else if let Some((parent, leaf)) = path.rsplit_once('/') {
+                let prefix = format!("{parent}/");
+                let children = spans
+                    .range(prefix.clone()..)
+                    .take_while(|(k, _)| k.starts_with(&prefix))
+                    .filter(|(k, _)| !k[prefix.len()..].contains('/'))
+                    .count();
+                if leaf != span::FOLD && children >= span::MAX_CHILDREN {
+                    truncated = true;
+                    format!("{parent}/{}", span::FOLD)
+                } else {
+                    path.to_string()
+                }
+            } else {
+                path.to_string()
+            };
+            spans.entry(key).or_default().record(elapsed_ns);
+        }
+        if truncated {
+            self.counter("span.truncated").inc();
+        }
+    }
+
+    /// Records one structural [`SpanRecord`] under `ctx` in the trace
+    /// store and returns the child context (the new span's position),
+    /// for handing to deeper stages or across a process boundary.
+    ///
+    /// An absent context passes through untouched; a capped record
+    /// bumps `trace.truncated` / `trace.dropped` and returns `ctx`
+    /// unchanged — tracing degrades to counters, never to unbounded
+    /// memory.
+    pub fn trace_span(
+        &self,
+        ctx: TraceContext,
+        name: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> TraceContext {
+        if ctx.is_none() {
+            return ctx;
+        }
+        let outcome = self.inner.traces.lock().unwrap().record(ctx, name, detail);
+        match outcome {
+            trace::RecordOutcome::Recorded(seq) => TraceContext { trace: ctx.trace, span: seq },
+            trace::RecordOutcome::SpanCapped => {
+                self.counter("trace.truncated").inc();
+                ctx
+            }
+            trace::RecordOutcome::TraceCapped => {
+                self.counter("trace.dropped").inc();
+                ctx
+            }
+        }
+    }
+
+    /// Merges externally exported spans (e.g. a worker process's trace
+    /// file) into trace `trace`; idempotent by sequence number.
+    /// Returns how many spans were added.
+    pub fn import_trace(&self, trace: u64, spans: Vec<SpanRecord>) -> usize {
+        self.inner.traces.lock().unwrap().import(trace, spans)
+    }
+
+    /// The spans recorded under `trace`, in sequence order.
+    pub fn trace_spans(&self, trace: u64) -> Option<Vec<SpanRecord>> {
+        self.inner.traces.lock().unwrap().spans(trace).map(<[SpanRecord]>::to_vec)
+    }
+
+    /// All recorded trace ids, ascending.
+    pub fn trace_ids(&self) -> Vec<u64> {
+        self.inner.traces.lock().unwrap().ids()
+    }
+
+    /// One trace as a deterministic JSON document, if recorded.
+    pub fn trace_json(&self, trace: u64) -> Option<String> {
+        self.inner.traces.lock().unwrap().trace_json(trace)
+    }
+
+    /// Every recorded trace as one deterministic JSON document.
+    pub fn traces_json(&self) -> String {
+        self.inner.traces.lock().unwrap().traces_json()
     }
 
     /// Drains the registry into an immutable [`Snapshot`].
@@ -307,6 +397,28 @@ mod tests {
         assert_eq!(one, run(2));
         assert_eq!(one, run(4));
         assert!(!one.contains("\"spans\": ["), "deterministic mode must strip spans");
+    }
+
+    #[test]
+    fn trace_spans_thread_contexts_through_the_registry() {
+        let reg = Registry::new();
+        let trace = TraceId::mint(7, 0);
+        let root = reg.trace_span(TraceContext::root(trace), "client.request", "id 0");
+        assert_eq!(root.span, 1);
+        let child = reg.trace_span(root, "serve.admission", "day_window");
+        assert_eq!(child.span, 2);
+        assert_eq!(
+            reg.trace_span(TraceContext::NONE, "ignored", ""),
+            TraceContext::NONE,
+            "untraced requests pass through"
+        );
+        let doc = reg.trace_json(trace.0).unwrap();
+        assert!(doc.contains("serve.admission"));
+        assert_eq!(reg.trace_ids(), vec![trace.0]);
+        // Trace records live outside snapshots: the deterministic
+        // metrics document is unchanged by recording them.
+        let json = reg.snapshot(SnapshotMode::Deterministic).to_json();
+        assert!(!json.contains("client.request"));
     }
 
     #[test]

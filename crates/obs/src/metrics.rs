@@ -7,7 +7,7 @@
 //! concurrent writers on different cores do not bounce one line.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const STRIPES: usize = 8;
 
@@ -104,8 +104,45 @@ pub struct Histogram {
 struct HistogramInner {
     bounds: Vec<u64>,
     buckets: Vec<AtomicU64>,
+    exemplars: Vec<Mutex<ExemplarRing>>,
     count: AtomicU64,
     sum: AtomicU64,
+}
+
+/// Recent trace ids per bucket, kept by [`Histogram::observe_traced`].
+pub const EXEMPLARS_PER_BUCKET: usize = 4;
+
+/// A bounded ring of the most recent trace ids observed into one
+/// bucket: the link from a tail-latency bucket back to the trace that
+/// explains it. Exemplars carry wall-time provenance (they name which
+/// *run* of a request landed where) and therefore render only in
+/// timed snapshots.
+#[derive(Default)]
+struct ExemplarRing {
+    ids: Vec<u64>,
+    next: usize,
+}
+
+impl ExemplarRing {
+    fn push(&mut self, id: u64) {
+        if self.ids.len() < EXEMPLARS_PER_BUCKET {
+            self.ids.push(id);
+        } else {
+            self.ids[self.next] = id;
+        }
+        self.next = (self.next + 1) % EXEMPLARS_PER_BUCKET;
+    }
+
+    /// Oldest-to-newest copy of the ring.
+    fn snapshot(&self) -> Vec<u64> {
+        if self.ids.len() < EXEMPLARS_PER_BUCKET {
+            self.ids.clone()
+        } else {
+            (0..EXEMPLARS_PER_BUCKET)
+                .map(|i| self.ids[(self.next + i) % EXEMPLARS_PER_BUCKET])
+                .collect()
+        }
+    }
 }
 
 /// Doubling bounds from 1 to ~1M, a serviceable default for counts
@@ -120,11 +157,13 @@ impl Histogram {
         let mut bounds = bounds.to_vec();
         bounds.sort_unstable();
         bounds.dedup();
-        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Vec<AtomicU64> = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        let exemplars = (0..buckets.len()).map(|_| Mutex::new(ExemplarRing::default())).collect();
         Histogram {
             inner: Arc::new(HistogramInner {
                 bounds,
                 buckets,
+                exemplars,
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
             }),
@@ -137,6 +176,20 @@ impl Histogram {
         self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one observation and remembers `trace` in the landing
+    /// bucket's exemplar ring, so the bucket can name a recent trace
+    /// that landed in it. An absent trace id observes like
+    /// [`observe`](Histogram::observe).
+    pub fn observe_traced(&self, v: u64, trace: crate::TraceId) {
+        let i = self.inner.bounds.partition_point(|&b| b < v);
+        self.inner.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+        if !trace.is_none() {
+            self.inner.exemplars[i].lock().unwrap().push(trace.0);
+        }
     }
 
     /// Total observations.
@@ -162,10 +215,13 @@ impl Histogram {
         self.snapshot().quantile(q)
     }
 
-    pub(crate) fn snapshot(&self) -> crate::snapshot::HistogramSnapshot {
+    /// A frozen copy of the histogram's state, exemplar rings
+    /// included (oldest-to-newest per bucket).
+    pub fn snapshot(&self) -> crate::snapshot::HistogramSnapshot {
         crate::snapshot::HistogramSnapshot {
             bounds: self.inner.bounds.clone(),
             buckets: self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            exemplars: self.inner.exemplars.iter().map(|e| e.lock().unwrap().snapshot()).collect(),
             count: self.count(),
             sum: self.sum(),
         }
@@ -232,6 +288,22 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.bounds, vec![1, 10, 100]);
         assert_eq!(snap.buckets, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn exemplar_rings_keep_the_most_recent_trace_ids() {
+        use crate::TraceId;
+        let h = Histogram::new(&[10, 100]);
+        h.observe_traced(5, TraceId::NONE); // untraced: counted, no exemplar
+        for id in 1..=6u64 {
+            h.observe_traced(50, TraceId(id));
+        }
+        h.observe_traced(5000, TraceId(99));
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars[0], Vec::<u64>::new());
+        assert_eq!(snap.exemplars[1], vec![3, 4, 5, 6], "ring keeps the newest, oldest first");
+        assert_eq!(snap.exemplars[2], vec![99], "overflow bucket has its own ring");
+        assert_eq!(snap.count, 8, "traced and untraced observations count alike");
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct HistogramSnapshot {
     pub bounds: Vec<u64>,
     /// Per-bucket counts; one longer than `bounds` (overflow last).
     pub buckets: Vec<u64>,
+    /// Per-bucket recent trace ids (oldest first), parallel to
+    /// `buckets`. Exemplars carry run provenance, so they render only
+    /// in [`SnapshotMode::Timed`] JSON.
+    pub exemplars: Vec<Vec<u64>>,
     /// Total observations.
     pub count: u64,
     /// Sum of observed values.
@@ -77,6 +81,28 @@ impl HistogramSnapshot {
         }
         // Unreachable when count equals the bucket sum; be defensive.
         self.bounds.last().copied().unwrap_or(0) as f64
+    }
+
+    /// The index of the bucket holding the rank-`⌈q·count⌉`
+    /// observation — the bucket whose exemplars explain that quantile.
+    /// `None` on an empty histogram.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut below = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if below + n >= rank {
+                return Some(i);
+            }
+            below += n;
+        }
+        None
     }
 }
 
@@ -182,13 +208,22 @@ impl Snapshot {
                 out.push(',');
             }
             first = false;
+            // Exemplars name traces by recency — wall-time provenance
+            // — so the deterministic document omits them entirely.
+            let exemplars = match self.mode {
+                SnapshotMode::Deterministic => String::new(),
+                SnapshotMode::Timed => {
+                    format!(", \"exemplars\": {}", json_exemplar_array(&h.exemplars))
+                }
+            };
             out.push_str(&format!(
-                "\n    {}: {{\"count\": {}, \"sum\": {}, \"bounds\": {}, \"buckets\": {}}}",
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"bounds\": {}, \"buckets\": {}{}}}",
                 json_string(name),
                 h.count,
                 h.sum,
                 json_u64_array(&h.bounds),
                 json_u64_array(&h.buckets),
+                exemplars,
             ));
         }
         out.push_str(if first { "},\n" } else { "\n  },\n" });
@@ -305,6 +340,17 @@ fn json_u64_array(values: &[u64]) -> String {
     format!("[{}]", inner.join(", "))
 }
 
+fn json_exemplar_array(rings: &[Vec<u64>]) -> String {
+    let inner: Vec<String> = rings
+        .iter()
+        .map(|ring| {
+            let ids: Vec<String> = ring.iter().map(|id| format!("\"{id:016x}\"")).collect();
+            format!("[{}]", ids.join(", "))
+        })
+        .collect();
+    format!("[{}]", inner.join(", "))
+}
+
 /// Escapes a string for JSON embedding.
 pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -360,6 +406,32 @@ mod tests {
         let timed = reg.snapshot(SnapshotMode::Timed).to_json();
         assert!(timed.contains("\"spans\""));
         crate::json::parse(&timed).expect("timed JSON parses");
+    }
+
+    #[test]
+    fn exemplars_render_only_in_timed_mode() {
+        let reg = Registry::new();
+        let h = reg.histogram("serve.latency_us", &[10, 100]);
+        h.observe_traced(5, crate::TraceId(0xBEEF));
+        h.observe_traced(5000, crate::TraceId(0xCAFE));
+        let det = reg.snapshot(SnapshotMode::Deterministic).to_json();
+        assert!(!det.contains("exemplars"), "deterministic documents carry no exemplars");
+        let timed = reg.snapshot(SnapshotMode::Timed).to_json();
+        assert!(timed.contains("\"exemplars\": [[\"000000000000beef\"], [], [\"000000000000cafe\"]]"));
+        crate::json::parse(&timed).expect("timed JSON parses");
+
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        let hs = &snap.histograms["serve.latency_us"];
+        assert_eq!(hs.quantile_bucket(0.99), Some(2), "the tail lands in the overflow bucket");
+        assert_eq!(hs.exemplars[hs.quantile_bucket(0.99).unwrap()], vec![0xCAFE]);
+        let empty = HistogramSnapshot {
+            bounds: vec![1],
+            buckets: vec![0, 0],
+            exemplars: vec![vec![], vec![]],
+            count: 0,
+            sum: 0,
+        };
+        assert_eq!(empty.quantile_bucket(0.5), None);
     }
 
     #[test]

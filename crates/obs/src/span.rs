@@ -19,6 +19,21 @@ thread_local! {
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Maximum nesting depth a span path may reach; deeper spans fold
+/// into their ancestor's [`FOLD`] bucket.
+pub const MAX_DEPTH: usize = 16;
+
+/// Maximum direct children one span path may grow; further *new*
+/// sibling names fold into the parent's [`FOLD`] bucket (existing
+/// paths keep aggregating normally).
+pub const MAX_CHILDREN: usize = 64;
+
+/// The synthetic leaf name that over-deep or over-wide span trees
+/// aggregate under. Every fold bumps the `span.truncated` counter, so
+/// pathological nesting degrades to one bucket plus a count — never
+/// to unbounded memory.
+pub const FOLD: &str = "...";
+
 /// Aggregated timing for one span path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanStat {
@@ -54,21 +69,34 @@ impl SpanStat {
 pub struct Span {
     registry: Registry,
     path: String,
+    truncated: bool,
     start: Instant,
 }
 
 impl Span {
     pub(crate) fn open(registry: Registry, name: String) -> Span {
-        let path = STACK.with(|stack| {
+        let (path, truncated) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let path = match stack.last() {
-                Some(parent_path) => format!("{parent_path}/{name}"),
-                None => name,
+            let (path, truncated) = match stack.last() {
+                // Past the depth cap the span folds into the parent's
+                // `...` bucket; once the parent *is* a fold bucket,
+                // deeper spans reuse it so runaway recursion costs one
+                // path, not one per level.
+                Some(parent_path) if stack.len() >= MAX_DEPTH => {
+                    let path = if parent_path.rsplit('/').next() == Some(FOLD) {
+                        parent_path.clone()
+                    } else {
+                        format!("{parent_path}/{FOLD}")
+                    };
+                    (path, true)
+                }
+                Some(parent_path) => (format!("{parent_path}/{name}"), false),
+                None => (name, false),
             };
             stack.push(path.clone());
-            path
+            (path, truncated)
         });
-        Span { registry, path, start: Instant::now() }
+        Span { registry, path, truncated, start: Instant::now() }
     }
 
     /// The `/`-joined path this span records under.
@@ -83,6 +111,9 @@ impl Drop for Span {
         STACK.with(|stack| {
             stack.borrow_mut().pop();
         });
+        if self.truncated {
+            self.registry.counter("span.truncated").inc();
+        }
         self.registry.record_span(&self.path, elapsed);
     }
 }
@@ -120,6 +151,62 @@ mod tests {
         assert_eq!(s.count, 10);
         assert!(s.min_ns <= s.max_ns);
         assert!(s.total_ns >= s.max_ns);
+    }
+
+    #[test]
+    fn pathological_depth_folds_into_one_bucket() {
+        fn recurse(reg: &Registry, depth: usize) {
+            if depth == 0 {
+                return;
+            }
+            let _s = reg.span("deep");
+            recurse(reg, depth - 1);
+        }
+        let reg = Registry::new();
+        recurse(&reg, 40);
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        assert_eq!(
+            snap.spans.len(),
+            MAX_DEPTH + 1,
+            "{MAX_DEPTH} real levels plus exactly one fold bucket"
+        );
+        let fold = snap.spans.iter().find(|s| s.path.ends_with(FOLD)).expect("fold bucket");
+        assert_eq!(fold.count, (40 - MAX_DEPTH) as u64, "every over-deep entry aggregates");
+        assert_eq!(
+            snap.counter("span.truncated"),
+            (40 - MAX_DEPTH) as u64,
+            "truncation is counted, not silent"
+        );
+    }
+
+    #[test]
+    fn pathological_fanout_folds_new_children() {
+        let reg = Registry::new();
+        {
+            let _parent = reg.span("parent");
+            for i in 0..100 {
+                let _c = reg.span(format!("child{i:03}"));
+            }
+        }
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        assert_eq!(
+            snap.spans.len(),
+            1 + MAX_CHILDREN + 1,
+            "parent, {MAX_CHILDREN} real children, one fold bucket"
+        );
+        let fold = snap.spans.iter().find(|s| s.path == format!("parent/{FOLD}")).unwrap();
+        assert_eq!(fold.count, 100 - MAX_CHILDREN as u64);
+        assert_eq!(snap.counter("span.truncated"), 100 - MAX_CHILDREN as u64);
+        // An established path keeps aggregating even once the parent
+        // is at cap.
+        {
+            let _parent = reg.span("parent");
+            let _c = reg.span("child000");
+        }
+        let snap = reg.snapshot(SnapshotMode::Timed);
+        let c0 = snap.spans.iter().find(|s| s.path == "parent/child000").unwrap();
+        assert_eq!(c0.count, 2);
+        assert_eq!(snap.counter("span.truncated"), 100 - MAX_CHILDREN as u64);
     }
 
     #[test]

@@ -40,11 +40,14 @@ pub mod loadgen;
 pub mod observatory;
 pub mod pipe;
 pub mod server;
+pub mod slo;
 pub mod wire;
 
 pub use chaos::{ChaosAction, ChaosPlan};
+pub use ipactive_obs::{TraceContext, TraceId};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use observatory::{synthetic_day_log, DayLog, EpochSnapshot, Observatory};
 pub use pipe::{duplex, DuplexConn, PipeReader, PipeWriter};
 pub use server::{ServeConfig, Server};
+pub use slo::{SloMonitor, SloPolicy};
 pub use wire::{QueryKind, Request, Response, Status, WireError};

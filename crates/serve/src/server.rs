@@ -9,7 +9,7 @@
 //! * deadline expired mid-composition → [`Status::DeadlineExceeded`]
 //!   with `units_done / units_total` partial-progress provenance, or —
 //!   when the client set `allow_degraded` — a [`Status::Degraded`]
-//!   answer from the [`PrefixDensity`](ipactive_net::PrefixDensity)
+//!   answer from the [`ipactive_net::PrefixDensity`]
 //!   approximation, flagged `from_density`;
 //! * window touching a partial feed or reaching past the ingested
 //!   horizon → exact value over what exists, [`Status::Degraded`] with
@@ -31,10 +31,11 @@ use std::time::{Duration, Instant};
 use ipactive_core::QueryBudget;
 use ipactive_net::{ActiveSet, Addr, Prefix, PrefixDensity, TieredSet};
 use ipactive_obs::metrics::DECADE_BOUNDS;
-use ipactive_obs::{Event, EventKind};
+use ipactive_obs::{Event, EventKind, Registry, SnapshotMode};
 
 use crate::chaos::{ChaosAction, ChaosPlan};
 use crate::observatory::{EpochSnapshot, Observatory};
+use crate::slo::{SloMonitor, SloPolicy};
 use crate::wire::{self, QueryKind, Request, Response, Status};
 
 /// Tuning knobs for a [`Server`].
@@ -47,11 +48,13 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Deterministic fault-injection schedule.
     pub chaos: ChaosPlan,
+    /// Declared SLO targets; `None` disables the windowed monitor.
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, queue_depth: 64, chaos: ChaosPlan::none() }
+        ServeConfig { workers: 2, queue_depth: 64, chaos: ChaosPlan::none(), slo: None }
     }
 }
 
@@ -89,6 +92,7 @@ pub struct Server<S: ActiveSet = TieredSet> {
     workers: Vec<JoinHandle<()>>,
     conns: Mutex<Vec<JoinHandle<()>>>,
     executed: Arc<AtomicU64>,
+    slo: Option<Arc<SloMonitor>>,
     config: ServeConfig,
 }
 
@@ -98,6 +102,7 @@ impl<S: ActiveSet> Server<S> {
         if config.chaos.panic_period != 0 {
             quiet_injected_query_panics();
         }
+        let slo = config.slo.map(|policy| Arc::new(SloMonitor::new(policy, obs.registry())));
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let executed = Arc::new(AtomicU64::new(0));
@@ -107,10 +112,11 @@ impl<S: ActiveSet> Server<S> {
                 let obs = obs.clone();
                 let executed = executed.clone();
                 let chaos = config.chaos;
-                thread::spawn(move || worker_loop(rx, obs, executed, chaos))
+                let slo = slo.clone();
+                thread::spawn(move || worker_loop(rx, obs, executed, chaos, slo))
             })
             .collect();
-        Server { obs, tx, workers, conns: Mutex::new(Vec::new()), executed, config }
+        Server { obs, tx, workers, conns: Mutex::new(Vec::new()), executed, slo, config }
     }
 
     /// The observatory this server answers from.
@@ -135,8 +141,9 @@ impl<S: ActiveSet> Server<S> {
     {
         let tx = self.tx.clone();
         let obs = self.obs.clone();
+        let slo = self.slo.clone();
         let out: Arc<Mutex<dyn Write + Send>> = Arc::new(Mutex::new(writer));
-        let handle = thread::spawn(move || connection_loop(reader, out, tx, obs));
+        let handle = thread::spawn(move || connection_loop(reader, out, tx, obs, slo));
         self.conns.lock().expect("conn list poisoned").push(handle);
     }
 
@@ -163,10 +170,11 @@ fn connection_loop<S: ActiveSet>(
     out: Arc<Mutex<dyn Write + Send>>,
     tx: SyncSender<Job>,
     obs: Arc<Observatory<S>>,
+    slo: Option<Arc<SloMonitor>>,
 ) {
     let registry = obs.registry().clone();
     loop {
-        let req = match wire::read_request(&mut reader) {
+        let mut req = match wire::read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return, // clean EOF
             Err(err) => {
@@ -182,6 +190,8 @@ fn connection_loop<S: ActiveSet>(
                     units_done: 0,
                     units_total: 0,
                     from_density: false,
+                    trace_id: 0,
+                    body: None,
                 };
                 write_locked(&out, &resp);
                 let _ = err;
@@ -189,6 +199,9 @@ fn connection_loop<S: ActiveSet>(
             }
         };
         registry.counter("serve.requests").inc();
+        // Admission is the first server-side span of a traced request;
+        // downstream spans (answer, engine) hang off it.
+        req.trace = registry.trace_span(req.trace, "serve.admission", req.kind.label());
         match tx.try_send(Job { req, out: out.clone() }) {
             Ok(()) => {}
             Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
@@ -200,6 +213,10 @@ fn connection_loop<S: ActiveSet>(
                         .offset(job.req.id)
                         .detail("admission queue full"),
                 );
+                registry.trace_span(job.req.trace, "serve.shed", "admission queue full");
+                if let Some(slo) = &slo {
+                    slo.record(Status::Overloaded, 0);
+                }
                 let resp = Response {
                     id: job.req.id,
                     epoch: obs.pin().epoch(),
@@ -209,6 +226,8 @@ fn connection_loop<S: ActiveSet>(
                     units_done: 0,
                     units_total: 0,
                     from_density: false,
+                    trace_id: job.req.trace.trace.0,
+                    body: None,
                 };
                 write_locked(&job.out, &resp);
             }
@@ -229,6 +248,7 @@ fn worker_loop<S: ActiveSet>(
     obs: Arc<Observatory<S>>,
     executed: Arc<AtomicU64>,
     chaos: ChaosPlan,
+    slo: Option<Arc<SloMonitor>>,
 ) {
     let registry = obs.registry().clone();
     let latency = registry.histogram("serve.latency_us", DECADE_BOUNDS);
@@ -241,7 +261,8 @@ fn worker_loop<S: ActiveSet>(
         let action = chaos.action(seq);
         let start = Instant::now();
         let snap = obs.pin();
-        let req = job.req;
+        let mut req = job.req;
+        req.trace = registry.trace_span(req.trace, "serve.answer", format!("id {}", req.id));
 
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             match action {
@@ -251,7 +272,7 @@ fn worker_loop<S: ActiveSet>(
                 }
                 ChaosAction::None => {}
             }
-            answer(&snap, &req)
+            answer(&snap, &req, &registry)
         }));
 
         let resp = match outcome {
@@ -265,6 +286,7 @@ fn worker_loop<S: ActiveSet>(
                         .offset(req.id)
                         .detail("query worker panicked; answered degraded"),
                 );
+                registry.trace_span(req.trace, "serve.panic", "answered degraded");
                 degraded_from_density(&snap, &req)
             }
         };
@@ -275,7 +297,11 @@ fn worker_loop<S: ActiveSet>(
             Status::Overloaded => registry.counter("serve.overloaded").inc(),
             Status::BadRequest => registry.counter("serve.bad_request").inc(),
         }
-        latency.observe(start.elapsed().as_micros() as u64);
+        let us = start.elapsed().as_micros() as u64;
+        latency.observe_traced(us, req.trace.trace);
+        if let Some(slo) = &slo {
+            slo.record(resp.status, us);
+        }
         write_locked(&job.out, &resp);
     }
 }
@@ -287,7 +313,11 @@ fn ppm(fraction: f64) -> u64 {
 /// Computes the honest answer for one request against one pinned
 /// epoch. Never panics on any decodable request: ranges are validated
 /// and clamped *before* the engine sees them.
-fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
+fn answer<S: ActiveSet>(
+    snap: &EpochSnapshot<S>,
+    req: &Request,
+    registry: &Registry,
+) -> Response {
     let budget = if req.budget_ms == 0 {
         QueryBudget::unlimited()
     } else {
@@ -302,6 +332,8 @@ fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
         units_done: 0,
         units_total: 0,
         from_density: false,
+        trace_id: req.trace.trace.0,
+        body: None,
     };
     match req.kind {
         QueryKind::Status => Response {
@@ -313,11 +345,48 @@ fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
             units_done: 0,
             units_total: 0,
             from_density: false,
+            trace_id: req.trace.trace.0,
+            body: None,
+        },
+        QueryKind::Telemetry => {
+            // The live metrics plane: a deterministic sorted-JSON
+            // snapshot of the registry, taken before this response's
+            // own status counter lands so a fresh server answers with
+            // reproducible bytes.
+            let body = registry.snapshot(SnapshotMode::Deterministic).to_json();
+            Response {
+                id: req.id,
+                epoch: snap.epoch(),
+                status: Status::Ok,
+                value: snap.days() as u64,
+                coverage_ppm: Response::FULL_COVERAGE,
+                units_done: 0,
+                units_total: 0,
+                from_density: false,
+                trace_id: req.trace.trace.0,
+                body: Some(body),
+            }
+        }
+        QueryKind::Trace { trace_id } => match registry.trace_json(trace_id) {
+            Some(body) => Response {
+                id: req.id,
+                epoch: snap.epoch(),
+                status: Status::Ok,
+                value: trace_id,
+                coverage_ppm: Response::FULL_COVERAGE,
+                units_done: 0,
+                units_total: 0,
+                from_density: false,
+                trace_id: req.trace.trace.0,
+                body: Some(body),
+            },
+            None => bad(snap),
         },
         QueryKind::PrefixCount { base, len } => {
             if len > PrefixDensity::MAX_LEN {
                 return bad(snap);
             }
+            registry.trace_span(req.trace, "engine.density", format!("len {len}"));
             // The density index answers prefix counts exactly in O(1);
             // `from_density` records the provenance all the same.
             let count = snap.density().count(Prefix::new(Addr::new(base), len));
@@ -331,6 +400,8 @@ fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
                 units_done: 0,
                 units_total: 0,
                 from_density: true,
+                trace_id: req.trace.trace.0,
+                body: None,
             }
         }
         QueryKind::DayWindow { start, end } => {
@@ -342,6 +413,7 @@ fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
             // coverage already dilutes for the days we do not have.
             let ce = e.min(snap.days());
             let cs = s.min(ce);
+            registry.trace_span(req.trace, "engine.compose", format!("days {cs}..{ce}"));
             let cov = snap.window_coverage(s..e);
             let result = snap
                 .engine()
@@ -356,6 +428,7 @@ fn answer<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -> Response {
             let (s, e) = (start as usize, end as usize);
             let ce = e.min(snap.weeks());
             let cs = s.min(ce);
+            registry.trace_span(req.trace, "engine.compose", format!("weeks {cs}..{ce}"));
             let cov = snap.week_window_coverage(s..e);
             let result = snap
                 .engine()
@@ -386,6 +459,8 @@ fn shape_window<S: ActiveSet>(
             units_done: 0,
             units_total: 0,
             from_density: false,
+            trace_id: req.trace.trace.0,
+            body: None,
         },
         Err(partial) if req.allow_degraded => Response {
             id: req.id,
@@ -399,6 +474,8 @@ fn shape_window<S: ActiveSet>(
             units_done: partial.units_done as u64,
             units_total: partial.units_total as u64,
             from_density: true,
+            trace_id: req.trace.trace.0,
+            body: None,
         },
         Err(partial) => Response {
             id: req.id,
@@ -409,6 +486,8 @@ fn shape_window<S: ActiveSet>(
             units_done: partial.units_done as u64,
             units_total: partial.units_total as u64,
             from_density: false,
+            trace_id: req.trace.trace.0,
+            body: None,
         },
     }
 }
@@ -432,6 +511,9 @@ fn degraded_from_density<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -
             snap.week_window_coverage(start as usize..end as usize),
         ),
         QueryKind::Status => (snap.days() as u64, 1.0),
+        // A telemetry/trace fetch that died mid-query has no density
+        // fallback worth inventing; a degraded empty answer is honest.
+        QueryKind::Telemetry | QueryKind::Trace { .. } => (0, 1.0),
         _ => {
             return Response {
                 id: req.id,
@@ -442,6 +524,8 @@ fn degraded_from_density<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -
                 units_done: 0,
                 units_total: 0,
                 from_density: false,
+                trace_id: req.trace.trace.0,
+                body: None,
             }
         }
     };
@@ -454,6 +538,8 @@ fn degraded_from_density<S: ActiveSet>(snap: &EpochSnapshot<S>, req: &Request) -
         units_done: 0,
         units_total: 0,
         from_density: true,
+        trace_id: req.trace.trace.0,
+        body: None,
     }
 }
 
@@ -495,7 +581,13 @@ mod tests {
     }
 
     fn req(id: u64, kind: QueryKind) -> Request {
-        Request { id, kind, budget_ms: 0, allow_degraded: false }
+        Request {
+            id,
+            kind,
+            budget_ms: 0,
+            allow_degraded: false,
+            trace: ipactive_obs::TraceContext::NONE,
+        }
     }
 
     #[test]
@@ -584,6 +676,7 @@ mod tests {
             kind: QueryKind::DayWindow { start: 0, end: 10 },
             budget_ms: 1,
             allow_degraded: false,
+            trace: ipactive_obs::TraceContext::NONE,
         };
         let soft = Request { id: 1, allow_degraded: true, ..strict };
         let got = exchange(&server, &[strict, soft]);
@@ -615,6 +708,7 @@ mod tests {
                 queue_depth: 16,
                 // Every executed query panics.
                 chaos: ChaosPlan { seed: 3, panic_period: 1, stall_period: 0, stall_us: 0 },
+                slo: None,
             },
         );
         let got = exchange(
@@ -649,6 +743,7 @@ mod tests {
                 queue_depth: 1,
                 // Stall every query 20ms so the queue jams instantly.
                 chaos: ChaosPlan { seed: 1, panic_period: 0, stall_period: 1, stall_us: 20_000 },
+                slo: None,
             },
         );
         let reqs: Vec<Request> =

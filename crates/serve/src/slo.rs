@@ -1,0 +1,179 @@
+//! Windowed SLO monitoring for the serve plane: shed-rate and p99
+//! burn against declared targets.
+//!
+//! The monitor sees every answered request (including sheds, which
+//! never reach a worker) and evaluates fixed-size windows of them.
+//! When a window's shed rate or p99 latency breaches the declared
+//! [`SloPolicy`] targets, it bumps the `slo.burn` counter and emits an
+//! [`EventKind::SloBurn`] journal event whose `offset` is the window
+//! index and whose detail carries the measured-vs-target numbers —
+//! enough for an operator (or the CI SLO gate) to see *which* stretch
+//! of the run burned, not just that one did.
+//!
+//! Latencies are wall time, so SLO gauges and burn events are
+//! timing-dependent by nature; they live alongside the deterministic
+//! plane, not inside it. Tests pin behaviour with synthetic
+//! [`record`](SloMonitor::record) calls, never with real clocks.
+
+use std::sync::Mutex;
+
+use ipactive_obs::{Event, EventKind, Registry};
+
+use crate::wire::Status;
+
+/// Declared serve-plane targets, evaluated per window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloPolicy {
+    /// Answers per evaluation window.
+    pub window: u64,
+    /// Maximum tolerated shed rate, parts-per-million of the window.
+    pub max_shed_ppm: u64,
+    /// p99 latency target over the window's non-shed answers,
+    /// microseconds.
+    pub p99_target_us: u64,
+}
+
+impl Default for SloPolicy {
+    /// 256-answer windows, ≤5% shed, p99 ≤100ms — loose enough for CI
+    /// machines, tight enough to catch a wedged server.
+    fn default() -> SloPolicy {
+        SloPolicy { window: 256, max_shed_ppm: 50_000, p99_target_us: 100_000 }
+    }
+}
+
+struct Window {
+    shed: u64,
+    latencies_us: Vec<u64>,
+    index: u64,
+}
+
+/// Evaluates [`SloPolicy`] over consecutive fixed-size windows of
+/// answered requests. Cheap to record into (one mutex push); the sort
+/// happens once per window close.
+pub struct SloMonitor {
+    policy: SloPolicy,
+    registry: Registry,
+    window: Mutex<Window>,
+}
+
+impl SloMonitor {
+    /// A monitor enforcing `policy`, reporting into `registry`.
+    pub fn new(policy: SloPolicy, registry: &Registry) -> SloMonitor {
+        SloMonitor {
+            policy: SloPolicy { window: policy.window.max(1), ..policy },
+            registry: registry.clone(),
+            window: Mutex::new(Window { shed: 0, latencies_us: Vec::new(), index: 0 }),
+        }
+    }
+
+    /// The declared targets.
+    pub fn policy(&self) -> SloPolicy {
+        self.policy
+    }
+
+    /// Accounts one answered request. `Overloaded` answers count as
+    /// sheds (their latency is admission-queue noise, not service
+    /// time); everything else contributes `latency_us` to the
+    /// window's distribution.
+    pub fn record(&self, status: Status, latency_us: u64) {
+        let mut w = self.window.lock().expect("slo window poisoned");
+        if status == Status::Overloaded {
+            w.shed += 1;
+        } else {
+            w.latencies_us.push(latency_us);
+        }
+        let n = w.shed + w.latencies_us.len() as u64;
+        if n < self.policy.window {
+            return;
+        }
+        let shed_ppm = w.shed * 1_000_000 / n;
+        let p99_us = match w.latencies_us.len() {
+            0 => 0,
+            len => {
+                w.latencies_us.sort_unstable();
+                let rank = ((0.99 * len as f64).ceil() as usize).clamp(1, len);
+                w.latencies_us[rank - 1]
+            }
+        };
+        self.registry.gauge("slo.window.shed_ppm").set(shed_ppm as i64);
+        self.registry.gauge("slo.window.p99_us").set(p99_us as i64);
+        let shed_burn = shed_ppm > self.policy.max_shed_ppm;
+        let p99_burn = p99_us > self.policy.p99_target_us;
+        if shed_burn || p99_burn {
+            self.registry.counter("slo.burn").inc();
+            self.registry.emit(Event::new(EventKind::SloBurn).offset(w.index).detail(format!(
+                "shed_ppm {shed_ppm} (target {}), p99_us {p99_us} (target {})",
+                self.policy.max_shed_ppm, self.policy.p99_target_us
+            )));
+        }
+        w.index += 1;
+        w.shed = 0;
+        w.latencies_us.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipactive_obs::SnapshotMode;
+
+    #[test]
+    fn a_healthy_window_sets_gauges_without_burning() {
+        let reg = Registry::new();
+        let slo = SloMonitor::new(
+            SloPolicy { window: 10, max_shed_ppm: 200_000, p99_target_us: 1_000 },
+            &reg,
+        );
+        for _ in 0..9 {
+            slo.record(Status::Ok, 100);
+        }
+        slo.record(Status::Overloaded, 0); // 10% shed, under the 20% target
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("slo.burn"), 0);
+        assert_eq!(snap.gauge("slo.window.shed_ppm"), 100_000);
+        assert_eq!(snap.gauge("slo.window.p99_us"), 100);
+        assert!(snap.events_of(EventKind::SloBurn).next().is_none());
+    }
+
+    #[test]
+    fn shed_and_p99_breaches_burn_with_window_provenance() {
+        let reg = Registry::new();
+        let slo = SloMonitor::new(
+            SloPolicy { window: 4, max_shed_ppm: 100_000, p99_target_us: 500 },
+            &reg,
+        );
+        // Window 0: half the answers shed — a shed burn.
+        slo.record(Status::Ok, 10);
+        slo.record(Status::Overloaded, 0);
+        slo.record(Status::Overloaded, 0);
+        slo.record(Status::Ok, 10);
+        // Window 1: healthy.
+        for _ in 0..4 {
+            slo.record(Status::Ok, 10);
+        }
+        // Window 2: one slow answer blows the p99 target.
+        slo.record(Status::Ok, 10);
+        slo.record(Status::Ok, 10);
+        slo.record(Status::Ok, 10);
+        slo.record(Status::Degraded, 9_999);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.counter("slo.burn"), 2);
+        let offsets: Vec<Option<u64>> =
+            snap.events_of(EventKind::SloBurn).map(|e| e.offset).collect();
+        assert_eq!(offsets, vec![Some(0), Some(2)], "burns name their windows");
+        assert!(snap.events_of(EventKind::SloBurn).all(|e| e.detail.contains("target")));
+    }
+
+    #[test]
+    fn an_all_shed_window_reports_zero_p99_not_a_panic() {
+        let reg = Registry::new();
+        let slo =
+            SloMonitor::new(SloPolicy { window: 2, max_shed_ppm: 0, p99_target_us: 1 }, &reg);
+        slo.record(Status::Overloaded, 0);
+        slo.record(Status::Overloaded, 0);
+        let snap = reg.snapshot(SnapshotMode::Deterministic);
+        assert_eq!(snap.gauge("slo.window.shed_ppm"), 1_000_000);
+        assert_eq!(snap.gauge("slo.window.p99_us"), 0);
+        assert_eq!(snap.counter("slo.burn"), 1);
+    }
+}

@@ -10,15 +10,25 @@
 //! frame    := varint(payload_len) payload crc32(payload) as 4 LE bytes
 //! request  := 0x51 varint(id) kind:u8 varint(a) varint(b)
 //!             varint(budget_ms) flags:u8          ; flags bit0 = allow_degraded
+//!             [varint(trace_id) varint(parent_span)]   ; absent = untraced
 //! response := 0x52 varint(id) varint(epoch) status:u8 varint(value)
 //!             varint(coverage_ppm) varint(units_done) varint(units_total)
 //!             flags:u8                            ; flags bit0 = from_density
+//!             [varint(trace_id) varint(body_len) body] ; absent = untraced, no body
 //! ```
+//!
+//! The bracketed trailers are the trace-context propagation added for
+//! the distributed tracing plane: requests carry the client's
+//! `(trace_id, parent_span)` so server-side spans hang off the
+//! client's root, responses echo the trace id and may carry a JSON
+//! body (the `Telemetry` / `Trace` kinds). Decoders treat a missing
+//! trailer as "untraced / no body", so pre-trace peers interoperate.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
 use ipactive_logfmt::{crc32, decode_u64, encode_u64, VarintError};
+use ipactive_obs::{TraceContext, TraceId};
 
 /// First payload byte of every request frame.
 const REQUEST_MAGIC: u8 = 0x51;
@@ -33,7 +43,7 @@ pub enum WireError {
     /// Underlying transport error.
     Io(io::Error),
     /// The stream ended inside a frame (a clean EOF *between* frames is
-    /// reported as `Ok(None)` by [`read_frame`], not as an error).
+    /// reported as `Ok(None)` by `read_frame`, not as an error).
     Truncated,
     /// A varint field was malformed.
     Varint(VarintError),
@@ -107,15 +117,39 @@ pub enum QueryKind {
     /// Server status probe: answers with the current epoch and ingested
     /// day count (in `value`), never touches the engine.
     Status,
+    /// Live telemetry probe: answers with the server registry's
+    /// deterministic metrics snapshot as the response JSON body.
+    Telemetry,
+    /// Trace lookup: answers with the stitched span tree of
+    /// `trace_id` as the response JSON body (`BadRequest` when the
+    /// trace is unknown).
+    Trace {
+        /// The trace id to look up.
+        trace_id: u64,
+    },
 }
 
 impl QueryKind {
+    /// Stable lowercase label, used as span detail and in CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryKind::DayWindow { .. } => "day_window",
+            QueryKind::WeekWindow { .. } => "week_window",
+            QueryKind::PrefixCount { .. } => "prefix_count",
+            QueryKind::Status => "status",
+            QueryKind::Telemetry => "telemetry",
+            QueryKind::Trace { .. } => "trace",
+        }
+    }
+
     fn discriminant(self) -> u8 {
         match self {
             QueryKind::DayWindow { .. } => 1,
             QueryKind::WeekWindow { .. } => 2,
             QueryKind::PrefixCount { .. } => 3,
             QueryKind::Status => 4,
+            QueryKind::Telemetry => 5,
+            QueryKind::Trace { .. } => 6,
         }
     }
 
@@ -125,7 +159,8 @@ impl QueryKind {
                 (start, end)
             }
             QueryKind::PrefixCount { base, len } => (u64::from(base), u64::from(len)),
-            QueryKind::Status => (0, 0),
+            QueryKind::Status | QueryKind::Telemetry => (0, 0),
+            QueryKind::Trace { trace_id } => (trace_id, 0),
         }
     }
 }
@@ -142,6 +177,11 @@ pub struct Request {
     /// Whether a deadline overrun may be answered from the density
     /// approximation instead of failing with `DeadlineExceeded`.
     pub allow_degraded: bool,
+    /// Trace context propagated from the client
+    /// ([`TraceContext::NONE`] for untraced requests): server-side
+    /// spans hang off `trace.span` so the client's root and the
+    /// server's tree stitch into one trace.
+    pub trace: TraceContext,
 }
 
 /// Outcome class of a response; every admitted request gets exactly one.
@@ -186,7 +226,7 @@ impl Status {
 }
 
 /// The observatory's answer to one [`Request`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Echo of the request id.
     pub id: u64,
@@ -209,6 +249,13 @@ pub struct Response {
     ///
     /// [`PrefixDensity`]: ipactive_net::PrefixDensity
     pub from_density: bool,
+    /// Echo of the request's trace id (`0` for untraced requests), so
+    /// the client can link this answer's latency observation back to
+    /// its trace.
+    pub trace_id: u64,
+    /// JSON document body for `Telemetry` / `Trace` answers; `None`
+    /// for every scalar answer.
+    pub body: Option<String>,
 }
 
 impl Response {
@@ -226,6 +273,8 @@ fn encode_request(req: &Request) -> Vec<u8> {
     encode_u64(&mut p, b);
     encode_u64(&mut p, req.budget_ms);
     p.push(u8::from(req.allow_degraded));
+    encode_u64(&mut p, req.trace.trace.0);
+    encode_u64(&mut p, req.trace.span);
     p
 }
 
@@ -240,6 +289,14 @@ fn encode_response(resp: &Response) -> Vec<u8> {
     encode_u64(&mut p, resp.units_done);
     encode_u64(&mut p, resp.units_total);
     p.push(u8::from(resp.from_density));
+    encode_u64(&mut p, resp.trace_id);
+    match &resp.body {
+        None => encode_u64(&mut p, 0),
+        Some(body) => {
+            encode_u64(&mut p, body.len() as u64);
+            p.extend_from_slice(body.as_bytes());
+        }
+    }
     p
 }
 
@@ -247,6 +304,16 @@ fn take_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
     let (&b, rest) = buf.split_first().ok_or(WireError::Truncated)?;
     *buf = rest;
     Ok(b)
+}
+
+/// Decodes an append-only trailing varint: an exhausted payload means
+/// the peer predates the field and the default (0) applies.
+fn decode_u64_tail(buf: &mut &[u8]) -> Result<u64, WireError> {
+    if buf.is_empty() {
+        Ok(0)
+    } else {
+        Ok(decode_u64(buf)?)
+    }
 }
 
 fn decode_request(mut p: &[u8]) -> Result<Request, WireError> {
@@ -266,15 +333,20 @@ fn decode_request(mut p: &[u8]) -> Result<Request, WireError> {
             len: u8::try_from(b).map_err(|_| WireError::BadDiscriminant(kind_b))?,
         },
         4 => QueryKind::Status,
+        5 => QueryKind::Telemetry,
+        6 => QueryKind::Trace { trace_id: a },
         other => return Err(WireError::BadDiscriminant(other)),
     };
     let budget_ms = decode_u64(&mut p)?;
     let flags = take_u8(&mut p)?;
+    let trace = TraceId(decode_u64_tail(&mut p)?);
+    let span = decode_u64_tail(&mut p)?;
     Ok(Request {
         id,
         kind,
         budget_ms,
         allow_degraded: flags & 1 != 0,
+        trace: TraceContext { trace, span },
     })
 }
 
@@ -291,6 +363,18 @@ fn decode_response(mut p: &[u8]) -> Result<Response, WireError> {
     let units_done = decode_u64(&mut p)?;
     let units_total = decode_u64(&mut p)?;
     let flags = take_u8(&mut p)?;
+    let trace_id = decode_u64_tail(&mut p)?;
+    let body = match decode_u64_tail(&mut p)? {
+        0 => None,
+        len => {
+            let len = usize::try_from(len).map_err(|_| WireError::Truncated)?;
+            if len > p.len() {
+                return Err(WireError::Truncated);
+            }
+            let (bytes, _rest) = p.split_at(len);
+            Some(String::from_utf8_lossy(bytes).into_owned())
+        }
+    };
     Ok(Response {
         id,
         epoch,
@@ -300,6 +384,8 @@ fn decode_response(mut p: &[u8]) -> Result<Response, WireError> {
         units_done,
         units_total,
         from_density: flags & 1 != 0,
+        trace_id,
+        body,
     })
 }
 
@@ -387,12 +473,14 @@ mod tests {
                 kind: QueryKind::DayWindow { start: 0, end: 7 },
                 budget_ms: 0,
                 allow_degraded: false,
+                trace: TraceContext::NONE,
             },
             Request {
                 id: u64::MAX,
                 kind: QueryKind::WeekWindow { start: 3, end: 52 },
                 budget_ms: 25,
                 allow_degraded: true,
+                trace: TraceContext { trace: TraceId(0xDEAD_BEEF), span: 3 },
             },
             Request {
                 id: 17,
@@ -402,12 +490,28 @@ mod tests {
                 },
                 budget_ms: 1,
                 allow_degraded: false,
+                trace: TraceContext::NONE,
             },
             Request {
                 id: 1,
                 kind: QueryKind::Status,
                 budget_ms: 0,
                 allow_degraded: true,
+                trace: TraceContext::NONE,
+            },
+            Request {
+                id: 2,
+                kind: QueryKind::Telemetry,
+                budget_ms: 0,
+                allow_degraded: true,
+                trace: TraceContext::NONE,
+            },
+            Request {
+                id: 3,
+                kind: QueryKind::Trace { trace_id: 0xABCD },
+                budget_ms: 0,
+                allow_degraded: true,
+                trace: TraceContext::NONE,
             },
         ]
     }
@@ -438,11 +542,91 @@ mod tests {
             units_done: 3,
             units_total: 8,
             from_density: true,
+            trace_id: 0xDEAD_BEEF,
+            body: None,
         };
         let mut buf = Vec::new();
         write_response(&mut buf, &resp).unwrap();
         let got = read_response(&mut &buf[..]).unwrap().unwrap();
         assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn response_bodies_round_trip() {
+        let resp = Response {
+            id: 7,
+            epoch: 1,
+            status: Status::Ok,
+            value: 0,
+            coverage_ppm: Response::FULL_COVERAGE,
+            units_done: 0,
+            units_total: 0,
+            from_density: false,
+            trace_id: 5,
+            body: Some("{\n  \"traces\": []\n}\n".to_string()),
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let got = read_response(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn pre_trace_frames_decode_as_untraced() {
+        // A request frame exactly as a pre-trace client would encode
+        // it: no trailing (trace_id, parent_span) varints.
+        let mut p = Vec::new();
+        p.push(REQUEST_MAGIC);
+        encode_u64(&mut p, 11); // id
+        p.push(4); // Status
+        encode_u64(&mut p, 0);
+        encode_u64(&mut p, 0);
+        encode_u64(&mut p, 0); // budget
+        p.push(1); // allow_degraded
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        let req = read_request(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(req.id, 11);
+        assert_eq!(req.trace, TraceContext::NONE, "missing trailer means untraced");
+
+        // And a pre-trace response: no trace_id, no body.
+        let mut p = Vec::new();
+        p.push(RESPONSE_MAGIC);
+        encode_u64(&mut p, 11);
+        encode_u64(&mut p, 2); // epoch
+        p.push(0); // Ok
+        encode_u64(&mut p, 99); // value
+        encode_u64(&mut p, Response::FULL_COVERAGE);
+        encode_u64(&mut p, 1);
+        encode_u64(&mut p, 1);
+        p.push(0);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &p).unwrap();
+        let resp = read_response(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(resp.trace_id, 0);
+        assert_eq!(resp.body, None);
+        assert_eq!(resp.value, 99);
+    }
+
+    #[test]
+    fn body_length_beyond_payload_is_truncation() {
+        let resp = Response {
+            id: 1,
+            epoch: 1,
+            status: Status::Ok,
+            value: 0,
+            coverage_ppm: 0,
+            units_done: 0,
+            units_total: 0,
+            from_density: false,
+            trace_id: 0,
+            body: Some("abcdef".to_string()),
+        };
+        let payload = encode_response(&resp);
+        // Chop the body bytes off but keep the length varint intact.
+        let torn = &payload[..payload.len() - 3];
+        let err = decode_response(torn).unwrap_err();
+        assert!(matches!(err, WireError::Truncated), "got {err}");
     }
 
     #[test]

@@ -41,8 +41,10 @@ fn pinned_seed_chaos_soak_answers_every_request_honestly() {
         stall_period: 5,  // every 5th executed query stalls 3ms
         stall_us: 3_000,
     };
-    let server =
-        Server::start(obs.clone(), ServeConfig { workers: 2, queue_depth: 8, chaos });
+    let server = Server::start(
+        obs.clone(),
+        ServeConfig { workers: 2, queue_depth: 8, chaos, slo: None },
+    );
 
     // Ingest bursts racing the query load: six more epochs publish
     // while clients are mid-flight.
@@ -100,6 +102,7 @@ fn pinned_seed_chaos_soak_answers_every_request_honestly() {
                 kind: QueryKind::DayWindow { start: 0, end: BASE_DAYS as u64 },
                 budget_ms: 0,
                 allow_degraded: true,
+                trace: ipactive_serve::TraceContext::NONE,
             },
         )
         .unwrap();
@@ -156,6 +159,7 @@ fn pinned_seed_chaos_soak_answers_every_request_honestly() {
             kind: QueryKind::DayWindow { start: 0, end: BASE_DAYS as u64 },
             budget_ms: 0,
             allow_degraded: false,
+            trace: ipactive_serve::TraceContext::NONE,
         },
     )
     .unwrap();
@@ -190,6 +194,114 @@ fn pinned_seed_chaos_soak_answers_every_request_honestly() {
     assert_eq!(count(EventKind::EpochPublish), 1 + 6, "bulk ingest + six bursts");
     assert!(count(EventKind::QueryPanic) >= 1);
     assert!(count(EventKind::LoadShed) >= shed);
+}
+
+/// One closed-loop request/response over a fresh connection.
+fn fetch(server: &Server, req: &Request) -> Response {
+    let (client, server_end) = duplex();
+    let (srx, stx) = server_end.split();
+    server.attach(srx, stx);
+    let (mut rx, mut tx) = client.split();
+    wire::write_request(&mut tx, req).unwrap();
+    tx.flush().unwrap();
+    drop(tx);
+    wire::read_response(&mut rx).unwrap().expect("one response per request")
+}
+
+fn meta_req(id: u64, kind: QueryKind) -> Request {
+    Request {
+        id,
+        kind,
+        budget_ms: 0,
+        allow_degraded: false,
+        trace: ipactive_serve::TraceContext::NONE,
+    }
+}
+
+/// One traced serving run under a pinned chaos plan: telemetry first
+/// (fresh server, all-zero latency buckets → reproducible bytes),
+/// then a closed-loop traced pass, then every trace fetched back over
+/// the wire. Returns the full observable transcript.
+fn traced_run(workers: usize) -> String {
+    let registry = Registry::new();
+    let obs: Arc<Observatory> = Arc::new(Observatory::new(&registry));
+    obs.ingest_days((0..8).map(|d| synthetic_day_log(SOAK_SEED, d)).collect());
+    let chaos = ChaosPlan { seed: SOAK_SEED, panic_period: 3, stall_period: 2, stall_us: 100 };
+    let server = Server::start(obs, ServeConfig { workers, queue_depth: 64, chaos, slo: None });
+    let mut transcript = String::new();
+    let telemetry = fetch(&server, &meta_req(1, QueryKind::Telemetry));
+    transcript.push_str(telemetry.body.as_deref().unwrap_or("<no body>"));
+    let linked = loadgen::traced_pass(&server, SOAK_SEED, 24);
+    assert_eq!(linked, 24, "closed-loop responses echo their trace ids");
+    for i in 0..24 {
+        let tid = loadgen::traced_pass_id(SOAK_SEED, i);
+        let resp = fetch(&server, &meta_req(2, QueryKind::Trace { trace_id: tid.0 }));
+        transcript.push_str(resp.body.as_deref().unwrap_or("<absent>"));
+        transcript.push('\n');
+    }
+    server.shutdown();
+    transcript
+}
+
+#[test]
+fn traces_and_telemetry_are_byte_identical_across_worker_counts_and_reruns() {
+    // Spans are structural (names and request-derived details, never
+    // wall time), the traced pass is closed-loop (executed-sequence
+    // order pinned), and telemetry is fetched before any latency
+    // lands — so the whole transcript must be reproducible even with
+    // chaos injecting panics and stalls.
+    let one = traced_run(1);
+    let four = traced_run(4);
+    let rerun = traced_run(1);
+    assert_eq!(one, rerun, "same worker count must reproduce exactly");
+    assert_eq!(one, four, "worker count must not leak into traces or telemetry");
+    assert!(one.contains("serve.answer"), "traces cover the server side");
+}
+
+#[test]
+fn one_trace_id_recovers_the_whole_request_tree_with_an_exemplar() {
+    let registry = Registry::new();
+    let obs: Arc<Observatory> = Arc::new(Observatory::new(&registry));
+    obs.ingest_days((0..6).map(|d| synthetic_day_log(SOAK_SEED, d)).collect());
+    let server = Server::start(obs, ServeConfig::default());
+
+    // The client mints the trace and opens the root span; everything
+    // downstream hangs off the propagated context.
+    let tid = ipactive_serve::TraceId::mint(SOAK_SEED, 42);
+    let root = registry.trace_span(
+        ipactive_serve::TraceContext::root(tid),
+        "client.request",
+        "day_window",
+    );
+    let resp = fetch(
+        &server,
+        &Request {
+            id: 7,
+            kind: QueryKind::DayWindow { start: 0, end: 6 },
+            budget_ms: 0,
+            allow_degraded: false,
+            trace: root,
+        },
+    );
+    assert_eq!(resp.status, Status::Ok);
+    assert_eq!(resp.trace_id, tid.0, "the response echoes the trace id");
+
+    // The stitched tree is served live over the wire.
+    let trace = fetch(&server, &meta_req(8, QueryKind::Trace { trace_id: tid.0 }));
+    let body = trace.body.expect("trace body");
+    for name in ["client.request", "serve.admission", "serve.answer", "engine.compose"] {
+        assert!(body.contains(name), "trace body missing {name}: {body}");
+    }
+
+    // And the latency histogram's exemplars link back to it.
+    let snap = registry
+        .histogram("serve.latency_us", ipactive_obs::metrics::DECADE_BOUNDS)
+        .snapshot();
+    assert!(
+        snap.exemplars.iter().flatten().any(|&id| id == tid.0),
+        "serve.latency_us must hold the trace as an exemplar"
+    );
+    server.shutdown();
 }
 
 #[test]
